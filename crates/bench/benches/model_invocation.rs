@@ -1,0 +1,32 @@
+//! Micro-benchmark: learned-model invocation latency vs. the default cost model
+//! (the per-operator overhead behind the ≤10% optimization-time increase of §6.6.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cleo_bench::ExperimentContext;
+use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
+use cleo_optimizer::{CostModel, HeuristicCostModel};
+
+fn bench_model_invocation(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick().expect("context");
+    let cluster = ctx.cluster(0);
+    let predictor =
+        pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train");
+    let learned = LearnedCostModel::new(predictor);
+    let default_model = HeuristicCostModel::default_model();
+    let job = &cluster.test_log.jobs[0];
+    let node = job.plan.operators()[1].clone();
+    let meta = job.plan.meta.clone();
+
+    let mut group = c.benchmark_group("cost_model_invocation");
+    group.bench_function("default", |b| {
+        b.iter(|| default_model.exclusive_cost(&node, 64, &meta))
+    });
+    group.bench_function("learned_combined", |b| {
+        b.iter(|| learned.exclusive_cost(&node, 64, &meta))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_invocation);
+criterion_main!(benches);

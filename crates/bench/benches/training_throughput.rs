@@ -1,0 +1,31 @@
+//! Micro-benchmark: model-training throughput (the "<45 minutes for 25K models"
+//! claim of §5.1, scaled to the reproduction's workload size).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cleo_bench::ExperimentContext;
+use cleo_core::{CleoTrainer, TrainerConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick().expect("context");
+    let cluster = ctx.cluster(0);
+    let samples = CleoTrainer::collect_samples(&cluster.train_log);
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("full_predictor", |b| {
+        b.iter_batched(
+            || samples.clone(),
+            |s| {
+                CleoTrainer::new(TrainerConfig::default())
+                    .train_from_samples(s)
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                 # list experiments
+//! repro all             # run every experiment
+//! repro tab5 fig12 ...  # run specific experiments
+//! repro --paper-scale all   # larger (slower) workload closer to the paper's shape
+//! ```
+//!
+//! Output is printed to stdout and mirrored to `target/experiments/<id>.txt`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cleo_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+
+    if ids.is_empty() {
+        println!("Available experiments:");
+        for id in ALL_EXPERIMENTS {
+            println!("  {id}");
+        }
+        println!("\nRun with: repro <id> [<id> ...] | all   (add --paper-scale for the larger workload)");
+        return;
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    let scale = if paper_scale { Scale::PaperLike } else { Scale::Small };
+    eprintln!("building experiment context ({scale:?}, 3 days x 4 clusters)...");
+    let ctx = match ExperimentContext::build(scale, 3) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("failed to build experiment context: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let out_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&out_dir).ok();
+    let mut failures = 0;
+    for id in selected {
+        eprintln!("== running {id} ==");
+        match run_experiment(id, &ctx) {
+            Ok(text) => {
+                println!("{text}");
+                fs::write(out_dir.join(format!("{id}.txt")), &text).ok();
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Resource-exploration experiments: Figures 8c and 17.
+
+use cleo_common::stats;
+use cleo_common::table::{fnum, fpct, TextTable};
+use cleo_common::Result;
+
+use cleo_core::LearnedCostModel;
+use cleo_engine::stage::build_stage_graph;
+use cleo_engine::PhysicalOpKind;
+use cleo_optimizer::{
+    analytical_lookup_count, candidate_counts, explore_stage_analytical, explore_stage_sampling,
+    geometric_lookup_count, CostModel, PartitionExploration,
+};
+
+use crate::context::ExperimentContext;
+
+/// Figure 8c: number of model look-ups needed by partition exploration as the number
+/// of operators in the plan grows.
+pub fn fig8c(_ctx: &ExperimentContext) -> Result<String> {
+    let mut table = TextTable::new(
+        "Figure 8c: model look-ups for partition exploration",
+        &["#Operators", "Exhaustive", "Analytical", "Geometric(s=0.5)", "Geometric(s=5)"],
+    );
+    for m in [1usize, 5, 10, 20, 30, 40] {
+        table.add_row(&vec![
+            format!("{m}"),
+            format!("{}", m * 3000),
+            format!("{}", analytical_lookup_count(m)),
+            format!("{}", geometric_lookup_count(m, 0.5, 3000)),
+            format!("{}", geometric_lookup_count(m, 5.0, 3000)),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// Figure 17: accuracy of partition-exploration strategies (median cost sub-optimality
+/// vs. the exhaustive oracle) as the sample budget grows, compared with the analytical
+/// approach.
+pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
+    let cluster = ctx.cluster(0);
+    // Re-train a predictor and wrap it as the learned cost model (cloning the trained
+    // one is not possible because stores are not Clone; training is cheap here).
+    let predictor =
+        cleo_core::pipeline::train_predictor(&cluster.train_log, cleo_core::TrainerConfig::default())?;
+    let learned = LearnedCostModel::new(predictor);
+    let max_partitions = 1000usize;
+
+    // Collect exchange-rooted stages from the test-day plans.
+    let mut stages: Vec<(Vec<cleo_engine::PhysicalNode>, cleo_engine::JobMeta)> = Vec::new();
+    for job in cluster.test_log.jobs.iter().take(80) {
+        let graph = build_stage_graph(&job.plan);
+        for stage in &graph.stages {
+            let root = job.plan.root.find(stage.partitioning_op).unwrap();
+            if root.kind != PhysicalOpKind::Exchange {
+                continue;
+            }
+            let ops: Vec<cleo_engine::PhysicalNode> = stage
+                .op_ids
+                .iter()
+                .filter_map(|id| job.plan.root.find(*id).cloned())
+                .collect();
+            stages.push((ops, job.plan.meta.clone()));
+            if stages.len() >= 60 {
+                break;
+            }
+        }
+        if stages.len() >= 60 {
+            break;
+        }
+    }
+
+    // Oracle: exhaustive probe of the learned model over all partition counts.
+    let oracle_cost = |ops: &[cleo_engine::PhysicalNode], meta: &cleo_engine::JobMeta| -> f64 {
+        (1..=max_partitions)
+            .step_by(1)
+            .map(|p| ops.iter().map(|o| learned.exclusive_cost(o, p, meta)).sum::<f64>())
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let mut table = TextTable::new(
+        "Figure 17: partition exploration — median cost gap vs exhaustive oracle",
+        &["Strategy", "#Samples", "Median gap", "Look-ups per stage"],
+    );
+
+    let strategies: Vec<(&str, Vec<usize>)> = vec![
+        ("Random", vec![2, 4, 8, 16, 32, 64]),
+        ("Uniform", vec![2, 4, 8, 16, 32, 64]),
+        ("Geometric", vec![2, 4, 8, 16, 32, 64]),
+    ];
+    for (name, sample_counts) in strategies {
+        for &n in &sample_counts {
+            let mut gaps = Vec::new();
+            let mut lookups = 0usize;
+            for (ops, meta) in &stages {
+                let refs: Vec<&cleo_engine::PhysicalNode> = ops.iter().collect();
+                let candidates = match name {
+                    "Random" => candidate_counts(
+                        PartitionExploration::Random { samples: n, seed: 11 },
+                        max_partitions,
+                    ),
+                    "Uniform" => candidate_counts(
+                        PartitionExploration::Uniform { samples: n },
+                        max_partitions,
+                    ),
+                    _ => {
+                        // Pick the geometric skip coefficient that yields ~n samples.
+                        let mut skip = 0.3;
+                        let mut best = candidate_counts(
+                            PartitionExploration::Geometric { skip },
+                            max_partitions,
+                        );
+                        while best.len() < n && skip < 64.0 {
+                            skip *= 1.6;
+                            best = candidate_counts(
+                                PartitionExploration::Geometric { skip },
+                                max_partitions,
+                            );
+                        }
+                        best
+                    }
+                };
+                if let Some(outcome) =
+                    explore_stage_sampling(&refs, &candidates, &learned, meta)
+                {
+                    let oracle = oracle_cost(ops, meta);
+                    gaps.push((outcome.stage_cost - oracle).max(0.0) / oracle.max(1e-9) * 100.0);
+                    lookups += outcome.model_invocations;
+                }
+            }
+            table.add_row(&vec![
+                name.to_string(),
+                format!("{n}"),
+                fpct(stats::median(&gaps)),
+                format!("{}", lookups / stages.len().max(1)),
+            ]);
+        }
+    }
+
+    // Analytical strategy.
+    let mut gaps = Vec::new();
+    let mut lookups = 0usize;
+    for (ops, meta) in &stages {
+        let refs: Vec<&cleo_engine::PhysicalNode> = ops.iter().collect();
+        if let Some(outcome) = explore_stage_analytical(&refs, &learned, meta, max_partitions) {
+            let oracle = oracle_cost(ops, meta);
+            gaps.push((outcome.stage_cost - oracle).max(0.0) / oracle.max(1e-9) * 100.0);
+            lookups += outcome.model_invocations;
+        }
+    }
+    table.add_row(&vec![
+        "Analytical".to_string(),
+        "-".to_string(),
+        fpct(stats::median(&gaps)),
+        format!("{}", lookups / stages.len().max(1)),
+    ]);
+
+    let mut out = table.render();
+    out.push_str(&format!(
+        "stages evaluated: {} (exchange-rooted, learned-model oracle over 1..{})\n",
+        stages.len(),
+        max_partitions
+    ));
+    let _ = fnum(0.0, 1);
+    Ok(out)
+}

@@ -1,0 +1,180 @@
+//! Workload-characterisation experiments: Figures 2, 3, 9 and 10.
+
+use cleo_common::stats;
+use cleo_common::table::{fnum, TextTable};
+use cleo_common::Result;
+
+use cleo_core::pipeline;
+use cleo_core::signature::subgraph_signature;
+use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo_engine::workload::JobSpec;
+use cleo_engine::{ClusterId, DayIndex};
+use cleo_optimizer::{HeuristicCostModel, OptimizerConfig};
+
+use crate::context::ExperimentContext;
+
+/// Figure 2: many instances of one recurring job — input size and latency ranges.
+pub fn fig2(ctx: &ExperimentContext) -> Result<String> {
+    // Use a dedicated long trace of a single small cluster so one template accumulates
+    // ~150 instances (the paper's hourly job over ~6 days).
+    let mut config = ClusterConfig::small(ClusterId(0));
+    config.n_families = 1;
+    config.templates_per_family = 1;
+    config.instances_per_day = (25, 25);
+    let workload = generate_cluster_workload(&config, 6);
+    let template = workload.templates[0].id;
+    let jobs: Vec<&JobSpec> = workload
+        .jobs
+        .iter()
+        .filter(|j| j.meta.template == Some(template))
+        .take(150)
+        .collect();
+    let model = HeuristicCostModel::default_model();
+    let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &ctx.simulator)?;
+
+    let input_gib: Vec<f64> = jobs
+        .iter()
+        .map(|j| {
+            j.meta
+                .normalized_inputs
+                .iter()
+                .filter_map(|t| j.catalog.table(t).ok())
+                .map(|t| t.total_bytes())
+                .sum::<f64>()
+                / (1024.0 * 1024.0 * 1024.0)
+        })
+        .collect();
+    let latencies: Vec<f64> = log.jobs.iter().map(|j| j.run.job_latency).collect();
+
+    let mut table = TextTable::new(
+        "Figure 2: 150 instances of one recurring job",
+        &["Metric", "Min", "Median", "Max", "Max/Min"],
+    );
+    for (name, xs) in [("Total input (GiB)", &input_gib), ("Latency (s)", &latencies)] {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        table.add_row(&vec![
+            name.to_string(),
+            fnum(min, 1),
+            fnum(stats::median(xs), 1),
+            fnum(max, 1),
+            fnum(max / min.max(1e-9), 2),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// Figure 3: percentage of ad-hoc jobs per cluster per day.
+pub fn fig3(ctx: &ExperimentContext) -> Result<String> {
+    let mut table = TextTable::new(
+        "Figure 3: ad-hoc jobs (%) per cluster per day",
+        &["Cluster", "Day1", "Day2", "Day3"],
+    );
+    for (i, cluster) in ctx.clusters.iter().enumerate() {
+        let mut cells = vec![format!("Cluster{}", i + 1)];
+        for day in 0..ctx.days.min(3) {
+            let day = DayIndex(day);
+            let total = cluster.workload.jobs_on_day(day).len().max(1);
+            let adhoc = cluster.workload.adhoc_count(day);
+            cells.push(fnum(adhoc as f64 / total as f64 * 100.0, 1));
+        }
+        table.add_row(&cells);
+    }
+    Ok(table.render())
+}
+
+/// Figure 9: workload summary — jobs, recurring jobs, templates, subexpressions.
+pub fn fig9(ctx: &ExperimentContext) -> Result<String> {
+    let mut table = TextTable::new(
+        "Figure 9: workload summary per cluster per day",
+        &[
+            "Cluster",
+            "Day",
+            "Total Jobs",
+            "Recurring Jobs",
+            "Recurring Templates",
+            "Total Sub-Expr",
+            "Common Sub-Expr",
+            "Ad-hoc Sub-Expr",
+        ],
+    );
+    for (i, cluster) in ctx.clusters.iter().enumerate() {
+        for day in 0..ctx.days.min(3) {
+            let day_idx = DayIndex(day);
+            let day_jobs: Vec<_> = cluster
+                .telemetry
+                .jobs
+                .iter()
+                .filter(|j| j.day() == day_idx)
+                .collect();
+            // Count subexpressions (operator subgraphs) and how many recur.
+            use std::collections::HashMap;
+            let mut counts: HashMap<u64, usize> = HashMap::new();
+            let mut adhoc_subexpr = 0usize;
+            let mut total_subexpr = 0usize;
+            for job in &day_jobs {
+                job.plan.root.visit(&mut |node| {
+                    total_subexpr += 1;
+                    *counts.entry(subgraph_signature(node)).or_insert(0) += 1;
+                    if !job.is_recurring() {
+                        adhoc_subexpr += 1;
+                    }
+                });
+            }
+            let common: usize = counts
+                .values()
+                .filter(|&&c| c > 1)
+                .map(|&c| c)
+                .sum();
+            table.add_row(&vec![
+                format!("Cluster{}", i + 1),
+                format!("Day{}", day + 1),
+                format!("{}", day_jobs.len()),
+                format!("{}", cluster.workload.recurring_count(day_idx)),
+                format!("{}", cluster.workload.template_count(day_idx)),
+                format!("{total_subexpr}"),
+                format!("{common}"),
+                format!("{adhoc_subexpr}"),
+            ]);
+        }
+    }
+    Ok(table.render())
+}
+
+/// Figure 10: day-over-day change (%) in jobs, recurring jobs, and templates.
+pub fn fig10(ctx: &ExperimentContext) -> Result<String> {
+    let mut table = TextTable::new(
+        "Figure 10: day-over-day workload change (%)",
+        &["Cluster", "Transition", "Total Jobs", "Recurring Jobs", "Recurring Templates"],
+    );
+    let pct = |a: usize, b: usize| -> String {
+        if a == 0 {
+            "0.0".into()
+        } else {
+            fnum((b as f64 - a as f64) / a as f64 * 100.0, 1)
+        }
+    };
+    for (i, cluster) in ctx.clusters.iter().enumerate() {
+        for day in 0..ctx.days.saturating_sub(1).min(2) {
+            let d0 = DayIndex(day);
+            let d1 = DayIndex(day + 1);
+            table.add_row(&vec![
+                format!("Cluster{}", i + 1),
+                format!("Day{}-to-Day{}", day + 1, day + 2),
+                pct(
+                    cluster.workload.jobs_on_day(d0).len(),
+                    cluster.workload.jobs_on_day(d1).len(),
+                ),
+                pct(
+                    cluster.workload.recurring_count(d0),
+                    cluster.workload.recurring_count(d1),
+                ),
+                pct(
+                    cluster.workload.template_count(d0),
+                    cluster.workload.template_count(d1),
+                ),
+            ]);
+        }
+    }
+    Ok(table.render())
+}

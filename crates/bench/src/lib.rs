@@ -1,0 +1,13 @@
+//! Experiment harness for the Cleo reproduction.
+//!
+//! * [`context`] builds the shared workload/telemetry/predictor state,
+//! * [`experiments`] contains one runner per table/figure of the paper,
+//! * the `repro` binary dispatches them (`cargo run -p cleo-bench --release --bin repro -- tab5`),
+//! * `benches/` holds the criterion micro-benchmarks (model invocation latency,
+//!   optimization overhead, training throughput, partition exploration).
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{ClusterData, ExperimentContext, Scale};
+pub use experiments::{run_experiment, ALL_EXPERIMENTS};

@@ -1,0 +1,186 @@
+//! Ratio-distribution (CDF) helpers for the paper's accuracy figures.
+//!
+//! Figures 1, 11, 12, 13 and 15 plot the cumulative distribution of
+//! `estimated cost / actual runtime` on a log-scaled x-axis from 10⁻³ to 10³.  The
+//! closer the CDF rises near x = 1 (the "ideal" vertical line, labelled 100 in the
+//! paper's percent scale), the more accurate the model.  [`RatioCdf`] reproduces that
+//! representation: it bins ratios into logarithmically spaced buckets and can emit the
+//! series used by the experiment runners.
+
+use crate::stats;
+
+/// Cumulative distribution of prediction/actual ratios over log-spaced buckets.
+#[derive(Debug, Clone)]
+pub struct RatioCdf {
+    /// Sorted ratios (predicted / actual).
+    ratios: Vec<f64>,
+}
+
+/// One point of an emitted CDF series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Ratio value (x-axis, log scale in the paper).
+    pub ratio: f64,
+    /// Fraction of observations with ratio ≤ `ratio` (y-axis).
+    pub fraction: f64,
+}
+
+impl RatioCdf {
+    /// Build from paired predictions and actuals.
+    pub fn from_pairs(predicted: &[f64], actual: &[f64]) -> RatioCdf {
+        let mut ratios = stats::ratios(predicted, actual);
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        RatioCdf { ratios }
+    }
+
+    /// Build directly from precomputed ratios.
+    pub fn from_ratios(mut ratios: Vec<f64>) -> RatioCdf {
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        RatioCdf { ratios }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// True when there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// Fraction of observations with ratio ≤ `x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
+        let count = self.ratios.partition_point(|&r| r <= x);
+        count as f64 / self.ratios.len() as f64
+    }
+
+    /// Fraction of observations whose ratio lies within a factor `f` of 1
+    /// (i.e. `1/f ≤ ratio ≤ f`).  "Within 2×" is a common summary of the CDF plots.
+    pub fn fraction_within_factor(&self, f: f64) -> f64 {
+        debug_assert!(f >= 1.0);
+        self.fraction_at(f) - self.fraction_at(1.0 / f) + self.point_mass_at(1.0 / f)
+    }
+
+    fn point_mass_at(&self, x: f64) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .ratios
+            .iter()
+            .filter(|&&r| (r - x).abs() < f64::EPSILON)
+            .count();
+        n as f64 / self.ratios.len() as f64
+    }
+
+    /// Fraction of under-estimates (ratio < 1).
+    pub fn under_estimation_fraction(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
+        let count = self.ratios.partition_point(|&r| r < 1.0);
+        count as f64 / self.ratios.len() as f64
+    }
+
+    /// Fraction of over-estimates (ratio > 1).
+    pub fn over_estimation_fraction(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.fraction_at(1.0)
+    }
+
+    /// Emit a series of `points` CDF samples on a log-spaced grid between
+    /// `min_ratio` and `max_ratio` (the paper uses 10⁻³ … 10³).
+    pub fn series(&self, min_ratio: f64, max_ratio: f64, points: usize) -> Vec<CdfPoint> {
+        debug_assert!(min_ratio > 0.0 && max_ratio > min_ratio && points >= 2);
+        let log_lo = min_ratio.ln();
+        let log_hi = max_ratio.ln();
+        (0..points)
+            .map(|i| {
+                let t = i as f64 / (points - 1) as f64;
+                let ratio = (log_lo + t * (log_hi - log_lo)).exp();
+                CdfPoint {
+                    ratio,
+                    fraction: self.fraction_at(ratio),
+                }
+            })
+            .collect()
+    }
+
+    /// Median ratio (bias indicator: > 1 means the model over-estimates on median).
+    pub fn median_ratio(&self) -> f64 {
+        stats::median(&self.ratios)
+    }
+
+    /// The smallest and largest observed ratio, useful for the "100× under-estimate to
+    /// 1000× over-estimate" style statements in Section 2.4.
+    pub fn range(&self) -> (f64, f64) {
+        if self.ratios.is_empty() {
+            return (0.0, 0.0);
+        }
+        (self.ratios[0], *self.ratios.last().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_concentrate_at_one() {
+        let actual = [5.0, 10.0, 20.0];
+        let cdf = RatioCdf::from_pairs(&actual, &actual);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf.fraction_at(1.0) - 1.0).abs() < 1e-12);
+        assert!(cdf.fraction_at(0.99) < 1e-12);
+        assert!((cdf.median_ratio() - 1.0).abs() < 1e-12);
+        assert!((cdf.fraction_within_factor(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_and_over_estimation_fractions() {
+        let pred = [0.5, 0.5, 2.0, 1.0];
+        let act = [1.0, 1.0, 1.0, 1.0];
+        let cdf = RatioCdf::from_pairs(&pred, &act);
+        assert!((cdf.under_estimation_fraction() - 0.5).abs() < 1e-12);
+        assert!((cdf.over_estimation_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_is_monotone_and_spans_grid() {
+        let pred = [0.01, 0.1, 1.0, 10.0, 100.0];
+        let act = [1.0; 5];
+        let cdf = RatioCdf::from_pairs(&pred, &act);
+        let series = cdf.series(1e-3, 1e3, 25);
+        assert_eq!(series.len(), 25);
+        assert!((series[0].ratio - 1e-3).abs() / 1e-3 < 1e-9);
+        assert!((series[24].ratio - 1e3).abs() / 1e3 < 1e-9);
+        for w in series.windows(2) {
+            assert!(w[1].fraction >= w[0].fraction);
+        }
+        assert!((series[24].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_reports_extremes() {
+        let cdf = RatioCdf::from_ratios(vec![0.01, 1.0, 500.0]);
+        let (lo, hi) = cdf.range();
+        assert_eq!(lo, 0.01);
+        assert_eq!(hi, 500.0);
+        assert_eq!(RatioCdf::from_ratios(vec![]).range(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = RatioCdf::from_ratios(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at(1.0), 0.0);
+        assert_eq!(cdf.under_estimation_fraction(), 0.0);
+        assert_eq!(cdf.over_estimation_fraction(), 0.0);
+    }
+}

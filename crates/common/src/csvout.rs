@@ -1,0 +1,110 @@
+//! Minimal CSV writer for experiment output.
+//!
+//! Experiment runners write the series behind each reproduced figure to
+//! `target/experiments/<exp-id>/*.csv` so the results can be plotted externally.  The
+//! writer only needs to quote cells containing separators — no external dependency is
+//! warranted for that.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::error::Result;
+
+/// Escape a single CSV cell (RFC 4180 style quoting).
+pub fn escape_cell(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Render rows (first row is typically the header) into CSV text.
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| escape_cell(c)).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// A CSV file being accumulated in memory and flushed to disk on [`CsvWriter::save`].
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    path: PathBuf,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvWriter {
+    /// Create a writer targeting `path`, with the given header row.
+    pub fn new(path: impl AsRef<Path>, header: &[&str]) -> Self {
+        CsvWriter {
+            path: path.as_ref().to_path_buf(),
+            rows: vec![header.iter().map(|s| s.to_string()).collect()],
+        }
+    }
+
+    /// Append a data row.
+    pub fn add_row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of float values formatted with 6 significant digits.
+    pub fn add_floats(&mut self, cells: &[f64]) {
+        self.add_row(&cells.iter().map(|v| format!("{v:.6}")).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows (excluding the header).
+    pub fn row_count(&self) -> usize {
+        self.rows.len().saturating_sub(1)
+    }
+
+    /// Write the accumulated rows to disk, creating parent directories as needed.
+    pub fn save(&self) -> Result<()> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(&self.path)?;
+        f.write_all(to_csv(&self.rows).as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_follows_rfc4180() {
+        assert_eq!(escape_cell("plain"), "plain");
+        assert_eq!(escape_cell("a,b"), "\"a,b\"");
+        assert_eq!(escape_cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn to_csv_joins_rows() {
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string(), "2,3".to_string()],
+        ];
+        assert_eq!(to_csv(&rows), "a,b\n1,\"2,3\"\n");
+    }
+
+    #[test]
+    fn writer_accumulates_and_saves() {
+        let dir = std::env::temp_dir().join("cleo_csv_test");
+        let path = dir.join("out.csv");
+        let mut w = CsvWriter::new(&path, &["x", "y"]);
+        w.add_floats(&[1.0, 2.0]);
+        w.add_row(&["3".to_string(), "4".to_string()]);
+        assert_eq!(w.row_count(), 2);
+        w.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("x,y\n"));
+        assert!(text.contains("3,4"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared error type for the workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CleoError>;
+
+/// Errors produced by the Cleo reproduction crates.
+///
+/// The variants are intentionally coarse: the library is a research system and the
+/// main consumers are the experiment runners, which mostly want a readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleoError {
+    /// A model was asked to predict before it was trained, or training failed to
+    /// produce a usable model.
+    ModelNotTrained(String),
+    /// The caller supplied inconsistent or empty training data (e.g. feature rows of
+    /// different lengths, zero samples).
+    InvalidTrainingData(String),
+    /// A plan, operator, or catalog object was malformed or referenced a missing id.
+    InvalidPlan(String),
+    /// A catalog lookup failed (unknown table/column).
+    CatalogError(String),
+    /// Query optimization could not produce a physical plan.
+    OptimizationError(String),
+    /// Configuration error (bad parameter value).
+    Config(String),
+    /// An I/O error while writing experiment output.
+    Io(String),
+}
+
+impl fmt::Display for CleoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleoError::ModelNotTrained(m) => write!(f, "model not trained: {m}"),
+            CleoError::InvalidTrainingData(m) => write!(f, "invalid training data: {m}"),
+            CleoError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            CleoError::CatalogError(m) => write!(f, "catalog error: {m}"),
+            CleoError::OptimizationError(m) => write!(f, "optimization error: {m}"),
+            CleoError::Config(m) => write!(f, "configuration error: {m}"),
+            CleoError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CleoError {}
+
+impl From<std::io::Error> for CleoError {
+    fn from(e: std::io::Error) -> Self {
+        CleoError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = CleoError::ModelNotTrained("operator-subgraph 42".into());
+        assert_eq!(e.to_string(), "model not trained: operator-subgraph 42");
+        let e = CleoError::InvalidTrainingData("0 samples".into());
+        assert!(e.to_string().contains("0 samples"));
+        let e = CleoError::CatalogError("unknown table".into());
+        assert!(e.to_string().contains("catalog"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: CleoError = io.into();
+        assert!(matches!(e, CleoError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CleoError::Config("x".into()),
+            CleoError::Config("x".into())
+        );
+        assert_ne!(
+            CleoError::Config("x".into()),
+            CleoError::Config("y".into())
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Descriptive statistics used throughout the paper's evaluation.
+//!
+//! The paper reports three families of quality metrics for a cost model:
+//!
+//! * **Pearson correlation** between predicted cost and actual runtime — the headline
+//!   "can the optimizer discriminate between candidate plans" number (e.g. 0.04 for the
+//!   default SCOPE cost model, > 0.7 for Cleo).
+//! * **Median / 95th-percentile relative error** — `|pred − actual| / actual`, reported
+//!   as a percentage (e.g. 258% for the default model, 14% for operator-subgraph).
+//! * **Ratio distributions** (`estimated / actual`) — plotted as CDFs in
+//!   Figures 1, 11, 12, 13, 15; helpers for those live in [`crate::cdf`].
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns 0.0 for fewer than two values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Geometric mean of strictly positive values; non-positive values are skipped.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Quantile with linear interpolation, `q` in `[0, 1]`. Returns 0.0 for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient between two equally sized samples.
+///
+/// Returns 0.0 when either sample has zero variance or the lengths differ/are < 2,
+/// which matches how a degenerate cost model (constant predictions) should score.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation — Pearson over ranks. Used as a robustness check of the
+/// "can the optimizer order plans correctly" question.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0;
+        for k in i..=j {
+            out[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Relative error `|pred − actual| / actual` for a single pair, expressed as a
+/// percentage. `actual` values ≤ 0 are clamped to a small epsilon (actual runtimes in
+/// the telemetry are strictly positive, but guard anyway).
+pub fn relative_error_pct(predicted: f64, actual: f64) -> f64 {
+    let a = actual.max(1e-9);
+    ((predicted - a).abs() / a) * 100.0
+}
+
+/// Median relative error (%) over paired predictions/actuals — the paper's
+/// "median error" column (Tables 1, 4, 5, 6, 7, 8).
+pub fn median_error_pct(predicted: &[f64], actual: &[f64]) -> f64 {
+    let errs: Vec<f64> = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| relative_error_pct(p, a))
+        .collect();
+    median(&errs)
+}
+
+/// Percentile relative error (%) — e.g. `q = 0.95` for the paper's 95%ile error column.
+pub fn percentile_error_pct(predicted: &[f64], actual: &[f64], q: f64) -> f64 {
+    let errs: Vec<f64> = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| relative_error_pct(p, a))
+        .collect();
+    quantile(&errs, q)
+}
+
+/// Ratios `predicted / actual`, the x-axis of the paper's accuracy CDF plots.
+pub fn ratios(predicted: &[f64], actual: &[f64]) -> Vec<f64> {
+    predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| (p.max(1e-9)) / (a.max(1e-9)))
+        .collect()
+}
+
+/// Summary of a cost model's prediction quality against actual runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySummary {
+    /// Number of (prediction, actual) pairs evaluated.
+    pub count: usize,
+    /// Pearson correlation between predictions and actuals.
+    pub pearson: f64,
+    /// Spearman rank correlation.
+    pub spearman: f64,
+    /// Median relative error, in percent.
+    pub median_error_pct: f64,
+    /// 95th percentile relative error, in percent.
+    pub p95_error_pct: f64,
+    /// Geometric mean of predicted/actual ratios (1.0 = unbiased).
+    pub ratio_geomean: f64,
+}
+
+impl AccuracySummary {
+    /// Compute the summary from paired predictions and actuals.
+    pub fn compute(predicted: &[f64], actual: &[f64]) -> AccuracySummary {
+        AccuracySummary {
+            count: predicted.len().min(actual.len()),
+            pearson: pearson(predicted, actual),
+            spearman: spearman(predicted, actual),
+            median_error_pct: median_error_pct(predicted, actual),
+            p95_error_pct: percentile_error_pct(predicted, actual, 0.95),
+            ratio_geomean: geometric_mean(&ratios(predicted, actual)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert!(std_dev(&[1.0]).abs() < 1e-12);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        // Zero variance in one variable → 0 by convention.
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // A monotone but non-linear relationship has Spearman 1.0.
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 0.95);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_errors() {
+        assert!((relative_error_pct(150.0, 100.0) - 50.0).abs() < 1e-9);
+        assert!((relative_error_pct(50.0, 100.0) - 50.0).abs() < 1e-9);
+        let pred = [110.0, 90.0, 200.0];
+        let act = [100.0, 100.0, 100.0];
+        assert!((median_error_pct(&pred, &act) - 10.0).abs() < 1e-9);
+        assert!(percentile_error_pct(&pred, &act, 0.95) > 80.0);
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let r = ratios(&[200.0, 50.0], &[100.0, 100.0]);
+        assert!((r[0] - 2.0).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+        assert!((geometric_mean(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_summary_perfect_predictions() {
+        let actual = [10.0, 20.0, 30.0, 40.0];
+        let s = AccuracySummary::compute(&actual, &actual);
+        assert_eq!(s.count, 4);
+        assert!((s.pearson - 1.0).abs() < 1e-12);
+        assert!(s.median_error_pct < 1e-9);
+        assert!((s.ratio_geomean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_skips_nonpositive() {
+        assert!((geometric_mean(&[1.0, 4.0, -3.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[-1.0, 0.0]), 0.0);
+    }
+}

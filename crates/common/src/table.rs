@@ -1,0 +1,131 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The experiment runners in `cleo-bench` print each reproduced paper table/figure as
+//! an aligned text table on stdout (and as CSV via [`crate::csvout`]).  This module
+//! keeps the formatting logic in one place.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of already formatted cells. Rows shorter than the header are
+    /// padded with empty cells; longer rows are truncated.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Convenience: append a row from string slices.
+    pub fn add_row_strs(&mut self, cells: &[&str]) {
+        self.add_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a float with a fixed number of decimals (helper for table cells).
+pub fn fnum(x: f64, decimals: usize) -> String {
+    format!("{:.*}", decimals, x)
+}
+
+/// Format a percentage value (already in percent units) like the paper's tables,
+/// e.g. `14%`, `258%`.
+pub fn fpct(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{:.0}%", x)
+    } else {
+        format!("{:.1}%", x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Table 4", &["Model", "Correlation", "Median Error"]);
+        t.add_row_strs(&["Default", "0.04", "258%"]);
+        t.add_row_strs(&["Elastic net", "0.92", "14%"]);
+        let s = t.render();
+        assert!(s.contains("== Table 4 =="));
+        assert!(s.contains("Elastic net"));
+        // Header and rows should have the same number of lines: title + header + sep + 2 rows.
+        assert_eq!(s.lines().count(), 5);
+        // Columns aligned: "Correlation" column starts at the same offset in both rows.
+        let lines: Vec<&str> = s.lines().collect();
+        let hdr_pos = lines[1].find("Correlation").unwrap();
+        assert_eq!(&lines[3][hdr_pos..hdr_pos + 4], "0.04");
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.add_row_strs(&["1"]);
+        t.add_row_strs(&["1", "2", "3"]);
+        assert_eq!(t.row_count(), 2);
+        let s = t.render();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(0.8415, 2), "0.84");
+        assert_eq!(fpct(258.4), "258%");
+        assert_eq!(fpct(14.23), "14.2%");
+    }
+}

@@ -1,0 +1,66 @@
+//! # CLEO — learned cost models for big data query processing
+//!
+//! This crate is the reproduction of the paper's primary contribution: the Cloud
+//! LEarning Optimizer (Cleo).  It learns a large collection of specialised cost
+//! models from workload telemetry and retrofits them into a Cascades-style optimizer:
+//!
+//! * [`features`] — the feature vocabulary of Tables 2 and 3,
+//! * [`signature`] — the four subgraph/operator signatures that key the model families,
+//! * [`models`] — per-family model stores (elastic net per signature), the combined
+//!   FastTree meta-model, and the [`models::CleoPredictor`],
+//! * [`trainer`] — the training pipeline (min-occurrence filtering, meta hold-out),
+//! * [`integration`] — [`integration::LearnedCostModel`], the drop-in
+//!   [`cleo_optimizer::CostModel`] implementation, including the analytical partition
+//!   coefficients used for resource-aware planning,
+//! * [`cardlearner`] — the learned-cardinality baseline of Section 6.4,
+//! * [`pipeline`] — the end-to-end feedback loop (optimize → simulate → train →
+//!   re-optimize) and the evaluation helpers shared by the experiment runners.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cleo_core::pipeline;
+//! use cleo_core::integration::LearnedCostModel;
+//! use cleo_core::trainer::TrainerConfig;
+//! use cleo_engine::exec::{Simulator, SimulatorConfig};
+//! use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+//! use cleo_engine::ClusterId;
+//! use cleo_optimizer::{HeuristicCostModel, OptimizerConfig};
+//!
+//! // 1. Generate a small synthetic cluster workload and execute it with the default
+//! //    cost model to collect telemetry.
+//! let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 1);
+//! let jobs: Vec<_> = workload.jobs.iter().take(20).collect();
+//! let default_model = HeuristicCostModel::default_model();
+//! let simulator = Simulator::new(SimulatorConfig::default());
+//! let telemetry =
+//!     pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+//!
+//! // 2. Train Cleo's learned cost models from the telemetry.
+//! let predictor = pipeline::train_predictor(&telemetry, TrainerConfig::default()).unwrap();
+//!
+//! // 3. Plug them into the optimizer and re-optimize with resource-aware planning.
+//! let learned = LearnedCostModel::new(predictor);
+//! let improved =
+//!     pipeline::run_jobs(&jobs, &learned, OptimizerConfig::resource_aware(), &simulator).unwrap();
+//! assert_eq!(improved.len(), telemetry.len());
+//! ```
+
+pub mod cardlearner;
+pub mod features;
+pub mod integration;
+pub mod models;
+pub mod pipeline;
+pub mod signature;
+pub mod trainer;
+
+pub use cardlearner::CardLearner;
+pub use features::{extract_features, feature_count, feature_names, normalized_weights};
+pub use integration::LearnedCostModel;
+pub use models::{CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown};
+pub use pipeline::{
+    collect_samples, compare_runs, evaluate_cost_model, evaluate_predictor, run_jobs,
+    train_predictor, JobComparison, ModelEvaluation,
+};
+pub use signature::{signature_set, ModelFamily, SignatureSet};
+pub use trainer::{CleoTrainer, TrainerConfig};

@@ -1,0 +1,481 @@
+//! The learned cost models: per-family model stores, the combined meta-model, and the
+//! Cleo predictor that ties them together.
+//!
+//! Section 3 learns a large collection of specialised elastic-net models — one per
+//! operator-subgraph template — and Section 4 adds progressively more general families
+//! (operator-subgraphApprox, operator-input, operator) plus a FastTree meta-model that
+//! combines their predictions into a single robust estimate with full workload
+//! coverage.
+
+use std::collections::HashMap;
+
+use cleo_mlkit::elastic_net::ElasticNet;
+use cleo_mlkit::gbt::FastTreeRegressor;
+use cleo_mlkit::model::Regressor;
+use cleo_mlkit::Dataset;
+
+use cleo_common::{CleoError, Result};
+use cleo_engine::physical::{JobMeta, PhysicalNode};
+
+use crate::features::{extract_features, feature_names};
+use crate::signature::{signature_set, ModelFamily, SignatureSet};
+
+/// One training sample: an operator instance with its features and measured latency.
+#[derive(Debug, Clone)]
+pub struct OperatorSample {
+    /// Signatures of the operator instance.
+    pub signatures: SignatureSet,
+    /// Physical operator name (for reporting).
+    pub operator: String,
+    /// Feature vector (see [`crate::features`]).
+    pub features: Vec<f64>,
+    /// Measured exclusive latency (seconds) — the learning target.
+    pub exclusive_seconds: f64,
+    /// Day the sample was observed (for retention experiments).
+    pub day: u32,
+    /// Whether the sample came from a recurring job.
+    pub recurring: bool,
+}
+
+impl OperatorSample {
+    /// Build a sample from a plan node, its measured latency, and the job metadata.
+    pub fn from_node(node: &PhysicalNode, exclusive_seconds: f64, meta: &JobMeta) -> Self {
+        OperatorSample {
+            signatures: signature_set(node, meta),
+            operator: node.kind.name().to_string(),
+            features: extract_features(node, node.partition_count, meta),
+            exclusive_seconds,
+            day: meta.day.0,
+            recurring: meta.recurring,
+        }
+    }
+}
+
+/// A store of specialised models for one family, keyed by signature.
+#[derive(Debug, Default)]
+pub struct ModelStore {
+    family: Option<ModelFamily>,
+    models: HashMap<u64, ElasticNet>,
+}
+
+impl ModelStore {
+    /// Train a store for `family` from samples, creating one elastic-net model per
+    /// signature with at least `min_samples` occurrences (the paper uses 5).
+    pub fn train(family: ModelFamily, samples: &[OperatorSample], min_samples: usize) -> Result<Self> {
+        let mut grouped: HashMap<u64, Vec<&OperatorSample>> = HashMap::new();
+        for s in samples {
+            grouped
+                .entry(s.signatures.for_family(family))
+                .or_default()
+                .push(s);
+        }
+        let names = feature_names();
+        let mut models = HashMap::new();
+        for (sig, group) in grouped {
+            if group.len() < min_samples.max(1) {
+                continue;
+            }
+            let rows: Vec<Vec<f64>> = group.iter().map(|s| s.features.clone()).collect();
+            let targets: Vec<f64> = group.iter().map(|s| s.exclusive_seconds).collect();
+            let data = Dataset::from_rows(names.clone(), rows, targets)?;
+            // The paper's hyper-parameters, with the regularisation strength rescaled
+            // to this reproduction's target scale (log-seconds rather than the cost
+            // units SCOPE uses); the structure (L1+L2, MSLE objective, automatic
+            // feature selection) is unchanged.
+            let mut config = cleo_mlkit::elastic_net::ElasticNetConfig::default();
+            config.alpha = 0.05;
+            let mut model = ElasticNet::new(config);
+            model.fit(&data)?;
+            models.insert(sig, model);
+        }
+        Ok(ModelStore {
+            family: Some(family),
+            models,
+        })
+    }
+
+    /// The family this store serves.
+    pub fn family(&self) -> Option<ModelFamily> {
+        self.family
+    }
+
+    /// Number of specialised models in the store.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when the store holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// True when a model exists for this signature.
+    pub fn covers(&self, signature: u64) -> bool {
+        self.models.contains_key(&signature)
+    }
+
+    /// Predict the exclusive latency for a feature vector, if a model covers the
+    /// signature.
+    pub fn predict(&self, signature: u64, features: &[f64]) -> Option<f64> {
+        self.models
+            .get(&signature)
+            .map(|m| m.predict_row(features).max(0.0))
+    }
+
+    /// The raw feature weights of every model in the store (for Figures 5, 6, 16).
+    pub fn weight_vectors(&self) -> Vec<Vec<f64>> {
+        self.models
+            .values()
+            .filter_map(|m| m.feature_weights())
+            .collect()
+    }
+
+    /// Feature weights of the model covering `signature`, if any.
+    pub fn weights_for(&self, signature: u64) -> Option<Vec<f64>> {
+        self.models.get(&signature).and_then(|m| m.feature_weights())
+    }
+}
+
+/// Per-family predictions for one operator instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictionBreakdown {
+    /// Operator-subgraph prediction, if covered.
+    pub op_subgraph: Option<f64>,
+    /// Operator-subgraphApprox prediction, if covered.
+    pub op_subgraph_approx: Option<f64>,
+    /// Operator-input prediction, if covered.
+    pub op_input: Option<f64>,
+    /// Operator prediction, if covered.
+    pub operator: Option<f64>,
+    /// The combined model's prediction (always available once trained).
+    pub combined: f64,
+}
+
+impl PredictionBreakdown {
+    /// Prediction of one family.
+    pub fn family(&self, family: ModelFamily) -> Option<f64> {
+        match family {
+            ModelFamily::OpSubgraph => self.op_subgraph,
+            ModelFamily::OpSubgraphApprox => self.op_subgraph_approx,
+            ModelFamily::OpInput => self.op_input,
+            ModelFamily::Operator => self.operator,
+        }
+    }
+
+    /// The most specialised individual prediction available (the "strawman" fallback
+    /// order discussed in Section 4.3).
+    pub fn most_specialized(&self) -> Option<f64> {
+        self.op_subgraph
+            .or(self.op_subgraph_approx)
+            .or(self.op_input)
+            .or(self.operator)
+    }
+}
+
+/// Names of the meta-features fed to the combined model.
+fn meta_feature_names() -> Vec<String> {
+    vec![
+        "pred_subgraph".into(),
+        "has_subgraph".into(),
+        "pred_subgraph_approx".into(),
+        "has_subgraph_approx".into(),
+        "pred_input".into(),
+        "has_input".into(),
+        "pred_operator".into(),
+        "I".into(),
+        "B".into(),
+        "C".into(),
+        "I/P".into(),
+        "B/P".into(),
+        "C/P".into(),
+        "P".into(),
+    ]
+}
+
+/// Build the combined model's meta-feature vector from individual predictions and the
+/// extra cardinality/partition features of Section 4.3.
+fn meta_features(breakdown: &PredictionBreakdown, features: &[f64]) -> Vec<f64> {
+    // Feature indices from `crate::features::FEATURE_NAMES`: I=0, B=1, C=2, P=4.
+    let i = features[0];
+    let b = features[1];
+    let c = features[2];
+    let p = features[4].max(1.0);
+    vec![
+        breakdown.op_subgraph.unwrap_or(0.0),
+        breakdown.op_subgraph.is_some() as u8 as f64,
+        breakdown.op_subgraph_approx.unwrap_or(0.0),
+        breakdown.op_subgraph_approx.is_some() as u8 as f64,
+        breakdown.op_input.unwrap_or(0.0),
+        breakdown.op_input.is_some() as u8 as f64,
+        breakdown.operator.unwrap_or(0.0),
+        i,
+        b,
+        c,
+        i / p,
+        b / p,
+        c / p,
+        p,
+    ]
+}
+
+/// The combined meta-model (FastTree regression over individual predictions).
+#[derive(Debug, Default)]
+pub struct CombinedModel {
+    model: Option<FastTreeRegressor>,
+}
+
+impl CombinedModel {
+    /// Train the meta-model from per-sample breakdowns and targets.
+    pub fn train(
+        breakdowns: &[(PredictionBreakdown, Vec<f64>)],
+        targets: &[f64],
+        seed: u64,
+    ) -> Result<Self> {
+        if breakdowns.len() != targets.len() || breakdowns.is_empty() {
+            return Err(CleoError::InvalidTrainingData(
+                "combined model needs aligned, non-empty training data".into(),
+            ));
+        }
+        let rows: Vec<Vec<f64>> = breakdowns
+            .iter()
+            .map(|(b, f)| meta_features(b, f))
+            .collect();
+        let data = Dataset::from_rows(meta_feature_names(), rows, targets.to_vec())?;
+        let mut model = FastTreeRegressor::paper_default(seed);
+        model.fit(&data)?;
+        Ok(CombinedModel { model: Some(model) })
+    }
+
+    /// True once trained.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Predict from an individual-model breakdown and the operator's features.  Falls
+    /// back to the most specialised individual prediction when untrained.
+    pub fn predict(&self, breakdown: &PredictionBreakdown, features: &[f64]) -> f64 {
+        match &self.model {
+            Some(m) => m.predict_row(&meta_features(breakdown, features)).max(0.0),
+            None => breakdown.most_specialized().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The full Cleo predictor: all four individual stores plus the combined meta-model.
+#[derive(Debug, Default)]
+pub struct CleoPredictor {
+    stores: Vec<ModelStore>,
+    combined: CombinedModel,
+}
+
+impl CleoPredictor {
+    /// Assemble a predictor from trained components.
+    pub fn new(stores: Vec<ModelStore>, combined: CombinedModel) -> Self {
+        CleoPredictor { stores, combined }
+    }
+
+    /// Split the predictor back into its parts (used by the trainer when swapping in a
+    /// newly trained combined model).
+    pub fn into_parts(self) -> (Vec<ModelStore>, CombinedModel) {
+        (self.stores, self.combined)
+    }
+
+    /// Look up the store for a family.
+    pub fn store(&self, family: ModelFamily) -> Option<&ModelStore> {
+        self.stores.iter().find(|s| s.family() == Some(family))
+    }
+
+    /// Total number of specialised models held (the paper reports ~25K per cluster).
+    pub fn model_count(&self) -> usize {
+        self.stores.iter().map(|s| s.len()).sum()
+    }
+
+    /// The combined meta-model.
+    pub fn combined(&self) -> &CombinedModel {
+        &self.combined
+    }
+
+    /// Per-family + combined predictions for an operator at a candidate partition
+    /// count.
+    pub fn predict(&self, node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> PredictionBreakdown {
+        let signatures = signature_set(node, meta);
+        let features = extract_features(node, partitions, meta);
+        self.predict_from_parts(&signatures, &features)
+    }
+
+    /// Prediction from precomputed signatures and features (used by the trainer to
+    /// avoid recomputation, and by batch evaluation).
+    pub fn predict_from_parts(
+        &self,
+        signatures: &SignatureSet,
+        features: &[f64],
+    ) -> PredictionBreakdown {
+        let by_family = |family: ModelFamily| -> Option<f64> {
+            self.store(family)
+                .and_then(|s| s.predict(signatures.for_family(family), features))
+        };
+        let mut breakdown = PredictionBreakdown {
+            op_subgraph: by_family(ModelFamily::OpSubgraph),
+            op_subgraph_approx: by_family(ModelFamily::OpSubgraphApprox),
+            op_input: by_family(ModelFamily::OpInput),
+            operator: by_family(ModelFamily::Operator),
+            combined: 0.0,
+        };
+        breakdown.combined = self.combined.predict(&breakdown, features);
+        breakdown
+    }
+
+    /// Whether a family covers this operator instance.
+    pub fn covers(&self, family: ModelFamily, node: &PhysicalNode, meta: &JobMeta) -> bool {
+        let signatures = signature_set(node, meta);
+        self.store(family)
+            .map(|s| s.covers(signatures.for_family(family)))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleo_engine::physical::{PhysicalNode, PhysicalOpKind};
+    use cleo_engine::types::{ClusterId, DayIndex, JobId, OpStats};
+
+    fn meta(inputs: &[&str]) -> JobMeta {
+        JobMeta {
+            id: JobId(1),
+            cluster: ClusterId(0),
+            template: None,
+            name: "models".into(),
+            normalized_inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            params: vec![0.5, 0.5],
+            day: DayIndex(0),
+            recurring: true,
+        }
+    }
+
+    fn filter_node(rows: f64, partitions: usize) -> PhysicalNode {
+        let mut child = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+        child.est = OpStats {
+            input_cardinality: rows,
+            base_cardinality: rows,
+            output_cardinality: rows,
+            avg_row_bytes: 50.0,
+        };
+        child.partition_count = partitions;
+        let mut n = PhysicalNode::new(PhysicalOpKind::Filter, "pred", vec![child]);
+        n.est = OpStats {
+            input_cardinality: rows,
+            base_cardinality: rows,
+            output_cardinality: rows * 0.2,
+            avg_row_bytes: 50.0,
+        };
+        n.partition_count = partitions;
+        n
+    }
+
+    /// Generate samples whose latency is a clean function of cardinality and partitions.
+    fn samples(n: usize) -> Vec<OperatorSample> {
+        let m = meta(&["t"]);
+        (0..n)
+            .map(|i| {
+                let rows = 1e5 * (1.0 + i as f64);
+                let parts = 4 + (i % 8);
+                let node = filter_node(rows, parts);
+                let latency = rows * 2e-7 / parts as f64 + 0.1;
+                OperatorSample::from_node(&node, latency, &m)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_trains_one_model_per_signature_and_predicts() {
+        let s = samples(30);
+        let store = ModelStore::train(ModelFamily::OpSubgraph, &s, 5).unwrap();
+        assert_eq!(store.len(), 1, "all samples share one subgraph template");
+        assert!(store.covers(s[0].signatures.op_subgraph));
+        let pred = store
+            .predict(s[0].signatures.op_subgraph, &s[0].features)
+            .unwrap();
+        let err = (pred - s[0].exclusive_seconds).abs() / s[0].exclusive_seconds;
+        assert!(err < 0.5, "relative error {err}");
+        assert!(!store.weight_vectors().is_empty());
+    }
+
+    #[test]
+    fn store_skips_signatures_with_too_few_samples() {
+        let s = samples(3);
+        let store = ModelStore::train(ModelFamily::OpSubgraph, &s, 5).unwrap();
+        assert!(store.is_empty());
+        assert!(store.predict(s[0].signatures.op_subgraph, &s[0].features).is_none());
+    }
+
+    #[test]
+    fn operator_family_generalises_across_labels() {
+        // Two different predicates map to the same Operator-family signature.
+        let m = meta(&["t"]);
+        let mut a = filter_node(1e5, 4);
+        a.label = "pred_a".into();
+        let mut b = filter_node(1e5, 4);
+        b.label = "pred_b".into();
+        let sa = OperatorSample::from_node(&a, 1.0, &m);
+        let sb = OperatorSample::from_node(&b, 1.0, &m);
+        assert_ne!(sa.signatures.op_subgraph, sb.signatures.op_subgraph);
+        assert_eq!(sa.signatures.operator, sb.signatures.operator);
+    }
+
+    #[test]
+    fn combined_model_tracks_individual_predictions() {
+        let s = samples(40);
+        let store = ModelStore::train(ModelFamily::OpSubgraph, &s, 5).unwrap();
+        let op_store = ModelStore::train(ModelFamily::Operator, &s, 5).unwrap();
+        let predictor_wo_combined = CleoPredictor::new(
+            vec![
+                ModelStore::train(ModelFamily::OpSubgraph, &s, 5).unwrap(),
+                ModelStore::train(ModelFamily::Operator, &s, 5).unwrap(),
+            ],
+            CombinedModel::default(),
+        );
+        let training: Vec<(PredictionBreakdown, Vec<f64>)> = s
+            .iter()
+            .map(|smp| {
+                (
+                    predictor_wo_combined.predict_from_parts(&smp.signatures, &smp.features),
+                    smp.features.clone(),
+                )
+            })
+            .collect();
+        let targets: Vec<f64> = s.iter().map(|smp| smp.exclusive_seconds).collect();
+        let combined = CombinedModel::train(&training, &targets, 7).unwrap();
+        assert!(combined.is_trained());
+
+        let predictor = CleoPredictor::new(vec![store, op_store], combined);
+        assert_eq!(predictor.model_count(), 2);
+        let b = predictor.predict_from_parts(&s[5].signatures, &s[5].features);
+        assert!(b.op_subgraph.is_some());
+        assert!(b.operator.is_some());
+        assert!(b.combined > 0.0);
+        let err = (b.combined - s[5].exclusive_seconds).abs() / s[5].exclusive_seconds;
+        assert!(err < 0.6, "relative error {err}");
+    }
+
+    #[test]
+    fn untrained_combined_falls_back_to_most_specialised() {
+        let breakdown = PredictionBreakdown {
+            op_subgraph: None,
+            op_subgraph_approx: Some(4.0),
+            op_input: Some(9.0),
+            operator: Some(20.0),
+            combined: 0.0,
+        };
+        let c = CombinedModel::default();
+        let features = vec![0.0; crate::features::feature_count()];
+        assert_eq!(c.predict(&breakdown, &features), 4.0);
+        assert_eq!(breakdown.most_specialized(), Some(4.0));
+        assert_eq!(breakdown.family(ModelFamily::Operator), Some(20.0));
+    }
+
+    #[test]
+    fn combined_training_rejects_bad_input() {
+        assert!(CombinedModel::train(&[], &[], 0).is_err());
+    }
+}

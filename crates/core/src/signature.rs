@@ -1,0 +1,251 @@
+//! Operator and subgraph signatures.
+//!
+//! SCOPE annotates operators with 64-bit signatures computed bottom-up from children
+//! signatures, the operator name, and logical properties; Cleo extends the optimizer
+//! to compute three more, one per individual model family (Section 5.1).  All four are
+//! computed here from a [`PhysicalNode`] and the job metadata:
+//!
+//! * **operator-subgraph** — the exact subgraph template: root physical operator and
+//!   every descendant operator (names + labels), order-sensitive;
+//! * **operator-subgraphApprox** — root physical operator + the same inputs + the
+//!   frequency of each *logical* operator underneath, ignoring ordering (Section 4.2);
+//! * **operator-input** — root physical operator + the normalised input templates;
+//! * **operator** — just the root physical operator.
+
+use cleo_common::hash::{combine_ordered, combine_unordered, hash_str, StableHasher};
+use cleo_engine::physical::{JobMeta, PhysicalNode};
+
+/// The four individual model families of the paper, ordered from most specialised to
+/// most general (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelFamily {
+    /// One model per exact operator-subgraph template.
+    OpSubgraph,
+    /// One model per (root operator, input, approximate subgraph) combination.
+    OpSubgraphApprox,
+    /// One model per (root operator, input template) combination.
+    OpInput,
+    /// One model per physical operator.
+    Operator,
+}
+
+impl ModelFamily {
+    /// All families, most specialised first.
+    pub fn all() -> [ModelFamily; 4] {
+        [
+            ModelFamily::OpSubgraph,
+            ModelFamily::OpSubgraphApprox,
+            ModelFamily::OpInput,
+            ModelFamily::Operator,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelFamily::OpSubgraph => "Op-Subgraph",
+            ModelFamily::OpSubgraphApprox => "Op-SubgraphApprox",
+            ModelFamily::OpInput => "Op-Input",
+            ModelFamily::Operator => "Operator",
+        }
+    }
+}
+
+/// The four signatures of one operator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignatureSet {
+    /// Exact subgraph signature.
+    pub op_subgraph: u64,
+    /// Approximate subgraph signature.
+    pub op_subgraph_approx: u64,
+    /// Operator + input template signature.
+    pub op_input: u64,
+    /// Per-operator signature.
+    pub operator: u64,
+}
+
+impl SignatureSet {
+    /// The signature used by a given family.
+    pub fn for_family(&self, family: ModelFamily) -> u64 {
+        match family {
+            ModelFamily::OpSubgraph => self.op_subgraph,
+            ModelFamily::OpSubgraphApprox => self.op_subgraph_approx,
+            ModelFamily::OpInput => self.op_input,
+            ModelFamily::Operator => self.operator,
+        }
+    }
+}
+
+/// Exact subgraph signature: operator name + label, combined with children signatures
+/// in order (the recursive 64-bit hash of Section 5.1).
+pub fn subgraph_signature(node: &PhysicalNode) -> u64 {
+    let children: Vec<u64> = node.children.iter().map(subgraph_signature).collect();
+    let mut h = StableHasher::new();
+    h.write_str(node.kind.name());
+    h.write_str(&node.label);
+    let label = format!("{:x}", h.finish());
+    combine_ordered(&label, &children)
+}
+
+/// Normalised input template signature for a job: the sorted, deduplicated normalised
+/// input names.
+fn input_template_hash(meta: &JobMeta) -> u64 {
+    let mut inputs: Vec<&str> = meta.normalized_inputs.iter().map(|s| s.as_str()).collect();
+    inputs.sort_unstable();
+    inputs.dedup();
+    let hashes: Vec<u64> = inputs.iter().map(|s| hash_str(s)).collect();
+    combine_ordered("inputs", &hashes)
+}
+
+/// Approximate subgraph signature: root physical operator + input template + frequency
+/// of each logical operator underneath (unordered).
+pub fn subgraph_approx_signature(node: &PhysicalNode, meta: &JobMeta) -> u64 {
+    let freq_hashes: Vec<u64> = node
+        .logical_frequency()
+        .iter()
+        .map(|(name, count)| hash_str(&format!("{name}:{count}")))
+        .collect();
+    let mut h = StableHasher::new();
+    h.write_str(node.kind.name());
+    h.write_u64(input_template_hash(meta));
+    let label = format!("{:x}", h.finish());
+    combine_unordered(&label, &freq_hashes)
+}
+
+/// Operator-input signature: root physical operator + input template.
+pub fn op_input_signature(node: &PhysicalNode, meta: &JobMeta) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(node.kind.name());
+    h.write_u64(input_template_hash(meta));
+    h.finish()
+}
+
+/// Per-operator signature: the physical operator name.
+pub fn operator_signature(node: &PhysicalNode) -> u64 {
+    hash_str(node.kind.name())
+}
+
+/// Compute all four signatures in one pass.
+pub fn signature_set(node: &PhysicalNode, meta: &JobMeta) -> SignatureSet {
+    SignatureSet {
+        op_subgraph: subgraph_signature(node),
+        op_subgraph_approx: subgraph_approx_signature(node, meta),
+        op_input: op_input_signature(node, meta),
+        operator: operator_signature(node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleo_engine::physical::{PhysicalNode, PhysicalOpKind};
+    use cleo_engine::types::{ClusterId, DayIndex, JobId};
+
+    fn meta(inputs: &[&str]) -> JobMeta {
+        JobMeta {
+            id: JobId(1),
+            cluster: ClusterId(0),
+            template: None,
+            name: "sig".into(),
+            normalized_inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            params: vec![],
+            day: DayIndex(0),
+            recurring: true,
+        }
+    }
+
+    fn chain(kinds: &[(PhysicalOpKind, &str)]) -> PhysicalNode {
+        let mut node: Option<PhysicalNode> = None;
+        for (kind, label) in kinds {
+            let children = node.take().map(|n| vec![n]).unwrap_or_default();
+            node = Some(PhysicalNode::new(*kind, *label, children));
+        }
+        node.unwrap()
+    }
+
+    #[test]
+    fn identical_subgraphs_share_signatures() {
+        let a = chain(&[
+            (PhysicalOpKind::Extract, "clicks"),
+            (PhysicalOpKind::Filter, "p>1"),
+            (PhysicalOpKind::HashAggregate, "user"),
+        ]);
+        let b = a.clone();
+        assert_eq!(subgraph_signature(&a), subgraph_signature(&b));
+        let m = meta(&["clicks"]);
+        assert_eq!(signature_set(&a, &m), signature_set(&b, &m));
+    }
+
+    #[test]
+    fn different_roots_or_labels_change_subgraph_signature() {
+        let a = chain(&[(PhysicalOpKind::Extract, "clicks"), (PhysicalOpKind::Filter, "p>1")]);
+        let b = chain(&[(PhysicalOpKind::Extract, "clicks"), (PhysicalOpKind::Filter, "p>2")]);
+        let c = chain(&[(PhysicalOpKind::Extract, "clicks"), (PhysicalOpKind::Project, "p>1")]);
+        assert_ne!(subgraph_signature(&a), subgraph_signature(&b));
+        assert_ne!(subgraph_signature(&a), subgraph_signature(&c));
+    }
+
+    #[test]
+    fn approx_signature_ignores_operator_ordering() {
+        // Filter→Project vs Project→Filter under the same aggregate root: the exact
+        // signatures differ, the approximate ones match.
+        let a = chain(&[
+            (PhysicalOpKind::Extract, "t"),
+            (PhysicalOpKind::Filter, "f"),
+            (PhysicalOpKind::Project, "p"),
+            (PhysicalOpKind::HashAggregate, "g"),
+        ]);
+        let b = chain(&[
+            (PhysicalOpKind::Extract, "t"),
+            (PhysicalOpKind::Project, "p"),
+            (PhysicalOpKind::Filter, "f"),
+            (PhysicalOpKind::HashAggregate, "g"),
+        ]);
+        let m = meta(&["t"]);
+        assert_ne!(subgraph_signature(&a), subgraph_signature(&b));
+        assert_eq!(
+            subgraph_approx_signature(&a, &m),
+            subgraph_approx_signature(&b, &m)
+        );
+    }
+
+    #[test]
+    fn op_input_signature_depends_on_inputs_not_structure() {
+        let a = chain(&[(PhysicalOpKind::Extract, "t"), (PhysicalOpKind::Filter, "x")]);
+        let deep = chain(&[
+            (PhysicalOpKind::Extract, "t"),
+            (PhysicalOpKind::Project, "p"),
+            (PhysicalOpKind::Filter, "x"),
+        ]);
+        let m1 = meta(&["clicks_{date}"]);
+        let m2 = meta(&["other"]);
+        assert_eq!(op_input_signature(&a, &m1), op_input_signature(&deep, &m1));
+        assert_ne!(op_input_signature(&a, &m1), op_input_signature(&a, &m2));
+        // Input order and duplicates do not matter.
+        let m3 = meta(&["b", "a"]);
+        let m4 = meta(&["a", "b", "b"]);
+        assert_eq!(op_input_signature(&a, &m3), op_input_signature(&a, &m4));
+    }
+
+    #[test]
+    fn operator_signature_collapses_to_kind() {
+        let a = chain(&[(PhysicalOpKind::Extract, "t"), (PhysicalOpKind::Filter, "x")]);
+        let b = chain(&[(PhysicalOpKind::Extract, "u"), (PhysicalOpKind::Filter, "y")]);
+        assert_eq!(operator_signature(&a), operator_signature(&b));
+        assert_ne!(
+            operator_signature(&a),
+            operator_signature(&chain(&[(PhysicalOpKind::Sort, "k")]))
+        );
+    }
+
+    #[test]
+    fn family_lookup_maps_to_the_right_signature() {
+        let n = chain(&[(PhysicalOpKind::Extract, "t"), (PhysicalOpKind::Filter, "x")]);
+        let m = meta(&["t"]);
+        let s = signature_set(&n, &m);
+        assert_eq!(s.for_family(ModelFamily::OpSubgraph), s.op_subgraph);
+        assert_eq!(s.for_family(ModelFamily::Operator), s.operator);
+        assert_eq!(ModelFamily::all().len(), 4);
+        assert_eq!(ModelFamily::OpSubgraph.name(), "Op-Subgraph");
+    }
+}

@@ -1,0 +1,173 @@
+//! The training pipeline and feedback loop (Section 5.1).
+//!
+//! Training mirrors the paper's deployment: telemetry from past runs is turned into
+//! per-operator samples; the four individual model families are trained independently
+//! (one elastic net per signature with enough occurrences); and the combined FastTree
+//! meta-model is trained on the individual models' predictions over held-out jobs,
+//! so it learns where each family can and cannot be trusted.
+
+use cleo_common::rng::DetRng;
+use cleo_common::Result;
+use cleo_engine::telemetry::TelemetryLog;
+
+use crate::models::{
+    CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown,
+};
+use crate::signature::ModelFamily;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Minimum occurrences of a signature before a specialised model is learned
+    /// (the paper uses 5).
+    pub min_samples_per_model: usize,
+    /// Fraction of jobs held out from individual-model training and used to train the
+    /// combined meta-model.
+    pub meta_holdout_fraction: f64,
+    /// Seed for the job split and model subsampling.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            min_samples_per_model: 5,
+            meta_holdout_fraction: 0.25,
+            seed: 0xC1E0,
+        }
+    }
+}
+
+/// The Cleo trainer.
+#[derive(Debug, Clone, Default)]
+pub struct CleoTrainer {
+    config: TrainerConfig,
+}
+
+impl CleoTrainer {
+    /// Create a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        CleoTrainer { config }
+    }
+
+    /// Turn a telemetry log into per-operator training samples.
+    pub fn collect_samples(log: &TelemetryLog) -> Vec<OperatorSample> {
+        let mut samples = Vec::with_capacity(log.operator_sample_count());
+        for job in &log.jobs {
+            for (node, latency) in job.operator_samples() {
+                samples.push(OperatorSample::from_node(node, latency, &job.plan.meta));
+            }
+        }
+        samples
+    }
+
+    /// Train the full predictor (four individual stores + combined meta-model) from a
+    /// telemetry log.
+    pub fn train(&self, log: &TelemetryLog) -> Result<CleoPredictor> {
+        let samples = Self::collect_samples(log);
+        self.train_from_samples(samples)
+    }
+
+    /// Train from already-collected samples.
+    pub fn train_from_samples(&self, mut samples: Vec<OperatorSample>) -> Result<CleoPredictor> {
+        if samples.is_empty() {
+            return Err(cleo_common::CleoError::InvalidTrainingData(
+                "no training samples".into(),
+            ));
+        }
+        let mut rng = DetRng::new(self.config.seed);
+        rng.shuffle(&mut samples);
+        let holdout = ((samples.len() as f64) * self.config.meta_holdout_fraction).round() as usize;
+        let holdout = holdout.clamp(1, samples.len().saturating_sub(1).max(1));
+        let (meta_samples, base_samples) = samples.split_at(holdout);
+
+        // Individual stores over the base split.
+        let stores: Vec<ModelStore> = ModelFamily::all()
+            .into_iter()
+            .map(|family| ModelStore::train(family, base_samples, self.config.min_samples_per_model))
+            .collect::<Result<Vec<_>>>()?;
+
+        // Meta-model over the held-out split, using the individual models' predictions
+        // as meta-features.
+        let interim = CleoPredictor::new(stores, CombinedModel::default());
+        let breakdowns: Vec<(PredictionBreakdown, Vec<f64>)> = meta_samples
+            .iter()
+            .map(|s| {
+                (
+                    interim.predict_from_parts(&s.signatures, &s.features),
+                    s.features.clone(),
+                )
+            })
+            .collect();
+        let targets: Vec<f64> = meta_samples.iter().map(|s| s.exclusive_seconds).collect();
+        let combined = CombinedModel::train(&breakdowns, &targets, self.config.seed)?;
+
+        // Reassemble (the stores were moved into the interim predictor).
+        let (stores, _) = interim.into_parts();
+        Ok(CleoPredictor::new(stores, combined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleo_engine::exec::{Simulator, SimulatorConfig};
+    use cleo_engine::telemetry::JobTelemetry;
+    use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+    use cleo_engine::ClusterId;
+    use cleo_optimizer::{HeuristicCostModel, Optimizer, OptimizerConfig};
+
+    fn small_telemetry() -> TelemetryLog {
+        let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+        let model = HeuristicCostModel::default_model();
+        let optimizer = Optimizer::new(&model, OptimizerConfig::default());
+        let simulator = Simulator::new(SimulatorConfig::default());
+        let mut log = TelemetryLog::new();
+        for job in workload.jobs.iter().take(60) {
+            let optimized = optimizer.optimize(job).unwrap();
+            let run = simulator.run(&optimized.plan);
+            log.push(JobTelemetry {
+                plan: optimized.plan,
+                run,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn trainer_produces_models_for_all_families() {
+        let log = small_telemetry();
+        let trainer = CleoTrainer::new(TrainerConfig::default());
+        let predictor = trainer.train(&log).unwrap();
+        assert!(predictor.model_count() > 4, "{} models", predictor.model_count());
+        assert!(predictor.combined().is_trained());
+        // The Operator store must exist and cover the common operators.
+        let op_store = predictor.store(ModelFamily::Operator).unwrap();
+        assert!(op_store.len() >= 4);
+        // Specialised stores exist but hold fewer signatures than total samples.
+        let sub_store = predictor.store(ModelFamily::OpSubgraph).unwrap();
+        assert!(!sub_store.is_empty());
+    }
+
+    #[test]
+    fn trained_predictor_beats_naive_zero_prediction() {
+        use cleo_common::stats;
+        let log = small_telemetry();
+        let trainer = CleoTrainer::new(TrainerConfig::default());
+        let predictor = trainer.train(&log).unwrap();
+        let samples = CleoTrainer::collect_samples(&log);
+        let preds: Vec<f64> = samples
+            .iter()
+            .map(|s| predictor.predict_from_parts(&s.signatures, &s.features).combined)
+            .collect();
+        let actuals: Vec<f64> = samples.iter().map(|s| s.exclusive_seconds).collect();
+        let corr = stats::pearson(&preds, &actuals);
+        assert!(corr > 0.5, "in-sample correlation {corr}");
+    }
+
+    #[test]
+    fn empty_log_is_rejected() {
+        let trainer = CleoTrainer::new(TrainerConfig::default());
+        assert!(trainer.train(&TelemetryLog::new()).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for Cleo's feature extraction and signatures.
+
+use cleo_core::{extract_features, feature_count, signature_set};
+use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind};
+use cleo_engine::types::{ClusterId, DayIndex, JobId, OpStats};
+use proptest::prelude::*;
+
+fn meta(inputs: Vec<String>, params: Vec<f64>) -> JobMeta {
+    JobMeta {
+        id: JobId(1),
+        cluster: ClusterId(0),
+        template: None,
+        name: "prop".into(),
+        normalized_inputs: inputs,
+        params,
+        day: DayIndex(0),
+        recurring: true,
+    }
+}
+
+fn node_strategy() -> impl Strategy<Value = PhysicalNode> {
+    (
+        0usize..12,
+        1.0f64..1e9,
+        1.0f64..1e9,
+        1.0f64..512.0,
+        prop::collection::vec("[a-z]{1,8}", 0..3),
+    )
+        .prop_map(|(kind_idx, input_card, output_card, width, child_labels)| {
+            let kinds = PhysicalOpKind::all();
+            let kind = kinds[kind_idx % kinds.len()];
+            let children: Vec<PhysicalNode> = child_labels
+                .iter()
+                .map(|l| {
+                    let mut c = PhysicalNode::new(PhysicalOpKind::Extract, l.clone(), vec![]);
+                    c.est = OpStats {
+                        input_cardinality: input_card,
+                        base_cardinality: input_card,
+                        output_cardinality: input_card,
+                        avg_row_bytes: width,
+                    };
+                    c
+                })
+                .collect();
+            let mut n = PhysicalNode::new(kind, "label", children);
+            n.est = OpStats {
+                input_cardinality: input_card,
+                base_cardinality: input_card,
+                output_cardinality: output_card,
+                avg_row_bytes: width,
+            };
+            n
+        })
+}
+
+proptest! {
+    #[test]
+    fn feature_vectors_are_always_finite_and_fixed_width(
+        node in node_strategy(),
+        partitions in 1usize..3000,
+        params in prop::collection::vec(0.0f64..100.0, 0..4),
+        inputs in prop::collection::vec("[a-z_{}0-9]{1,16}", 0..4),
+    ) {
+        let m = meta(inputs, params);
+        let f = extract_features(&node, partitions, &m);
+        prop_assert_eq!(f.len(), feature_count());
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+        // The partition feature is exactly the candidate count.
+        prop_assert_eq!(f[4], partitions as f64);
+    }
+
+    #[test]
+    fn signatures_are_deterministic_and_family_consistent(
+        node in node_strategy(),
+        inputs in prop::collection::vec("[a-z]{1,8}", 1..4),
+    ) {
+        let m = meta(inputs, vec![]);
+        let a = signature_set(&node, &m);
+        let b = signature_set(&node, &m);
+        prop_assert_eq!(a, b);
+        // The operator signature only depends on the root kind.
+        let mut relabelled = node.clone();
+        relabelled.label = "different_label".into();
+        let c = signature_set(&relabelled, &m);
+        prop_assert_eq!(a.operator, c.operator);
+        // Changing the label changes the exact subgraph signature.
+        if node.label != relabelled.label {
+            prop_assert_ne!(a.op_subgraph, c.op_subgraph);
+        }
+    }
+
+    #[test]
+    fn partition_count_does_not_change_signatures(
+        node in node_strategy(),
+        p1 in 1usize..3000,
+        p2 in 1usize..3000,
+    ) {
+        let m = meta(vec!["t".into()], vec![]);
+        let mut a_node = node.clone();
+        a_node.partition_count = p1;
+        let mut b_node = node;
+        b_node.partition_count = p2;
+        prop_assert_eq!(signature_set(&a_node, &m), signature_set(&b_node, &m));
+    }
+}

@@ -1,0 +1,552 @@
+//! The execution simulator — the reproduction's stand-in for a SCOPE cluster.
+//!
+//! The paper trains on telemetry from real production runs; here a ground-truth
+//! runtime model generates that telemetry.  The model is deliberately *richer* than
+//! anything the default cost model assumes, for the same reasons production runtimes
+//! are (Section 2.4):
+//!
+//! * per-operator work has both a parallel component (`work / partitions`) and a
+//!   per-partition overhead component (`overhead × partitions`), so partition counts
+//!   have a genuine optimum that resource-aware planning can find (Section 5.2),
+//! * user-defined operators carry hidden per-row cost factors the default model cannot
+//!   see,
+//! * the latency of an operator depends on its *context* — running over a blocking
+//!   child (sort, hash build) costs more than running pipelined over a filter
+//!   (Section 3.1's motivation for subgraph models),
+//! * every operator's latency is multiplied by log-normal "cloud variance" noise and
+//!   occasional heavy-tailed outliers (machine/network failures),
+//! * each cluster has its own hardware speed factor.
+//!
+//! The simulator works off the **actual** statistics stored in the plan, while every
+//! cost model only sees the **estimated** ones — reproducing the estimation-error
+//! structure the paper measures.
+
+use std::collections::BTreeMap;
+
+use cleo_common::rng::DetRng;
+
+use crate::physical::{PhysicalNode, PhysicalOpKind, PhysicalPlan};
+use crate::stage::{build_stage_graph, StageGraph};
+use crate::types::{OpId, Seconds};
+
+/// Configuration of the simulated cluster environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatorConfig {
+    /// Log-space sigma of the per-operator cloud-variance noise.
+    pub noise_sigma: f64,
+    /// Probability that an operator hits a heavy-tailed outlier (stragglers, retries).
+    pub outlier_probability: f64,
+    /// Relative hardware speed per cluster (multiplies every latency).
+    pub cluster_speed_factors: Vec<f64>,
+    /// Log-space sigma of the hidden per-template "workload complexity" factor:
+    /// string-heavy rows, compression ratios, skewed keys, user code — everything that
+    /// makes two jobs of the same size run at very different speeds.  The factor is
+    /// stable across instances of a template (so specialised learned models can absorb
+    /// it) but invisible to any hand-written cost model, which is a large part of why
+    /// the default model's correlation with runtimes is so poor (Section 2.4).
+    pub template_complexity_sigma: f64,
+    /// Base seed; each job derives its own stream from this and its job id.
+    pub seed: u64,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            noise_sigma: 0.12,
+            outlier_probability: 0.01,
+            cluster_speed_factors: vec![1.0, 1.15, 0.9, 1.25],
+            template_complexity_sigma: 1.0,
+            seed: 0x5C0_9E,
+        }
+    }
+}
+
+impl SimulatorConfig {
+    /// A noise-free, complexity-free configuration (useful in tests and for isolating
+    /// model error from environmental variance).
+    pub fn noiseless(seed: u64) -> Self {
+        SimulatorConfig {
+            noise_sigma: 0.0,
+            outlier_probability: 0.0,
+            cluster_speed_factors: vec![1.0, 1.15, 0.9, 1.25],
+            template_complexity_sigma: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Per-operator outcome of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorRun {
+    /// Operator id within the plan.
+    pub op: OpId,
+    /// Exclusive latency of the operator (seconds) — the learning target.
+    pub exclusive_seconds: Seconds,
+    /// Partition count the operator ran with.
+    pub partition_count: usize,
+}
+
+/// Outcome of simulating one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRun {
+    /// Per-operator exclusive latencies keyed by operator id.
+    pub operator_runs: BTreeMap<OpId, OperatorRun>,
+    /// End-to-end job latency (seconds): critical path over the stage DAG.
+    pub job_latency: Seconds,
+    /// Total processing time (container-seconds): Σ stage latency × partition count.
+    pub total_cpu_seconds: Seconds,
+    /// Number of containers allocated (max over concurrently runnable stages,
+    /// approximated by the largest stage partition count).
+    pub peak_containers: usize,
+}
+
+impl JobRun {
+    /// Exclusive latency of one operator.
+    pub fn exclusive(&self, op: OpId) -> Option<Seconds> {
+        self.operator_runs.get(&op).map(|r| r.exclusive_seconds)
+    }
+}
+
+/// The execution simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimulatorConfig,
+}
+
+/// Ground-truth per-row/byte cost constants (seconds).  These are "the cluster", not a
+/// cost model: no component of the optimizer may read them.
+mod truth {
+    /// IO read rate, seconds per byte (≈100 MB/s per container).
+    pub const READ_PER_BYTE: f64 = 1.0e-8;
+    /// Output write rate, seconds per byte.
+    pub const WRITE_PER_BYTE: f64 = 1.5e-8;
+    /// Network transfer rate for exchanges, seconds per byte.
+    pub const NET_PER_BYTE: f64 = 2.2e-8;
+    /// Filter cost per input row.
+    pub const FILTER_PER_ROW: f64 = 2.0e-7;
+    /// Projection cost per input row.
+    pub const PROJECT_PER_ROW: f64 = 1.4e-7;
+    /// Hash-join build cost per build row.
+    pub const HJ_BUILD_PER_ROW: f64 = 9.0e-7;
+    /// Hash-join probe cost per probe row.
+    pub const HJ_PROBE_PER_ROW: f64 = 3.5e-7;
+    /// Merge-join cost per input row (both sides).
+    pub const MJ_PER_ROW: f64 = 2.6e-7;
+    /// Hash-aggregate cost per input row.
+    pub const HASH_AGG_PER_ROW: f64 = 6.5e-7;
+    /// Stream-aggregate cost per input row.
+    pub const STREAM_AGG_PER_ROW: f64 = 2.2e-7;
+    /// Local (partial) aggregate cost per input row.
+    pub const LOCAL_AGG_PER_ROW: f64 = 3.0e-7;
+    /// Sort cost per row per log2(rows-per-partition).
+    pub const SORT_PER_ROW_LOG: f64 = 1.1e-7;
+    /// UDF processor base cost per input row (multiplied by the hidden factor).
+    pub const UDF_PER_ROW: f64 = 4.0e-7;
+    /// Per-row cost of producing join/aggregate output.
+    pub const OUT_PER_ROW: f64 = 1.5e-7;
+    /// Per-partition connection/setup overhead of an exchange.
+    pub const EXCHANGE_PER_PARTITION: f64 = 0.035;
+    /// Fixed startup overhead of an exchange.
+    pub const EXCHANGE_FIXED: f64 = 0.3;
+    /// Fixed startup overhead of an extract.
+    pub const EXTRACT_FIXED: f64 = 0.5;
+    /// Fixed overhead of the output writer.
+    pub const OUTPUT_FIXED: f64 = 0.2;
+    /// Per-operator scheduling overhead multiplier on ln(partitions).
+    pub const SCHED_PER_LOG_PARTITION: f64 = 0.05;
+    /// Latency multiplier when the operator's input comes from a blocking child.
+    pub const BLOCKING_CHILD_FACTOR: f64 = 1.22;
+    /// Latency multiplier when the operator's input is pipelined from a streaming child.
+    pub const STREAMING_CHILD_FACTOR: f64 = 0.97;
+}
+
+impl Simulator {
+    /// Create a simulator with the given configuration.
+    pub fn new(config: SimulatorConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Create a simulator with the default production-like configuration.
+    pub fn default_cluster() -> Self {
+        Simulator::new(SimulatorConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
+    /// The hidden data-complexity factor of a job (see
+    /// [`SimulatorConfig::template_complexity_sigma`]).  The factor is a property of
+    /// the *upstream dataset* the job reads (string-heavy rows, compression, skew), so
+    /// it is keyed on the job's primary normalised input: every instance of a
+    /// recurring template — and every other job reading the same dataset — sees the
+    /// same factor, which is what makes it learnable by the subgraph/input model
+    /// families while remaining invisible to hand-written cost models.
+    pub fn template_complexity_factor(&self, meta: &crate::physical::JobMeta) -> f64 {
+        if self.config.template_complexity_sigma <= 0.0 {
+            return 1.0;
+        }
+        let key = meta
+            .normalized_inputs
+            .first()
+            .map(|s| cleo_common::hash::hash_str(s))
+            .unwrap_or_else(|| cleo_common::hash::hash_str(&meta.name));
+        let mut rng = DetRng::new(0xC0_4F1E ^ key);
+        rng.normal(0.0, self.config.template_complexity_sigma).exp()
+    }
+
+    /// Simulate a job and return per-operator and job-level outcomes.
+    pub fn run(&self, plan: &PhysicalPlan) -> JobRun {
+        let cluster_factor = self
+            .config
+            .cluster_speed_factors
+            .get(plan.meta.cluster.0 as usize)
+            .copied()
+            .unwrap_or(1.0)
+            * self.template_complexity_factor(&plan.meta);
+        let mut rng = DetRng::new(self.config.seed).derive(plan.meta.id.0);
+
+        let mut operator_runs = BTreeMap::new();
+        self.simulate_node(&plan.root, cluster_factor, &mut rng, &mut operator_runs);
+
+        let stage_graph = build_stage_graph(plan);
+        let (job_latency, total_cpu_seconds, peak_containers) =
+            aggregate_stages(&stage_graph, &operator_runs);
+
+        JobRun {
+            operator_runs,
+            job_latency,
+            total_cpu_seconds,
+            peak_containers,
+        }
+    }
+
+    /// Ground-truth exclusive latency of a single operator, *without* noise.  Exposed
+    /// for tests and for the oracle used when validating partition exploration.
+    pub fn ground_truth_exclusive(&self, node: &PhysicalNode, cluster_factor: f64) -> Seconds {
+        let p = node.partition_count.max(1) as f64;
+        let act = &node.act;
+        let rows_in = act.input_cardinality.max(1.0);
+        let rows_out = act.output_cardinality.max(1.0);
+        let bytes_in = act.input_bytes().max(1.0);
+        let bytes_out = act.output_bytes().max(1.0);
+
+        let work = match node.kind {
+            PhysicalOpKind::Extract => bytes_out * truth::READ_PER_BYTE,
+            PhysicalOpKind::Filter => rows_in * truth::FILTER_PER_ROW,
+            PhysicalOpKind::Project => rows_in * truth::PROJECT_PER_ROW,
+            PhysicalOpKind::HashJoin => {
+                let (build, probe) = build_probe_rows(node);
+                build * truth::HJ_BUILD_PER_ROW
+                    + probe * truth::HJ_PROBE_PER_ROW
+                    + rows_out * truth::OUT_PER_ROW
+            }
+            PhysicalOpKind::MergeJoin => {
+                // Merge join over unsorted inputs would have to sort; the optimizer only
+                // produces it over sorted children, but guard with a penalty anyway.
+                let sorted = node
+                    .children
+                    .iter()
+                    .all(|c| !c.sorted_on.is_empty());
+                let penalty = if sorted { 1.0 } else { 3.0 };
+                penalty * rows_in * truth::MJ_PER_ROW + rows_out * truth::OUT_PER_ROW
+            }
+            PhysicalOpKind::HashAggregate => {
+                rows_in * truth::HASH_AGG_PER_ROW + rows_out * truth::OUT_PER_ROW
+            }
+            PhysicalOpKind::StreamAggregate => {
+                rows_in * truth::STREAM_AGG_PER_ROW + rows_out * truth::OUT_PER_ROW
+            }
+            PhysicalOpKind::LocalAggregate => rows_in * truth::LOCAL_AGG_PER_ROW,
+            PhysicalOpKind::Sort => {
+                let per_part = (rows_in / p).max(2.0);
+                rows_in * per_part.log2() * truth::SORT_PER_ROW_LOG
+            }
+            PhysicalOpKind::Exchange => bytes_in * truth::NET_PER_BYTE,
+            PhysicalOpKind::Process => {
+                rows_in * truth::UDF_PER_ROW * node.udf_cost_factor
+                    + rows_out * truth::OUT_PER_ROW
+            }
+            PhysicalOpKind::Output => bytes_out * truth::WRITE_PER_BYTE,
+        };
+
+        // Parallel fraction of the work, plus per-partition overheads.
+        let mut latency = work / p;
+        latency += truth::SCHED_PER_LOG_PARTITION * (p + 1.0).ln();
+        latency += match node.kind {
+            PhysicalOpKind::Exchange => truth::EXCHANGE_FIXED + truth::EXCHANGE_PER_PARTITION * p,
+            PhysicalOpKind::Extract => truth::EXTRACT_FIXED,
+            PhysicalOpKind::Output => truth::OUTPUT_FIXED,
+            _ => 0.0,
+        };
+
+        // Context: blocked vs pipelined input (ignored by the default cost model, which
+        // is part of why per-operator costing is inaccurate).
+        if let Some(first_child) = node.children.first() {
+            latency *= if first_child.kind.is_blocking() {
+                truth::BLOCKING_CHILD_FACTOR
+            } else {
+                truth::STREAMING_CHILD_FACTOR
+            };
+        }
+
+        latency * cluster_factor
+    }
+
+    fn simulate_node(
+        &self,
+        node: &PhysicalNode,
+        cluster_factor: f64,
+        rng: &mut DetRng,
+        out: &mut BTreeMap<OpId, OperatorRun>,
+    ) {
+        for child in &node.children {
+            self.simulate_node(child, cluster_factor, rng, out);
+        }
+        let mut latency = self.ground_truth_exclusive(node, cluster_factor);
+        if self.config.noise_sigma > 0.0 {
+            latency *= rng.lognormal_noise(self.config.noise_sigma);
+        }
+        if self.config.outlier_probability > 0.0 && rng.chance(self.config.outlier_probability) {
+            latency *= rng.uniform(3.0, 8.0);
+        }
+        out.insert(
+            node.id,
+            OperatorRun {
+                op: node.id,
+                exclusive_seconds: latency,
+                partition_count: node.partition_count,
+            },
+        );
+    }
+}
+
+/// Build/probe row counts of a hash join: build on the smaller actual input.
+fn build_probe_rows(node: &PhysicalNode) -> (f64, f64) {
+    if node.children.len() < 2 {
+        let rows = node.act.input_cardinality.max(1.0);
+        return (rows * 0.5, rows * 0.5);
+    }
+    let a = node.children[0].act.output_cardinality.max(1.0);
+    let b = node.children[1].act.output_cardinality.max(1.0);
+    (a.min(b), a.max(b))
+}
+
+/// Aggregate per-operator latencies into stage latencies, the job critical path, and
+/// the total processing time.
+fn aggregate_stages(
+    stages: &StageGraph,
+    runs: &BTreeMap<OpId, OperatorRun>,
+) -> (Seconds, Seconds, usize) {
+    if stages.is_empty() {
+        return (0.0, 0.0, 0);
+    }
+    let stage_latency: Vec<Seconds> = stages
+        .stages
+        .iter()
+        .map(|s| {
+            s.op_ids
+                .iter()
+                .filter_map(|id| runs.get(id))
+                .map(|r| r.exclusive_seconds)
+                .sum()
+        })
+        .collect();
+
+    // Critical path over the stage DAG (children must finish before a stage starts).
+    let mut finish = vec![0.0f64; stages.stages.len()];
+    for (i, s) in stages.stages.iter().enumerate() {
+        let start = s
+            .child_stages
+            .iter()
+            .map(|&c| finish[c])
+            .fold(0.0, f64::max);
+        finish[i] = start + stage_latency[i];
+    }
+    let job_latency = finish.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    let total_cpu: Seconds = stages
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| stage_latency[i] * s.partition_count as f64)
+        .sum();
+
+    let peak = stages
+        .stages
+        .iter()
+        .map(|s| s.partition_count)
+        .max()
+        .unwrap_or(0);
+
+    (job_latency, total_cpu, peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{JobMeta, PhysicalNode, PhysicalOpKind, PhysicalPlan};
+    use crate::types::{ClusterId, DayIndex, JobId, OpStats};
+
+    fn meta(job: u64, cluster: u8) -> JobMeta {
+        JobMeta {
+            id: JobId(job),
+            cluster: ClusterId(cluster),
+            template: None,
+            name: "sim_test".into(),
+            normalized_inputs: vec![],
+            params: vec![],
+            day: DayIndex(0),
+            recurring: true,
+        }
+    }
+
+    fn stats(rows_in: f64, rows_out: f64, width: f64) -> OpStats {
+        OpStats {
+            input_cardinality: rows_in,
+            base_cardinality: rows_in,
+            output_cardinality: rows_out,
+            avg_row_bytes: width,
+        }
+    }
+
+    fn pipeline_plan(partitions: usize, rows: f64) -> PhysicalPlan {
+        let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+        extract.act = stats(rows, rows, 50.0);
+        extract.est = extract.act;
+        extract.partition_count = partitions;
+        let mut filter = PhysicalNode::new(PhysicalOpKind::Filter, "p", vec![extract]);
+        filter.act = stats(rows, rows * 0.1, 50.0);
+        filter.est = filter.act;
+        filter.partition_count = partitions;
+        let mut out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![filter]);
+        out.act = stats(rows * 0.1, rows * 0.1, 50.0);
+        out.est = out.act;
+        out.partition_count = partitions;
+        PhysicalPlan::new(meta(1, 0), out)
+    }
+
+    #[test]
+    fn run_produces_latency_for_every_operator() {
+        let plan = pipeline_plan(16, 1e7);
+        let sim = Simulator::default_cluster();
+        let run = sim.run(&plan);
+        assert_eq!(run.operator_runs.len(), plan.op_count());
+        assert!(run.operator_runs.values().all(|r| r.exclusive_seconds > 0.0));
+        assert!(run.job_latency > 0.0);
+        assert!(run.total_cpu_seconds >= run.job_latency);
+        assert_eq!(run.peak_containers, 16);
+    }
+
+    #[test]
+    fn deterministic_per_job_seed() {
+        let plan = pipeline_plan(8, 1e6);
+        let sim = Simulator::default_cluster();
+        let a = sim.run(&plan);
+        let b = sim.run(&plan);
+        assert_eq!(a, b);
+        // A different job id gets a different noise stream.
+        let mut plan2 = plan.clone();
+        plan2.meta.id = JobId(99);
+        let c = sim.run(&plan2);
+        assert_ne!(a.job_latency, c.job_latency);
+    }
+
+    #[test]
+    fn more_rows_means_more_time() {
+        let sim = Simulator::new(SimulatorConfig::noiseless(1));
+        let small = sim.run(&pipeline_plan(16, 1e6));
+        let large = sim.run(&pipeline_plan(16, 1e8));
+        assert!(large.job_latency > small.job_latency * 5.0);
+    }
+
+    #[test]
+    fn partition_count_has_an_optimum_for_exchange_stages() {
+        // Exchange latency = net_bytes/P + per-partition overhead*P: tiny and huge P
+        // should both lose to a middle value.
+        let sim = Simulator::new(SimulatorConfig::noiseless(3));
+        let latency_for = |p: usize| {
+            let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+            extract.act = stats(5e7, 5e7, 100.0);
+            extract.est = extract.act;
+            extract.partition_count = 100;
+            let mut exch = PhysicalNode::new(PhysicalOpKind::Exchange, "k", vec![extract]);
+            exch.act = stats(5e7, 5e7, 100.0);
+            exch.est = exch.act;
+            exch.partition_count = p;
+            let mut agg = PhysicalNode::new(PhysicalOpKind::HashAggregate, "k", vec![exch]);
+            agg.act = stats(5e7, 1e5, 60.0);
+            agg.est = agg.act;
+            agg.partition_count = p;
+            let mut out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![agg]);
+            out.act = stats(1e5, 1e5, 60.0);
+            out.est = out.act;
+            out.partition_count = p;
+            let plan = PhysicalPlan::new(meta(7, 0), out);
+            sim.run(&plan).job_latency
+        };
+        let tiny = latency_for(1);
+        let mid = latency_for(64);
+        let huge = latency_for(2500);
+        assert!(mid < tiny, "mid {mid} vs tiny {tiny}");
+        assert!(mid < huge, "mid {mid} vs huge {huge}");
+    }
+
+    #[test]
+    fn udf_cost_factor_changes_runtime_but_not_estimates() {
+        let sim = Simulator::new(SimulatorConfig::noiseless(5));
+        let build = |factor: f64| {
+            let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+            extract.act = stats(1e7, 1e7, 40.0);
+            extract.est = extract.act;
+            extract.partition_count = 32;
+            let mut proc = PhysicalNode::new(PhysicalOpKind::Process, "udf", vec![extract]);
+            proc.act = stats(1e7, 5e6, 30.0);
+            proc.est = proc.act;
+            proc.partition_count = 32;
+            proc.udf_cost_factor = factor;
+            let mut out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![proc]);
+            out.act = stats(5e6, 5e6, 30.0);
+            out.est = out.act;
+            out.partition_count = 32;
+            PhysicalPlan::new(meta(8, 0), out)
+        };
+        let cheap = sim.run(&build(1.0));
+        let expensive = sim.run(&build(20.0));
+        assert!(expensive.job_latency > cheap.job_latency * 2.0);
+    }
+
+    #[test]
+    fn cluster_speed_factors_apply() {
+        let sim = Simulator::new(SimulatorConfig::noiseless(9));
+        let mut plan_fast = pipeline_plan(16, 1e7);
+        plan_fast.meta.cluster = ClusterId(2); // factor 0.9
+        let mut plan_slow = pipeline_plan(16, 1e7);
+        plan_slow.meta.cluster = ClusterId(3); // factor 1.25
+        let fast = sim.run(&plan_fast);
+        let slow = sim.run(&plan_slow);
+        assert!(slow.job_latency > fast.job_latency);
+    }
+
+    #[test]
+    fn blocking_child_costs_more_than_streaming_child() {
+        let sim = Simulator::new(SimulatorConfig::noiseless(11));
+        let build = |child_kind: PhysicalOpKind| {
+            let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+            extract.act = stats(1e7, 1e7, 40.0);
+            extract.partition_count = 32;
+            let mut child = PhysicalNode::new(child_kind, "c", vec![extract]);
+            child.act = stats(1e7, 1e7, 40.0);
+            child.partition_count = 32;
+            let mut agg = PhysicalNode::new(PhysicalOpKind::HashAggregate, "k", vec![child]);
+            agg.act = stats(1e7, 1e4, 40.0);
+            agg.partition_count = 32;
+            agg
+        };
+        let cf = 1.0;
+        let over_sort = sim.ground_truth_exclusive(&build(PhysicalOpKind::Sort), cf);
+        let over_filter = sim.ground_truth_exclusive(&build(PhysicalOpKind::Filter), cf);
+        assert!(over_sort > over_filter * 1.1);
+    }
+}

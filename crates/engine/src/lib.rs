@@ -1,0 +1,34 @@
+//! SCOPE-like big data query processing substrate.
+//!
+//! The paper's system, Cleo, is built *inside* Microsoft's SCOPE: it learns from
+//! SCOPE's telemetry and plugs into SCOPE's Cascades optimizer.  Neither is available,
+//! so this crate provides the substrate the reproduction needs:
+//!
+//! * [`catalog`] — tables and column statistics,
+//! * [`logical`] — logical plans with separate *estimated* and *actual*
+//!   selectivities (the source of realistic cardinality-estimation error),
+//! * [`physical`] — physical plans with SCOPE's operator set (Extract, Exchange,
+//!   hash/merge joins, hash/stream aggregates, UDF processors, ...),
+//! * [`stage`] — stage formation: operators sharing a partition count,
+//! * [`exec`] — the execution simulator whose ground-truth runtime model generates
+//!   the telemetry Cleo learns from,
+//! * [`telemetry`] — executed-job records (plan + per-operator exclusive latencies),
+//! * [`workload`] — synthetic production-like recurring/ad-hoc workloads and TPC-H.
+
+pub mod catalog;
+pub mod exec;
+pub mod logical;
+pub mod physical;
+pub mod stage;
+pub mod telemetry;
+pub mod types;
+pub mod workload;
+
+pub use catalog::{Catalog, ColumnDef, TableDef};
+pub use exec::{JobRun, OperatorRun, Simulator, SimulatorConfig};
+pub use logical::{JoinKind, LogicalNode, LogicalOp};
+pub use physical::{JobMeta, PhysicalNode, PhysicalOpKind, PhysicalPlan};
+pub use stage::{build_stage_graph, Stage, StageGraph};
+pub use telemetry::{JobTelemetry, TelemetryLog};
+pub use types::{ClusterId, DayIndex, JobId, OpId, OpStats, Seconds, TemplateId};
+pub use workload::JobSpec;

@@ -1,0 +1,533 @@
+//! Logical query plans.
+//!
+//! A [`LogicalNode`] tree is what a job submits to the optimizer.  Each relational
+//! operator carries *two* sets of data-dependent parameters: the **estimated**
+//! selectivity/fanout the optimizer's cardinality estimator would derive (with the
+//! usual independence assumptions and stale statistics), and the **actual** value that
+//! the execution simulator uses.  This split is what lets the reproduction exercise the
+//! paper's central observation — that even perfect cardinalities do not make the
+//! default cost model accurate — and lets us run the "perfect cardinality feedback"
+//! ablation of Figure 1 by simply substituting the actual values for the estimates.
+
+use crate::catalog::Catalog;
+use crate::types::OpStats;
+use cleo_common::Result;
+
+/// Supported join types (SCOPE's evaluation workloads are dominated by equi-joins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer equi-join.
+    LeftOuter,
+}
+
+/// A logical relational operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalOp {
+    /// Read a table registered in the catalog.
+    Get {
+        /// Catalog table name.
+        table: String,
+    },
+    /// Row filter with estimated and actual selectivities.
+    Filter {
+        /// Human-readable predicate (kept for signatures/debugging only).
+        predicate: String,
+        /// Selectivity the optimizer estimates.
+        est_selectivity: f64,
+        /// Selectivity actually observed at runtime.
+        actual_selectivity: f64,
+    },
+    /// Column projection retaining `width_fraction` of the input row width.
+    Project {
+        /// Fraction of the input row width retained (0, 1].
+        width_fraction: f64,
+    },
+    /// Equi-join of two children.
+    Join {
+        /// Join algorithm-agnostic kind.
+        kind: JoinKind,
+        /// Join key column names (used for partitioning properties).
+        keys: Vec<String>,
+        /// Estimated fanout: output rows = max(left, right) × fanout.
+        est_fanout: f64,
+        /// Actual fanout observed at runtime.
+        actual_fanout: f64,
+    },
+    /// Group-by aggregation.
+    Aggregate {
+        /// Grouping key columns.
+        group_keys: Vec<String>,
+        /// Estimated ratio of groups to input rows (0, 1].
+        est_group_fraction: f64,
+        /// Actual ratio of groups to input rows.
+        actual_group_fraction: f64,
+        /// Output row width as a fraction of the input width.
+        width_fraction: f64,
+    },
+    /// Sort on the given keys.
+    Sort {
+        /// Sort key columns.
+        keys: Vec<String>,
+    },
+    /// A user-defined processor/reducer — the "custom user code that ends up as a black
+    /// box in the cost models" of Section 2.4.
+    Process {
+        /// UDF name (part of the operator signature).
+        udf_name: String,
+        /// Estimated output/input row ratio.
+        est_selectivity: f64,
+        /// Actual output/input row ratio.
+        actual_selectivity: f64,
+        /// Output width fraction.
+        width_fraction: f64,
+        /// Hidden per-row cost multiplier only the simulator knows about (the default
+        /// cost model treats every UDF the same).
+        hidden_cost_factor: f64,
+    },
+    /// Bag union of the children.
+    Union,
+    /// Terminal sink writing the result.
+    Output {
+        /// Sink name.
+        sink: String,
+    },
+}
+
+impl LogicalOp {
+    /// Short operator name used in signatures and debug output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalOp::Get { .. } => "Get",
+            LogicalOp::Filter { .. } => "Filter",
+            LogicalOp::Project { .. } => "Project",
+            LogicalOp::Join { .. } => "Join",
+            LogicalOp::Aggregate { .. } => "Aggregate",
+            LogicalOp::Sort { .. } => "Sort",
+            LogicalOp::Process { .. } => "Process",
+            LogicalOp::Union => "Union",
+            LogicalOp::Output { .. } => "Output",
+        }
+    }
+}
+
+/// A node of the logical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalNode {
+    /// The operator at this node.
+    pub op: LogicalOp,
+    /// Child subtrees (inputs).
+    pub children: Vec<LogicalNode>,
+}
+
+/// Cardinality/width information derived for one logical node.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DerivedCards {
+    /// Estimated statistics (what the optimizer sees).
+    pub estimated: OpStats,
+    /// Actual statistics (what execution would observe).
+    pub actual: OpStats,
+}
+
+impl LogicalNode {
+    /// Create a leaf node.
+    pub fn leaf(op: LogicalOp) -> Self {
+        LogicalNode {
+            op,
+            children: Vec::new(),
+        }
+    }
+
+    /// Create an internal node.
+    pub fn internal(op: LogicalOp, children: Vec<LogicalNode>) -> Self {
+        LogicalNode { op, children }
+    }
+
+    /// Convenience: scan a table.
+    pub fn get(table: impl Into<String>) -> Self {
+        LogicalNode::leaf(LogicalOp::Get {
+            table: table.into(),
+        })
+    }
+
+    /// Convenience: filter on top of `self`.
+    pub fn filter(self, predicate: impl Into<String>, est: f64, actual: f64) -> Self {
+        LogicalNode::internal(
+            LogicalOp::Filter {
+                predicate: predicate.into(),
+                est_selectivity: est.clamp(1e-9, 1.0),
+                actual_selectivity: actual.clamp(1e-9, 1.0),
+            },
+            vec![self],
+        )
+    }
+
+    /// Convenience: project on top of `self`.
+    pub fn project(self, width_fraction: f64) -> Self {
+        LogicalNode::internal(
+            LogicalOp::Project {
+                width_fraction: width_fraction.clamp(0.01, 1.0),
+            },
+            vec![self],
+        )
+    }
+
+    /// Convenience: join `self` with `right`.
+    pub fn join(self, right: LogicalNode, keys: Vec<String>, est_fanout: f64, actual_fanout: f64) -> Self {
+        LogicalNode::internal(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys,
+                est_fanout: est_fanout.max(1e-9),
+                actual_fanout: actual_fanout.max(1e-9),
+            },
+            vec![self, right],
+        )
+    }
+
+    /// Convenience: aggregate on top of `self`.
+    pub fn aggregate(self, group_keys: Vec<String>, est_frac: f64, actual_frac: f64) -> Self {
+        LogicalNode::internal(
+            LogicalOp::Aggregate {
+                group_keys,
+                est_group_fraction: est_frac.clamp(1e-9, 1.0),
+                actual_group_fraction: actual_frac.clamp(1e-9, 1.0),
+                width_fraction: 0.6,
+            },
+            vec![self],
+        )
+    }
+
+    /// Convenience: sort on top of `self`.
+    pub fn sort(self, keys: Vec<String>) -> Self {
+        LogicalNode::internal(LogicalOp::Sort { keys }, vec![self])
+    }
+
+    /// Convenience: user-defined processor on top of `self`.
+    pub fn process(
+        self,
+        udf_name: impl Into<String>,
+        est_selectivity: f64,
+        actual_selectivity: f64,
+        hidden_cost_factor: f64,
+    ) -> Self {
+        LogicalNode::internal(
+            LogicalOp::Process {
+                udf_name: udf_name.into(),
+                est_selectivity: est_selectivity.max(1e-9),
+                actual_selectivity: actual_selectivity.max(1e-9),
+                width_fraction: 0.8,
+                hidden_cost_factor: hidden_cost_factor.max(0.01),
+            },
+            vec![self],
+        )
+    }
+
+    /// Convenience: terminal output on top of `self`.
+    pub fn output(self, sink: impl Into<String>) -> Self {
+        LogicalNode::internal(LogicalOp::Output { sink: sink.into() }, vec![self])
+    }
+
+    /// Number of nodes in the subtree rooted here.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Count of each logical operator name in the subtree, sorted by name — the
+    /// "frequency of each logical operator" used by the operator-subgraphApprox model.
+    pub fn operator_frequency(&self) -> Vec<(String, usize)> {
+        use std::collections::BTreeMap;
+        fn walk(node: &LogicalNode, acc: &mut BTreeMap<String, usize>) {
+            *acc.entry(node.op.name().to_string()).or_insert(0) += 1;
+            for c in &node.children {
+                walk(c, acc);
+            }
+        }
+        let mut acc = BTreeMap::new();
+        walk(self, &mut acc);
+        acc.into_iter().collect()
+    }
+
+    /// Names of all tables read in the subtree, in depth-first order.
+    pub fn input_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(node: &LogicalNode, out: &mut Vec<String>) {
+            if let LogicalOp::Get { table } = &node.op {
+                out.push(table.clone());
+            }
+            for c in &node.children {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Derive estimated and actual cardinalities/widths for this node (recursively
+    /// deriving the children first).  `catalog` provides leaf statistics.
+    pub fn derive_cards(&self, catalog: &Catalog) -> Result<DerivedCards> {
+        let child_cards: Vec<DerivedCards> = self
+            .children
+            .iter()
+            .map(|c| c.derive_cards(catalog))
+            .collect::<Result<Vec<_>>>()?;
+
+        let sum_child = |f: &dyn Fn(&DerivedCards) -> f64| -> f64 {
+            child_cards.iter().map(|c| f(c)).sum()
+        };
+
+        let (estimated, actual) = match &self.op {
+            LogicalOp::Get { table } => {
+                let t = catalog.table(table)?;
+                let stats = OpStats {
+                    input_cardinality: t.row_count,
+                    base_cardinality: t.row_count,
+                    output_cardinality: t.row_count,
+                    avg_row_bytes: t.avg_row_bytes(),
+                };
+                // Leaf-level statistics are assumed accurate: estimation error in the
+                // paper (and here) comes from predicates, joins, and UDFs above.
+                (stats, stats)
+            }
+            LogicalOp::Filter {
+                est_selectivity,
+                actual_selectivity,
+                ..
+            } => {
+                let c = &child_cards[0];
+                (
+                    unary_stats(c.estimated, *est_selectivity, 1.0),
+                    unary_stats(c.actual, *actual_selectivity, 1.0),
+                )
+            }
+            LogicalOp::Project { width_fraction } => {
+                let c = &child_cards[0];
+                (
+                    unary_stats(c.estimated, 1.0, *width_fraction),
+                    unary_stats(c.actual, 1.0, *width_fraction),
+                )
+            }
+            LogicalOp::Join {
+                est_fanout,
+                actual_fanout,
+                ..
+            } => {
+                let l = &child_cards[0];
+                let r = &child_cards[1];
+                (
+                    join_stats(l.estimated, r.estimated, *est_fanout),
+                    join_stats(l.actual, r.actual, *actual_fanout),
+                )
+            }
+            LogicalOp::Aggregate {
+                est_group_fraction,
+                actual_group_fraction,
+                width_fraction,
+                ..
+            } => {
+                let c = &child_cards[0];
+                (
+                    unary_stats(c.estimated, *est_group_fraction, *width_fraction),
+                    unary_stats(c.actual, *actual_group_fraction, *width_fraction),
+                )
+            }
+            LogicalOp::Sort { .. } => {
+                let c = &child_cards[0];
+                (unary_stats(c.estimated, 1.0, 1.0), unary_stats(c.actual, 1.0, 1.0))
+            }
+            LogicalOp::Process {
+                est_selectivity,
+                actual_selectivity,
+                width_fraction,
+                ..
+            } => {
+                let c = &child_cards[0];
+                (
+                    unary_stats(c.estimated, *est_selectivity, *width_fraction),
+                    unary_stats(c.actual, *actual_selectivity, *width_fraction),
+                )
+            }
+            LogicalOp::Union => {
+                let est = OpStats {
+                    input_cardinality: sum_child(&|c| c.estimated.output_cardinality),
+                    base_cardinality: sum_child(&|c| c.estimated.base_cardinality),
+                    output_cardinality: sum_child(&|c| c.estimated.output_cardinality),
+                    avg_row_bytes: child_cards
+                        .iter()
+                        .map(|c| c.estimated.avg_row_bytes)
+                        .fold(0.0, f64::max),
+                };
+                let act = OpStats {
+                    input_cardinality: sum_child(&|c| c.actual.output_cardinality),
+                    base_cardinality: sum_child(&|c| c.actual.base_cardinality),
+                    output_cardinality: sum_child(&|c| c.actual.output_cardinality),
+                    avg_row_bytes: child_cards
+                        .iter()
+                        .map(|c| c.actual.avg_row_bytes)
+                        .fold(0.0, f64::max),
+                };
+                (est, act)
+            }
+            LogicalOp::Output { .. } => {
+                let c = &child_cards[0];
+                (unary_stats(c.estimated, 1.0, 1.0), unary_stats(c.actual, 1.0, 1.0))
+            }
+        };
+        Ok(DerivedCards { estimated, actual })
+    }
+}
+
+/// Stats for a unary operator: output = selectivity × child output, width scaled.
+fn unary_stats(child: OpStats, selectivity: f64, width_fraction: f64) -> OpStats {
+    OpStats {
+        input_cardinality: child.output_cardinality,
+        base_cardinality: child.base_cardinality,
+        output_cardinality: (child.output_cardinality * selectivity).max(1.0),
+        avg_row_bytes: (child.avg_row_bytes * width_fraction).max(1.0),
+    }
+}
+
+/// Stats for a binary join: output = max(left, right) × fanout, widths add.
+fn join_stats(left: OpStats, right: OpStats, fanout: f64) -> OpStats {
+    OpStats {
+        input_cardinality: left.output_cardinality + right.output_cardinality,
+        base_cardinality: left.base_cardinality + right.base_cardinality,
+        output_cardinality: (left.output_cardinality.max(right.output_cardinality) * fanout)
+            .max(1.0),
+        avg_row_bytes: (left.avg_row_bytes + right.avg_row_bytes).max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(TableDef::new(
+            "events",
+            vec![
+                ColumnDef::new("user", 8.0, 0.1),
+                ColumnDef::new("url", 56.0, 0.4),
+            ],
+            1_000_000.0,
+            64,
+        ));
+        c.add_table(TableDef::new(
+            "users",
+            vec![ColumnDef::new("user", 8.0, 1.0), ColumnDef::new("geo", 8.0, 0.01)],
+            10_000.0,
+            8,
+        ));
+        c
+    }
+
+    fn sample_plan() -> LogicalNode {
+        LogicalNode::get("events")
+            .filter("url LIKE '%search%'", 0.2, 0.05)
+            .join(LogicalNode::get("users"), vec!["user".into()], 1.0, 1.0)
+            .aggregate(vec!["geo".into()], 0.01, 0.002)
+            .output("facts")
+    }
+
+    #[test]
+    fn structural_helpers() {
+        let p = sample_plan();
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.depth(), 5);
+        assert_eq!(p.input_tables(), vec!["events".to_string(), "users".to_string()]);
+        let freq = p.operator_frequency();
+        assert!(freq.contains(&("Get".to_string(), 2)));
+        assert!(freq.contains(&("Filter".to_string(), 1)));
+    }
+
+    #[test]
+    fn estimated_and_actual_cards_diverge_with_depth() {
+        let p = sample_plan();
+        let cat = catalog();
+        let cards = p.derive_cards(&cat).unwrap();
+        // Filter: est 200k vs actual 50k; join keeps max(left,right)*1.0; aggregate
+        // shrinks by different fractions. So the final estimate should be well above
+        // the actual — compounding estimation error.
+        assert!(cards.estimated.output_cardinality > cards.actual.output_cardinality * 5.0);
+        // Base cardinality equals the sum of leaf rows in both worlds.
+        assert_eq!(cards.estimated.base_cardinality, 1_010_000.0);
+        assert_eq!(cards.actual.base_cardinality, 1_010_000.0);
+    }
+
+    #[test]
+    fn leaf_cards_match_catalog() {
+        let cat = catalog();
+        let leaf = LogicalNode::get("events");
+        let cards = leaf.derive_cards(&cat).unwrap();
+        assert_eq!(cards.estimated.output_cardinality, 1_000_000.0);
+        assert_eq!(cards.estimated.avg_row_bytes, 64.0);
+        assert_eq!(cards.estimated, cards.actual);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let cat = catalog();
+        let p = LogicalNode::get("missing").output("x");
+        assert!(p.derive_cards(&cat).is_err());
+    }
+
+    #[test]
+    fn join_output_uses_max_child_times_fanout() {
+        let cat = catalog();
+        let p = LogicalNode::get("events").join(
+            LogicalNode::get("users"),
+            vec!["user".into()],
+            2.0,
+            0.5,
+        );
+        let cards = p.derive_cards(&cat).unwrap();
+        assert_eq!(cards.estimated.output_cardinality, 2_000_000.0);
+        assert_eq!(cards.actual.output_cardinality, 500_000.0);
+        assert_eq!(cards.estimated.avg_row_bytes, 64.0 + 16.0);
+        assert_eq!(cards.estimated.input_cardinality, 1_010_000.0);
+    }
+
+    #[test]
+    fn union_sums_children() {
+        let cat = catalog();
+        let p = LogicalNode::internal(
+            LogicalOp::Union,
+            vec![LogicalNode::get("users"), LogicalNode::get("users")],
+        );
+        let cards = p.derive_cards(&cat).unwrap();
+        assert_eq!(cards.estimated.output_cardinality, 20_000.0);
+        assert_eq!(cards.actual.base_cardinality, 20_000.0);
+    }
+
+    #[test]
+    fn output_cardinality_never_below_one() {
+        let cat = catalog();
+        let p = LogicalNode::get("users").filter("impossible", 1e-12, 1e-12);
+        let cards = p.derive_cards(&cat).unwrap();
+        assert!(cards.estimated.output_cardinality >= 1.0);
+        assert!(cards.actual.output_cardinality >= 1.0);
+    }
+
+    #[test]
+    fn process_udf_keeps_hidden_factor_out_of_estimates() {
+        let cat = catalog();
+        let p = LogicalNode::get("events").process("ExtractFacts", 0.5, 0.3, 25.0);
+        let cards = p.derive_cards(&cat).unwrap();
+        // Hidden cost factor affects runtime, not cardinalities.
+        assert_eq!(cards.estimated.output_cardinality, 500_000.0);
+        assert_eq!(cards.actual.output_cardinality, 300_000.0);
+    }
+}

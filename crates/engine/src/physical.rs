@@ -1,0 +1,372 @@
+//! Physical query plans.
+//!
+//! A [`PhysicalNode`] tree is what the optimizer produces and what the execution
+//! simulator runs.  Each node records the operator implementation, the compile-time
+//! *estimated* statistics (what any cost model may look at), the *actual* statistics
+//! (used only by the simulator and by the "perfect cardinality" ablation), the
+//! partition count chosen for it, and the derived physical properties (partitioning
+//! and sort order) that Cascades tracks.
+
+use crate::types::{OpId, OpStats};
+
+/// Physical operator implementations, mirroring the SCOPE operators named in the paper
+/// (Extract, Exchange/Shuffle, Reduce/Process, hash vs merge join, hash vs stream
+/// aggregation, local aggregation, sort, output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhysicalOpKind {
+    /// Leaf scan of a stored table; decides the initial partition count.
+    Extract,
+    /// Row filter.
+    Filter,
+    /// Column projection.
+    Project,
+    /// Hash equi-join (build on the smaller input).
+    HashJoin,
+    /// Sort-merge equi-join (requires both inputs sorted on the join keys).
+    MergeJoin,
+    /// Hash-based group-by aggregation.
+    HashAggregate,
+    /// Stream (sorted) group-by aggregation (requires input sorted on the group keys).
+    StreamAggregate,
+    /// Partial (per-partition) aggregation inserted below an exchange.
+    LocalAggregate,
+    /// Full sort on a set of keys.
+    Sort,
+    /// Exchange (shuffle): repartitions data between stages and sets the partition
+    /// count for the consumer stage.
+    Exchange,
+    /// User-defined processor/reducer.
+    Process,
+    /// Terminal output writer.
+    Output,
+}
+
+impl PhysicalOpKind {
+    /// Stable operator name used in signatures and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOpKind::Extract => "Extract",
+            PhysicalOpKind::Filter => "Filter",
+            PhysicalOpKind::Project => "Project",
+            PhysicalOpKind::HashJoin => "HashJoin",
+            PhysicalOpKind::MergeJoin => "MergeJoin",
+            PhysicalOpKind::HashAggregate => "HashAggregate",
+            PhysicalOpKind::StreamAggregate => "StreamAggregate",
+            PhysicalOpKind::LocalAggregate => "LocalAggregate",
+            PhysicalOpKind::Sort => "Sort",
+            PhysicalOpKind::Exchange => "Exchange",
+            PhysicalOpKind::Process => "Process",
+            PhysicalOpKind::Output => "Output",
+        }
+    }
+
+    /// All physical operator kinds (used to pre-build per-operator models).
+    pub fn all() -> &'static [PhysicalOpKind] {
+        &[
+            PhysicalOpKind::Extract,
+            PhysicalOpKind::Filter,
+            PhysicalOpKind::Project,
+            PhysicalOpKind::HashJoin,
+            PhysicalOpKind::MergeJoin,
+            PhysicalOpKind::HashAggregate,
+            PhysicalOpKind::StreamAggregate,
+            PhysicalOpKind::LocalAggregate,
+            PhysicalOpKind::Sort,
+            PhysicalOpKind::Exchange,
+            PhysicalOpKind::Process,
+            PhysicalOpKind::Output,
+        ]
+    }
+
+    /// True for operators that materialise or block the pipeline (their parents
+    /// typically see a different latency profile than over streaming children).
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOpKind::Sort
+                | PhysicalOpKind::HashAggregate
+                | PhysicalOpKind::HashJoin
+                | PhysicalOpKind::Exchange
+        )
+    }
+
+    /// True for the partitioning operators that establish a stage and pick the stage's
+    /// partition count (Section 2.1: Extract and Exchange).
+    pub fn is_partitioning(&self) -> bool {
+        matches!(self, PhysicalOpKind::Extract | PhysicalOpKind::Exchange)
+    }
+
+    /// Logical operator name this implementation corresponds to (used by the
+    /// operator-subgraphApprox signature, which works on logical frequencies).
+    pub fn logical_name(&self) -> &'static str {
+        match self {
+            PhysicalOpKind::Extract => "Get",
+            PhysicalOpKind::Filter => "Filter",
+            PhysicalOpKind::Project => "Project",
+            PhysicalOpKind::HashJoin | PhysicalOpKind::MergeJoin => "Join",
+            PhysicalOpKind::HashAggregate
+            | PhysicalOpKind::StreamAggregate
+            | PhysicalOpKind::LocalAggregate => "Aggregate",
+            PhysicalOpKind::Sort => "Sort",
+            PhysicalOpKind::Exchange => "Exchange",
+            PhysicalOpKind::Process => "Process",
+            PhysicalOpKind::Output => "Output",
+        }
+    }
+}
+
+/// A node in the physical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalNode {
+    /// Unique id within the plan (assigned by [`PhysicalPlan::assign_ids`]).
+    pub id: OpId,
+    /// Operator implementation.
+    pub kind: PhysicalOpKind,
+    /// Operator detail: table name for Extract, predicate for Filter, UDF name for
+    /// Process, join keys for joins, sink for Output.  Part of the subgraph signature.
+    pub label: String,
+    /// Children (inputs).
+    pub children: Vec<PhysicalNode>,
+    /// Compile-time estimated statistics — the only statistics cost models may use.
+    pub est: OpStats,
+    /// Actual statistics — used by the simulator and by perfect-cardinality ablations.
+    pub act: OpStats,
+    /// Partition count (degree of parallelism) assigned to this operator.
+    pub partition_count: usize,
+    /// Columns the output is hash-partitioned on (empty = round-robin / unknown).
+    pub partitioned_on: Vec<String>,
+    /// Columns the output is sorted on (empty = unsorted).
+    pub sorted_on: Vec<String>,
+    /// Hidden per-row cost multiplier for UDF operators (1.0 otherwise).  The default
+    /// cost model deliberately ignores this, mirroring the "custom user code as black
+    /// box" problem of Section 2.4.
+    pub udf_cost_factor: f64,
+}
+
+impl PhysicalNode {
+    /// Create a node with defaulted statistics and properties.
+    pub fn new(kind: PhysicalOpKind, label: impl Into<String>, children: Vec<PhysicalNode>) -> Self {
+        PhysicalNode {
+            id: OpId(0),
+            kind,
+            label: label.into(),
+            children,
+            est: OpStats::default(),
+            act: OpStats::default(),
+            partition_count: 1,
+            partitioned_on: Vec::new(),
+            sorted_on: Vec::new(),
+            udf_cost_factor: 1.0,
+        }
+    }
+
+    /// Number of operators in the subtree rooted here.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Depth of the subtree rooted here (single node = 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Visit every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PhysicalNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+
+    /// Visit every node mutably (pre-order).
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut PhysicalNode)) {
+        f(self);
+        for c in &mut self.children {
+            c.visit_mut(f);
+        }
+    }
+
+    /// Collect references to all nodes (pre-order).
+    pub fn collect(&self) -> Vec<&PhysicalNode> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.visit(&mut |n| out.push(n));
+        out
+    }
+
+    /// Find a node by id.
+    pub fn find(&self, id: OpId) -> Option<&PhysicalNode> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(id))
+    }
+
+    /// Frequency of logical operator names in this subtree (sorted by name).
+    pub fn logical_frequency(&self) -> Vec<(String, usize)> {
+        use std::collections::BTreeMap;
+        let mut acc = BTreeMap::new();
+        self.visit(&mut |n| {
+            *acc.entry(n.kind.logical_name().to_string()).or_insert(0usize) += 1;
+        });
+        acc.into_iter().collect()
+    }
+
+    /// Names of all extracted tables in this subtree (depth-first order).
+    pub fn input_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if n.kind == PhysicalOpKind::Extract {
+                out.push(n.label.clone());
+            }
+        });
+        out
+    }
+
+    /// Sum of leaf (Extract) estimated output cardinalities under this node — the
+    /// "base cardinality" feature.
+    pub fn base_cardinality_est(&self) -> f64 {
+        let mut total = 0.0;
+        self.visit(&mut |n| {
+            if n.kind == PhysicalOpKind::Extract {
+                total += n.est.output_cardinality;
+            }
+        });
+        total
+    }
+}
+
+/// Metadata identifying the job a plan belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMeta {
+    /// Unique job id.
+    pub id: crate::types::JobId,
+    /// Cluster the job runs on.
+    pub cluster: crate::types::ClusterId,
+    /// Template id for recurring jobs, `None` for ad-hoc jobs.
+    pub template: Option<crate::types::TemplateId>,
+    /// Job (script) name.
+    pub name: String,
+    /// Normalised input names (dates/numbers stripped) — the "input template" used by
+    /// the operator-input model.
+    pub normalized_inputs: Vec<String>,
+    /// Job parameters (the recurring script's arguments).
+    pub params: Vec<f64>,
+    /// Day the job was submitted.
+    pub day: crate::types::DayIndex,
+    /// True for recurring jobs, false for ad-hoc ones.
+    pub recurring: bool,
+}
+
+/// A complete physical plan: metadata plus the operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// Job metadata.
+    pub meta: JobMeta,
+    /// Root operator (normally an Output).
+    pub root: PhysicalNode,
+}
+
+impl PhysicalPlan {
+    /// Create a plan and assign sequential operator ids (pre-order).
+    pub fn new(meta: JobMeta, mut root: PhysicalNode) -> Self {
+        let mut next = 0usize;
+        root.visit_mut(&mut |n| {
+            n.id = OpId(next);
+            next += 1;
+        });
+        PhysicalPlan { meta, root }
+    }
+
+    /// Re-assign sequential operator ids (after structural rewrites).
+    pub fn assign_ids(&mut self) {
+        let mut next = 0usize;
+        self.root.visit_mut(&mut |n| {
+            n.id = OpId(next);
+            next += 1;
+        });
+    }
+
+    /// Number of operators in the plan.
+    pub fn op_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// All operators in pre-order.
+    pub fn operators(&self) -> Vec<&PhysicalNode> {
+        self.root.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClusterId, DayIndex, JobId};
+
+    pub(crate) fn test_meta() -> JobMeta {
+        JobMeta {
+            id: JobId(1),
+            cluster: ClusterId(0),
+            template: None,
+            name: "test_job".into(),
+            normalized_inputs: vec!["events_{date}".into()],
+            params: vec![1.0],
+            day: DayIndex(0),
+            recurring: false,
+        }
+    }
+
+    fn small_plan() -> PhysicalPlan {
+        let extract = PhysicalNode::new(PhysicalOpKind::Extract, "events", vec![]);
+        let filter = PhysicalNode::new(PhysicalOpKind::Filter, "p>1", vec![extract]);
+        let exch = PhysicalNode::new(PhysicalOpKind::Exchange, "user", vec![filter]);
+        let agg = PhysicalNode::new(PhysicalOpKind::HashAggregate, "user", vec![exch]);
+        let out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![agg]);
+        PhysicalPlan::new(test_meta(), out)
+    }
+
+    #[test]
+    fn ids_are_assigned_preorder_and_unique() {
+        let plan = small_plan();
+        let ops = plan.operators();
+        assert_eq!(ops.len(), 5);
+        let ids: Vec<usize> = ops.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ops[0].kind, PhysicalOpKind::Output);
+        assert_eq!(ops[4].kind, PhysicalOpKind::Extract);
+    }
+
+    #[test]
+    fn structural_helpers_work() {
+        let plan = small_plan();
+        assert_eq!(plan.op_count(), 5);
+        assert_eq!(plan.root.depth(), 5);
+        assert_eq!(plan.root.input_tables(), vec!["events".to_string()]);
+        let freq = plan.root.logical_frequency();
+        assert!(freq.contains(&("Aggregate".to_string(), 1)));
+        assert!(freq.contains(&("Get".to_string(), 1)));
+        assert!(plan.root.find(OpId(4)).is_some());
+        assert!(plan.root.find(OpId(99)).is_none());
+    }
+
+    #[test]
+    fn operator_kind_classification() {
+        assert!(PhysicalOpKind::Exchange.is_partitioning());
+        assert!(PhysicalOpKind::Extract.is_partitioning());
+        assert!(!PhysicalOpKind::Filter.is_partitioning());
+        assert!(PhysicalOpKind::Sort.is_blocking());
+        assert!(!PhysicalOpKind::Project.is_blocking());
+        assert_eq!(PhysicalOpKind::all().len(), 12);
+        assert_eq!(PhysicalOpKind::MergeJoin.logical_name(), "Join");
+    }
+
+    #[test]
+    fn base_cardinality_sums_extract_estimates() {
+        let mut plan = small_plan();
+        plan.root.visit_mut(&mut |n| {
+            if n.kind == PhysicalOpKind::Extract {
+                n.est.output_cardinality = 500.0;
+            }
+        });
+        assert_eq!(plan.root.base_cardinality_est(), 500.0);
+    }
+}

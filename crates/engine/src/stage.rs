@@ -1,0 +1,191 @@
+//! Stage formation.
+//!
+//! SCOPE groups the sequence of operators that run over the same set of input
+//! partitions into a *stage*: all operators in a stage run on the same machines with
+//! the same degree of parallelism (Section 2.1).  Stages begin at partitioning
+//! operators — Extract (leaf) and Exchange (repartition) — and every operator above
+//! them, up to the next partitioning operator, derives the same partition count
+//! (Figure 8b: Stage 1 = {Extract, Sort}, Stage 2 = {Exchange, Reduce, Output}).
+
+use std::collections::BTreeMap;
+
+use crate::physical::{PhysicalNode, PhysicalPlan};
+use crate::types::OpId;
+
+/// One stage of a physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage id (0-based, in discovery order from the leaves up).
+    pub id: usize,
+    /// The partitioning operator (Extract or Exchange) that established this stage.
+    pub partitioning_op: OpId,
+    /// All operators in the stage, bottom-up (partitioning operator first).
+    pub op_ids: Vec<OpId>,
+    /// The partition count shared by every operator in the stage.
+    pub partition_count: usize,
+    /// Ids of stages whose output this stage consumes.
+    pub child_stages: Vec<usize>,
+}
+
+/// The stage decomposition of a plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageGraph {
+    /// Stages indexed by id.
+    pub stages: Vec<Stage>,
+    /// Operator → stage id.
+    pub op_stage: BTreeMap<OpId, usize>,
+}
+
+impl StageGraph {
+    /// Stage id of an operator.
+    pub fn stage_of(&self, op: OpId) -> Option<usize> {
+        self.op_stage.get(&op).copied()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stages exist (empty plan).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// Compute the stage decomposition of a physical plan.
+///
+/// Every Extract and Exchange starts a new stage; any other operator joins the stage of
+/// its first child (after exchange insertion, a binary operator's children either share
+/// a stage or the operator's stage follows its left/probe input, matching SCOPE's
+/// convention that the non-repartitioned side stays local).
+pub fn build_stage_graph(plan: &PhysicalPlan) -> StageGraph {
+    let mut graph = StageGraph::default();
+    assign(&plan.root, &mut graph);
+    graph
+}
+
+/// Recursively assign stages bottom-up; returns the stage id of `node`.
+fn assign(node: &PhysicalNode, graph: &mut StageGraph) -> usize {
+    let child_stage_ids: Vec<usize> = node.children.iter().map(|c| assign(c, graph)).collect();
+
+    let stage_id = if node.kind.is_partitioning() || child_stage_ids.is_empty() {
+        // New stage rooted at this partitioning operator (or at a leaf that is not an
+        // Extract, which should not happen in well-formed plans but stays safe).
+        let id = graph.stages.len();
+        graph.stages.push(Stage {
+            id,
+            partitioning_op: node.id,
+            op_ids: vec![node.id],
+            partition_count: node.partition_count,
+            child_stages: child_stage_ids.clone(),
+        });
+        id
+    } else {
+        // Join the first child's stage.
+        let id = child_stage_ids[0];
+        graph.stages[id].op_ids.push(node.id);
+        // A binary operator can pull additional producer stages into this stage's
+        // dependency list.
+        for &cs in &child_stage_ids[1..] {
+            if cs != id && !graph.stages[id].child_stages.contains(&cs) {
+                graph.stages[id].child_stages.push(cs);
+            }
+        }
+        id
+    };
+    graph.op_stage.insert(node.id, stage_id);
+    stage_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{JobMeta, PhysicalOpKind, PhysicalPlan};
+    use crate::types::{ClusterId, DayIndex, JobId};
+
+    fn meta() -> JobMeta {
+        JobMeta {
+            id: JobId(7),
+            cluster: ClusterId(1),
+            template: None,
+            name: "stage_test".into(),
+            normalized_inputs: vec![],
+            params: vec![],
+            day: DayIndex(0),
+            recurring: true,
+        }
+    }
+
+    fn node(kind: PhysicalOpKind, children: Vec<PhysicalNode>, parts: usize) -> PhysicalNode {
+        let mut n = PhysicalNode::new(kind, kind.name(), children);
+        n.partition_count = parts;
+        n
+    }
+
+    /// The plan from Figure 8b: Extract → Sort → Exchange → Reduce(Process) → Output.
+    fn figure_8b_plan() -> PhysicalPlan {
+        let extract = node(PhysicalOpKind::Extract, vec![], 8);
+        let sort = node(PhysicalOpKind::Sort, vec![extract], 8);
+        let exch = node(PhysicalOpKind::Exchange, vec![sort], 16);
+        let reduce = node(PhysicalOpKind::Process, vec![exch], 16);
+        let output = node(PhysicalOpKind::Output, vec![reduce], 16);
+        PhysicalPlan::new(meta(), output)
+    }
+
+    #[test]
+    fn figure_8b_decomposes_into_two_stages() {
+        let plan = figure_8b_plan();
+        let graph = build_stage_graph(&plan);
+        assert_eq!(graph.len(), 2);
+        // Stage 0 is the leaf stage (Extract, Sort), stage 1 the consumer
+        // (Exchange, Process, Output).
+        assert_eq!(graph.stages[0].op_ids.len(), 2);
+        assert_eq!(graph.stages[1].op_ids.len(), 3);
+        assert_eq!(graph.stages[0].partition_count, 8);
+        assert_eq!(graph.stages[1].partition_count, 16);
+        assert_eq!(graph.stages[1].child_stages, vec![0]);
+        // Every operator is assigned to exactly one stage.
+        assert_eq!(graph.op_stage.len(), plan.op_count());
+    }
+
+    #[test]
+    fn join_plan_merges_exchange_children_into_one_stage() {
+        // Extract(a) -> Exchange ┐
+        //                        ├ HashJoin -> Output
+        // Extract(b) -> Exchange ┘
+        let ea = node(PhysicalOpKind::Extract, vec![], 4);
+        let xa = node(PhysicalOpKind::Exchange, vec![ea], 32);
+        let eb = node(PhysicalOpKind::Extract, vec![], 2);
+        let xb = node(PhysicalOpKind::Exchange, vec![eb], 32);
+        let join = node(PhysicalOpKind::HashJoin, vec![xa, xb], 32);
+        let out = node(PhysicalOpKind::Output, vec![join], 32);
+        let plan = PhysicalPlan::new(meta(), out);
+        let graph = build_stage_graph(&plan);
+        // Stages: extract(a), extract(b), exchange(a)+join+output, exchange(b).
+        assert_eq!(graph.len(), 4);
+        let join_node = plan
+            .operators()
+            .into_iter()
+            .find(|o| o.kind == PhysicalOpKind::HashJoin)
+            .unwrap();
+        let join_stage = graph.stage_of(join_node.id).unwrap();
+        // The join's stage must contain the first exchange and the output.
+        assert_eq!(graph.stages[join_stage].op_ids.len(), 3);
+        // And depend on both the other exchange's stage and (transitively) nothing else.
+        assert_eq!(graph.stages[join_stage].child_stages.len(), 2);
+    }
+
+    #[test]
+    fn single_stage_plan() {
+        let extract = node(PhysicalOpKind::Extract, vec![], 10);
+        let filter = node(PhysicalOpKind::Filter, vec![extract], 10);
+        let out = node(PhysicalOpKind::Output, vec![filter], 10);
+        let plan = PhysicalPlan::new(meta(), out);
+        let graph = build_stage_graph(&plan);
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph.stages[0].op_ids.len(), 3);
+        assert!(graph.stages[0].child_stages.is_empty());
+        assert!(!graph.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Telemetry: the training data Cleo learns from.
+//!
+//! SCOPE is "already instrumented to collect logs of query plan statistics such as
+//! cardinalities, estimated costs, as well as runtime traces" (Section 5.1).  In the
+//! reproduction, telemetry couples the optimized [`PhysicalPlan`] (which carries the
+//! compile-time estimated statistics — the features) with the simulator's [`JobRun`]
+//! (which carries per-operator exclusive latencies — the labels).
+
+use crate::exec::JobRun;
+use crate::physical::{PhysicalNode, PhysicalPlan};
+use crate::types::{DayIndex, JobId, OpId, Seconds};
+
+/// The record of one executed job: its plan and its measured runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTelemetry {
+    /// The plan that was executed (estimated statistics included).
+    pub plan: PhysicalPlan,
+    /// The measured execution outcome.
+    pub run: JobRun,
+}
+
+impl JobTelemetry {
+    /// Job id convenience accessor.
+    pub fn job_id(&self) -> JobId {
+        self.plan.meta.id
+    }
+
+    /// Day the job ran.
+    pub fn day(&self) -> DayIndex {
+        self.plan.meta.day
+    }
+
+    /// True when the job was recurring.
+    pub fn is_recurring(&self) -> bool {
+        self.plan.meta.recurring
+    }
+
+    /// Iterate over `(operator node, exclusive latency)` pairs for every operator with
+    /// a measured latency.
+    pub fn operator_samples(&self) -> Vec<(&PhysicalNode, Seconds)> {
+        let mut out = Vec::with_capacity(self.plan.op_count());
+        self.plan.root.visit(&mut |node| {
+            if let Some(latency) = self.run.exclusive(node.id) {
+                out.push((node, latency));
+            }
+        });
+        out
+    }
+
+    /// Exclusive latency of one operator, if recorded.
+    pub fn exclusive(&self, op: OpId) -> Option<Seconds> {
+        self.run.exclusive(op)
+    }
+}
+
+/// A collection of executed jobs — one cluster-day (or several) of telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryLog {
+    /// Executed jobs in submission order.
+    pub jobs: Vec<JobTelemetry>,
+}
+
+impl TelemetryLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        TelemetryLog::default()
+    }
+
+    /// Append one executed job.
+    pub fn push(&mut self, job: JobTelemetry) {
+        self.jobs.push(job);
+    }
+
+    /// Merge another log into this one.
+    pub fn extend(&mut self, other: TelemetryLog) {
+        self.jobs.extend(other.jobs);
+    }
+
+    /// Number of recorded jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total number of operator samples across all jobs.
+    pub fn operator_sample_count(&self) -> usize {
+        self.jobs.iter().map(|j| j.run.operator_runs.len()).sum()
+    }
+
+    /// Keep only jobs that ran within `[from, to]` (inclusive) days.
+    pub fn slice_days(&self, from: DayIndex, to: DayIndex) -> TelemetryLog {
+        TelemetryLog {
+            jobs: self
+                .jobs
+                .iter()
+                .filter(|j| j.day() >= from && j.day() <= to)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep only recurring (or only ad-hoc) jobs.
+    pub fn filter_recurring(&self, recurring: bool) -> TelemetryLog {
+        TelemetryLog {
+            jobs: self
+                .jobs
+                .iter()
+                .filter(|j| j.is_recurring() == recurring)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Total processing time (container-seconds) across all jobs.
+    pub fn total_cpu_seconds(&self) -> Seconds {
+        self.jobs.iter().map(|j| j.run.total_cpu_seconds).sum()
+    }
+
+    /// Cumulative end-to-end latency across all jobs.
+    pub fn total_latency(&self) -> Seconds {
+        self.jobs.iter().map(|j| j.run.job_latency).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Simulator, SimulatorConfig};
+    use crate::physical::{JobMeta, PhysicalNode, PhysicalOpKind, PhysicalPlan};
+    use crate::types::{ClusterId, OpStats};
+
+    fn simple_plan(job: u64, day: u32, recurring: bool) -> PhysicalPlan {
+        let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+        extract.act = OpStats {
+            input_cardinality: 1e6,
+            base_cardinality: 1e6,
+            output_cardinality: 1e6,
+            avg_row_bytes: 20.0,
+        };
+        extract.est = extract.act;
+        extract.partition_count = 8;
+        let stats = extract.act;
+        let mut out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![extract]);
+        out.act = stats;
+        out.est = stats;
+        out.partition_count = 8;
+        let meta = JobMeta {
+            id: JobId(job),
+            cluster: ClusterId(0),
+            template: None,
+            name: format!("job{job}"),
+            normalized_inputs: vec!["t".into()],
+            params: vec![],
+            day: DayIndex(day),
+            recurring,
+        };
+        PhysicalPlan::new(meta, out)
+    }
+
+    fn telemetry(job: u64, day: u32, recurring: bool) -> JobTelemetry {
+        let plan = simple_plan(job, day, recurring);
+        let run = Simulator::new(SimulatorConfig::noiseless(1)).run(&plan);
+        JobTelemetry { plan, run }
+    }
+
+    #[test]
+    fn operator_samples_pair_nodes_with_latencies() {
+        let t = telemetry(1, 0, true);
+        let samples = t.operator_samples();
+        assert_eq!(samples.len(), 2);
+        assert!(samples.iter().all(|(_, latency)| *latency > 0.0));
+        assert_eq!(t.job_id(), JobId(1));
+        assert!(t.is_recurring());
+        assert!(t.exclusive(OpId(0)).is_some());
+        assert!(t.exclusive(OpId(42)).is_none());
+    }
+
+    #[test]
+    fn log_slicing_and_filtering() {
+        let mut log = TelemetryLog::new();
+        assert!(log.is_empty());
+        log.push(telemetry(1, 0, true));
+        log.push(telemetry(2, 1, true));
+        log.push(telemetry(3, 2, false));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.operator_sample_count(), 6);
+        assert_eq!(log.slice_days(DayIndex(0), DayIndex(1)).len(), 2);
+        assert_eq!(log.filter_recurring(false).len(), 1);
+        assert!(log.total_cpu_seconds() > 0.0);
+        assert!(log.total_latency() > 0.0);
+
+        let mut other = TelemetryLog::new();
+        other.push(telemetry(4, 0, true));
+        log.extend(other);
+        assert_eq!(log.len(), 4);
+    }
+}

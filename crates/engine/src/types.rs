@@ -1,0 +1,92 @@
+//! Core identifiers and statistics types shared across the engine.
+
+use std::fmt;
+
+/// Identifies a cluster (the paper's evaluation spans 4 production clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub u8);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cluster{}", self.0 + 1)
+    }
+}
+
+/// Identifies a recurring-job template (the "script template" of Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u64);
+
+/// Identifies one job instance (one submission of a template, or one ad-hoc job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Identifies an operator within a physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// A day index within the generated workload trace (day 0 is the first day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DayIndex(pub u32);
+
+/// Row-count / width statistics attached to each operator, either as compile-time
+/// estimates or as post-execution actuals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpStats {
+    /// Total input cardinality from the children operators (feature `I` in Table 2).
+    pub input_cardinality: f64,
+    /// Total input cardinality of the leaf operators of the subgraph (feature `B`).
+    pub base_cardinality: f64,
+    /// Output cardinality of the operator (feature `C`).
+    pub output_cardinality: f64,
+    /// Average output row length in bytes (feature `L`).
+    pub avg_row_bytes: f64,
+}
+
+impl OpStats {
+    /// Total output bytes implied by cardinality × row width.
+    pub fn output_bytes(&self) -> f64 {
+        self.output_cardinality * self.avg_row_bytes
+    }
+
+    /// Total input bytes implied by input cardinality × row width.
+    pub fn input_bytes(&self) -> f64 {
+        self.input_cardinality * self.avg_row_bytes
+    }
+}
+
+/// Seconds, the unit for all latencies and exclusive costs in the engine.
+pub type Seconds = f64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_display_is_one_based() {
+        assert_eq!(ClusterId(0).to_string(), "Cluster1");
+        assert_eq!(ClusterId(3).to_string(), "Cluster4");
+    }
+
+    #[test]
+    fn op_stats_byte_helpers() {
+        let s = OpStats {
+            input_cardinality: 10.0,
+            base_cardinality: 100.0,
+            output_cardinality: 5.0,
+            avg_row_bytes: 20.0,
+        };
+        assert_eq!(s.output_bytes(), 100.0);
+        assert_eq!(s.input_bytes(), 200.0);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(JobId(1));
+        set.insert(JobId(2));
+        set.insert(JobId(1));
+        assert_eq!(set.len(), 2);
+        assert!(OpId(1) < OpId(2));
+        assert!(DayIndex(0) < DayIndex(3));
+    }
+}

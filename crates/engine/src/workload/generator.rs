@@ -1,0 +1,343 @@
+//! Synthetic production-workload generator.
+//!
+//! Generates multi-day, multi-cluster workload traces with the structure reported in
+//! Figures 3, 9 and 10 of the paper: every cluster runs a few hundred recurring
+//! templates whose instances repeat daily over drifting input sizes, plus 7–20%
+//! ad-hoc jobs; clusters differ in scale (job count, operators per job) and the mix
+//! shifts from day to day.
+
+use cleo_common::rng::DetRng;
+
+use crate::catalog::Catalog;
+use crate::physical::JobMeta;
+use crate::types::{ClusterId, DayIndex, JobId, TemplateId};
+use crate::workload::recurring::{
+    build_cluster_tables, build_template_plan, family_prefix, instantiate_plan, FamilyFactors,
+    RecurringTemplate,
+};
+use crate::workload::JobSpec;
+
+/// Configuration for generating one cluster's workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Which cluster this is (affects the simulator's hardware factor).
+    pub cluster: ClusterId,
+    /// Number of distinct upstream datasets.
+    pub n_tables: usize,
+    /// Number of template families (each family shares a common-subexpression prefix).
+    pub n_families: usize,
+    /// Number of recurring templates per family.
+    pub templates_per_family: usize,
+    /// Minimum and maximum instances of each template submitted per day.
+    pub instances_per_day: (usize, usize),
+    /// Fraction of each day's jobs that are ad-hoc (paper: 7%–20%).
+    pub adhoc_fraction: f64,
+    /// Day-over-day multiplicative drift applied to every table's size.
+    pub daily_growth: f64,
+    /// RNG seed for this cluster.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small configuration suitable for unit tests (tens of jobs per day).
+    pub fn small(cluster: ClusterId) -> Self {
+        ClusterConfig {
+            cluster,
+            n_tables: 12,
+            n_families: 6,
+            templates_per_family: 2,
+            instances_per_day: (2, 4),
+            adhoc_fraction: 0.12,
+            daily_growth: 1.03,
+            seed: 0xC1A0 + cluster.0 as u64,
+        }
+    }
+
+    /// A configuration that mirrors the relative heterogeneity of the paper's four
+    /// clusters (Cluster 1 the largest, Cluster 4 the smallest), scaled down so that a
+    /// cluster-day is a few hundred jobs instead of tens of thousands.
+    pub fn paper_like(cluster: ClusterId) -> Self {
+        // (families, templates/family, instances, tables, adhoc)
+        let (families, tpf, inst_hi, tables, adhoc) = match cluster.0 {
+            0 => (40, 3, 5, 40, 0.08),
+            1 => (28, 3, 5, 32, 0.12),
+            2 => (20, 3, 4, 26, 0.16),
+            _ => (12, 2, 4, 20, 0.20),
+        };
+        ClusterConfig {
+            cluster,
+            n_tables: tables,
+            n_families: families,
+            templates_per_family: tpf,
+            instances_per_day: (2, inst_hi),
+            adhoc_fraction: adhoc,
+            daily_growth: 1.0 + 0.02 * (cluster.0 as f64 + 1.0),
+            seed: 0x5EED_0000 + cluster.0 as u64,
+        }
+    }
+}
+
+/// A generated cluster workload: the base catalog, the recurring templates, and the
+/// per-day job specs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedWorkload {
+    /// Cluster the workload belongs to.
+    pub cluster: ClusterId,
+    /// Base (day-0) catalog.
+    pub base_catalog: Catalog,
+    /// Recurring templates.
+    pub templates: Vec<RecurringTemplate>,
+    /// All generated jobs, ordered by day then submission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl GeneratedWorkload {
+    /// Jobs submitted on a given day.
+    pub fn jobs_on_day(&self, day: DayIndex) -> Vec<&JobSpec> {
+        self.jobs.iter().filter(|j| j.meta.day == day).collect()
+    }
+
+    /// Number of recurring jobs on a day.
+    pub fn recurring_count(&self, day: DayIndex) -> usize {
+        self.jobs_on_day(day).iter().filter(|j| j.meta.recurring).count()
+    }
+
+    /// Number of ad-hoc jobs on a day.
+    pub fn adhoc_count(&self, day: DayIndex) -> usize {
+        self.jobs_on_day(day).iter().filter(|j| !j.meta.recurring).count()
+    }
+
+    /// Number of distinct recurring templates submitted on a day.
+    pub fn template_count(&self, day: DayIndex) -> usize {
+        use std::collections::HashSet;
+        self.jobs_on_day(day)
+            .iter()
+            .filter_map(|j| j.meta.template)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+/// Generate a multi-day workload for one cluster.
+pub fn generate_cluster_workload(config: &ClusterConfig, days: u32) -> GeneratedWorkload {
+    let mut rng = DetRng::new(config.seed);
+    let base_catalog = build_cluster_tables(config.n_tables, &mut rng);
+    let table_names: Vec<String> = base_catalog.table_names().map(|s| s.to_string()).collect();
+
+    // Build families and their templates.
+    let mut templates = Vec::new();
+    let mut family_data = Vec::new();
+    for family in 0..config.n_families as u64 {
+        let factors = FamilyFactors::draw(&mut rng);
+        // Hot tables are preferred as family anchors, so different families (and the
+        // ad-hoc jobs) end up sharing inputs.
+        let anchor = &table_names[(rng.zipf(table_names.len(), 1.1) - 1).min(table_names.len() - 1)];
+        let prefix = family_prefix(family, anchor, &factors, &mut rng);
+        for t in 0..config.templates_per_family {
+            let (plan, inputs) =
+                build_template_plan(&prefix, family, t, &base_catalog, &factors, &mut rng);
+            let id = TemplateId(family * 1000 + t as u64);
+            templates.push(RecurringTemplate {
+                id,
+                name: format!("c{}_f{family}_t{t}", config.cluster.0),
+                family,
+                base_plan: plan,
+                input_tables: inputs,
+                instances_per_day: rng
+                    .int_range(config.instances_per_day.0 as u64, config.instances_per_day.1 as u64)
+                    as usize,
+            });
+        }
+        family_data.push((factors, prefix));
+    }
+
+    // Generate per-day jobs.
+    let mut jobs = Vec::new();
+    let mut next_job_id = config.seed << 20;
+    for day in 0..days {
+        // Per-day catalog: every table drifts with the daily growth trend plus noise.
+        let mut day_catalog = base_catalog.clone();
+        for name in &table_names {
+            let drift = config.daily_growth.powi(day as i32) * rng.lognormal_noise(0.15);
+            day_catalog = day_catalog
+                .with_scaled_table(name, drift)
+                .expect("table exists");
+        }
+
+        // Recurring instances.
+        let mut day_jobs: Vec<JobSpec> = Vec::new();
+        for template in &templates {
+            for instance in 0..template.instances_per_day {
+                let params = vec![rng.unit(), rng.unit(), rng.uniform(0.0, 10.0)];
+                let plan = instantiate_plan(&template.base_plan, &params, &mut rng);
+                let meta = JobMeta {
+                    id: JobId(next_job_id),
+                    cluster: config.cluster,
+                    template: Some(template.id),
+                    name: format!("{}_{day}_{instance}", template.name),
+                    normalized_inputs: template.input_tables.clone(),
+                    params,
+                    day: DayIndex(day),
+                    recurring: true,
+                };
+                next_job_id += 1;
+                day_jobs.push(JobSpec {
+                    meta,
+                    plan,
+                    catalog: day_catalog.clone(),
+                });
+            }
+        }
+
+        // Ad-hoc jobs: target the configured fraction of the day's total job count.
+        let recurring_count = day_jobs.len().max(1);
+        let adhoc_count = ((recurring_count as f64 * config.adhoc_fraction
+            / (1.0 - config.adhoc_fraction))
+            .round() as usize)
+            .max(1);
+        for a in 0..adhoc_count {
+            let factors = FamilyFactors::draw(&mut rng);
+            // Half the ad-hoc jobs reuse an existing family prefix (they still share
+            // subexpressions with the recurring workload); the rest are brand new.
+            let prefix = if rng.chance(0.5) && !family_data.is_empty() {
+                family_data[rng.index(family_data.len())].1.clone()
+            } else {
+                let anchor = &table_names[rng.index(table_names.len())];
+                family_prefix(10_000 + a as u64, anchor, &factors, &mut rng)
+            };
+            let (plan, inputs) = build_template_plan(
+                &prefix,
+                20_000 + a as u64,
+                a,
+                &base_catalog,
+                &factors,
+                &mut rng,
+            );
+            let params = vec![rng.unit(), rng.unit(), rng.uniform(0.0, 10.0)];
+            let plan = instantiate_plan(&plan, &params, &mut rng);
+            let meta = JobMeta {
+                id: JobId(next_job_id),
+                cluster: config.cluster,
+                template: None,
+                name: format!("adhoc_c{}_{day}_{a}", config.cluster.0),
+                normalized_inputs: inputs,
+                params,
+                day: DayIndex(day),
+                recurring: false,
+            };
+            next_job_id += 1;
+            day_jobs.push(JobSpec {
+                meta,
+                plan,
+                catalog: day_catalog.clone(),
+            });
+        }
+
+        jobs.extend(day_jobs);
+    }
+
+    GeneratedWorkload {
+        cluster: config.cluster,
+        base_catalog,
+        templates,
+        jobs,
+    }
+}
+
+/// Generate the four-cluster, multi-day workload used by the headline experiments.
+pub fn generate_all_clusters(days: u32, paper_like: bool) -> Vec<GeneratedWorkload> {
+    (0u8..4)
+        .map(|c| {
+            let config = if paper_like {
+                ClusterConfig::paper_like(ClusterId(c))
+            } else {
+                ClusterConfig::small(ClusterId(c))
+            };
+            generate_cluster_workload(&config, days)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cluster_generates_recurring_and_adhoc_jobs() {
+        let config = ClusterConfig::small(ClusterId(0));
+        let w = generate_cluster_workload(&config, 2);
+        assert_eq!(w.templates.len(), config.n_families * config.templates_per_family);
+        assert!(!w.jobs.is_empty());
+        let day0 = DayIndex(0);
+        let rec = w.recurring_count(day0);
+        let adhoc = w.adhoc_count(day0);
+        assert!(rec > 0 && adhoc > 0);
+        let frac = adhoc as f64 / (rec + adhoc) as f64;
+        assert!(frac > 0.03 && frac < 0.35, "ad-hoc fraction {frac}");
+        assert!(w.template_count(day0) > 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_for_a_seed() {
+        let config = ClusterConfig::small(ClusterId(1));
+        let a = generate_cluster_workload(&config, 1);
+        let b = generate_cluster_workload(&config, 1);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        assert_eq!(a.jobs[0].meta.name, b.jobs[0].meta.name);
+        assert_eq!(a.jobs[0].plan, b.jobs[0].plan);
+    }
+
+    #[test]
+    fn recurring_instances_share_template_structure_across_days() {
+        let config = ClusterConfig::small(ClusterId(2));
+        let w = generate_cluster_workload(&config, 2);
+        let template = w.templates[0].id;
+        let day0: Vec<_> = w
+            .jobs
+            .iter()
+            .filter(|j| j.meta.template == Some(template) && j.meta.day == DayIndex(0))
+            .collect();
+        let day1: Vec<_> = w
+            .jobs
+            .iter()
+            .filter(|j| j.meta.template == Some(template) && j.meta.day == DayIndex(1))
+            .collect();
+        assert!(!day0.is_empty() && !day1.is_empty());
+        // Same structure (node count, operator frequencies) across days.
+        assert_eq!(
+            day0[0].plan.operator_frequency(),
+            day1[0].plan.operator_frequency()
+        );
+        // But input sizes drift.
+        let t0 = day0[0].catalog.table("dataset_000").unwrap().row_count;
+        let t1 = day1[0].catalog.table("dataset_000").unwrap().row_count;
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn paper_like_clusters_are_heterogeneous() {
+        let all = generate_all_clusters(1, true);
+        assert_eq!(all.len(), 4);
+        let counts: Vec<usize> = all.iter().map(|w| w.jobs.len()).collect();
+        // Cluster 1 should have noticeably more jobs than cluster 4.
+        assert!(counts[0] > counts[3] * 2, "{counts:?}");
+        // Ad-hoc fraction rises from cluster 1 to cluster 4.
+        let fracs: Vec<f64> = all
+            .iter()
+            .map(|w| {
+                let d = DayIndex(0);
+                w.adhoc_count(d) as f64 / w.jobs_on_day(d).len() as f64
+            })
+            .collect();
+        assert!(fracs[3] > fracs[0], "{fracs:?}");
+    }
+
+    #[test]
+    fn job_ids_are_unique_across_the_trace() {
+        let w = generate_cluster_workload(&ClusterConfig::small(ClusterId(3)), 3);
+        let mut ids = std::collections::HashSet::new();
+        for j in &w.jobs {
+            assert!(ids.insert(j.meta.id), "duplicate job id {:?}", j.meta.id);
+        }
+    }
+}

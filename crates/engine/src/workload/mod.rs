@@ -1,0 +1,41 @@
+//! Workload generators.
+//!
+//! The paper's training signal comes from two workloads: Microsoft's internal
+//! production trace (Figures 2, 3, 9, 10 describe its shape) and the TPC-H benchmark
+//! (Section 6.6.2).  Neither is available outside Microsoft, so this module generates
+//! synthetic equivalents that preserve the properties Cleo relies on:
+//!
+//! * [`recurring`] — recurring-job templates organised into *families* that share
+//!   common subexpression prefixes, with day-over-day input-size drift, parameter
+//!   variation, and systematic cardinality-estimation errors per template,
+//! * [`generator`] — whole synthetic clusters: a mix of recurring and ad-hoc jobs per
+//!   day across four heterogeneous clusters,
+//! * [`tpch`] — the TPC-H schema with scale-factor-sized statistics and logical plans
+//!   for all 22 queries.
+
+pub mod generator;
+pub mod recurring;
+pub mod tpch;
+
+use crate::catalog::Catalog;
+use crate::logical::LogicalNode;
+use crate::physical::JobMeta;
+
+/// One job ready to be optimized: metadata, the logical plan, and the catalog snapshot
+/// (with per-instance input sizes) the optimizer should use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job metadata (id, cluster, template, inputs, parameters, day, recurring flag).
+    pub meta: JobMeta,
+    /// The logical plan submitted by the job.
+    pub plan: LogicalNode,
+    /// Catalog snapshot describing this instance's input sizes.
+    pub catalog: Catalog,
+}
+
+impl JobSpec {
+    /// Number of logical operators in the job's plan.
+    pub fn logical_op_count(&self) -> usize {
+        self.plan.node_count()
+    }
+}

@@ -1,0 +1,479 @@
+//! TPC-H workload.
+//!
+//! Section 6.6.2 evaluates Cleo on TPC-H at scale factor 1000 (1 TB), running all 22
+//! queries ten times with randomly chosen parameters to build the training set and
+//! then re-optimizing with the learned models.  This module provides:
+//!
+//! * [`tpch_catalog`] — the eight-table TPC-H schema with row counts and column
+//!   statistics scaled by the scale factor,
+//! * [`tpch_query`] — logical plans for queries Q1–Q22 (structural reproductions of
+//!   the reference queries: the joins, aggregations, and selective filters that drive
+//!   plan choice, with estimated vs. actual selectivities reflecting the usual
+//!   correlation-blind estimator errors),
+//! * [`tpch_job`] — a [`JobSpec`] wrapper with per-run parameter variation.
+
+use cleo_common::rng::DetRng;
+
+use crate::catalog::{Catalog, ColumnDef, TableDef};
+use crate::logical::LogicalNode;
+use crate::physical::JobMeta;
+use crate::types::{ClusterId, DayIndex, JobId, TemplateId};
+use crate::workload::JobSpec;
+
+/// Build the TPC-H catalog for a given scale factor (SF 1 ≈ 6M lineitem rows).
+pub fn tpch_catalog(scale_factor: f64) -> Catalog {
+    let sf = scale_factor.max(0.01);
+    let mut c = Catalog::new();
+    c.add_table(TableDef::new(
+        "lineitem",
+        vec![
+            ColumnDef::new("l_orderkey", 8.0, 0.25),
+            ColumnDef::new("l_partkey", 8.0, 0.03),
+            ColumnDef::new("l_suppkey", 8.0, 0.002),
+            ColumnDef::new("l_quantity", 8.0, 0.00001),
+            ColumnDef::new("l_extendedprice", 8.0, 0.15),
+            ColumnDef::new("l_discount", 8.0, 0.000002),
+            ColumnDef::new("l_shipdate", 8.0, 0.0004),
+            ColumnDef::new("l_comment", 27.0, 0.6),
+        ],
+        6_000_000.0 * sf,
+        ((sf * 200.0) as usize).clamp(8, 2000),
+    ));
+    c.add_table(TableDef::new(
+        "orders",
+        vec![
+            ColumnDef::new("o_orderkey", 8.0, 1.0),
+            ColumnDef::new("o_custkey", 8.0, 0.066),
+            ColumnDef::new("o_orderdate", 8.0, 0.0016),
+            ColumnDef::new("o_orderpriority", 12.0, 0.0000033),
+            ColumnDef::new("o_comment", 48.0, 0.7),
+        ],
+        1_500_000.0 * sf,
+        ((sf * 60.0) as usize).clamp(4, 800),
+    ));
+    c.add_table(TableDef::new(
+        "customer",
+        vec![
+            ColumnDef::new("c_custkey", 8.0, 1.0),
+            ColumnDef::new("c_nationkey", 8.0, 0.00017),
+            ColumnDef::new("c_mktsegment", 10.0, 0.000033),
+            ColumnDef::new("c_acctbal", 8.0, 0.9),
+            ColumnDef::new("c_comment", 72.0, 0.9),
+        ],
+        150_000.0 * sf,
+        ((sf * 8.0) as usize).clamp(2, 200),
+    ));
+    c.add_table(TableDef::new(
+        "part",
+        vec![
+            ColumnDef::new("p_partkey", 8.0, 1.0),
+            ColumnDef::new("p_brand", 10.0, 0.000125),
+            ColumnDef::new("p_type", 25.0, 0.00075),
+            ColumnDef::new("p_size", 4.0, 0.00025),
+            ColumnDef::new("p_container", 10.0, 0.0002),
+        ],
+        200_000.0 * sf,
+        ((sf * 8.0) as usize).clamp(2, 200),
+    ));
+    c.add_table(TableDef::new(
+        "supplier",
+        vec![
+            ColumnDef::new("s_suppkey", 8.0, 1.0),
+            ColumnDef::new("s_nationkey", 8.0, 0.0025),
+            ColumnDef::new("s_acctbal", 8.0, 0.9),
+            ColumnDef::new("s_comment", 62.0, 0.95),
+        ],
+        10_000.0 * sf,
+        ((sf * 2.0) as usize).clamp(1, 64),
+    ));
+    c.add_table(TableDef::new(
+        "partsupp",
+        vec![
+            ColumnDef::new("ps_partkey", 8.0, 0.25),
+            ColumnDef::new("ps_suppkey", 8.0, 0.0125),
+            ColumnDef::new("ps_supplycost", 8.0, 0.6),
+            ColumnDef::new("ps_availqty", 4.0, 0.0125),
+        ],
+        800_000.0 * sf,
+        ((sf * 32.0) as usize).clamp(2, 400),
+    ));
+    c.add_table(TableDef::new(
+        "nation",
+        vec![
+            ColumnDef::new("n_nationkey", 8.0, 1.0),
+            ColumnDef::new("n_regionkey", 8.0, 0.2),
+            ColumnDef::new("n_name", 16.0, 1.0),
+        ],
+        25.0,
+        1,
+    ));
+    c.add_table(TableDef::new(
+        "region",
+        vec![
+            ColumnDef::new("r_regionkey", 8.0, 1.0),
+            ColumnDef::new("r_name", 16.0, 1.0),
+        ],
+        5.0,
+        1,
+    ));
+    c
+}
+
+/// Parameters that vary per query execution (date ranges, segments, brands, ...).
+/// Values are kept abstract: each drives a selectivity around the TPC-H reference
+/// value, jittered by the run's random parameter draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchParams {
+    /// Selectivity scaling in `[0.5, 1.5]` applied to the query's parameterised filters.
+    pub selectivity_scale: f64,
+    /// Estimation-error factor: how far the optimizer's estimate is from the actual
+    /// selectivity for correlated predicates.
+    pub estimation_error: f64,
+}
+
+impl TpchParams {
+    /// Reference parameters (scale 1.0, mild estimation error).
+    pub fn reference() -> Self {
+        TpchParams {
+            selectivity_scale: 1.0,
+            estimation_error: 1.4,
+        }
+    }
+
+    /// Draw a random parameter variation for one run.
+    pub fn draw(rng: &mut DetRng) -> Self {
+        TpchParams {
+            selectivity_scale: rng.uniform(0.5, 1.5),
+            estimation_error: rng.lognormal_noise(0.5).clamp(0.3, 4.0),
+        }
+    }
+}
+
+/// Filter helper: estimated selectivity `est`, actual = est × scale / error.
+fn flt(node: LogicalNode, pred: &str, est: f64, p: &TpchParams) -> LogicalNode {
+    let actual = (est * p.selectivity_scale / p.estimation_error).clamp(1e-7, 1.0);
+    node.filter(pred, est, actual)
+}
+
+/// Join helper with a mild fanout estimation error.
+fn jn(left: LogicalNode, right: LogicalNode, key: &str, est_fanout: f64, p: &TpchParams) -> LogicalNode {
+    let actual = (est_fanout / p.estimation_error.sqrt()).max(1e-7);
+    left.join(right, vec![key.to_string()], est_fanout, actual)
+}
+
+/// Build the logical plan for TPC-H query `q` (1–22) with the given parameters.
+///
+/// The plans are structural reproductions: they contain the scans, selective filters,
+/// join graph, aggregations, and ordering of the reference queries, which is what the
+/// optimizer's plan choices (join algorithm, partitioning, exchange placement) react
+/// to.  Sub-queries are flattened into joins/aggregations the way SCOPE's normaliser
+/// would.
+pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
+    let li = || LogicalNode::get("lineitem");
+    let ord = || LogicalNode::get("orders");
+    let cust = || LogicalNode::get("customer");
+    let part = || LogicalNode::get("part");
+    let supp = || LogicalNode::get("supplier");
+    let ps = || LogicalNode::get("partsupp");
+    let nat = || LogicalNode::get("nation");
+    let reg = || LogicalNode::get("region");
+
+    match q {
+        1 => flt(li(), "l_shipdate <= date - 90", 0.98, p)
+            .aggregate(vec!["l_returnflag".into(), "l_linestatus".into()], 1e-6, 8e-7)
+            .sort(vec!["l_returnflag".into()])
+            .output("q1"),
+        2 => {
+            let parts = flt(part(), "p_size = ? and p_type like ?", 0.004, p);
+            let sups = jn(
+                jn(supp(), nat(), "nationkey", 1.0, p),
+                reg(),
+                "regionkey",
+                0.2,
+                p,
+            );
+            let joined = jn(jn(ps(), parts, "partkey", 0.004, p), sups, "suppkey", 0.2, p);
+            joined
+                .aggregate(vec!["ps_partkey".into()], 0.3, 0.25)
+                .sort(vec!["s_acctbal".into()])
+                .output("q2")
+        }
+        3 => {
+            let c = flt(cust(), "c_mktsegment = ?", 0.2, p);
+            let o = flt(ord(), "o_orderdate < ?", 0.48, p);
+            let co = jn(o, c, "custkey", 0.2, p);
+            let l = flt(li(), "l_shipdate > ?", 0.54, p);
+            jn(l, co, "orderkey", 0.3, p)
+                .aggregate(vec!["l_orderkey".into()], 0.3, 0.25)
+                .sort(vec!["revenue".into()])
+                .output("q3")
+        }
+        4 => {
+            let o = flt(ord(), "o_orderdate in quarter", 0.038, p);
+            let l = flt(li(), "l_commitdate < l_receiptdate", 0.63, p);
+            jn(o, l.aggregate(vec!["l_orderkey".into()], 0.27, 0.25), "orderkey", 0.05, p)
+                .aggregate(vec!["o_orderpriority".into()], 1e-6, 8e-7)
+                .sort(vec!["o_orderpriority".into()])
+                .output("q4")
+        }
+        5 => {
+            let r = flt(reg(), "r_name = ?", 0.2, p);
+            let n = jn(nat(), r, "regionkey", 0.2, p);
+            let s = jn(supp(), n, "nationkey", 1.0, p);
+            let c = jn(cust(), s.clone().project(0.3), "nationkey", 0.04, p);
+            let o = flt(ord(), "o_orderdate in year", 0.15, p);
+            let co = jn(o, c, "custkey", 0.2, p);
+            jn(jn(li(), co, "orderkey", 0.15, p), s, "suppkey", 0.2, p)
+                .aggregate(vec!["n_name".into()], 1e-5, 8e-6)
+                .sort(vec!["revenue".into()])
+                .output("q5")
+        }
+        6 => flt(
+            li(),
+            "l_shipdate in year and l_discount between ? and l_quantity < ?",
+            0.019,
+            p,
+        )
+        .aggregate(vec![], 1e-7, 1e-7)
+        .output("q6"),
+        7 => {
+            let n1 = flt(nat(), "n_name in (?, ?)", 0.08, p);
+            let s = jn(supp(), n1.clone(), "nationkey", 0.08, p);
+            let c = jn(cust(), n1, "nationkey", 0.08, p);
+            let o = jn(ord(), c, "custkey", 0.08, p);
+            let l = flt(li(), "l_shipdate between years", 0.3, p);
+            jn(jn(l, s, "suppkey", 0.08, p), o, "orderkey", 0.1, p)
+                .aggregate(vec!["supp_nation".into(), "l_year".into()], 1e-5, 8e-6)
+                .sort(vec!["supp_nation".into()])
+                .output("q7")
+        }
+        8 => {
+            let p_f = flt(part(), "p_type = ?", 0.0075, p);
+            let l_p = jn(li(), p_f, "partkey", 0.0075, p);
+            let s_l = jn(l_p, supp(), "suppkey", 1.0, p);
+            let o = flt(ord(), "o_orderdate between 1995 and 1996", 0.3, p);
+            let c_o = jn(o, jn(cust(), jn(nat(), reg(), "regionkey", 0.2, p), "nationkey", 0.2, p), "custkey", 0.2, p);
+            jn(s_l, c_o, "orderkey", 0.3, p)
+                .aggregate(vec!["o_year".into()], 1e-6, 8e-7)
+                .sort(vec!["o_year".into()])
+                .output("q8")
+        }
+        9 => {
+            let p_f = flt(part(), "p_name like ?", 0.054, p);
+            let l_s = jn(li(), supp(), "suppkey", 1.0, p);
+            let l_p = jn(p_f, l_s, "partkey", 0.054, p);
+            let with_ps = jn(l_p, ps(), "partkey", 1.0, p);
+            let with_o = jn(with_ps, ord(), "orderkey", 1.0, p);
+            jn(with_o, nat(), "nationkey", 1.0, p)
+                .aggregate(vec!["nation".into(), "o_year".into()], 1e-4, 8e-5)
+                .sort(vec!["nation".into()])
+                .output("q9")
+        }
+        10 => {
+            let o = flt(ord(), "o_orderdate in quarter", 0.038, p);
+            let l = flt(li(), "l_returnflag = 'R'", 0.25, p);
+            let lo = jn(l, o, "orderkey", 0.1, p);
+            jn(jn(lo, cust(), "custkey", 1.0, p), nat(), "nationkey", 1.0, p)
+                .aggregate(vec!["c_custkey".into()], 0.3, 0.25)
+                .sort(vec!["revenue".into()])
+                .output("q10")
+        }
+        11 => {
+            let n = flt(nat(), "n_name = ?", 0.04, p);
+            let s = jn(supp(), n, "nationkey", 0.04, p);
+            jn(ps(), s, "suppkey", 0.04, p)
+                .aggregate(vec!["ps_partkey".into()], 0.9, 0.8)
+                .sort(vec!["value".into()])
+                .output("q11")
+        }
+        12 => {
+            let l = flt(li(), "l_shipmode in (?, ?) and receipt in year", 0.011, p);
+            jn(ord(), l, "orderkey", 0.02, p)
+                .aggregate(vec!["l_shipmode".into()], 1e-6, 8e-7)
+                .sort(vec!["l_shipmode".into()])
+                .output("q12")
+        }
+        13 => {
+            let o = flt(ord(), "o_comment not like ?", 0.98, p);
+            jn(cust(), o.aggregate(vec!["o_custkey".into()], 0.066, 0.06), "custkey", 1.0, p)
+                .aggregate(vec!["c_count".into()], 1e-4, 8e-5)
+                .sort(vec!["custdist".into()])
+                .output("q13")
+        }
+        14 => {
+            let l = flt(li(), "l_shipdate in month", 0.013, p);
+            jn(l, part(), "partkey", 1.0, p)
+                .aggregate(vec![], 1e-7, 1e-7)
+                .output("q14")
+        }
+        15 => {
+            let l = flt(li(), "l_shipdate in quarter", 0.038, p);
+            let revenue = l.aggregate(vec!["l_suppkey".into()], 0.002, 0.0017);
+            jn(supp(), revenue, "suppkey", 1.0, p)
+                .sort(vec!["total_revenue".into()])
+                .output("q15")
+        }
+        16 => {
+            let pt = flt(part(), "p_brand <> ? and p_type not like ? and p_size in", 0.04, p);
+            let s_bad = flt(supp(), "s_comment like '%Complaints%'", 0.0005, p);
+            let ps_ok = jn(ps(), pt, "partkey", 0.04, p);
+            jn(ps_ok, s_bad, "suppkey", 0.9, p)
+                .aggregate(vec!["p_brand".into(), "p_type".into(), "p_size".into()], 0.05, 0.04)
+                .sort(vec!["supplier_cnt".into()])
+                .output("q16")
+        }
+        17 => {
+            let pt = flt(part(), "p_brand = ? and p_container = ?", 0.001, p);
+            let avg_qty = jn(li(), pt.clone(), "partkey", 0.001, p)
+                .aggregate(vec!["l_partkey".into()], 0.9, 0.85);
+            jn(jn(li(), pt, "partkey", 0.001, p), avg_qty, "partkey", 0.3, p)
+                .aggregate(vec![], 1e-7, 1e-7)
+                .output("q17")
+        }
+        18 => {
+            let big = li()
+                .aggregate(vec!["l_orderkey".into()], 0.25, 0.22)
+                .filter("sum(qty) > ?", 0.005, (0.005 * p.selectivity_scale / p.estimation_error).clamp(1e-7, 1.0));
+            let o_big = jn(ord(), big, "orderkey", 0.005, p);
+            jn(jn(cust(), o_big, "custkey", 0.005, p), li(), "orderkey", 4.0, p)
+                .aggregate(vec!["o_orderkey".into()], 0.2, 0.18)
+                .sort(vec!["o_totalprice".into()])
+                .output("q18")
+        }
+        19 => {
+            let pt = flt(part(), "brand/container/size disjunction", 0.002, p);
+            let l = flt(li(), "l_shipmode in (AIR, AIR REG)", 0.14, p);
+            jn(l, pt, "partkey", 0.002, p)
+                .aggregate(vec![], 1e-7, 1e-7)
+                .output("q19")
+        }
+        20 => {
+            let pt = flt(part(), "p_name like ?", 0.011, p);
+            let l_agg = flt(li(), "l_shipdate in year", 0.15, p)
+                .aggregate(vec!["l_partkey".into(), "l_suppkey".into()], 0.3, 0.27);
+            let ps_f = jn(jn(ps(), pt, "partkey", 0.011, p), l_agg, "partkey", 0.5, p);
+            let n = flt(nat(), "n_name = ?", 0.04, p);
+            jn(jn(supp(), n, "nationkey", 0.04, p), ps_f.aggregate(vec!["ps_suppkey".into()], 0.4, 0.35), "suppkey", 0.5, p)
+                .sort(vec!["s_name".into()])
+                .output("q20")
+        }
+        21 => {
+            let n = flt(nat(), "n_name = ?", 0.04, p);
+            let s = jn(supp(), n, "nationkey", 0.04, p);
+            let l1 = flt(li(), "l_receiptdate > l_commitdate", 0.5, p);
+            let o = flt(ord(), "o_orderstatus = 'F'", 0.49, p);
+            let sl = jn(l1, s, "suppkey", 0.04, p);
+            jn(jn(sl, o, "orderkey", 0.5, p), li().aggregate(vec!["l_orderkey".into()], 0.25, 0.22), "orderkey", 0.8, p)
+                .aggregate(vec!["s_name".into()], 1e-4, 8e-5)
+                .sort(vec!["numwait".into()])
+                .output("q21")
+        }
+        _ => {
+            // Q22 (and the fallback): customers with above-average balances and no orders.
+            let c = flt(cust(), "substring(c_phone) in (...) and c_acctbal > avg", 0.13, p);
+            let o_agg = ord().aggregate(vec!["o_custkey".into()], 0.066, 0.06);
+            jn(c, o_agg, "custkey", 0.35, p)
+                .aggregate(vec!["cntrycode".into()], 1e-5, 8e-6)
+                .sort(vec!["cntrycode".into()])
+                .output("q22")
+        }
+    }
+}
+
+/// Wrap a TPC-H query into a [`JobSpec`] runnable through the optimizer/simulator.
+pub fn tpch_job(
+    q: usize,
+    run: usize,
+    scale_factor: f64,
+    params: &TpchParams,
+    cluster: ClusterId,
+) -> JobSpec {
+    let plan = tpch_query(q, params);
+    let catalog = tpch_catalog(scale_factor);
+    let inputs = plan.input_tables();
+    let meta = JobMeta {
+        id: JobId(900_000 + (q as u64) * 1000 + run as u64),
+        cluster,
+        template: Some(TemplateId(900_000 + q as u64)),
+        name: format!("tpch_q{q:02}_run{run}"),
+        normalized_inputs: inputs,
+        params: vec![params.selectivity_scale, params.estimation_error],
+        day: DayIndex(run as u32),
+        recurring: true,
+    };
+    JobSpec {
+        meta,
+        plan,
+        catalog,
+    }
+}
+
+/// All 22 query numbers.
+pub fn all_queries() -> Vec<usize> {
+    (1..=22).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_scales_with_scale_factor() {
+        let sf1 = tpch_catalog(1.0);
+        let sf10 = tpch_catalog(10.0);
+        assert_eq!(sf1.len(), 8);
+        assert_eq!(sf1.table("lineitem").unwrap().row_count, 6_000_000.0);
+        assert_eq!(sf10.table("lineitem").unwrap().row_count, 60_000_000.0);
+        // Nation/region do not scale.
+        assert_eq!(sf10.table("nation").unwrap().row_count, 25.0);
+    }
+
+    #[test]
+    fn all_22_queries_build_and_derive_cards() {
+        let catalog = tpch_catalog(1.0);
+        let p = TpchParams::reference();
+        for q in all_queries() {
+            let plan = tpch_query(q, &p);
+            assert_eq!(plan.op.name(), "Output", "q{q} must end in Output");
+            let cards = plan
+                .derive_cards(&catalog)
+                .unwrap_or_else(|e| panic!("q{q}: {e}"));
+            assert!(cards.estimated.output_cardinality >= 1.0);
+            assert!(cards.actual.output_cardinality >= 1.0);
+            assert!(plan.node_count() >= 3, "q{q} too trivial");
+        }
+    }
+
+    #[test]
+    fn queries_touch_expected_tables() {
+        let p = TpchParams::reference();
+        assert_eq!(tpch_query(1, &p).input_tables(), vec!["lineitem".to_string()]);
+        let q3_tables = tpch_query(3, &p).input_tables();
+        assert!(q3_tables.contains(&"customer".to_string()));
+        assert!(q3_tables.contains(&"orders".to_string()));
+        assert!(q3_tables.contains(&"lineitem".to_string()));
+        let q9_tables = tpch_query(9, &p).input_tables();
+        assert!(q9_tables.contains(&"partsupp".to_string()));
+        assert!(q9_tables.contains(&"nation".to_string()));
+    }
+
+    #[test]
+    fn parameter_variation_changes_actual_selectivities() {
+        let mut rng = DetRng::new(4);
+        let a = tpch_query(6, &TpchParams::reference());
+        let b = tpch_query(6, &TpchParams::draw(&mut rng));
+        // Structure identical, selectivities differ.
+        assert_eq!(a.node_count(), b.node_count());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tpch_job_wires_metadata() {
+        let job = tpch_job(5, 2, 1.0, &TpchParams::reference(), ClusterId(0));
+        assert_eq!(job.meta.name, "tpch_q05_run2");
+        assert!(job.meta.recurring);
+        assert!(job.meta.normalized_inputs.contains(&"lineitem".to_string()));
+        assert_eq!(job.catalog.len(), 8);
+        assert!(job.logical_op_count() > 5);
+    }
+}

@@ -1,0 +1,402 @@
+//! CART regression trees.
+//!
+//! The decision-tree cost model in the paper uses depth 15 (Section 3.4) and is also
+//! the base learner for both the random forest and the FastTree gradient-boosted
+//! ensemble (depth 5, 20 trees).  Splits minimise the sum of squared errors of the
+//! children; leaves predict the mean target of their samples.
+
+use crate::dataset::Dataset;
+use crate::loss::TargetTransform;
+use crate::model::Regressor;
+use cleo_common::rng::DetRng;
+use cleo_common::{CleoError, Result};
+
+/// Configuration for [`DecisionTreeRegressor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// If set, consider only this many randomly chosen features per split
+    /// (used by the random forest).
+    pub max_features: Option<usize>,
+    /// Seed for the feature subsampling RNG.
+    pub seed: u64,
+    /// Target transform applied before fitting (the standalone paper model uses
+    /// `Log1p`; ensemble base learners use `Identity` and transform externally).
+    pub target_transform: TargetTransform,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            max_depth: 15,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_features: None,
+            seed: 0,
+            target_transform: TargetTransform::Log1p,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    fitted: bool,
+}
+
+impl DecisionTreeRegressor {
+    /// Create a tree with an explicit configuration.
+    pub fn new(config: DecisionTreeConfig) -> Self {
+        DecisionTreeRegressor {
+            config,
+            nodes: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// The paper's standalone configuration: depth 15, MSLE objective.
+    pub fn paper_default() -> Self {
+        DecisionTreeRegressor::new(DecisionTreeConfig::default())
+    }
+
+    /// A shallow tree fitting the raw target — the base learner shape used inside the
+    /// random forest and FastTree ensembles (depth 5).
+    pub fn ensemble_base(max_depth: usize, min_samples_leaf: usize, seed: u64) -> Self {
+        DecisionTreeRegressor::new(DecisionTreeConfig {
+            max_depth,
+            min_samples_leaf,
+            min_samples_split: min_samples_leaf.max(2) * 2,
+            max_features: None,
+            seed,
+            target_transform: TargetTransform::Identity,
+        })
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Fit on already transformed targets (used by the boosting ensemble which manages
+    /// the transform itself).
+    pub(crate) fn fit_raw(&mut self, data: &Dataset, targets: &[f64]) -> Result<()> {
+        if data.is_empty() || targets.len() != data.n_rows() {
+            return Err(CleoError::InvalidTrainingData(
+                "decision tree requires non-empty, consistent data".into(),
+            ));
+        }
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..data.n_rows()).collect();
+        let mut rng = DetRng::new(self.config.seed);
+        self.build_node(data, targets, &indices, 0, &mut rng);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn build_node(
+        &mut self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+        depth: usize,
+        rng: &mut DetRng,
+    ) -> usize {
+        let mean: f64 = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64;
+
+        let stop = depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || indices.len() < 2 * self.config.min_samples_leaf;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(data, targets, indices, rng) {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.row(i)[feature] <= threshold);
+                if left_idx.len() >= self.config.min_samples_leaf
+                    && right_idx.len() >= self.config.min_samples_leaf
+                {
+                    // Reserve a slot for this split node, then build children.
+                    let my_idx = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                    let left = self.build_node(data, targets, &left_idx, depth + 1, rng);
+                    let right = self.build_node(data, targets, &right_idx, depth + 1, rng);
+                    self.nodes[my_idx] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return my_idx;
+                }
+            }
+        }
+        let my_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        my_idx
+    }
+
+    /// Find the (feature, threshold) minimising children SSE, or `None` if no split
+    /// reduces the error.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+        rng: &mut DetRng,
+    ) -> Option<(usize, f64)> {
+        let n_features = data.n_cols();
+        let candidate_features: Vec<usize> = match self.config.max_features {
+            Some(k) if k < n_features => rng.sample_indices(n_features, k),
+            _ => (0..n_features).collect(),
+        };
+
+        let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+        let n = indices.len() as f64;
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &f in &candidate_features {
+            // Sort indices by the feature value and scan split points.
+            let mut sorted: Vec<usize> = indices.to_vec();
+            sorted.sort_by(|&a, &b| {
+                data.row(a)[f]
+                    .partial_cmp(&data.row(b)[f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (k, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
+                let t = targets[i];
+                left_sum += t;
+                left_sq += t * t;
+                let next_val = data.row(sorted[k + 1])[f];
+                let cur_val = data.row(i)[f];
+                if next_val <= cur_val {
+                    continue; // ties: can't split between equal values
+                }
+                let nl = (k + 1) as f64;
+                let nr = n - nl;
+                if (nl as usize) < self.config.min_samples_leaf
+                    || (nr as usize) < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                if best.map_or(true, |(_, _, b)| sse < b) {
+                    best = Some((f, 0.5 * (cur_val + next_val), sse));
+                }
+            }
+        }
+        match best {
+            Some((f, t, sse)) if sse < parent_sse - 1e-12 => Some((f, t)),
+            _ => None,
+        }
+    }
+
+    /// Predict in model (possibly log) space.
+    pub(crate) fn predict_raw(&self, row: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        let targets = self.config.target_transform.forward_all(data.targets());
+        self.fit_raw(data, &targets)
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        self.config
+            .target_transform
+            .inverse(self.predict_raw(row))
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleo_common::rng::DetRng;
+    use cleo_common::stats;
+
+    fn step_dataset() -> Dataset {
+        // y depends on a threshold of x0, ignoring x1.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, (i % 5) as f64])
+            .collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 30.0 { 10.0 } else { 100.0 })
+            .collect();
+        Dataset::from_rows(vec!["x0".into(), "x1".into()], rows, targets).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let ds = step_dataset();
+        let mut tree = DecisionTreeRegressor::paper_default();
+        tree.fit(&ds).unwrap();
+        assert!((tree.predict_row(&[5.0, 0.0]) - 10.0).abs() < 0.5);
+        assert!((tree.predict_row(&[45.0, 0.0]) - 100.0).abs() < 1.0);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_single_leaf_mean() {
+        let ds = step_dataset();
+        let mut cfg = DecisionTreeConfig::default();
+        cfg.max_depth = 0;
+        cfg.target_transform = TargetTransform::Identity;
+        let mut tree = DecisionTreeRegressor::new(cfg);
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        let mean = stats::mean(ds.targets());
+        assert!((tree.predict_row(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_limits_granularity() {
+        let ds = step_dataset();
+        let mut cfg = DecisionTreeConfig::default();
+        cfg.min_samples_leaf = 25;
+        cfg.target_transform = TargetTransform::Identity;
+        let mut tree = DecisionTreeRegressor::new(cfg);
+        tree.fit(&ds).unwrap();
+        // With 60 samples and min leaf 25 at most one split is possible.
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn fits_nonlinear_interaction_better_than_linear_baseline() {
+        let mut rng = DetRng::new(7);
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..300 {
+            let a = rng.uniform(0.0, 10.0);
+            let b = rng.uniform(0.0, 10.0);
+            rows.push(vec![a, b]);
+            targets.push(if a > 5.0 && b > 5.0 { 100.0 } else { 1.0 });
+        }
+        let ds = Dataset::from_rows(vec!["a".into(), "b".into()], rows, targets).unwrap();
+        let mut tree = DecisionTreeRegressor::paper_default();
+        tree.fit(&ds).unwrap();
+        let preds = tree.predict(&ds);
+        assert!(stats::pearson(&preds, ds.targets()) > 0.95);
+    }
+
+    #[test]
+    fn constant_target_gives_single_leaf() {
+        let ds = Dataset::from_rows(
+            vec!["x".into()],
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![7.0, 7.0, 7.0],
+        )
+        .unwrap();
+        let mut tree = DecisionTreeRegressor::paper_default();
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict_row(&[10.0]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let ds = Dataset::new(vec!["x".into()]);
+        let mut tree = DecisionTreeRegressor::paper_default();
+        assert!(tree.fit(&ds).is_err());
+        assert_eq!(tree.predict_row(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_produces_valid_tree() {
+        let ds = step_dataset();
+        let mut cfg = DecisionTreeConfig::default();
+        cfg.max_features = Some(1);
+        cfg.seed = 3;
+        cfg.target_transform = TargetTransform::Identity;
+        let mut tree = DecisionTreeRegressor::new(cfg);
+        tree.fit(&ds).unwrap();
+        let preds = tree.predict(&ds);
+        assert_eq!(preds.len(), ds.n_rows());
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn handles_duplicate_feature_values() {
+        // All x identical → no valid split → single leaf.
+        let ds = Dataset::from_rows(
+            vec!["x".into()],
+            vec![vec![5.0]; 10],
+            (0..10).map(|i| i as f64).collect(),
+        )
+        .unwrap();
+        let mut tree = DecisionTreeRegressor::paper_default();
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+    }
+}

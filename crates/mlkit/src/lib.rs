@@ -1,0 +1,46 @@
+//! From-scratch machine-learning toolkit for the Cleo reproduction.
+//!
+//! The paper (Section 3.4, Tables 4 and 6) evaluates five regression families as
+//! candidate cost models — elastic net, decision tree, random forest, FastTree
+//! (a MART-style gradient-boosted tree ensemble), and a small multilayer perceptron —
+//! plus Poisson regression for the CardLearner baseline.  None of those are available
+//! as allowed dependencies, so this crate implements all of them from scratch on top of
+//! a tiny dense-matrix [`dataset`] layer.
+//!
+//! Key properties mirrored from the paper:
+//!
+//! * Targets are trained on **mean squared log error** by default
+//!   ([`loss::Loss::MeanSquaredLogError`]): models fit `log(1 + y)` and predictions are
+//!   exponentiated back, which minimises relative error, penalises under-estimation,
+//!   and keeps predictions positive (Section 3.2).
+//! * [`elastic_net::ElasticNet`] performs automatic feature selection through the L1
+//!   penalty — the reason the paper prefers it for the thousands of small, noisy
+//!   per-subgraph training sets.
+//! * [`gbt::FastTreeRegressor`] is a MART-style boosted ensemble with per-tree
+//!   subsampling (rate 0.9 in the paper), used as the combined meta-learner.
+//! * [`cv`] provides k-fold cross-validation used for every "5-fold CV" table.
+
+pub mod cv;
+pub mod dataset;
+pub mod decision_tree;
+pub mod elastic_net;
+pub mod gbt;
+pub mod linear_gd;
+pub mod loss;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod poisson;
+pub mod random_forest;
+pub mod scaler;
+
+pub use dataset::Dataset;
+pub use decision_tree::DecisionTreeRegressor;
+pub use elastic_net::ElasticNet;
+pub use gbt::FastTreeRegressor;
+pub use loss::Loss;
+pub use metrics::RegressionReport;
+pub use mlp::MlpRegressor;
+pub use model::{Regressor, RegressorKind};
+pub use poisson::PoissonRegressor;
+pub use random_forest::RandomForestRegressor;

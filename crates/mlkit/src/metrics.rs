@@ -1,0 +1,142 @@
+//! Regression quality reports in the paper's vocabulary.
+//!
+//! Every evaluation table in the paper reports some subset of: Pearson correlation,
+//! median relative error, 95th-percentile relative error, and coverage.
+//! [`RegressionReport`] packages the first three for a set of predictions; coverage is
+//! a property of the model *store* (how many operator instances have a matching model)
+//! and is computed by `cleo-core`.
+
+use cleo_common::stats::{self, AccuracySummary};
+
+/// Prediction-quality metrics for one model on one evaluation set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Number of evaluated (prediction, actual) pairs.
+    pub n: usize,
+    /// Pearson correlation between predictions and actuals.
+    pub pearson: f64,
+    /// Median relative error, in percent.
+    pub median_error_pct: f64,
+    /// 95th-percentile relative error, in percent.
+    pub p95_error_pct: f64,
+}
+
+impl RegressionReport {
+    /// Compute the report from paired predictions and actuals.
+    pub fn compute(predicted: &[f64], actual: &[f64]) -> RegressionReport {
+        let s = AccuracySummary::compute(predicted, actual);
+        RegressionReport {
+            n: s.count,
+            pearson: s.pearson,
+            median_error_pct: s.median_error_pct,
+            p95_error_pct: s.p95_error_pct,
+        }
+    }
+
+    /// An empty report (no predictions evaluated).
+    pub fn empty() -> RegressionReport {
+        RegressionReport {
+            n: 0,
+            pearson: 0.0,
+            median_error_pct: 0.0,
+            p95_error_pct: 0.0,
+        }
+    }
+
+    /// Merge several reports weighted by their sample counts (used when aggregating
+    /// per-fold cross-validation results).
+    pub fn weighted_merge(reports: &[RegressionReport]) -> RegressionReport {
+        let total: usize = reports.iter().map(|r| r.n).sum();
+        if total == 0 {
+            return RegressionReport::empty();
+        }
+        let w = |f: fn(&RegressionReport) -> f64| -> f64 {
+            reports
+                .iter()
+                .map(|r| f(r) * r.n as f64)
+                .sum::<f64>()
+                / total as f64
+        };
+        RegressionReport {
+            n: total,
+            pearson: w(|r| r.pearson),
+            median_error_pct: w(|r| r.median_error_pct),
+            p95_error_pct: w(|r| r.p95_error_pct),
+        }
+    }
+}
+
+/// R² (coefficient of determination). Not reported in the paper's tables but useful in
+/// unit tests and ablations.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    if predicted.len() != actual.len() || actual.len() < 2 {
+        return 0.0;
+    }
+    let mean = stats::mean(actual);
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_on_perfect_predictions() {
+        let a = [1.0, 5.0, 10.0, 50.0];
+        let r = RegressionReport::compute(&a, &a);
+        assert_eq!(r.n, 4);
+        assert!((r.pearson - 1.0).abs() < 1e-12);
+        assert!(r.median_error_pct < 1e-9);
+        assert!(r.p95_error_pct < 1e-9);
+        assert!((r_squared(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_detects_scale_errors() {
+        let actual = [10.0, 20.0, 30.0, 40.0];
+        let pred: Vec<f64> = actual.iter().map(|a| a * 3.0).collect();
+        let r = RegressionReport::compute(&pred, &actual);
+        // Correlated but biased: correlation 1, median error 200%.
+        assert!((r.pearson - 1.0).abs() < 1e-9);
+        assert!((r.median_error_pct - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_merge_uses_sample_counts() {
+        let a = RegressionReport {
+            n: 10,
+            pearson: 1.0,
+            median_error_pct: 10.0,
+            p95_error_pct: 20.0,
+        };
+        let b = RegressionReport {
+            n: 30,
+            pearson: 0.6,
+            median_error_pct: 50.0,
+            p95_error_pct: 100.0,
+        };
+        let m = RegressionReport::weighted_merge(&[a, b]);
+        assert_eq!(m.n, 40);
+        assert!((m.pearson - 0.7).abs() < 1e-12);
+        assert!((m.median_error_pct - 40.0).abs() < 1e-12);
+        assert_eq!(
+            RegressionReport::weighted_merge(&[]),
+            RegressionReport::empty()
+        );
+    }
+
+    #[test]
+    fn r_squared_degenerate_cases() {
+        assert_eq!(r_squared(&[1.0], &[1.0]), 0.0);
+        assert_eq!(r_squared(&[1.0, 2.0], &[5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The common regressor interface and the registry of model families.
+//!
+//! Every learner in this crate implements [`Regressor`], so the Cleo model store can
+//! hold heterogeneous models behind `Box<dyn Regressor>` and the cross-validation
+//! tables (Tables 4 and 6, Figure 11) can iterate over [`RegressorKind::all`].
+
+use crate::dataset::Dataset;
+use crate::decision_tree::DecisionTreeRegressor;
+use crate::elastic_net::ElasticNet;
+use crate::gbt::FastTreeRegressor;
+use crate::mlp::MlpRegressor;
+use crate::random_forest::RandomForestRegressor;
+use cleo_common::Result;
+
+/// A trainable regression model mapping a feature row to a non-negative cost.
+pub trait Regressor: Send + Sync {
+    /// Fit the model on a dataset. Re-fitting replaces the previous state.
+    fn fit(&mut self, data: &Dataset) -> Result<()>;
+
+    /// Predict the target for one feature row. Panics or returns a default if the
+    /// model has not been fitted; use [`Regressor::is_fitted`] to check.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predict every row of a dataset.
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.n_rows()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// True once `fit` has succeeded.
+    fn is_fitted(&self) -> bool;
+
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// For linear models: the learned per-feature weights in raw feature space.
+    /// Returns `None` for non-linear models.
+    fn feature_weights(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// The five model families evaluated in the paper (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegressorKind {
+    /// L1+L2-regularised linear regression (the paper's choice for individual models).
+    ElasticNet,
+    /// CART regression tree (depth 15 in the paper).
+    DecisionTree,
+    /// Random forest (20 trees, depth 5).
+    RandomForest,
+    /// FastTree / MART gradient-boosted trees (20 trees, depth 5, subsample 0.9) —
+    /// the paper's choice for the combined meta-model.
+    FastTree,
+    /// 3-layer multilayer perceptron (hidden size 30, ReLU, Adam, L2 = 0.005).
+    Mlp,
+}
+
+impl RegressorKind {
+    /// All five families, in the order the paper's tables list them.
+    pub fn all() -> [RegressorKind; 5] {
+        [
+            RegressorKind::Mlp,
+            RegressorKind::DecisionTree,
+            RegressorKind::FastTree,
+            RegressorKind::RandomForest,
+            RegressorKind::ElasticNet,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegressorKind::ElasticNet => "Elastic net",
+            RegressorKind::DecisionTree => "Decision Tree",
+            RegressorKind::RandomForest => "Random Forest",
+            RegressorKind::FastTree => "FastTree Regression",
+            RegressorKind::Mlp => "Neural Network",
+        }
+    }
+
+    /// Construct a model of this family with the paper's hyper-parameters.
+    /// `seed` controls any internal randomness (subsampling, initialisation).
+    pub fn build(&self, seed: u64) -> Box<dyn Regressor> {
+        match self {
+            RegressorKind::ElasticNet => Box::new(ElasticNet::paper_default()),
+            RegressorKind::DecisionTree => Box::new(DecisionTreeRegressor::paper_default()),
+            RegressorKind::RandomForest => Box::new(RandomForestRegressor::paper_default(seed)),
+            RegressorKind::FastTree => Box::new(FastTreeRegressor::paper_default(seed)),
+            RegressorKind::Mlp => Box::new(MlpRegressor::paper_default(seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        // y = 3*x0 + 0.5*x1
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * 2 % 7) as f64])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 0.5 * r[1]).collect();
+        Dataset::from_rows(vec!["x0".into(), "x1".into()], rows, targets).unwrap()
+    }
+
+    #[test]
+    fn registry_builds_all_families() {
+        let ds = toy_dataset();
+        for kind in RegressorKind::all() {
+            let mut model = kind.build(7);
+            assert!(!model.is_fitted(), "{} fitted before fit()", kind.name());
+            model.fit(&ds).unwrap();
+            assert!(model.is_fitted());
+            let preds = model.predict(&ds);
+            assert_eq!(preds.len(), ds.n_rows());
+            assert!(preds.iter().all(|p| p.is_finite()), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            RegressorKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Feature standardisation.
+//!
+//! The elastic net, MLP, and Poisson learners standardise features to zero mean and
+//! unit variance before fitting: the candidate features (cardinalities, products of
+//! cardinalities, per-partition values — Tables 2 and 3) span many orders of magnitude
+//! and regularised/gradient-based learners are not scale invariant.  Tree-based
+//! learners do not use the scaler.
+
+use crate::dataset::Dataset;
+
+/// Per-column standardisation parameters fitted on a training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit the scaler on a dataset's feature columns.
+    pub fn fit(data: &Dataset) -> StandardScaler {
+        let means = data.column_means();
+        let stds = data
+            .column_stds()
+            .into_iter()
+            // Constant columns keep their value after centering; avoid division by ~0.
+            .map(|s| if s < 1e-12 { 1.0 } else { s })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Number of columns the scaler was fitted on.
+    pub fn n_cols(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardise one feature row into a new vector.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.means[j]) / self.stds[j])
+            .collect()
+    }
+
+    /// Standardise every row of a dataset, keeping targets unchanged.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..data.n_rows())
+            .map(|i| self.transform_row(data.row(i)))
+            .collect();
+        Dataset::from_rows(
+            data.feature_names().to_vec(),
+            rows,
+            data.targets().to_vec(),
+        )
+        .expect("same shape as input dataset")
+    }
+
+    /// Convert a weight vector learned in standardised space back to raw-feature space,
+    /// returning `(weights, intercept_adjustment)`.
+    ///
+    /// If the standardised model is `ŷ = Σ wⱼ·(xⱼ − μⱼ)/σⱼ + b`, the raw-space model is
+    /// `ŷ = Σ (wⱼ/σⱼ)·xⱼ + (b − Σ wⱼ·μⱼ/σⱼ)`.
+    pub fn unscale_weights(&self, weights: &[f64], intercept: f64) -> (Vec<f64>, f64) {
+        let raw: Vec<f64> = weights
+            .iter()
+            .enumerate()
+            .map(|(j, w)| w / self.stds[j])
+            .collect();
+        let shift: f64 = weights
+            .iter()
+            .enumerate()
+            .map(|(j, w)| w * self.means[j] / self.stds[j])
+            .sum();
+        (raw, intercept - shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(
+            vec!["a".into(), "b".into(), "const".into()],
+            vec![
+                vec![1.0, 100.0, 5.0],
+                vec![2.0, 200.0, 5.0],
+                vec![3.0, 300.0, 5.0],
+                vec![4.0, 400.0, 5.0],
+            ],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transform_gives_zero_mean_unit_std() {
+        let ds = sample();
+        let scaler = StandardScaler::fit(&ds);
+        let t = scaler.transform(&ds);
+        let means = t.column_means();
+        let stds = t.column_stds();
+        assert!(means[0].abs() < 1e-12);
+        assert!(means[1].abs() < 1e-12);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!((stds[1] - 1.0).abs() < 1e-12);
+        // Constant column: centered to 0 but not blown up.
+        assert!(means[2].abs() < 1e-12);
+        assert!(stds[2].abs() < 1e-12);
+        // Targets untouched.
+        assert_eq!(t.targets(), ds.targets());
+    }
+
+    #[test]
+    fn transform_row_matches_dataset_transform() {
+        let ds = sample();
+        let scaler = StandardScaler::fit(&ds);
+        let t = scaler.transform(&ds);
+        assert_eq!(scaler.transform_row(ds.row(2)), t.row(2).to_vec());
+    }
+
+    #[test]
+    fn unscale_weights_round_trips_predictions() {
+        let ds = sample();
+        let scaler = StandardScaler::fit(&ds);
+        // A model in standardised space.
+        let w_std = [2.0, -1.0, 0.5];
+        let b_std = 3.0;
+        let (w_raw, b_raw) = scaler.unscale_weights(&w_std, b_std);
+        for i in 0..ds.n_rows() {
+            let std_row = scaler.transform_row(ds.row(i));
+            let pred_std: f64 =
+                std_row.iter().zip(&w_std).map(|(x, w)| x * w).sum::<f64>() + b_std;
+            let pred_raw: f64 =
+                ds.row(i).iter().zip(&w_raw).map(|(x, w)| x * w).sum::<f64>() + b_raw;
+            assert!((pred_std - pred_raw).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the ML toolkit: every learner must stay finite,
+//! non-negative (under the log-target transform), and deterministic for a fixed seed,
+//! over arbitrary well-formed training data.
+
+use cleo_mlkit::loss::TargetTransform;
+use cleo_mlkit::model::{Regressor, RegressorKind};
+use cleo_mlkit::{Dataset, Loss};
+use proptest::prelude::*;
+
+/// Strategy: a small regression dataset with positive targets (runtimes).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 8usize..40).prop_flat_map(|(n_cols, n_rows)| {
+        let row = prop::collection::vec(0.0f64..1e6, n_cols);
+        let rows = prop::collection::vec(row, n_rows);
+        let targets = prop::collection::vec(0.01f64..1e5, n_rows);
+        (rows, targets).prop_map(move |(rows, targets)| {
+            let names = (0..n_cols).map(|i| format!("f{i}")).collect();
+            Dataset::from_rows(names, rows, targets).expect("well-formed dataset")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_learners_produce_finite_nonnegative_predictions(ds in dataset_strategy()) {
+        for kind in RegressorKind::all() {
+            let mut model = kind.build(7);
+            model.fit(&ds).expect("fit succeeds on well-formed data");
+            for i in 0..ds.n_rows() {
+                let p = model.predict_row(ds.row(i));
+                prop_assert!(p.is_finite(), "{} produced non-finite prediction", kind.name());
+                prop_assert!(p >= 0.0, "{} produced negative prediction {p}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn learners_are_deterministic_for_a_seed(ds in dataset_strategy()) {
+        for kind in [RegressorKind::RandomForest, RegressorKind::FastTree, RegressorKind::Mlp] {
+            let mut a = kind.build(13);
+            let mut b = kind.build(13);
+            a.fit(&ds).unwrap();
+            b.fit(&ds).unwrap();
+            for i in 0..ds.n_rows().min(10) {
+                prop_assert_eq!(a.predict_row(ds.row(i)).to_bits(), b.predict_row(ds.row(i)).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_for_perfect_predictions(ys in prop::collection::vec(0.0f64..1e6, 1..50)) {
+        for loss in [
+            Loss::MedianAbsoluteError,
+            Loss::MeanAbsoluteError,
+            Loss::MeanSquaredError,
+            Loss::MeanSquaredLogError,
+        ] {
+            prop_assert!(loss.evaluate(&ys, &ys).abs() < 1e-9);
+            let shifted: Vec<f64> = ys.iter().map(|y| y + 1.0).collect();
+            prop_assert!(loss.evaluate(&shifted, &ys) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn log_target_transform_round_trips(y in 0.0f64..1e12) {
+        let t = TargetTransform::Log1p;
+        let back = t.inverse(t.forward(y));
+        prop_assert!((back - y).abs() <= 1e-6 * (1.0 + y));
+    }
+}

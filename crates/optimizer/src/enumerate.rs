@@ -1,0 +1,675 @@
+//! Plan enumeration: logical plans → costed physical alternatives.
+//!
+//! This is the reproduction's compact embodiment of the Cascades tasks the paper lists
+//! (Optimize Groups / Expressions, Explore Groups / Expressions, Optimize Inputs):
+//! a bottom-up enumeration that, for every logical operator, generates the candidate
+//! physical implementations (hash vs merge join, hash vs sorted stream aggregation,
+//! optional local aggregation), inserts the property *enforcers* (Exchange to satisfy a
+//! partitioning requirement, Sort to satisfy a sort requirement) only when the child's
+//! derived properties do not already satisfy them, and costs every candidate through
+//! the pluggable [`CostModel`](crate::cost::CostModel).  Alternatives are pruned per
+//! interesting physical property, which keeps enumeration polynomial while preserving
+//! the plan choices the paper's evaluation exercises (exchange elision, merge-join
+//! adoption, local aggregation, partition-count changes).
+
+use cleo_common::{CleoError, Result};
+use cleo_engine::catalog::Catalog;
+use cleo_engine::logical::{LogicalNode, LogicalOp};
+use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind};
+use cleo_engine::types::OpStats;
+
+use crate::cost::CostModel;
+
+/// Maximum number of alternatives kept per logical node after pruning.
+const MAX_ALTERNATIVES: usize = 6;
+
+/// Bytes per partition targeted by the default partition-count heuristic (256 MB),
+/// mirroring how partitioning operators "decide partition counts based on data
+/// statistics and heuristics" (Section 2.1).
+pub const BYTES_PER_PARTITION: f64 = 256.0 * 1024.0 * 1024.0;
+
+/// Upper bound on partition counts (the paper probes 0–3000, "the maximum capacity of
+/// machines on a virtual cluster").
+pub const MAX_PARTITIONS: usize = 2500;
+
+/// Default partition count for `bytes` of data.
+pub fn default_partition_count(bytes: f64) -> usize {
+    ((bytes / BYTES_PER_PARTITION).ceil() as usize).clamp(1, MAX_PARTITIONS)
+}
+
+/// One candidate physical subplan together with its accumulated cost.
+#[derive(Debug, Clone)]
+pub struct Alternative {
+    /// Root of the candidate subplan (children embedded).
+    pub node: PhysicalNode,
+    /// Total estimated cost of the subtree (sum of exclusive costs).
+    pub cost: f64,
+}
+
+/// Statistics about one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnumerationStats {
+    /// Number of cost-model invocations performed.
+    pub model_invocations: usize,
+    /// Number of physical alternatives generated (before pruning).
+    pub alternatives_generated: usize,
+}
+
+/// The enumeration context threaded through the recursion.
+pub struct Enumerator<'a> {
+    /// Cost model used for Optimize Inputs.
+    pub cost_model: &'a dyn CostModel,
+    /// Catalog providing leaf statistics.
+    pub catalog: &'a Catalog,
+    /// Job metadata (available to learned cost models as features).
+    pub meta: &'a JobMeta,
+    /// Replace estimated statistics with actual ones (the perfect-cardinality ablation).
+    pub use_actual_cardinalities: bool,
+    /// Whether to consider local (partial) aggregation before exchanges.
+    pub enable_local_aggregation: bool,
+    /// Run statistics.
+    pub stats: EnumerationStats,
+}
+
+impl<'a> Enumerator<'a> {
+    /// Create an enumerator.
+    pub fn new(
+        cost_model: &'a dyn CostModel,
+        catalog: &'a Catalog,
+        meta: &'a JobMeta,
+        use_actual_cardinalities: bool,
+        enable_local_aggregation: bool,
+    ) -> Self {
+        Enumerator {
+            cost_model,
+            catalog,
+            meta,
+            use_actual_cardinalities,
+            enable_local_aggregation,
+            stats: EnumerationStats::default(),
+        }
+    }
+
+    /// Enumerate alternatives for a logical subtree and return them (pruned).
+    pub fn enumerate(&mut self, logical: &LogicalNode) -> Result<Vec<Alternative>> {
+        let cards = logical.derive_cards(self.catalog)?;
+        let (est, act) = if self.use_actual_cardinalities {
+            (cards.actual, cards.actual)
+        } else {
+            (cards.estimated, cards.actual)
+        };
+
+        let mut alts: Vec<Alternative> = Vec::new();
+        match &logical.op {
+            LogicalOp::Get { table } => {
+                let t = self.catalog.table(table)?;
+                let mut node = PhysicalNode::new(PhysicalOpKind::Extract, table.clone(), vec![]);
+                node.est = est;
+                node.act = act;
+                node.partition_count = t.stored_partitions;
+                alts.push(self.costed(node, 0.0));
+            }
+            LogicalOp::Filter { predicate, .. } => {
+                for child in self.enumerate(&logical.children[0])? {
+                    let node = self.unary_passthrough(
+                        PhysicalOpKind::Filter,
+                        predicate.clone(),
+                        &child,
+                        est,
+                        act,
+                        true,
+                    );
+                    alts.push(self.costed(node, child.cost));
+                }
+            }
+            LogicalOp::Project { .. } => {
+                for child in self.enumerate(&logical.children[0])? {
+                    let node = self.unary_passthrough(
+                        PhysicalOpKind::Project,
+                        "project",
+                        &child,
+                        est,
+                        act,
+                        true,
+                    );
+                    alts.push(self.costed(node, child.cost));
+                }
+            }
+            LogicalOp::Process {
+                udf_name,
+                hidden_cost_factor,
+                ..
+            } => {
+                for child in self.enumerate(&logical.children[0])? {
+                    let mut node = self.unary_passthrough(
+                        PhysicalOpKind::Process,
+                        udf_name.clone(),
+                        &child,
+                        est,
+                        act,
+                        false,
+                    );
+                    node.udf_cost_factor = *hidden_cost_factor;
+                    alts.push(self.costed(node, child.cost));
+                }
+            }
+            LogicalOp::Output { sink } => {
+                for child in self.enumerate(&logical.children[0])? {
+                    let node = self.unary_passthrough(
+                        PhysicalOpKind::Output,
+                        sink.clone(),
+                        &child,
+                        est,
+                        act,
+                        true,
+                    );
+                    alts.push(self.costed(node, child.cost));
+                }
+            }
+            LogicalOp::Sort { keys } => {
+                for child in self.enumerate(&logical.children[0])? {
+                    if child.node.sorted_on == *keys {
+                        // Sort requirement already satisfied: no enforcer needed.
+                        alts.push(child.clone());
+                    } else {
+                        let node = self.sort_enforcer(&child, keys.clone(), est, act);
+                        alts.push(self.costed(node, child.cost));
+                    }
+                }
+            }
+            LogicalOp::Aggregate { group_keys, .. } => {
+                for child in self.enumerate(&logical.children[0])? {
+                    self.aggregate_alternatives(&child, group_keys, est, act, &mut alts);
+                }
+            }
+            LogicalOp::Join { keys, .. } => {
+                let left_alts = self.enumerate(&logical.children[0])?;
+                let right_alts = self.enumerate(&logical.children[1])?;
+                for left in &left_alts {
+                    for right in &right_alts {
+                        self.join_alternatives(left, right, keys, est, act, &mut alts);
+                    }
+                }
+            }
+            LogicalOp::Union => {
+                let mut children_best: Vec<Alternative> = Vec::new();
+                for c in &logical.children {
+                    let mut child_alts = self.enumerate(c)?;
+                    child_alts.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+                    children_best.push(child_alts.into_iter().next().ok_or_else(|| {
+                        CleoError::OptimizationError("empty child alternatives".into())
+                    })?);
+                }
+                let child_cost: f64 = children_best.iter().map(|c| c.cost).sum();
+                let parts = children_best
+                    .iter()
+                    .map(|c| c.node.partition_count)
+                    .max()
+                    .unwrap_or(1);
+                let mut node = PhysicalNode::new(
+                    PhysicalOpKind::Project,
+                    "union",
+                    children_best.into_iter().map(|c| c.node).collect(),
+                );
+                node.est = est;
+                node.act = act;
+                node.partition_count = parts;
+                alts.push(self.costed(node, child_cost));
+            }
+        }
+
+        if alts.is_empty() {
+            return Err(CleoError::OptimizationError(format!(
+                "no alternatives generated for {:?}",
+                logical.op.name()
+            )));
+        }
+        self.stats.alternatives_generated += alts.len();
+        Ok(prune(alts))
+    }
+
+    /// Build a unary operator that keeps its child's partitioning and partition count.
+    fn unary_passthrough(
+        &self,
+        kind: PhysicalOpKind,
+        label: impl Into<String>,
+        child: &Alternative,
+        est: OpStats,
+        act: OpStats,
+        preserve_sort: bool,
+    ) -> PhysicalNode {
+        let mut node = PhysicalNode::new(kind, label, vec![child.node.clone()]);
+        node.est = est;
+        node.act = act;
+        node.partition_count = child.node.partition_count;
+        node.partitioned_on = child.node.partitioned_on.clone();
+        node.sorted_on = if preserve_sort {
+            child.node.sorted_on.clone()
+        } else {
+            Vec::new()
+        };
+        node
+    }
+
+    /// Build a Sort enforcer over a child.
+    fn sort_enforcer(
+        &self,
+        child: &Alternative,
+        keys: Vec<String>,
+        _est: OpStats,
+        _act: OpStats,
+    ) -> PhysicalNode {
+        // A sort does not change cardinalities: reuse the child's output stats.
+        let mut node = PhysicalNode::new(PhysicalOpKind::Sort, keys.join(","), vec![child.node.clone()]);
+        node.est = passthrough_stats(&child.node.est);
+        node.act = passthrough_stats(&child.node.act);
+        node.partition_count = child.node.partition_count;
+        node.partitioned_on = child.node.partitioned_on.clone();
+        node.sorted_on = keys;
+        node
+    }
+
+    /// Build an Exchange enforcer repartitioning a child onto `keys` with `partitions`.
+    fn exchange_enforcer(
+        &self,
+        child: PhysicalNode,
+        keys: Vec<String>,
+        partitions: usize,
+    ) -> PhysicalNode {
+        let est = passthrough_stats(&child.est);
+        let act = passthrough_stats(&child.act);
+        let mut node =
+            PhysicalNode::new(PhysicalOpKind::Exchange, keys.join(","), vec![child]);
+        node.est = est;
+        node.act = act;
+        node.partition_count = partitions;
+        node.partitioned_on = keys;
+        node.sorted_on = Vec::new();
+        node
+    }
+
+    /// Cost a freshly built node and wrap it into an [`Alternative`].
+    fn costed(&mut self, node: PhysicalNode, children_cost: f64) -> Alternative {
+        self.stats.model_invocations += 1;
+        let exclusive = self
+            .cost_model
+            .exclusive_cost(&node, node.partition_count, self.meta);
+        Alternative {
+            node,
+            cost: children_cost + exclusive.max(0.0),
+        }
+    }
+
+    /// Generate the aggregation alternatives over one child alternative.
+    fn aggregate_alternatives(
+        &mut self,
+        child: &Alternative,
+        group_keys: &[String],
+        est: OpStats,
+        act: OpStats,
+        alts: &mut Vec<Alternative>,
+    ) {
+        let scalar = group_keys.is_empty();
+        let already_partitioned =
+            !scalar && child.node.partitioned_on == group_keys && !child.node.partitioned_on.is_empty();
+
+        // Candidate "pre-exchange" children: plain, and optionally locally pre-aggregated.
+        let mut pre_children: Vec<(PhysicalNode, f64)> = vec![(child.node.clone(), child.cost)];
+        if self.enable_local_aggregation && !already_partitioned {
+            let mut local = PhysicalNode::new(
+                PhysicalOpKind::LocalAggregate,
+                group_keys.join(","),
+                vec![child.node.clone()],
+            );
+            let p = child.node.partition_count.max(1) as f64;
+            local.est = local_agg_stats(&child.node.est, &est, p);
+            local.act = local_agg_stats(&child.node.act, &act, p);
+            local.partition_count = child.node.partition_count;
+            local.partitioned_on = child.node.partitioned_on.clone();
+            let local_alt = self.costed(local, child.cost);
+            pre_children.push((local_alt.node, local_alt.cost));
+        }
+
+        for (pre, pre_cost) in pre_children {
+            // Establish the partitioning requirement.
+            let (partitioned, part_cost) = if already_partitioned && pre.kind != PhysicalOpKind::LocalAggregate {
+                (pre.clone(), pre_cost)
+            } else {
+                let partitions = if scalar {
+                    1
+                } else {
+                    default_partition_count(pre.est.output_bytes())
+                };
+                let exch = self.exchange_enforcer(pre.clone(), group_keys.to_vec(), partitions);
+                let exch_alt = self.costed(exch, pre_cost);
+                (exch_alt.node, exch_alt.cost)
+            };
+
+            // Hash aggregation.
+            let mut hash = PhysicalNode::new(
+                PhysicalOpKind::HashAggregate,
+                group_keys.join(","),
+                vec![partitioned.clone()],
+            );
+            hash.est = est;
+            hash.act = act;
+            hash.partition_count = partitioned.partition_count;
+            hash.partitioned_on = group_keys.to_vec();
+            alts.push(self.costed(hash, part_cost));
+
+            // Sort + stream aggregation.
+            let sort_child = Alternative {
+                node: partitioned.clone(),
+                cost: part_cost,
+            };
+            let sort = self.sort_enforcer(&sort_child, group_keys.to_vec(), est, act);
+            let sort_alt = self.costed(sort, part_cost);
+            let mut stream = PhysicalNode::new(
+                PhysicalOpKind::StreamAggregate,
+                group_keys.join(","),
+                vec![sort_alt.node],
+            );
+            stream.est = est;
+            stream.act = act;
+            stream.partition_count = partitioned.partition_count;
+            stream.partitioned_on = group_keys.to_vec();
+            stream.sorted_on = group_keys.to_vec();
+            alts.push(self.costed(stream, sort_alt.cost));
+        }
+    }
+
+    /// Generate the join alternatives over one (left, right) pair of child alternatives.
+    fn join_alternatives(
+        &mut self,
+        left: &Alternative,
+        right: &Alternative,
+        keys: &[String],
+        est: OpStats,
+        act: OpStats,
+        alts: &mut Vec<Alternative>,
+    ) {
+        // Decide the join partition count: reuse an already-correctly-partitioned
+        // side's count if possible (this is what lets the learned models skip
+        // exchanges, Section 6.6.2), otherwise derive from the larger input.
+        let left_ok = left.node.partitioned_on == keys;
+        let right_ok = right.node.partitioned_on == keys;
+        let partitions = if left_ok {
+            left.node.partition_count
+        } else if right_ok {
+            right.node.partition_count
+        } else {
+            default_partition_count(left.node.est.output_bytes().max(right.node.est.output_bytes()))
+        };
+
+        // Prepare each side: exchange if not partitioned on the keys with that count.
+        let mut prep = |alt: &Alternative, ok: bool| -> (PhysicalNode, f64) {
+            if ok && alt.node.partition_count == partitions {
+                (alt.node.clone(), alt.cost)
+            } else {
+                let exch = self.exchange_enforcer(alt.node.clone(), keys.to_vec(), partitions);
+                let a = self.costed(exch, alt.cost);
+                (a.node, a.cost)
+            }
+        };
+        let (l_part, l_cost) = prep(left, left_ok);
+        let (r_part, r_cost) = prep(right, right_ok);
+
+        // Hash join.
+        let mut hj = PhysicalNode::new(
+            PhysicalOpKind::HashJoin,
+            keys.join(","),
+            vec![l_part.clone(), r_part.clone()],
+        );
+        hj.est = est;
+        hj.act = act;
+        hj.partition_count = partitions;
+        hj.partitioned_on = keys.to_vec();
+        alts.push(self.costed(hj, l_cost + r_cost));
+
+        // Merge join: both sides must additionally be sorted on the keys.
+        let mut sort_side = |node: PhysicalNode, cost: f64| -> (PhysicalNode, f64) {
+            if node.sorted_on == keys {
+                (node, cost)
+            } else {
+                let alt = Alternative {
+                    node,
+                    cost,
+                };
+                let sort = self.sort_enforcer(&alt, keys.to_vec(), est, act);
+                let s = self.costed(sort, cost);
+                (s.node, s.cost)
+            }
+        };
+        let (l_sorted, l_scost) = sort_side(l_part, l_cost);
+        let (r_sorted, r_scost) = sort_side(r_part, r_cost);
+        let mut mj = PhysicalNode::new(
+            PhysicalOpKind::MergeJoin,
+            keys.join(","),
+            vec![l_sorted, r_sorted],
+        );
+        mj.est = est;
+        mj.act = act;
+        mj.partition_count = partitions;
+        mj.partitioned_on = keys.to_vec();
+        mj.sorted_on = keys.to_vec();
+        alts.push(self.costed(mj, l_scost + r_scost));
+    }
+}
+
+/// Output stats of a pass-through enforcer (exchange/sort): cardinalities unchanged,
+/// input equals the child's output.
+fn passthrough_stats(child_out: &OpStats) -> OpStats {
+    OpStats {
+        input_cardinality: child_out.output_cardinality,
+        base_cardinality: child_out.base_cardinality,
+        output_cardinality: child_out.output_cardinality,
+        avg_row_bytes: child_out.avg_row_bytes,
+    }
+}
+
+/// Output stats of a local (per-partition) pre-aggregation: at most `groups × P` rows.
+fn local_agg_stats(child_out: &OpStats, global_agg: &OpStats, partitions: f64) -> OpStats {
+    let local_out = (global_agg.output_cardinality * partitions)
+        .min(child_out.output_cardinality)
+        .max(1.0);
+    OpStats {
+        input_cardinality: child_out.output_cardinality,
+        base_cardinality: child_out.base_cardinality,
+        output_cardinality: local_out,
+        avg_row_bytes: global_agg.avg_row_bytes,
+    }
+}
+
+/// Keep the cheapest alternative overall plus the cheapest per distinct
+/// (partitioned_on, sorted_on) property pair, capped at [`MAX_ALTERNATIVES`].
+fn prune(mut alts: Vec<Alternative>) -> Vec<Alternative> {
+    alts.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<Alternative> = Vec::new();
+    let mut seen: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    for alt in alts {
+        let key = (alt.node.partitioned_on.clone(), alt.node.sorted_on.clone());
+        if kept.is_empty() || !seen.contains(&key) {
+            seen.push(key);
+            kept.push(alt);
+        }
+        if kept.len() >= MAX_ALTERNATIVES {
+            break;
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::HeuristicCostModel;
+    use cleo_engine::catalog::{ColumnDef, TableDef};
+    use cleo_engine::types::{ClusterId, DayIndex, JobId};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(TableDef::new(
+            "big",
+            vec![ColumnDef::new("k", 8.0, 0.1), ColumnDef::new("v", 72.0, 0.9)],
+            5e8,
+            120,
+        ));
+        c.add_table(TableDef::new(
+            "small",
+            vec![ColumnDef::new("k", 8.0, 1.0), ColumnDef::new("d", 24.0, 0.5)],
+            1e5,
+            4,
+        ));
+        c
+    }
+
+    fn meta() -> JobMeta {
+        JobMeta {
+            id: JobId(1),
+            cluster: ClusterId(0),
+            template: None,
+            name: "enum_test".into(),
+            normalized_inputs: vec!["big".into()],
+            params: vec![],
+            day: DayIndex(0),
+            recurring: true,
+        }
+    }
+
+    fn enumerate_best(plan: &LogicalNode) -> (PhysicalNode, EnumerationStats) {
+        let model = HeuristicCostModel::default_model();
+        let cat = catalog();
+        let m = meta();
+        let mut e = Enumerator::new(&model, &cat, &m, false, true);
+        let mut alts = e.enumerate(plan).unwrap();
+        alts.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        (alts.remove(0).node, e.stats)
+    }
+
+    #[test]
+    fn default_partition_count_heuristic() {
+        assert_eq!(default_partition_count(0.0), 1);
+        assert_eq!(default_partition_count(BYTES_PER_PARTITION * 10.0), 10);
+        assert_eq!(default_partition_count(1e18), MAX_PARTITIONS);
+    }
+
+    #[test]
+    fn scan_filter_plan_is_a_simple_pipeline() {
+        let plan = LogicalNode::get("big").filter("v > 1", 0.1, 0.1).output("o");
+        let (root, stats) = enumerate_best(&plan);
+        assert_eq!(root.kind, PhysicalOpKind::Output);
+        assert_eq!(root.children[0].kind, PhysicalOpKind::Filter);
+        assert_eq!(root.children[0].children[0].kind, PhysicalOpKind::Extract);
+        // Extract's stored partition count propagates up the stage.
+        assert_eq!(root.partition_count, 120);
+        assert!(stats.model_invocations > 0);
+    }
+
+    #[test]
+    fn aggregation_inserts_exchange_partitioned_on_group_keys() {
+        let plan = LogicalNode::get("big")
+            .aggregate(vec!["k".into()], 0.01, 0.01)
+            .output("o");
+        let (root, _) = enumerate_best(&plan);
+        // Somewhere in the plan there must be an Exchange partitioned on "k".
+        let mut found_exchange = false;
+        root.visit(&mut |n| {
+            if n.kind == PhysicalOpKind::Exchange {
+                found_exchange = true;
+                assert_eq!(n.partitioned_on, vec!["k".to_string()]);
+            }
+        });
+        assert!(found_exchange);
+        // The chosen aggregate is either hash or stream based.
+        let agg_count = root
+            .collect()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    PhysicalOpKind::HashAggregate | PhysicalOpKind::StreamAggregate
+                )
+            })
+            .count();
+        assert_eq!(agg_count, 1);
+    }
+
+    #[test]
+    fn join_gets_both_sides_partitioned_on_the_key() {
+        let plan = LogicalNode::get("big")
+            .join(LogicalNode::get("small"), vec!["k".into()], 1.0, 1.0)
+            .output("o");
+        let (root, _) = enumerate_best(&plan);
+        let join = root
+            .collect()
+            .into_iter()
+            .find(|n| matches!(n.kind, PhysicalOpKind::HashJoin | PhysicalOpKind::MergeJoin))
+            .expect("a join implementation must be chosen")
+            .clone();
+        assert_eq!(join.partitioned_on, vec!["k".to_string()]);
+        for child in &join.children {
+            // Each join input is either an exchange on the key or sorted+exchanged.
+            let has_exchange = child.kind == PhysicalOpKind::Exchange
+                || child
+                    .collect()
+                    .iter()
+                    .any(|n| n.kind == PhysicalOpKind::Exchange);
+            assert!(has_exchange);
+        }
+    }
+
+    #[test]
+    fn consecutive_aggregations_on_same_key_skip_second_exchange() {
+        // agg(k) then agg(k) again: the second aggregate's input is already
+        // partitioned on k, so no second exchange is needed.
+        let plan = LogicalNode::get("big")
+            .aggregate(vec!["k".into()], 0.05, 0.05)
+            .aggregate(vec!["k".into()], 0.5, 0.5)
+            .output("o");
+        let (root, _) = enumerate_best(&plan);
+        let exchanges = root
+            .collect()
+            .iter()
+            .filter(|n| n.kind == PhysicalOpKind::Exchange)
+            .count();
+        assert_eq!(exchanges, 1, "only the first aggregation repartitions");
+    }
+
+    #[test]
+    fn scalar_aggregate_collapses_to_one_partition() {
+        let plan = LogicalNode::get("small")
+            .aggregate(vec![], 1e-6, 1e-6)
+            .output("o");
+        let (root, _) = enumerate_best(&plan);
+        let agg = root
+            .collect()
+            .into_iter()
+            .find(|n| {
+                matches!(
+                    n.kind,
+                    PhysicalOpKind::HashAggregate | PhysicalOpKind::StreamAggregate
+                )
+            })
+            .unwrap()
+            .clone();
+        assert_eq!(agg.partition_count, 1);
+    }
+
+    #[test]
+    fn perfect_cardinality_mode_copies_actuals_into_estimates() {
+        let plan = LogicalNode::get("big").filter("sel", 0.5, 0.01).output("o");
+        let model = HeuristicCostModel::default_model();
+        let cat = catalog();
+        let m = meta();
+        let mut e = Enumerator::new(&model, &cat, &m, true, true);
+        let alts = e.enumerate(&plan).unwrap();
+        let filter = alts[0]
+            .node
+            .collect()
+            .into_iter()
+            .find(|n| n.kind == PhysicalOpKind::Filter)
+            .unwrap()
+            .clone();
+        assert!((filter.est.output_cardinality - filter.act.output_cardinality).abs() < 1e-6);
+    }
+}

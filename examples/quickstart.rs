@@ -1,0 +1,87 @@
+//! Quickstart: the full Cleo loop on a small synthetic cluster.
+//!
+//! 1. Generate a recurring/ad-hoc workload for one cluster.
+//! 2. Optimize and "execute" it with the default cost model (collecting telemetry).
+//! 3. Train Cleo's learned cost models from the telemetry.
+//! 4. Compare prediction quality, then re-optimize with the learned models and
+//!    resource-aware planning and compare runtimes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cleo::core::{pipeline, LearnedCostModel, TrainerConfig};
+use cleo::engine::exec::{Simulator, SimulatorConfig};
+use cleo::engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo::engine::{ClusterId, DayIndex};
+use cleo::optimizer::{HeuristicCostModel, OptimizerConfig};
+
+fn main() {
+    // 1. A small synthetic cluster: recurring templates + ad-hoc jobs over 3 days.
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 3);
+    println!(
+        "generated {} jobs from {} recurring templates",
+        workload.jobs.len(),
+        workload.templates.len()
+    );
+
+    // 2. Execute everything with the default (hand-written) cost model.
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+    let jobs: Vec<_> = workload.jobs.iter().collect();
+    let telemetry = pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator)
+        .expect("execution");
+    let train_log = telemetry.slice_days(DayIndex(0), DayIndex(1));
+    let test_log = telemetry.slice_days(DayIndex(2), DayIndex(2));
+
+    // 3. Train the learned cost models on days 0-1.
+    let predictor = pipeline::train_predictor(&train_log, TrainerConfig::default()).expect("train");
+    println!("trained {} specialised models", predictor.model_count());
+
+    // 4a. Prediction quality on the held-out day.
+    let default_eval = pipeline::evaluate_cost_model(&default_model, &test_log);
+    println!(
+        "default cost model : correlation {:.2}, median error {:.0}%",
+        default_eval.correlation, default_eval.median_error_pct
+    );
+    for eval in pipeline::evaluate_predictor(&predictor, &test_log) {
+        println!(
+            "{:<18}: correlation {:.2}, median error {:>5.1}%, coverage {:>4.0}%",
+            eval.name,
+            eval.correlation,
+            eval.median_error_pct,
+            eval.coverage * 100.0
+        );
+    }
+
+    // 4b. Re-optimize the test day with the learned models + resource-aware planning.
+    let day2_jobs: Vec<_> = workload
+        .jobs
+        .iter()
+        .filter(|j| j.meta.day == DayIndex(2))
+        .collect();
+    let baseline =
+        pipeline::run_jobs(&day2_jobs, &default_model, OptimizerConfig::default(), &simulator)
+            .expect("baseline");
+    let learned = LearnedCostModel::new(predictor);
+    let improved = pipeline::run_jobs(
+        &day2_jobs,
+        &learned,
+        OptimizerConfig::resource_aware(),
+        &simulator,
+    )
+    .expect("learned run");
+    let comparisons = pipeline::compare_runs(&baseline, &improved);
+    let changed = comparisons.iter().filter(|c| c.plan_changed).count();
+    let better = comparisons
+        .iter()
+        .filter(|c| c.plan_changed && c.latency_improvement_pct() > 0.0)
+        .count();
+    println!(
+        "\nplans changed for {changed}/{} jobs; {better} of them improved latency",
+        comparisons.len()
+    );
+    println!(
+        "total processing time: {:.0} container-seconds (default) vs {:.0} (CLEO)",
+        baseline.total_cpu_seconds(),
+        improved.total_cpu_seconds()
+    );
+}

@@ -1,0 +1,77 @@
+//! Resource-aware planning scenario (Sections 5.2–5.3): show how partition counts are
+//! chosen per stage, and compare the exploration strategies (none / sampling /
+//! analytical) in both plan quality and model look-ups.
+//!
+//! Run with: `cargo run --release --example resource_planning`
+
+use cleo::core::{pipeline, LearnedCostModel, TrainerConfig};
+use cleo::engine::exec::{Simulator, SimulatorConfig};
+use cleo::engine::stage::build_stage_graph;
+use cleo::engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo::engine::{ClusterId, DayIndex, PhysicalOpKind};
+use cleo::optimizer::{
+    HeuristicCostModel, Optimizer, OptimizerConfig, PartitionExploration,
+};
+
+fn main() {
+    // Telemetry + learned models from a small synthetic cluster.
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+    let jobs: Vec<_> = workload.jobs.iter().collect();
+    let telemetry =
+        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator)
+            .expect("telemetry");
+    let predictor =
+        pipeline::train_predictor(&telemetry, TrainerConfig::default()).expect("train");
+    let learned = LearnedCostModel::new(predictor);
+
+    // Pick one job from the last day and optimize it under different strategies.
+    let job = workload
+        .jobs
+        .iter()
+        .filter(|j| j.meta.day == DayIndex(1))
+        .max_by_key(|j| j.plan.node_count())
+        .expect("a job");
+    println!("job: {} ({} logical operators)\n", job.meta.name, job.plan.node_count());
+
+    let strategies: Vec<(&str, OptimizerConfig)> = vec![
+        ("default heuristics (no exploration)", OptimizerConfig::default()),
+        (
+            "learned + geometric sampling",
+            OptimizerConfig {
+                resource_planning: true,
+                partition_exploration: PartitionExploration::Geometric { skip: 2.0 },
+                ..OptimizerConfig::default()
+            },
+        ),
+        ("learned + analytical", OptimizerConfig::resource_aware()),
+    ];
+
+    for (name, config) in strategies {
+        let optimized = Optimizer::new(&learned, config).optimize(job).expect("optimize");
+        let run = simulator.run(&optimized.plan);
+        let stages = build_stage_graph(&optimized.plan);
+        let exchange_partitions: Vec<usize> = optimized
+            .plan
+            .operators()
+            .iter()
+            .filter(|o| o.kind == PhysicalOpKind::Exchange)
+            .map(|o| o.partition_count)
+            .collect();
+        println!("strategy: {name}");
+        println!(
+            "  stages: {}, exchange partition counts: {:?}",
+            stages.len(),
+            exchange_partitions
+        );
+        println!(
+            "  simulated latency: {:.1}s, total processing time: {:.0} container-seconds",
+            run.job_latency, run.total_cpu_seconds
+        );
+        println!(
+            "  cost-model invocations during planning: {}\n",
+            optimized.stats.model_invocations
+        );
+    }
+}

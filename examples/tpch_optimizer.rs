@@ -1,0 +1,88 @@
+//! TPC-H scenario (Section 6.6.2): train Cleo on parameter-varied runs of the 22
+//! TPC-H queries, then re-optimize them with the learned cost models and
+//! resource-aware planning and report the per-query latency / processing-time change.
+//!
+//! Run with: `cargo run --release --example tpch_optimizer`
+
+use cleo::core::{pipeline, LearnedCostModel, TrainerConfig};
+use cleo::engine::exec::{Simulator, SimulatorConfig};
+use cleo::engine::workload::tpch::{all_queries, tpch_job, TpchParams};
+use cleo::engine::workload::JobSpec;
+use cleo::engine::ClusterId;
+use cleo::optimizer::{HeuristicCostModel, OptimizerConfig};
+
+fn main() {
+    let scale_factor = 10.0;
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+
+    // Training: every query several times with random parameters (the paper runs each
+    // query 10 times at SF1000; we use 6 runs at a smaller scale factor).
+    let mut rng = cleo::common::rng::DetRng::new(0xE7C);
+    let training_jobs: Vec<JobSpec> = all_queries()
+        .into_iter()
+        .flat_map(|q| {
+            (0..6)
+                .map(|run| tpch_job(q, run, scale_factor, &TpchParams::draw(&mut rng), ClusterId(0)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let training_refs: Vec<&JobSpec> = training_jobs.iter().collect();
+    let train_log = pipeline::run_jobs(
+        &training_refs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .expect("training runs");
+    let predictor = pipeline::train_predictor(&train_log, TrainerConfig::default()).expect("train");
+    println!(
+        "trained {} models from {} TPC-H runs",
+        predictor.model_count(),
+        train_log.len()
+    );
+
+    // Evaluation: reference parameters, default plans vs learned + resource-aware plans.
+    let eval_jobs: Vec<JobSpec> = all_queries()
+        .into_iter()
+        .map(|q| tpch_job(q, 100, scale_factor, &TpchParams::reference(), ClusterId(0)))
+        .collect();
+    let eval_refs: Vec<&JobSpec> = eval_jobs.iter().collect();
+    let baseline = pipeline::run_jobs(
+        &eval_refs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .expect("baseline");
+    let learned = LearnedCostModel::new(predictor);
+    let improved = pipeline::run_jobs(
+        &eval_refs,
+        &learned,
+        OptimizerConfig::resource_aware(),
+        &simulator,
+    )
+    .expect("learned plans");
+
+    println!("\nquery  plan-changed  latency-improvement  processing-time-improvement");
+    for (q, c) in all_queries()
+        .iter()
+        .zip(pipeline::compare_runs(&baseline, &improved))
+    {
+        println!(
+            "Q{:<5} {:<13} {:>8.1}%            {:>8.1}%",
+            q,
+            if c.plan_changed { "yes" } else { "no" },
+            c.latency_improvement_pct(),
+            c.cpu_improvement_pct()
+        );
+    }
+    println!(
+        "\ncumulative latency: {:.0}s (default) vs {:.0}s (CLEO); \
+         total processing time: {:.0} vs {:.0} container-seconds",
+        baseline.total_latency(),
+        improved.total_latency(),
+        baseline.total_cpu_seconds(),
+        improved.total_cpu_seconds()
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the Cleo reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream users can
+//! depend on a single `cleo` crate:
+//!
+//! * [`common`] — statistics, RNG, hashing, and output helpers,
+//! * [`mlkit`] — the from-scratch ML toolkit,
+//! * [`engine`] — the SCOPE-like query processing substrate and workload generators,
+//! * [`optimizer`] — the Cascades-style query optimizer,
+//! * [`core`] — the Cleo learned cost models and optimizer integration.
+
+pub use cleo_common as common;
+pub use cleo_core as core;
+pub use cleo_engine as engine;
+pub use cleo_mlkit as mlkit;
+pub use cleo_optimizer as optimizer;

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full Cleo loop over the public `cleo` facade.
+
+use cleo::core::{pipeline, LearnedCostModel, ModelFamily, TrainerConfig};
+use cleo::engine::exec::{Simulator, SimulatorConfig};
+use cleo::engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo::engine::workload::tpch::{all_queries, tpch_job, TpchParams};
+use cleo::engine::workload::JobSpec;
+use cleo::engine::{ClusterId, DayIndex};
+use cleo::optimizer::{CostModel, HeuristicCostModel, Optimizer, OptimizerConfig};
+
+/// The headline claim, end to end: learned cost models are far more accurate and far
+/// better correlated with actual runtimes than the default cost model, at full
+/// workload coverage.
+#[test]
+fn learned_models_outperform_default_cost_model_end_to_end() {
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(1)), 3);
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+    let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
+    let telemetry =
+        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+
+    let train = telemetry.slice_days(DayIndex(0), DayIndex(1));
+    let test = telemetry.slice_days(DayIndex(2), DayIndex(2));
+    let predictor = pipeline::train_predictor(&train, TrainerConfig::default()).unwrap();
+
+    let default_eval = pipeline::evaluate_cost_model(&default_model, &test);
+    let evals = pipeline::evaluate_predictor(&predictor, &test);
+    let combined = evals.iter().find(|e| e.name == "Combined").unwrap();
+
+    assert!(combined.correlation > 0.7, "combined corr {}", combined.correlation);
+    assert!(
+        combined.correlation > default_eval.correlation,
+        "combined {} vs default {}",
+        combined.correlation,
+        default_eval.correlation
+    );
+    assert!(
+        combined.median_error_pct * 1.5 < default_eval.median_error_pct,
+        "combined {}% vs default {}%",
+        combined.median_error_pct,
+        default_eval.median_error_pct
+    );
+    assert!((combined.coverage - 1.0).abs() < 1e-9);
+
+    // Accuracy/coverage trade-off across the individual families (Table 5's shape).
+    let by_name = |n: &str| evals.iter().find(|e| e.name == n).unwrap();
+    let subgraph = by_name(ModelFamily::OpSubgraph.name());
+    let operator = by_name(ModelFamily::Operator.name());
+    assert!(subgraph.coverage < operator.coverage);
+    assert!(subgraph.median_error_pct <= operator.median_error_pct + 5.0);
+}
+
+/// Resource-aware planning with learned models produces complete, stage-consistent
+/// plans and changes partition counts relative to the default heuristics.
+#[test]
+fn resource_aware_replanning_produces_valid_plans() {
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(2)), 2);
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+    let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
+    let telemetry =
+        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+    let predictor = pipeline::train_predictor(&telemetry, TrainerConfig::default()).unwrap();
+    let learned = LearnedCostModel::new(predictor);
+
+    let optimizer = Optimizer::new(&learned, OptimizerConfig::resource_aware());
+    let mut changed_partitions = 0usize;
+    for job in workload.jobs.iter().take(20) {
+        let optimized = optimizer.optimize(job).unwrap();
+        let baseline = Optimizer::new(&default_model, OptimizerConfig::default())
+            .optimize(job)
+            .unwrap();
+        // Every stage has a single partition count.
+        let stages = cleo::engine::stage::build_stage_graph(&optimized.plan);
+        for stage in &stages.stages {
+            let counts: std::collections::HashSet<usize> = stage
+                .op_ids
+                .iter()
+                .filter_map(|id| optimized.plan.root.find(*id))
+                .map(|o| o.partition_count)
+                .collect();
+            assert_eq!(counts.len(), 1);
+        }
+        // Plans remain executable.
+        let run = simulator.run(&optimized.plan);
+        assert!(run.job_latency > 0.0);
+        if optimized
+            .plan
+            .operators()
+            .iter()
+            .zip(baseline.plan.operators().iter())
+            .any(|(a, b)| a.partition_count != b.partition_count)
+        {
+            changed_partitions += 1;
+        }
+    }
+    assert!(changed_partitions > 0, "resource-aware planning never changed a partition count");
+}
+
+/// The TPC-H workload runs end to end through optimizer, simulator, and training.
+#[test]
+fn tpch_end_to_end_round_trip() {
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+    let mut rng = cleo::common::rng::DetRng::new(9);
+    let jobs: Vec<JobSpec> = all_queries()
+        .into_iter()
+        .flat_map(|q| {
+            (0..2)
+                .map(|run| tpch_job(q, run, 1.0, &TpchParams::draw(&mut rng), ClusterId(0)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let refs: Vec<&JobSpec> = jobs.iter().collect();
+    let log =
+        pipeline::run_jobs(&refs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+    assert_eq!(log.len(), 44);
+    let predictor = pipeline::train_predictor(&log, TrainerConfig::default()).unwrap();
+    assert!(predictor.model_count() > 10);
+
+    // The learned model can cost every operator of every TPC-H plan.
+    let learned = LearnedCostModel::new(predictor);
+    for job in &log.jobs {
+        for op in job.plan.operators() {
+            let cost = learned.exclusive_cost(op, op.partition_count, &job.plan.meta);
+            assert!(cost.is_finite() && cost >= 0.0);
+        }
+    }
+}
+
+/// Determinism: the same seeds produce identical workloads, plans, and runtimes.
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let build = || {
+        let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(3)), 1);
+        let simulator = Simulator::new(SimulatorConfig::default());
+        let model = HeuristicCostModel::default_model();
+        let jobs: Vec<&JobSpec> = workload.jobs.iter().take(15).collect();
+        let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
+        (
+            log.total_latency(),
+            log.total_cpu_seconds(),
+            log.operator_sample_count(),
+        )
+    };
+    assert_eq!(build(), build());
+}
