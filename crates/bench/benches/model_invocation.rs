@@ -1,14 +1,13 @@
 //! Micro-benchmark: learned-model invocation latency vs. the default cost model
-//! (the per-operator overhead behind the ≤10% optimization-time increase of §6.6.3).
+//! (the per-operator overhead behind the ≤10% optimization-time increase of §6.6.3),
+//! plus the batched per-stage invocation path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use cleo_bench::ExperimentContext;
+use cleo_bench::BenchGroup;
 use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
 use cleo_optimizer::{CostModel, HeuristicCostModel};
 
-fn bench_model_invocation(c: &mut Criterion) {
-    let ctx = ExperimentContext::quick().expect("context");
+fn main() {
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let cluster = ctx.cluster(0);
     let predictor =
         pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train");
@@ -17,16 +16,24 @@ fn bench_model_invocation(c: &mut Criterion) {
     let job = &cluster.test_log.jobs[0];
     let node = job.plan.operators()[1].clone();
     let meta = job.plan.meta.clone();
+    let candidates: Vec<usize> = (0..64).map(|i| 1 + 4 * i).collect();
 
-    let mut group = c.benchmark_group("cost_model_invocation");
-    group.bench_function("default", |b| {
-        b.iter(|| default_model.exclusive_cost(&node, 64, &meta))
+    let mut group = BenchGroup::new("cost_model_invocation");
+    group.bench_function("default", || default_model.exclusive_cost(&node, 64, &meta));
+    group.bench_function("learned_combined", || {
+        learned.exclusive_cost(&node, 64, &meta)
     });
-    group.bench_function("learned_combined", |b| {
-        b.iter(|| learned.exclusive_cost(&node, 64, &meta))
+    group.bench_function("learned_one_by_one_64", || {
+        candidates
+            .iter()
+            .map(|&p| learned.exclusive_cost(&node, p, &meta))
+            .sum::<f64>()
+    });
+    group.bench_function("learned_batched_64", || {
+        learned
+            .exclusive_cost_batch(&node, &candidates, &meta)
+            .iter()
+            .sum::<f64>()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_model_invocation);
-criterion_main!(benches);

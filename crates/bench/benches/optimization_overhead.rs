@@ -1,14 +1,12 @@
 //! Micro-benchmark: end-to-end optimization time with the default cost model vs. the
 //! learned cost model with resource-aware planning (§6.6.3, Figure 19c).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use cleo_bench::ExperimentContext;
+use cleo_bench::BenchGroup;
 use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
 use cleo_optimizer::{HeuristicCostModel, Optimizer, OptimizerConfig};
 
-fn bench_optimization(c: &mut Criterion) {
-    let ctx = ExperimentContext::quick().expect("context");
+fn main() {
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let cluster = ctx.cluster(0);
     let predictor =
         pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train");
@@ -16,17 +14,14 @@ fn bench_optimization(c: &mut Criterion) {
     let default_model = HeuristicCostModel::default_model();
     let job = cluster.workload.jobs[0].clone();
 
-    let mut group = c.benchmark_group("optimization");
-    group.bench_function("default_cost_model", |b| {
+    let mut group = BenchGroup::new("optimization");
+    {
         let opt = Optimizer::new(&default_model, OptimizerConfig::default());
-        b.iter(|| opt.optimize(&job).unwrap())
-    });
-    group.bench_function("learned_resource_aware", |b| {
+        group.bench_function("default_cost_model", || opt.optimize(&job).unwrap());
+    }
+    {
         let opt = Optimizer::new(&learned, OptimizerConfig::resource_aware());
-        b.iter(|| opt.optimize(&job).unwrap())
-    });
+        group.bench_function("learned_resource_aware", || opt.optimize(&job).unwrap());
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench_optimization);
-criterion_main!(benches);

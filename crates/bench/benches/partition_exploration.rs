@@ -1,9 +1,7 @@
 //! Micro-benchmark: partition-exploration strategies (analytical vs sampling),
 //! the look-up cost behind Figures 8c and 17.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use cleo_bench::ExperimentContext;
+use cleo_bench::BenchGroup;
 use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
 use cleo_engine::stage::build_stage_graph;
 use cleo_engine::PhysicalOpKind;
@@ -11,8 +9,8 @@ use cleo_optimizer::{
     candidate_counts, explore_stage_analytical, explore_stage_sampling, PartitionExploration,
 };
 
-fn bench_partition_exploration(c: &mut Criterion) {
-    let ctx = ExperimentContext::quick().expect("context");
+fn main() {
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let cluster = ctx.cluster(0);
     let predictor =
         pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train");
@@ -34,9 +32,7 @@ fn bench_partition_exploration(c: &mut Criterion) {
     let stage = graph
         .stages
         .iter()
-        .find(|s| {
-            job.plan.root.find(s.partitioning_op).unwrap().kind == PhysicalOpKind::Exchange
-        })
+        .find(|s| job.plan.root.find(s.partitioning_op).unwrap().kind == PhysicalOpKind::Exchange)
         .expect("exchange stage");
     let ops: Vec<_> = stage
         .op_ids
@@ -45,21 +41,21 @@ fn bench_partition_exploration(c: &mut Criterion) {
         .collect();
     let meta = &job.plan.meta;
 
-    let mut group = c.benchmark_group("partition_exploration");
-    group.bench_function("analytical", |b| {
-        b.iter(|| explore_stage_analytical(&ops, &learned, meta, 2500))
+    let mut group = BenchGroup::new("partition_exploration");
+    group.bench_function("analytical", || {
+        explore_stage_analytical(&ops, &learned, meta, 2500)
     });
     for (name, strategy) in [
-        ("geometric_s2", PartitionExploration::Geometric { skip: 2.0 }),
+        (
+            "geometric_s2",
+            PartitionExploration::Geometric { skip: 2.0 },
+        ),
         ("uniform_32", PartitionExploration::Uniform { samples: 32 }),
     ] {
         let candidates = candidate_counts(strategy, 2500);
-        group.bench_function(name, |b| {
-            b.iter(|| explore_stage_sampling(&ops, &candidates, &learned, meta))
+        group.bench_function(name, || {
+            explore_stage_sampling(&ops, &candidates, &learned, meta)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_partition_exploration);
-criterion_main!(benches);

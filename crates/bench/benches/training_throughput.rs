@@ -1,31 +1,43 @@
 //! Micro-benchmark: model-training throughput (the "<45 minutes for 25K models"
 //! claim of §5.1, scaled to the reproduction's workload size).
+//!
+//! Compares the serial path (1 thread) against the parallel per-signature
+//! trainer at the machine's available parallelism.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
-use cleo_bench::ExperimentContext;
+use cleo_bench::BenchGroup;
 use cleo_core::{CleoTrainer, TrainerConfig};
 
-fn bench_training(c: &mut Criterion) {
-    let ctx = ExperimentContext::quick().expect("context");
+fn main() {
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let cluster = ctx.cluster(0);
     let samples = CleoTrainer::collect_samples(&cluster.train_log);
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let mut group = c.benchmark_group("training");
+    let mut group = BenchGroup::new("training");
     group.sample_size(10);
-    group.bench_function("full_predictor", |b| {
-        b.iter_batched(
-            || samples.clone(),
-            |s| {
-                CleoTrainer::new(TrainerConfig::default())
-                    .train_from_samples(s)
-                    .unwrap()
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_with_setup(
+        "full_predictor_serial",
+        || samples.clone(),
+        |s| {
+            let config = TrainerConfig {
+                threads: 1,
+                ..TrainerConfig::default()
+            };
+            CleoTrainer::new(config).train_from_samples(s).unwrap()
+        },
+    );
+    group.bench_with_setup(
+        format!("full_predictor_{n_threads}_threads"),
+        || samples.clone(),
+        |s| {
+            let config = TrainerConfig {
+                threads: n_threads,
+                ..TrainerConfig::default()
+            };
+            CleoTrainer::new(config).train_from_samples(s).unwrap()
+        },
+    );
     group.finish();
 }
-
-criterion_group!(benches, bench_training);
-criterion_main!(benches);

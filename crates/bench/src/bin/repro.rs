@@ -19,17 +19,16 @@ use cleo_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
-    let ids: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
 
     if ids.is_empty() {
         println!("Available experiments:");
         for id in ALL_EXPERIMENTS {
             println!("  {id}");
         }
-        println!("\nRun with: repro <id> [<id> ...] | all   (add --paper-scale for the larger workload)");
+        println!(
+            "\nRun with: repro <id> [<id> ...] | all   (add --paper-scale for the larger workload)"
+        );
         return;
     }
 
@@ -39,7 +38,11 @@ fn main() {
         ids.iter().map(|s| s.as_str()).collect()
     };
 
-    let scale = if paper_scale { Scale::PaperLike } else { Scale::Small };
+    let scale = if paper_scale {
+        Scale::PaperLike
+    } else {
+        Scale::Small
+    };
     eprintln!("building experiment context ({scale:?}, 3 days x 4 clusters)...");
     let ctx = match ExperimentContext::build(scale, 3) {
         Ok(ctx) => ctx,

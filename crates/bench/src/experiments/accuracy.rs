@@ -48,7 +48,15 @@ pub fn fig1(ctx: &ExperimentContext) -> Result<String> {
 
     let mut table = TextTable::new(
         "Figure 1: cost model accuracy (estimated/actual ratio distribution)",
-        &["Model", "Pearson", "MedianErr", "UnderEst", "Within2x", "MinRatio", "MaxRatio"],
+        &[
+            "Model",
+            "Pearson",
+            "MedianErr",
+            "UnderEst",
+            "Within2x",
+            "MinRatio",
+            "MaxRatio",
+        ],
     );
     for (name, model, perfect) in [
         ("Default", &default, false),
@@ -83,10 +91,8 @@ pub fn tab4(ctx: &ExperimentContext) -> Result<String> {
         "Table 4: ML algorithms for operator-subgraph models (5-fold CV, cluster 4)",
         &["Model", "Correlation", "Median Error"],
     );
-    let default_eval = pipeline::evaluate_cost_model(
-        &HeuristicCostModel::default_model(),
-        &cluster.train_log,
-    );
+    let default_eval =
+        pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.train_log);
     table.add_row(&vec![
         "Default".to_string(),
         fnum(default_eval.correlation, 2),
@@ -121,10 +127,8 @@ pub fn tab5(ctx: &ExperimentContext) -> Result<String> {
         "Table 5: performance of learned models w.r.t. actual runtimes (cluster 1, test day)",
         &["Model", "Correlation", "Median Error", "Coverage"],
     );
-    let default_eval = pipeline::evaluate_cost_model(
-        &HeuristicCostModel::default_model(),
-        &cluster.test_log,
-    );
+    let default_eval =
+        pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.test_log);
     table.add_row(&vec![
         "Default".to_string(),
         fnum(default_eval.correlation, 2),
@@ -149,7 +153,9 @@ pub fn tab6(ctx: &ExperimentContext) -> Result<String> {
     let test_samples = CleoTrainer::collect_samples(&cluster.test_log);
     // Meta-features: the individual model predictions plus cardinalities/partitions.
     let meta_features = |s: &cleo_core::OperatorSample| -> Vec<f64> {
-        let b = cluster.predictor.predict_from_parts(&s.signatures, &s.features);
+        let b = cluster
+            .predictor
+            .predict_from_parts(&s.signatures, &s.features);
         let i = s.features[0];
         let base = s.features[1];
         let c = s.features[2];
@@ -169,8 +175,17 @@ pub fn tab6(ctx: &ExperimentContext) -> Result<String> {
         ]
     };
     let meta_names: Vec<String> = vec![
-        "pred_sub", "has_sub", "pred_approx", "pred_input", "pred_op", "I", "B", "C", "I/P",
-        "C/P", "P",
+        "pred_sub",
+        "has_sub",
+        "pred_approx",
+        "pred_input",
+        "pred_op",
+        "I",
+        "B",
+        "C",
+        "I/P",
+        "C/P",
+        "P",
     ]
     .into_iter()
     .map(String::from)
@@ -186,10 +201,8 @@ pub fn tab6(ctx: &ExperimentContext) -> Result<String> {
         "Table 6: ML algorithms as the combined meta-learner (cluster 1)",
         &["Model", "Correlation", "Median Error"],
     );
-    let default_eval = pipeline::evaluate_cost_model(
-        &HeuristicCostModel::default_model(),
-        &cluster.test_log,
-    );
+    let default_eval =
+        pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.test_log);
     table.add_row(&vec![
         "Default".to_string(),
         fnum(default_eval.correlation, 2),
@@ -256,18 +269,24 @@ pub fn fig11(ctx: &ExperimentContext) -> Result<String> {
     );
     for kind in RegressorKind::all() {
         let mut cells = vec![kind.name().to_string()];
-        for family in [ModelFamily::OpSubgraph, ModelFamily::OpInput, ModelFamily::Operator] {
+        for family in [
+            ModelFamily::OpSubgraph,
+            ModelFamily::OpInput,
+            ModelFamily::Operator,
+        ] {
             let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
             for (i, s) in samples.iter().enumerate() {
-                groups.entry(s.signatures.for_family(family)).or_default().push(i);
+                groups
+                    .entry(s.signatures.for_family(family))
+                    .or_default()
+                    .push(i);
             }
             let mut preds = Vec::new();
             let mut acts = Vec::new();
             for idx in groups.values().filter(|g| g.len() >= 10).take(25) {
                 let rows: Vec<Vec<f64>> =
                     idx.iter().map(|&i| samples[i].features.clone()).collect();
-                let targets: Vec<f64> =
-                    idx.iter().map(|&i| samples[i].exclusive_seconds).collect();
+                let targets: Vec<f64> = idx.iter().map(|&i| samples[i].exclusive_seconds).collect();
                 let data = Dataset::from_rows(names.clone(), rows, targets)?;
                 if let Ok(cv) = kfold_cross_validate(&data, 5, 3, |fold| kind.build(fold as u64)) {
                     preds.extend(cv.predictions);
@@ -326,7 +345,14 @@ pub fn tab7(ctx: &ExperimentContext) -> Result<String> {
     let cluster = ctx.cluster(0);
     let mut table = TextTable::new(
         "Table 7: accuracy and coverage per learned model, all vs ad-hoc jobs (cluster 1)",
-        &["Jobs", "Model", "Correlation", "Median Error", "95%tile Error", "Coverage"],
+        &[
+            "Jobs",
+            "Model",
+            "Correlation",
+            "Median Error",
+            "95%tile Error",
+            "Coverage",
+        ],
     );
     for (label, log) in [
         ("All", cluster.test_log.clone()),
@@ -374,10 +400,8 @@ pub fn tab8(ctx: &ExperimentContext) -> Result<String> {
         ],
     );
     for (i, cluster) in ctx.clusters.iter().enumerate() {
-        let default_eval = pipeline::evaluate_cost_model(
-            &HeuristicCostModel::default_model(),
-            &cluster.test_log,
-        );
+        let default_eval =
+            pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.test_log);
         let all = pipeline::evaluate_predictor(&cluster.predictor, &cluster.test_log);
         let combined_all = all.iter().find(|e| e.name == "Combined").unwrap();
         let adhoc_log = cluster.test_log.filter_recurring(false);
@@ -412,13 +436,25 @@ pub fn fig14(ctx: &ExperimentContext) -> Result<String> {
     let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), days);
     let default_model = HeuristicCostModel::default_model();
     let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
-    let log = pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &ctx.simulator)?;
+    let log = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &ctx.simulator,
+    )?;
     let train = log.slice_days(DayIndex(0), DayIndex(1));
     let predictor = pipeline::train_predictor(&train, TrainerConfig::default())?;
 
     let mut table = TextTable::new(
         "Figure 14: robustness over increasing test-window distance (cluster 1 style workload)",
-        &["Days after training", "Model", "Coverage", "Median Err", "95% Err", "Correlation"],
+        &[
+            "Days after training",
+            "Model",
+            "Coverage",
+            "Median Err",
+            "95% Err",
+            "Correlation",
+        ],
     );
     for day in [2u32, 5, 9, 13, 15] {
         if day >= days {
@@ -480,8 +516,7 @@ pub fn fig15(ctx: &ExperimentContext) -> Result<String> {
             }
         });
     }
-    let default_eval =
-        pipeline::evaluate_cost_model(&default_model, &cluster.test_log);
+    let default_eval = pipeline::evaluate_cost_model(&default_model, &cluster.test_log);
     let cleo_eval = pipeline::evaluate_predictor(&cluster.predictor, &cluster.test_log)
         .into_iter()
         .find(|e| e.name == "Combined")
@@ -489,7 +524,15 @@ pub fn fig15(ctx: &ExperimentContext) -> Result<String> {
 
     let mut table = TextTable::new(
         "Figure 15: CLEO vs CardLearner (cluster 4)",
-        &["Model", "Pearson", "MedianErr", "UnderEst", "Within2x", "MinRatio", "MaxRatio"],
+        &[
+            "Model",
+            "Pearson",
+            "MedianErr",
+            "UnderEst",
+            "Within2x",
+            "MinRatio",
+            "MaxRatio",
+        ],
     );
     table.add_row(&cdf_row("Default", &default_eval.pairs));
     table.add_row(&cdf_row("Default + CardLearner", &cardlearner_pairs));

@@ -119,15 +119,15 @@ pub fn fig16(ctx: &ExperimentContext) -> Result<String> {
             if node.kind != cleo_engine::PhysicalOpKind::HashJoin {
                 continue;
             }
-            let has_join_below = node
-                .children
-                .iter()
-                .any(|c| c.collect().iter().any(|n| {
+            let has_join_below = node.children.iter().any(|c| {
+                c.collect().iter().any(|n| {
                     matches!(
                         n.kind,
-                        cleo_engine::PhysicalOpKind::HashJoin | cleo_engine::PhysicalOpKind::MergeJoin
+                        cleo_engine::PhysicalOpKind::HashJoin
+                            | cleo_engine::PhysicalOpKind::MergeJoin
                     )
-                }));
+                })
+            });
             let features = cleo_core::extract_features(node, node.partition_count, &job.plan.meta);
             if has_join_below {
                 over_joins.0.push(features);
@@ -139,7 +139,10 @@ pub fn fig16(ctx: &ExperimentContext) -> Result<String> {
         }
     }
     let mut out = String::new();
-    for (label, (rows, targets)) in [("Set 1: join over scans", over_scans), ("Set 2: join over joins", over_joins)] {
+    for (label, (rows, targets)) in [
+        ("Set 1: join over scans", over_scans),
+        ("Set 2: join over joins", over_joins),
+    ] {
         if rows.len() < 10 {
             out.push_str(&format!("{label}: not enough samples ({})\n", rows.len()));
             continue;
@@ -172,9 +175,32 @@ pub fn fig18(ctx: &ExperimentContext) -> Result<String> {
     // terms, inputs/params, products).
     let order: Vec<usize> = {
         let preferred = [
-            "C", "I", "L", "sqrt(C)", "P", "L*I", "IN", "PM1", "C/P", "I/P", "L*B", "I*C", "B*C",
-            "I*log(C)", "B/P", "sqrt(I)", "L*log(I)", "sqrt(I)/P", "L*log(B)", "L*log(C)",
-            "I*L/P", "C*L/P", "B*log(C)", "log(I)/P", "log(B)*log(C)", "log(I)*log(C)",
+            "C",
+            "I",
+            "L",
+            "sqrt(C)",
+            "P",
+            "L*I",
+            "IN",
+            "PM1",
+            "C/P",
+            "I/P",
+            "L*B",
+            "I*C",
+            "B*C",
+            "I*log(C)",
+            "B/P",
+            "sqrt(I)",
+            "L*log(I)",
+            "sqrt(I)/P",
+            "L*log(B)",
+            "L*log(C)",
+            "I*L/P",
+            "C*L/P",
+            "B*log(C)",
+            "log(I)/P",
+            "log(B)*log(C)",
+            "log(I)*log(C)",
         ];
         preferred
             .iter()

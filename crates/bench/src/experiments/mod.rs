@@ -18,9 +18,32 @@ use crate::context::ExperimentContext;
 
 /// All experiment ids, in the order they appear in the paper.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "tab1", "fig5", "fig6", "tab4", "tab5", "tab6", "fig7", "fig8c",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "tab7", "tab8", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "overheads",
+    "fig1",
+    "fig2",
+    "fig3",
+    "tab1",
+    "fig5",
+    "fig6",
+    "tab4",
+    "tab5",
+    "tab6",
+    "fig7",
+    "fig8c",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "tab7",
+    "tab8",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "overheads",
 ];
 
 /// Run one experiment by id.

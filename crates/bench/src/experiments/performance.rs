@@ -32,8 +32,12 @@ pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
         .iter()
         .filter(|j| j.meta.day == test_day)
         .collect();
-    let baseline =
-        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &ctx.simulator)?;
+    let baseline = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &ctx.simulator,
+    )?;
     let learned_log = pipeline::run_jobs(
         &jobs,
         &learned,
@@ -47,7 +51,13 @@ pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
 
     let mut table = TextTable::new(
         "Figure 19: production jobs with changed plans (default vs CLEO)",
-        &["Job", "Latency default (s)", "Latency CLEO (s)", "Latency gain %", "CPU gain %"],
+        &[
+            "Job",
+            "Latency default (s)",
+            "Latency CLEO (s)",
+            "Latency gain %",
+            "CPU gain %",
+        ],
     );
     for c in &selected {
         table.add_row(&vec![
@@ -62,7 +72,10 @@ pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
         .iter()
         .filter(|c| c.latency_improvement_pct() > 0.0)
         .count();
-    let lat_gains: Vec<f64> = selected.iter().map(|c| c.latency_improvement_pct()).collect();
+    let lat_gains: Vec<f64> = selected
+        .iter()
+        .map(|c| c.latency_improvement_pct())
+        .collect();
     let cpu_gains: Vec<f64> = selected.iter().map(|c| c.cpu_improvement_pct()).collect();
     let mut out = table.render();
     out.push_str(&format!(
@@ -141,7 +154,9 @@ pub fn fig20(ctx: &ExperimentContext) -> Result<String> {
         ]);
     }
     let mut out = table.render();
-    out.push_str(&format!("{changed}/22 TPC-H queries changed plans under CLEO\n"));
+    out.push_str(&format!(
+        "{changed}/22 TPC-H queries changed plans under CLEO\n"
+    ));
     Ok(out)
 }
 
@@ -187,10 +202,7 @@ pub fn overheads(ctx: &ExperimentContext) -> Result<String> {
         format!("{}", cluster.train_log.operator_sample_count()),
     ]);
     table.add_row(&vec!["Models learned".into(), format!("{model_count}")]);
-    table.add_row(&vec![
-        "Training time (s)".into(),
-        fnum(training_secs, 2),
-    ]);
+    table.add_row(&vec!["Training time (s)".into(), fnum(training_secs, 2)]);
     table.add_row(&vec![
         "Avg optimization time, default (ms/job)".into(),
         fnum(default_micros as f64 / 1000.0 / jobs.len() as f64, 3),

@@ -19,7 +19,13 @@ use crate::context::ExperimentContext;
 pub fn fig8c(_ctx: &ExperimentContext) -> Result<String> {
     let mut table = TextTable::new(
         "Figure 8c: model look-ups for partition exploration",
-        &["#Operators", "Exhaustive", "Analytical", "Geometric(s=0.5)", "Geometric(s=5)"],
+        &[
+            "#Operators",
+            "Exhaustive",
+            "Analytical",
+            "Geometric(s=0.5)",
+            "Geometric(s=5)",
+        ],
     );
     for m in [1usize, 5, 10, 20, 30, 40] {
         table.add_row(&vec![
@@ -40,8 +46,10 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
     let cluster = ctx.cluster(0);
     // Re-train a predictor and wrap it as the learned cost model (cloning the trained
     // one is not possible because stores are not Clone; training is cheap here).
-    let predictor =
-        cleo_core::pipeline::train_predictor(&cluster.train_log, cleo_core::TrainerConfig::default())?;
+    let predictor = cleo_core::pipeline::train_predictor(
+        &cluster.train_log,
+        cleo_core::TrainerConfig::default(),
+    )?;
     let learned = LearnedCostModel::new(predictor);
     let max_partitions = 1000usize;
 
@@ -73,7 +81,11 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
     let oracle_cost = |ops: &[cleo_engine::PhysicalNode], meta: &cleo_engine::JobMeta| -> f64 {
         (1..=max_partitions)
             .step_by(1)
-            .map(|p| ops.iter().map(|o| learned.exclusive_cost(o, p, meta)).sum::<f64>())
+            .map(|p| {
+                ops.iter()
+                    .map(|o| learned.exclusive_cost(o, p, meta))
+                    .sum::<f64>()
+            })
             .fold(f64::INFINITY, f64::min)
     };
 
@@ -95,7 +107,10 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
                 let refs: Vec<&cleo_engine::PhysicalNode> = ops.iter().collect();
                 let candidates = match name {
                     "Random" => candidate_counts(
-                        PartitionExploration::Random { samples: n, seed: 11 },
+                        PartitionExploration::Random {
+                            samples: n,
+                            seed: 11,
+                        },
                         max_partitions,
                     ),
                     "Uniform" => candidate_counts(
@@ -119,9 +134,7 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
                         best
                     }
                 };
-                if let Some(outcome) =
-                    explore_stage_sampling(&refs, &candidates, &learned, meta)
-                {
+                if let Some(outcome) = explore_stage_sampling(&refs, &candidates, &learned, meta) {
                     let oracle = oracle_cost(ops, meta);
                     gaps.push((outcome.stage_cost - oracle).max(0.0) / oracle.max(1e-9) * 100.0);
                     lookups += outcome.model_invocations;

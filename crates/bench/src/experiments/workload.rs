@@ -50,7 +50,10 @@ pub fn fig2(ctx: &ExperimentContext) -> Result<String> {
         "Figure 2: 150 instances of one recurring job",
         &["Metric", "Min", "Median", "Max", "Max/Min"],
     );
-    for (name, xs) in [("Total input (GiB)", &input_gib), ("Latency (s)", &latencies)] {
+    for (name, xs) in [
+        ("Total input (GiB)", &input_gib),
+        ("Latency (s)", &latencies),
+    ] {
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
         table.add_row(&vec![
@@ -121,11 +124,7 @@ pub fn fig9(ctx: &ExperimentContext) -> Result<String> {
                     }
                 });
             }
-            let common: usize = counts
-                .values()
-                .filter(|&&c| c > 1)
-                .map(|&c| c)
-                .sum();
+            let common: usize = counts.values().filter(|&&c| c > 1).map(|&c| c).sum();
             table.add_row(&vec![
                 format!("Cluster{}", i + 1),
                 format!("Day{}", day + 1),
@@ -145,7 +144,13 @@ pub fn fig9(ctx: &ExperimentContext) -> Result<String> {
 pub fn fig10(ctx: &ExperimentContext) -> Result<String> {
     let mut table = TextTable::new(
         "Figure 10: day-over-day workload change (%)",
-        &["Cluster", "Transition", "Total Jobs", "Recurring Jobs", "Recurring Templates"],
+        &[
+            "Cluster",
+            "Transition",
+            "Total Jobs",
+            "Recurring Jobs",
+            "Recurring Templates",
+        ],
     );
     let pct = |a: usize, b: usize| -> String {
         if a == 0 {

@@ -3,11 +3,15 @@
 //! * [`context`] builds the shared workload/telemetry/predictor state,
 //! * [`experiments`] contains one runner per table/figure of the paper,
 //! * the `repro` binary dispatches them (`cargo run -p cleo-bench --release --bin repro -- tab5`),
-//! * `benches/` holds the criterion micro-benchmarks (model invocation latency,
+//! * [`microbench`] is the in-tree timing harness (the workspace builds offline
+//!   with no external crates, so there is no criterion),
+//! * `benches/` holds the micro-benchmarks (model invocation latency,
 //!   optimization overhead, training throughput, partition exploration).
 
 pub mod context;
 pub mod experiments;
+pub mod microbench;
 
 pub use context::{ClusterData, ExperimentContext, Scale};
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
+pub use microbench::BenchGroup;

@@ -1,0 +1,126 @@
+//! A tiny criterion-style micro-benchmark harness.
+//!
+//! The workspace builds fully offline with no external crates, so the
+//! `benches/` targets use this harness (with `harness = false` in the
+//! manifest) instead of criterion.  It keeps the parts the experiments need:
+//! named groups, warm-up, repeated timed samples, and median/mean reporting.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// A named group of benchmarks, printed as a block.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    warmup: usize,
+    results: Vec<(String, Sample)>,
+}
+
+impl BenchGroup {
+    /// Create a group with default sampling (20 timed samples, 3 warm-up runs).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            sample_size: 20,
+            warmup: 3,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f`, which is run once per sample.
+    pub fn bench_function<R>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut() -> R,
+    ) -> Sample {
+        self.bench_with_setup(name, || (), |()| f())
+    }
+
+    /// Like [`BenchGroup::bench_function`] but rebuilds the input for every
+    /// sample with `setup` (the setup time is not counted), for routines that
+    /// consume their input.
+    pub fn bench_with_setup<T, R>(
+        &mut self,
+        name: impl Into<String>,
+        mut setup: impl FnMut() -> T,
+        mut f: impl FnMut(T) -> R,
+    ) -> Sample {
+        for _ in 0..self.warmup {
+            let input = setup();
+            black_box(f(input));
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let sample = Sample {
+            median,
+            mean,
+            samples: times.len(),
+        };
+        self.results.push((name.into(), sample));
+        sample
+    }
+
+    /// Print the group's results as an aligned table.
+    pub fn finish(&self) {
+        println!("\n== {} ==", self.name);
+        let width = self
+            .results
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for (name, s) in &self.results {
+            println!(
+                "  {name:<width$}  median {:>12?}  mean {:>12?}  ({} samples)",
+                s.median, s.mean, s.samples
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let mut g = BenchGroup::new("smoke");
+        g.sample_size(5);
+        let s = g.bench_function("sum", || (0..1000u64).sum::<u64>());
+        assert!(s.median > Duration::ZERO);
+        assert_eq!(s.samples, 5);
+        let s2 = g.bench_with_setup(
+            "consume",
+            || vec![1u64; 100],
+            |v| v.into_iter().sum::<u64>(),
+        );
+        assert_eq!(s2.samples, 5);
+        g.finish();
+    }
+}

@@ -74,13 +74,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            CleoError::Config("x".into()),
-            CleoError::Config("x".into())
-        );
-        assert_ne!(
-            CleoError::Config("x".into()),
-            CleoError::Config("y".into())
-        );
+        assert_eq!(CleoError::Config("x".into()), CleoError::Config("x".into()));
+        assert_ne!(CleoError::Config("x".into()), CleoError::Config("y".into()));
     }
 }

@@ -2,48 +2,75 @@
 //!
 //! Every stochastic component in the reproduction (workload generation, cloud
 //! variance noise, model subsampling, train/test splits) draws from a seeded
-//! generator so that experiment runs are exactly reproducible.  The helpers here
-//! wrap [`rand::rngs::StdRng`] and add the handful of distributions the paper's
-//! simulation needs (log-normal noise for cloud variance, Zipf-like skew for data
-//! distributions, Poisson for ad-hoc job arrivals).
+//! generator so that experiment runs are exactly reproducible.  The generator is
+//! an in-tree xoshiro256++ (public-domain algorithm by Blackman & Vigna) seeded
+//! through splitmix64 — the workspace builds offline with zero external crates —
+//! plus the handful of distributions the paper's simulation needs (log-normal
+//! noise for cloud variance, Zipf-like skew for data distributions, Poisson for
+//! ad-hoc job arrivals).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// splitmix64 step: the recommended seeder for xoshiro, also used to decorrelate
+/// derived stream labels.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic RNG with the distribution helpers used across the workspace.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
     }
 
     /// Derive a child generator from this one and a stream label.  Used to give each
-    /// cluster / day / job its own independent but reproducible stream.
+    /// cluster / day / job its own independent but reproducible stream.  Does not
+    /// advance this generator.
     pub fn derive(&self, label: u64) -> Self {
         // Mix the label with splitmix64 so that nearby labels do not correlate.
-        let mut z = label.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        let mut sm = label;
+        let z = splitmix64(&mut sm);
         DetRng::new(self.seed_material() ^ z)
     }
 
     fn seed_material(&self) -> u64 {
-        // StdRng does not expose its state; clone and draw one value as material.
-        let mut c = self.inner.clone();
-        c.gen::<u64>()
+        // Peek at the next output without advancing the stream.
+        self.clone().next_u64()
+    }
+
+    /// The raw xoshiro256++ step: uniform u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform f64 in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard uniform double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform f64 in `[lo, hi)`.
@@ -54,14 +81,21 @@ impl DetRng {
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
-        debug_assert!(hi >= lo);
-        self.inner.gen_range(lo..=hi)
+        assert!(hi >= lo, "int_range: empty range [{lo}, {hi}]");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Widening-multiply bounded draw (Lemire, without the rejection step: the
+        // residual bias over spans ≪ 2^64 is immaterial for simulation use).
+        let m = (self.next_u64() as u128) * ((span + 1) as u128);
+        lo + (m >> 64) as u64
     }
 
     /// Uniform usize in `[0, n)`, for index selection. `n` must be > 0.
     pub fn index(&mut self, n: usize) -> usize {
-        debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "index: empty range");
+        self.int_range(0, (n - 1) as u64) as usize
     }
 
     /// Bernoulli draw with probability `p`.
@@ -190,6 +224,14 @@ mod tests {
     }
 
     #[test]
+    fn derive_does_not_advance_parent() {
+        let mut a = DetRng::new(5);
+        let mut b = DetRng::new(5);
+        let _ = a.derive(9);
+        assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+    }
+
+    #[test]
     fn uniform_respects_bounds() {
         let mut r = DetRng::new(3);
         for _ in 0..1000 {
@@ -198,6 +240,16 @@ mod tests {
             let i = r.int_range(10, 20);
             assert!((10..=20).contains(&i));
         }
+    }
+
+    #[test]
+    fn int_range_covers_every_value() {
+        let mut r = DetRng::new(31);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.int_range(0, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -1,82 +1,129 @@
-//! Property-based tests for the statistics, CDF, and hashing primitives.
+//! Property-style tests for the statistics, CDF, and hashing primitives.
+//!
+//! Inputs are generated from the workspace's own [`DetRng`] (the build is
+//! offline and dependency-free, so there is no proptest); each test runs the
+//! property over many seeded random cases, which keeps failures reproducible.
 
 use cleo_common::cdf::RatioCdf;
 use cleo_common::hash::{combine_ordered, combine_unordered, hash_str};
+use cleo_common::rng::DetRng;
 use cleo_common::stats;
-use proptest::prelude::*;
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.001f64..1e9, 1..max_len)
+const CASES: usize = 64;
+
+fn finite_vec(rng: &mut DetRng, max_len: usize) -> Vec<f64> {
+    let len = rng.index(max_len.saturating_sub(1)) + 1;
+    (0..len).map(|_| rng.uniform(0.001, 1e9)).collect()
 }
 
-proptest! {
-    #[test]
-    fn pearson_is_bounded_and_symmetric(xs in finite_vec(64), ys in finite_vec(64)) {
+fn ident(rng: &mut DetRng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let len = rng.index(24) + 1;
+    (0..len)
+        .map(|_| ALPHABET[rng.index(ALPHABET.len())] as char)
+        .collect()
+}
+
+#[test]
+fn pearson_is_bounded_and_symmetric() {
+    let mut rng = DetRng::new(101);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 64);
+        let ys = finite_vec(&mut rng, 64);
         let n = xs.len().min(ys.len());
         let a = &xs[..n];
         let b = &ys[..n];
         let r = stats::pearson(a, b);
-        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
-        prop_assert!((r - stats::pearson(b, a)).abs() < 1e-9);
+        assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+        assert!((r - stats::pearson(b, a)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn pearson_of_a_series_with_itself_is_one_or_zero(xs in finite_vec(64)) {
+#[test]
+fn pearson_of_a_series_with_itself_is_one_or_zero() {
+    let mut rng = DetRng::new(102);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 64);
         let r = stats::pearson(&xs, &xs);
         // 1.0 for non-constant series, 0.0 (by convention) for constant/short ones.
-        prop_assert!((r - 1.0).abs() < 1e-6 || r == 0.0);
+        assert!((r - 1.0).abs() < 1e-6 || r == 0.0);
     }
+}
 
-    #[test]
-    fn quantiles_stay_within_range_and_are_monotone(xs in finite_vec(128), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+#[test]
+fn quantiles_stay_within_range_and_are_monotone() {
+    let mut rng = DetRng::new(103);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 128);
+        let q1 = rng.unit();
+        let q2 = rng.unit();
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let v1 = stats::quantile(&xs, q1.min(q2));
         let v2 = stats::quantile(&xs, q1.max(q2));
-        prop_assert!(v1 >= lo - 1e-9 && v2 <= hi + 1e-9);
-        prop_assert!(v1 <= v2 + 1e-9);
+        assert!(v1 >= lo - 1e-9 && v2 <= hi + 1e-9);
+        assert!(v1 <= v2 + 1e-9);
     }
+}
 
-    #[test]
-    fn relative_errors_are_nonnegative_and_zero_for_perfect(xs in finite_vec(64)) {
-        prop_assert!(stats::median_error_pct(&xs, &xs) < 1e-9);
+#[test]
+fn relative_errors_are_nonnegative_and_zero_for_perfect() {
+    let mut rng = DetRng::new(104);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 64);
+        assert!(stats::median_error_pct(&xs, &xs) < 1e-9);
         let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
         let err = stats::median_error_pct(&doubled, &xs);
-        prop_assert!((err - 100.0).abs() < 1e-6);
+        assert!((err - 100.0).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn ratio_cdf_is_monotone_and_normalised(preds in finite_vec(64), acts in finite_vec(64)) {
+#[test]
+fn ratio_cdf_is_monotone_and_normalised() {
+    let mut rng = DetRng::new(105);
+    for _ in 0..CASES {
+        let preds = finite_vec(&mut rng, 64);
+        let acts = finite_vec(&mut rng, 64);
         let n = preds.len().min(acts.len());
         let cdf = RatioCdf::from_pairs(&preds[..n], &acts[..n]);
         let series = cdf.series(1e-3, 1e3, 20);
         for w in series.windows(2) {
-            prop_assert!(w[1].fraction >= w[0].fraction);
+            assert!(w[1].fraction >= w[0].fraction);
         }
         let total = cdf.under_estimation_fraction() + cdf.over_estimation_fraction();
-        prop_assert!(total <= 1.0 + 1e-9);
-        prop_assert!(cdf.fraction_within_factor(1e12) >= 1.0 - 1e-9);
+        assert!(total <= 1.0 + 1e-9);
+        assert!(cdf.fraction_within_factor(1e12) >= 1.0 - 1e-9);
     }
+}
 
-    #[test]
-    fn hashing_is_deterministic_and_label_sensitive(s in "[a-zA-Z0-9_]{1,24}", t in "[a-zA-Z0-9_]{1,24}") {
-        prop_assert_eq!(hash_str(&s), hash_str(&s));
+#[test]
+fn hashing_is_deterministic_and_label_sensitive() {
+    let mut rng = DetRng::new(106);
+    for _ in 0..CASES {
+        let s = ident(&mut rng);
+        let t = ident(&mut rng);
+        assert_eq!(hash_str(&s), hash_str(&s));
         if s != t {
-            prop_assert_ne!(hash_str(&s), hash_str(&t));
+            assert_ne!(hash_str(&s), hash_str(&t));
         }
     }
+}
 
-    #[test]
-    fn unordered_combination_is_permutation_invariant(children in prop::collection::vec(any::<u64>(), 1..8)) {
+#[test]
+fn unordered_combination_is_permutation_invariant() {
+    let mut rng = DetRng::new(107);
+    for _ in 0..CASES {
+        let len = rng.index(7) + 1;
+        let children: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
         let mut reversed = children.clone();
         reversed.reverse();
-        prop_assert_eq!(
+        assert_eq!(
             combine_unordered("agg", &children),
             combine_unordered("agg", &reversed)
         );
         // Ordered combination distinguishes order whenever there are >= 2 distinct children.
         if children.len() >= 2 && children[0] != *children.last().unwrap() {
-            prop_assert_ne!(
+            assert_ne!(
                 combine_ordered("agg", &children),
                 combine_ordered("agg", &reversed)
             );

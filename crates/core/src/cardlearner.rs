@@ -36,9 +36,7 @@ impl CardLearner {
             job.plan.root.visit(&mut |node| {
                 let sig = subgraph_signature(node);
                 let entry = grouped.entry(sig).or_default();
-                entry
-                    .0
-                    .push(cardinality_features(node, &job.plan.meta));
+                entry.0.push(cardinality_features(node, &job.plan.meta));
                 entry.1.push(node.act.output_cardinality.max(0.0));
             });
         }

@@ -149,7 +149,10 @@ pub fn inverse_partition_feature_indices() -> Vec<usize> {
 
 /// Index of the raw partition-count feature `P`.
 pub fn partition_feature_index() -> usize {
-    FEATURE_NAMES.iter().position(|&n| n == "P").expect("P feature exists")
+    FEATURE_NAMES
+        .iter()
+        .position(|&n| n == "P")
+        .expect("P feature exists")
 }
 
 /// Aggregate normalised feature weights across a set of linear models — the quantity
@@ -220,7 +223,7 @@ mod tests {
         assert_eq!(f[3], 80.0); // L
         assert_eq!(f[4], 16.0); // P
         assert_eq!(f[6], 0.25); // PM1
-        // CL and D reflect the two-node subgraph.
+                                // CL and D reflect the two-node subgraph.
         assert_eq!(f[feature_count() - 2], 2.0);
         assert_eq!(f[feature_count() - 1], 2.0);
     }

@@ -6,7 +6,7 @@
 //! the resource-aware partition exploration of Section 5.2 through
 //! [`CostModel::partition_coefficients`].
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cleo_engine::physical::{JobMeta, PhysicalNode};
 use cleo_optimizer::CostModel;
@@ -17,7 +17,7 @@ use crate::models::CleoPredictor;
 pub struct LearnedCostModel {
     predictor: CleoPredictor,
     /// Number of model invocations performed (reported in the overhead analysis).
-    invocations: Mutex<usize>,
+    invocations: AtomicUsize,
 }
 
 impl LearnedCostModel {
@@ -25,7 +25,7 @@ impl LearnedCostModel {
     pub fn new(predictor: CleoPredictor) -> Self {
         LearnedCostModel {
             predictor,
-            invocations: Mutex::new(0),
+            invocations: AtomicUsize::new(0),
         }
     }
 
@@ -36,19 +36,39 @@ impl LearnedCostModel {
 
     /// Number of cost-model invocations so far.
     pub fn invocation_count(&self) -> usize {
-        *self.invocations.lock()
+        self.invocations.load(Ordering::Relaxed)
     }
 
     /// Reset the invocation counter.
     pub fn reset_invocation_count(&self) {
-        *self.invocations.lock() = 0;
+        self.invocations.store(0, Ordering::Relaxed);
     }
 }
 
 impl CostModel for LearnedCostModel {
     fn exclusive_cost(&self, node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> f64 {
-        *self.invocations.lock() += 1;
-        self.predictor.predict(node, partitions, meta).combined.max(1e-6)
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.predictor
+            .predict(node, partitions, meta)
+            .combined
+            .max(1e-6)
+    }
+
+    fn exclusive_cost_batch(
+        &self,
+        node: &PhysicalNode,
+        partitions: &[usize],
+        meta: &JobMeta,
+    ) -> Vec<f64> {
+        // One signature computation + one model lookup per family for the whole
+        // candidate set (the batched invocation path of resource-aware planning).
+        self.invocations
+            .fetch_add(partitions.len(), Ordering::Relaxed);
+        self.predictor
+            .predict_candidates(node, partitions, meta)
+            .into_iter()
+            .map(|b| b.combined.max(1e-6))
+            .collect()
     }
 
     fn partition_coefficients(&self, node: &PhysicalNode, meta: &JobMeta) -> Option<(f64, f64)> {

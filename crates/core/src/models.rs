@@ -51,47 +51,206 @@ impl OperatorSample {
     }
 }
 
+/// One per-signature training task: the unit of work the parallel trainer
+/// distributes across threads.
+struct SignatureTask<'a> {
+    family_index: usize,
+    signature: u64,
+    group: Vec<&'a OperatorSample>,
+}
+
+/// Group `samples` by their `family` signature, keeping only signatures with at
+/// least `min_samples` occurrences.  The result is sorted by signature so task
+/// lists (and therefore thread assignment) are deterministic.
+fn group_by_signature<'a>(
+    family: ModelFamily,
+    samples: &'a [OperatorSample],
+    min_samples: usize,
+) -> Vec<(u64, Vec<&'a OperatorSample>)> {
+    let mut grouped: HashMap<u64, Vec<&OperatorSample>> = HashMap::new();
+    for s in samples {
+        grouped
+            .entry(s.signatures.for_family(family))
+            .or_default()
+            .push(s);
+    }
+    let mut out: Vec<(u64, Vec<&OperatorSample>)> = grouped
+        .into_iter()
+        .filter(|(_, g)| g.len() >= min_samples.max(1))
+        .collect();
+    out.sort_unstable_by_key(|(sig, _)| *sig);
+    out
+}
+
+/// A trained per-signature model plus the latency ceiling derived from its
+/// training targets.
+#[derive(Debug)]
+struct StoredModel {
+    model: ElasticNet,
+    /// Lower clamp applied to predictions (see `ceiling`).
+    floor: f64,
+    /// Upper clamp applied to predictions.  A specialised model is trained on a
+    /// homogeneous group of observations and is trusted to *interpolate*; a
+    /// log-linear extrapolation far beyond the latency range the signature ever
+    /// exhibited is noise, not signal, and a single runaway prediction would
+    /// poison both the combined model's training set and raw-scale correlation
+    /// metrics.  Predictions are clamped to the observed target range with a
+    /// headroom factor; growth beyond that is the job of the general families
+    /// and the combined meta-model.
+    ceiling: f64,
+}
+
+/// Headroom factor around the observed latency range of a signature group.
+const PREDICTION_RANGE_HEADROOM: f64 = 3.0;
+
+/// Fit one specialised elastic net for a signature group.  Pure: the result
+/// depends only on the group's sample order, never on which thread runs it.
+fn fit_signature_model(names: &[String], group: &[&OperatorSample]) -> Result<StoredModel> {
+    let rows: Vec<Vec<f64>> = group.iter().map(|s| s.features.clone()).collect();
+    let targets: Vec<f64> = group.iter().map(|s| s.exclusive_seconds).collect();
+    let max_target = targets.iter().cloned().fold(0.0f64, f64::max);
+    let min_target = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+    let data = Dataset::from_rows(names.to_vec(), rows, targets)?;
+    // The paper's hyper-parameters, with the regularisation strength rescaled
+    // to this reproduction's target scale (log-seconds rather than the cost
+    // units SCOPE uses); the structure (L1+L2, MSLE objective, automatic
+    // feature selection) is unchanged.
+    let mut config = cleo_mlkit::elastic_net::ElasticNetConfig::default();
+    config.alpha = 0.05;
+    let mut model = ElasticNet::new(config);
+    model.fit(&data)?;
+    Ok(StoredModel {
+        model,
+        floor: min_target / PREDICTION_RANGE_HEADROOM,
+        ceiling: max_target * PREDICTION_RANGE_HEADROOM,
+    })
+}
+
 /// A store of specialised models for one family, keyed by signature.
 #[derive(Debug, Default)]
 pub struct ModelStore {
     family: Option<ModelFamily>,
-    models: HashMap<u64, ElasticNet>,
+    models: HashMap<u64, StoredModel>,
 }
 
 impl ModelStore {
     /// Train a store for `family` from samples, creating one elastic-net model per
     /// signature with at least `min_samples` occurrences (the paper uses 5).
-    pub fn train(family: ModelFamily, samples: &[OperatorSample], min_samples: usize) -> Result<Self> {
-        let mut grouped: HashMap<u64, Vec<&OperatorSample>> = HashMap::new();
-        for s in samples {
-            grouped
-                .entry(s.signatures.for_family(family))
-                .or_default()
-                .push(s);
-        }
+    /// Single-threaded; see [`ModelStore::train_all`] for the parallel path.
+    pub fn train(
+        family: ModelFamily,
+        samples: &[OperatorSample],
+        min_samples: usize,
+    ) -> Result<Self> {
+        Ok(Self::train_all(&[family], samples, min_samples, 1)?
+            .pop()
+            .expect("one family in, one store out"))
+    }
+
+    /// Train stores for several families at once, spreading the per-signature
+    /// elastic-net fits across `threads` OS threads (`std::thread::scope`; no
+    /// runtime dependencies).
+    ///
+    /// Deployment-scale motivation (§5.1): a production cluster trains ~25K
+    /// specialised models per run, and each fit is independent — an
+    /// embarrassingly parallel loop.  Tasks are assigned to workers round-robin
+    /// from a signature-sorted list and every fit is a pure function of its
+    /// sample group, so the trained predictor is **bit-identical** no matter how
+    /// many threads run (a property the determinism tests pin down).
+    ///
+    /// The returned stores are aligned with `families`.
+    pub fn train_all(
+        families: &[ModelFamily],
+        samples: &[OperatorSample],
+        min_samples: usize,
+        threads: usize,
+    ) -> Result<Vec<ModelStore>> {
         let names = feature_names();
-        let mut models = HashMap::new();
-        for (sig, group) in grouped {
-            if group.len() < min_samples.max(1) {
-                continue;
+        let mut tasks: Vec<SignatureTask> = Vec::new();
+        for (family_index, &family) in families.iter().enumerate() {
+            for (signature, group) in group_by_signature(family, samples, min_samples) {
+                tasks.push(SignatureTask {
+                    family_index,
+                    signature,
+                    group,
+                });
             }
-            let rows: Vec<Vec<f64>> = group.iter().map(|s| s.features.clone()).collect();
-            let targets: Vec<f64> = group.iter().map(|s| s.exclusive_seconds).collect();
-            let data = Dataset::from_rows(names.clone(), rows, targets)?;
-            // The paper's hyper-parameters, with the regularisation strength rescaled
-            // to this reproduction's target scale (log-seconds rather than the cost
-            // units SCOPE uses); the structure (L1+L2, MSLE objective, automatic
-            // feature selection) is unchanged.
-            let mut config = cleo_mlkit::elastic_net::ElasticNetConfig::default();
-            config.alpha = 0.05;
-            let mut model = ElasticNet::new(config);
-            model.fit(&data)?;
-            models.insert(sig, model);
         }
-        Ok(ModelStore {
-            family: Some(family),
-            models,
-        })
+
+        let threads = threads.max(1).min(tasks.len().max(1));
+        let fitted: Vec<(usize, u64, Result<StoredModel>)> = if threads <= 1 {
+            tasks
+                .iter()
+                .map(|t| {
+                    (
+                        t.family_index,
+                        t.signature,
+                        fit_signature_model(&names, &t.group),
+                    )
+                })
+                .collect()
+        } else {
+            // Stripe tasks across workers; each worker returns (stripe-local
+            // order preserved) and stripes are re-merged in task order, so the
+            // error reported on failure is also deterministic.
+            let mut results: Vec<Vec<(usize, u64, Result<StoredModel>)>> =
+                Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for worker in 0..threads {
+                    let names = &names;
+                    let tasks = &tasks;
+                    handles.push(scope.spawn(move || {
+                        tasks
+                            .iter()
+                            .skip(worker)
+                            .step_by(threads)
+                            .map(|t| {
+                                (
+                                    t.family_index,
+                                    t.signature,
+                                    fit_signature_model(names, &t.group),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for handle in handles {
+                    results.push(handle.join().expect("training worker panicked"));
+                }
+            });
+            results.into_iter().flatten().collect()
+        };
+
+        let mut stores: Vec<ModelStore> = families
+            .iter()
+            .map(|&family| ModelStore {
+                family: Some(family),
+                models: HashMap::new(),
+            })
+            .collect();
+        // Surface the first error in deterministic (signature-sorted) task order.
+        let mut first_error: Option<(usize, cleo_common::CleoError)> = None;
+        for (family_index, signature, fitted_model) in fitted {
+            match fitted_model {
+                Ok(model) => {
+                    stores[family_index].models.insert(signature, model);
+                }
+                Err(e) => {
+                    let rank = tasks
+                        .iter()
+                        .position(|t| t.family_index == family_index && t.signature == signature)
+                        .unwrap_or(usize::MAX);
+                    if first_error.as_ref().map_or(true, |(r, _)| rank < *r) {
+                        first_error = Some((rank, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        Ok(stores)
     }
 
     /// The family this store serves.
@@ -119,20 +278,37 @@ impl ModelStore {
     pub fn predict(&self, signature: u64, features: &[f64]) -> Option<f64> {
         self.models
             .get(&signature)
-            .map(|m| m.predict_row(features).max(0.0))
+            .map(|m| m.model.predict_row(features).clamp(m.floor, m.ceiling))
+    }
+
+    /// Predict many feature rows that share a signature, if a model covers it.
+    ///
+    /// One hash lookup for the whole batch; the rows then run through the
+    /// model's [`Regressor::predict_batch`].  This is the path stage-level
+    /// partition exploration uses (same operator, many candidate counts).
+    pub fn predict_batch(&self, signature: u64, rows: &[&[f64]]) -> Option<Vec<f64>> {
+        self.models.get(&signature).map(|m| {
+            m.model
+                .predict_batch(rows)
+                .into_iter()
+                .map(|p| p.clamp(m.floor, m.ceiling))
+                .collect()
+        })
     }
 
     /// The raw feature weights of every model in the store (for Figures 5, 6, 16).
     pub fn weight_vectors(&self) -> Vec<Vec<f64>> {
         self.models
             .values()
-            .filter_map(|m| m.feature_weights())
+            .filter_map(|m| m.model.feature_weights())
             .collect()
     }
 
     /// Feature weights of the model covering `signature`, if any.
     pub fn weights_for(&self, signature: u64) -> Option<Vec<f64>> {
-        self.models.get(&signature).and_then(|m| m.feature_weights())
+        self.models
+            .get(&signature)
+            .and_then(|m| m.model.feature_weights())
     }
 }
 
@@ -218,10 +394,28 @@ fn meta_features(breakdown: &PredictionBreakdown, features: &[f64]) -> Vec<f64> 
     ]
 }
 
-/// The combined meta-model (FastTree regression over individual predictions).
+/// The combined meta-model: FastTree regression over individual predictions,
+/// boosted from the fallback-order prior.
+///
+/// The ensemble does not fit the latency directly; it fits the **log-space
+/// residual** between the actual latency and the most specialised individual
+/// prediction (the "strawman" fallback order of Section 4.3).  Prediction adds
+/// the learned correction back onto the prior:
+/// `combined = expm1(log1p(most_specialized) + fasttree(meta_features))`.
+/// Where the individual models are accurate the trees learn a ~0 correction and
+/// the combined model inherits their accuracy (including linear extrapolation
+/// to job sizes beyond the training range, which a tree ensemble alone cannot
+/// express); where they are absent or untrustworthy the trees learn the full
+/// log-latency from the cardinality/partition meta-features, preserving full
+/// workload coverage.
 #[derive(Debug, Default)]
 pub struct CombinedModel {
     model: Option<FastTreeRegressor>,
+}
+
+/// The prior the combined model boosts from, in log space.
+fn combined_prior(breakdown: &PredictionBreakdown) -> f64 {
+    cleo_mlkit::loss::log1p_clamped(breakdown.most_specialized().unwrap_or(0.0))
 }
 
 impl CombinedModel {
@@ -240,8 +434,29 @@ impl CombinedModel {
             .iter()
             .map(|(b, f)| meta_features(b, f))
             .collect();
-        let data = Dataset::from_rows(meta_feature_names(), rows, targets.to_vec())?;
-        let mut model = FastTreeRegressor::paper_default(seed);
+        // Log-space residual targets over the fallback prior; the residual can be
+        // negative, so the ensemble fits it directly (identity transform, squared
+        // error) — together with the log-space prior this is still the paper's
+        // MSLE objective on the final prediction.
+        let residuals: Vec<f64> = breakdowns
+            .iter()
+            .zip(targets)
+            .map(|((b, _), &t)| cleo_mlkit::loss::log1p_clamped(t) - combined_prior(b))
+            .collect();
+        let data = Dataset::from_rows(meta_feature_names(), rows, residuals)?;
+        let mut model = FastTreeRegressor::new(cleo_mlkit::gbt::FastTreeConfig {
+            seed,
+            target_transform: cleo_mlkit::loss::TargetTransform::Identity,
+            // Stronger regularisation than the per-family paper defaults: the
+            // residuals are mostly near zero (the prior is already good) and the
+            // holdout is small, so an aggressive ensemble would memorise
+            // simulator noise and *add* variance on unseen days.
+            max_depth: 3,
+            learning_rate: 0.1,
+            n_trees: 50,
+            min_samples_leaf: 8,
+            ..cleo_mlkit::gbt::FastTreeConfig::default()
+        });
         model.fit(&data)?;
         Ok(CombinedModel { model: Some(model) })
     }
@@ -255,8 +470,42 @@ impl CombinedModel {
     /// back to the most specialised individual prediction when untrained.
     pub fn predict(&self, breakdown: &PredictionBreakdown, features: &[f64]) -> f64 {
         match &self.model {
-            Some(m) => m.predict_row(&meta_features(breakdown, features)).max(0.0),
+            Some(m) => {
+                let correction = m.predict_row(&meta_features(breakdown, features));
+                cleo_mlkit::loss::expm1_clamped(combined_prior(breakdown) + correction)
+            }
             None => breakdown.most_specialized().unwrap_or(0.0),
+        }
+    }
+
+    /// Batched counterpart of [`CombinedModel::predict`]: one call over aligned
+    /// breakdowns and feature rows.
+    pub fn predict_batch(
+        &self,
+        breakdowns: &[PredictionBreakdown],
+        feature_rows: &[Vec<f64>],
+    ) -> Vec<f64> {
+        debug_assert_eq!(breakdowns.len(), feature_rows.len());
+        match &self.model {
+            Some(m) => {
+                let meta_rows: Vec<Vec<f64>> = breakdowns
+                    .iter()
+                    .zip(feature_rows)
+                    .map(|(b, f)| meta_features(b, f))
+                    .collect();
+                let refs: Vec<&[f64]> = meta_rows.iter().map(|r| r.as_slice()).collect();
+                m.predict_batch(&refs)
+                    .into_iter()
+                    .zip(breakdowns)
+                    .map(|(correction, b)| {
+                        cleo_mlkit::loss::expm1_clamped(combined_prior(b) + correction)
+                    })
+                    .collect()
+            }
+            None => breakdowns
+                .iter()
+                .map(|b| b.most_specialized().unwrap_or(0.0))
+                .collect(),
         }
     }
 }
@@ -297,7 +546,12 @@ impl CleoPredictor {
 
     /// Per-family + combined predictions for an operator at a candidate partition
     /// count.
-    pub fn predict(&self, node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> PredictionBreakdown {
+    pub fn predict(
+        &self,
+        node: &PhysicalNode,
+        partitions: usize,
+        meta: &JobMeta,
+    ) -> PredictionBreakdown {
         let signatures = signature_set(node, meta);
         let features = extract_features(node, partitions, meta);
         self.predict_from_parts(&signatures, &features)
@@ -323,6 +577,62 @@ impl CleoPredictor {
         };
         breakdown.combined = self.combined.predict(&breakdown, features);
         breakdown
+    }
+
+    /// Per-family + combined predictions for one operator at *many* candidate
+    /// partition counts, in one batched pass.
+    ///
+    /// This is the model-invocation shape of resource-aware planning (§5.2): the
+    /// optimizer costs each stage operator at every candidate count.  Signatures
+    /// do not depend on the partition count, so they are computed once, each
+    /// family resolves its specialised model with a single lookup, and all
+    /// candidate rows run through [`Regressor::predict_batch`].
+    pub fn predict_candidates(
+        &self,
+        node: &PhysicalNode,
+        partitions: &[usize],
+        meta: &JobMeta,
+    ) -> Vec<PredictionBreakdown> {
+        let signatures = signature_set(node, meta);
+        let feature_rows: Vec<Vec<f64>> = partitions
+            .iter()
+            .map(|&p| extract_features(node, p, meta))
+            .collect();
+        self.predict_batch_from_parts(&signatures, &feature_rows)
+    }
+
+    /// Batched prediction over feature rows that share one signature set.
+    pub fn predict_batch_from_parts(
+        &self,
+        signatures: &SignatureSet,
+        feature_rows: &[Vec<f64>],
+    ) -> Vec<PredictionBreakdown> {
+        if feature_rows.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<&[f64]> = feature_rows.iter().map(|r| r.as_slice()).collect();
+        let by_family = |family: ModelFamily| -> Option<Vec<f64>> {
+            self.store(family)
+                .and_then(|s| s.predict_batch(signatures.for_family(family), &rows))
+        };
+        let op_subgraph = by_family(ModelFamily::OpSubgraph);
+        let op_subgraph_approx = by_family(ModelFamily::OpSubgraphApprox);
+        let op_input = by_family(ModelFamily::OpInput);
+        let operator = by_family(ModelFamily::Operator);
+        let mut breakdowns: Vec<PredictionBreakdown> = (0..feature_rows.len())
+            .map(|i| PredictionBreakdown {
+                op_subgraph: op_subgraph.as_ref().map(|v| v[i]),
+                op_subgraph_approx: op_subgraph_approx.as_ref().map(|v| v[i]),
+                op_input: op_input.as_ref().map(|v| v[i]),
+                operator: operator.as_ref().map(|v| v[i]),
+                combined: 0.0,
+            })
+            .collect();
+        let combined = self.combined.predict_batch(&breakdowns, feature_rows);
+        for (b, c) in breakdowns.iter_mut().zip(combined) {
+            b.combined = c;
+        }
+        breakdowns
     }
 
     /// Whether a family covers this operator instance.
@@ -406,7 +716,9 @@ mod tests {
         let s = samples(3);
         let store = ModelStore::train(ModelFamily::OpSubgraph, &s, 5).unwrap();
         assert!(store.is_empty());
-        assert!(store.predict(s[0].signatures.op_subgraph, &s[0].features).is_none());
+        assert!(store
+            .predict(s[0].signatures.op_subgraph, &s[0].features)
+            .is_none());
     }
 
     #[test]

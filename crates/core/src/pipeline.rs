@@ -100,7 +100,11 @@ pub fn evaluate_predictor(predictor: &CleoPredictor, log: &TelemetryLog) -> Vec<
         .into_iter()
         .map(|(family, pairs)| ModelEvaluation::from_pairs(family.name(), pairs, total))
         .collect();
-    out.push(ModelEvaluation::from_pairs("Combined", combined_pairs, total));
+    out.push(ModelEvaluation::from_pairs(
+        "Combined",
+        combined_pairs,
+        total,
+    ));
     out
 }
 
@@ -206,8 +210,13 @@ mod tests {
         let simulator = Simulator::new(SimulatorConfig::default());
 
         let all_jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
-        let log = run_jobs(&all_jobs, &default_model, OptimizerConfig::default(), &simulator)
-            .unwrap();
+        let log = run_jobs(
+            &all_jobs,
+            &default_model,
+            OptimizerConfig::default(),
+            &simulator,
+        )
+        .unwrap();
         let train_log = log.slice_days(DayIndex(0), DayIndex(1));
         let test_log = log.slice_days(DayIndex(2), DayIndex(2));
         assert!(!train_log.is_empty() && !test_log.is_empty());
@@ -235,7 +244,10 @@ mod tests {
             combined.median_error_pct,
             default_eval.median_error_pct
         );
-        assert!((combined.coverage - 1.0).abs() < 1e-9, "combined covers everything");
+        assert!(
+            (combined.coverage - 1.0).abs() < 1e-9,
+            "combined covers everything"
+        );
 
         // Specialisation ordering: subgraph coverage < input coverage <= operator coverage.
         let coverage = |name: &str| {

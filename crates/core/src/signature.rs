@@ -178,9 +178,18 @@ mod tests {
 
     #[test]
     fn different_roots_or_labels_change_subgraph_signature() {
-        let a = chain(&[(PhysicalOpKind::Extract, "clicks"), (PhysicalOpKind::Filter, "p>1")]);
-        let b = chain(&[(PhysicalOpKind::Extract, "clicks"), (PhysicalOpKind::Filter, "p>2")]);
-        let c = chain(&[(PhysicalOpKind::Extract, "clicks"), (PhysicalOpKind::Project, "p>1")]);
+        let a = chain(&[
+            (PhysicalOpKind::Extract, "clicks"),
+            (PhysicalOpKind::Filter, "p>1"),
+        ]);
+        let b = chain(&[
+            (PhysicalOpKind::Extract, "clicks"),
+            (PhysicalOpKind::Filter, "p>2"),
+        ]);
+        let c = chain(&[
+            (PhysicalOpKind::Extract, "clicks"),
+            (PhysicalOpKind::Project, "p>1"),
+        ]);
         assert_ne!(subgraph_signature(&a), subgraph_signature(&b));
         assert_ne!(subgraph_signature(&a), subgraph_signature(&c));
     }
@@ -211,7 +220,10 @@ mod tests {
 
     #[test]
     fn op_input_signature_depends_on_inputs_not_structure() {
-        let a = chain(&[(PhysicalOpKind::Extract, "t"), (PhysicalOpKind::Filter, "x")]);
+        let a = chain(&[
+            (PhysicalOpKind::Extract, "t"),
+            (PhysicalOpKind::Filter, "x"),
+        ]);
         let deep = chain(&[
             (PhysicalOpKind::Extract, "t"),
             (PhysicalOpKind::Project, "p"),
@@ -229,8 +241,14 @@ mod tests {
 
     #[test]
     fn operator_signature_collapses_to_kind() {
-        let a = chain(&[(PhysicalOpKind::Extract, "t"), (PhysicalOpKind::Filter, "x")]);
-        let b = chain(&[(PhysicalOpKind::Extract, "u"), (PhysicalOpKind::Filter, "y")]);
+        let a = chain(&[
+            (PhysicalOpKind::Extract, "t"),
+            (PhysicalOpKind::Filter, "x"),
+        ]);
+        let b = chain(&[
+            (PhysicalOpKind::Extract, "u"),
+            (PhysicalOpKind::Filter, "y"),
+        ]);
         assert_eq!(operator_signature(&a), operator_signature(&b));
         assert_ne!(
             operator_signature(&a),
@@ -240,7 +258,10 @@ mod tests {
 
     #[test]
     fn family_lookup_maps_to_the_right_signature() {
-        let n = chain(&[(PhysicalOpKind::Extract, "t"), (PhysicalOpKind::Filter, "x")]);
+        let n = chain(&[
+            (PhysicalOpKind::Extract, "t"),
+            (PhysicalOpKind::Filter, "x"),
+        ]);
         let m = meta(&["t"]);
         let s = signature_set(&n, &m);
         assert_eq!(s.for_family(ModelFamily::OpSubgraph), s.op_subgraph);

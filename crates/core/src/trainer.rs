@@ -26,6 +26,11 @@ pub struct TrainerConfig {
     pub meta_holdout_fraction: f64,
     /// Seed for the job split and model subsampling.
     pub seed: u64,
+    /// Number of OS threads the per-signature training loop uses.
+    /// `0` means "use [`std::thread::available_parallelism`]".  Training is
+    /// deterministic regardless of this value: same seed ⇒ bit-identical
+    /// predictor on 1 thread or N.
+    pub threads: usize,
 }
 
 impl Default for TrainerConfig {
@@ -34,6 +39,21 @@ impl Default for TrainerConfig {
             min_samples_per_model: 5,
             meta_holdout_fraction: 0.25,
             seed: 0xC1E0,
+            threads: 0,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// The effective thread count (resolves `threads == 0` to the machine's
+    /// available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -80,31 +100,70 @@ impl CleoTrainer {
         let holdout = ((samples.len() as f64) * self.config.meta_holdout_fraction).round() as usize;
         let holdout = holdout.clamp(1, samples.len().saturating_sub(1).max(1));
         let (meta_samples, base_samples) = samples.split_at(holdout);
+        let threads = self.config.effective_threads();
 
-        // Individual stores over the base split.
-        let stores: Vec<ModelStore> = ModelFamily::all()
-            .into_iter()
-            .map(|family| ModelStore::train(family, base_samples, self.config.min_samples_per_model))
-            .collect::<Result<Vec<_>>>()?;
+        // Individual stores over the base split: every per-signature elastic net
+        // across all four families is an independent fit, trained concurrently.
+        // These stores exist only to produce *out-of-sample* predictions for the
+        // meta-model (so it learns where each family can be trusted).
+        let base_stores = ModelStore::train_all(
+            &ModelFamily::all(),
+            base_samples,
+            self.config.min_samples_per_model,
+            threads,
+        )?;
 
         // Meta-model over the held-out split, using the individual models' predictions
-        // as meta-features.
-        let interim = CleoPredictor::new(stores, CombinedModel::default());
-        let breakdowns: Vec<(PredictionBreakdown, Vec<f64>)> = meta_samples
-            .iter()
-            .map(|s| {
-                (
-                    interim.predict_from_parts(&s.signatures, &s.features),
-                    s.features.clone(),
-                )
-            })
-            .collect();
+        // as meta-features.  The per-sample breakdowns are pure lookups, computed in
+        // order-preserving parallel chunks.
+        let interim = CleoPredictor::new(base_stores, CombinedModel::default());
+        let breakdowns = Self::holdout_breakdowns(&interim, meta_samples, threads);
         let targets: Vec<f64> = meta_samples.iter().map(|s| s.exclusive_seconds).collect();
         let combined = CombinedModel::train(&breakdowns, &targets, self.config.seed)?;
 
-        // Reassemble (the stores were moved into the interim predictor).
-        let (stores, _) = interim.into_parts();
-        Ok(CleoPredictor::new(stores, combined))
+        // The shipped individual stores are retrained on the *full* window (the
+        // paper's deployment trains on everything it has): holding out a quarter
+        // of the samples would permanently drop specialised signatures below the
+        // min-occurrence threshold and shrink coverage on future days.
+        let final_stores = ModelStore::train_all(
+            &ModelFamily::all(),
+            &samples,
+            self.config.min_samples_per_model,
+            threads,
+        )?;
+        Ok(CleoPredictor::new(final_stores, combined))
+    }
+
+    /// Compute the meta-model's training inputs: each held-out sample's individual
+    /// predictions.  Chunked across threads with in-order concatenation, so the
+    /// result is identical to the serial loop.
+    fn holdout_breakdowns(
+        interim: &CleoPredictor,
+        meta_samples: &[OperatorSample],
+        threads: usize,
+    ) -> Vec<(PredictionBreakdown, Vec<f64>)> {
+        let predict_one = |s: &OperatorSample| {
+            (
+                interim.predict_from_parts(&s.signatures, &s.features),
+                s.features.clone(),
+            )
+        };
+        let threads = threads.max(1).min(meta_samples.len().max(1));
+        if threads <= 1 {
+            return meta_samples.iter().map(predict_one).collect();
+        }
+        let chunk_size = meta_samples.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(meta_samples.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = meta_samples
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(predict_one).collect::<Vec<_>>()))
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("breakdown worker panicked"));
+            }
+        });
+        out
     }
 }
 
@@ -139,7 +198,11 @@ mod tests {
         let log = small_telemetry();
         let trainer = CleoTrainer::new(TrainerConfig::default());
         let predictor = trainer.train(&log).unwrap();
-        assert!(predictor.model_count() > 4, "{} models", predictor.model_count());
+        assert!(
+            predictor.model_count() > 4,
+            "{} models",
+            predictor.model_count()
+        );
         assert!(predictor.combined().is_trained());
         // The Operator store must exist and cover the common operators.
         let op_store = predictor.store(ModelFamily::Operator).unwrap();
@@ -158,7 +221,11 @@ mod tests {
         let samples = CleoTrainer::collect_samples(&log);
         let preds: Vec<f64> = samples
             .iter()
-            .map(|s| predictor.predict_from_parts(&s.signatures, &s.features).combined)
+            .map(|s| {
+                predictor
+                    .predict_from_parts(&s.signatures, &s.features)
+                    .combined
+            })
             .collect();
         let actuals: Vec<f64> = samples.iter().map(|s| s.exclusive_seconds).collect();
         let corr = stats::pearson(&preds, &actuals);

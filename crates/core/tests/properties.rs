@@ -1,9 +1,14 @@
-//! Property-based tests for Cleo's feature extraction and signatures.
+//! Property-style tests for Cleo's feature extraction and signatures.
+//!
+//! Inputs are generated from the workspace's own [`DetRng`] (the build is
+//! offline and dependency-free, so there is no proptest).
 
+use cleo_common::rng::DetRng;
 use cleo_core::{extract_features, feature_count, signature_set};
 use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind};
 use cleo_engine::types::{ClusterId, DayIndex, JobId, OpStats};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn meta(inputs: Vec<String>, params: Vec<f64>) -> JobMeta {
     JobMeta {
@@ -18,88 +23,98 @@ fn meta(inputs: Vec<String>, params: Vec<f64>) -> JobMeta {
     }
 }
 
-fn node_strategy() -> impl Strategy<Value = PhysicalNode> {
-    (
-        0usize..12,
-        1.0f64..1e9,
-        1.0f64..1e9,
-        1.0f64..512.0,
-        prop::collection::vec("[a-z]{1,8}", 0..3),
-    )
-        .prop_map(|(kind_idx, input_card, output_card, width, child_labels)| {
-            let kinds = PhysicalOpKind::all();
-            let kind = kinds[kind_idx % kinds.len()];
-            let children: Vec<PhysicalNode> = child_labels
-                .iter()
-                .map(|l| {
-                    let mut c = PhysicalNode::new(PhysicalOpKind::Extract, l.clone(), vec![]);
-                    c.est = OpStats {
-                        input_cardinality: input_card,
-                        base_cardinality: input_card,
-                        output_cardinality: input_card,
-                        avg_row_bytes: width,
-                    };
-                    c
-                })
-                .collect();
-            let mut n = PhysicalNode::new(kind, "label", children);
-            n.est = OpStats {
-                input_cardinality: input_card,
-                base_cardinality: input_card,
-                output_cardinality: output_card,
-                avg_row_bytes: width,
-            };
-            n
-        })
+fn lowercase_label(rng: &mut DetRng, max_len: usize) -> String {
+    let len = rng.index(max_len) + 1;
+    (0..len)
+        .map(|_| (b'a' + rng.index(26) as u8) as char)
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn feature_vectors_are_always_finite_and_fixed_width(
-        node in node_strategy(),
-        partitions in 1usize..3000,
-        params in prop::collection::vec(0.0f64..100.0, 0..4),
-        inputs in prop::collection::vec("[a-z_{}0-9]{1,16}", 0..4),
-    ) {
+fn random_node(rng: &mut DetRng) -> PhysicalNode {
+    let kinds = PhysicalOpKind::all();
+    let kind = kinds[rng.index(kinds.len())];
+    let input_card = rng.uniform(1.0, 1e9);
+    let output_card = rng.uniform(1.0, 1e9);
+    let width = rng.uniform(1.0, 512.0);
+    let n_children = rng.index(3);
+    let children: Vec<PhysicalNode> = (0..n_children)
+        .map(|_| {
+            let label = lowercase_label(rng, 8);
+            let mut c = PhysicalNode::new(PhysicalOpKind::Extract, label, vec![]);
+            c.est = OpStats {
+                input_cardinality: input_card,
+                base_cardinality: input_card,
+                output_cardinality: input_card,
+                avg_row_bytes: width,
+            };
+            c
+        })
+        .collect();
+    let mut n = PhysicalNode::new(kind, "label", children);
+    n.est = OpStats {
+        input_cardinality: input_card,
+        base_cardinality: input_card,
+        output_cardinality: output_card,
+        avg_row_bytes: width,
+    };
+    n
+}
+
+#[test]
+fn feature_vectors_are_always_finite_and_fixed_width() {
+    let mut rng = DetRng::new(401);
+    for _ in 0..CASES {
+        let node = random_node(&mut rng);
+        let partitions = rng.index(2999) + 1;
+        let params: Vec<f64> = (0..rng.index(4)).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let inputs: Vec<String> = (0..rng.index(4))
+            .map(|_| lowercase_label(&mut rng, 16))
+            .collect();
         let m = meta(inputs, params);
         let f = extract_features(&node, partitions, &m);
-        prop_assert_eq!(f.len(), feature_count());
-        prop_assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f.len(), feature_count());
+        assert!(f.iter().all(|v| v.is_finite()));
         // The partition feature is exactly the candidate count.
-        prop_assert_eq!(f[4], partitions as f64);
+        assert_eq!(f[4], partitions as f64);
     }
+}
 
-    #[test]
-    fn signatures_are_deterministic_and_family_consistent(
-        node in node_strategy(),
-        inputs in prop::collection::vec("[a-z]{1,8}", 1..4),
-    ) {
+#[test]
+fn signatures_are_deterministic_and_family_consistent() {
+    let mut rng = DetRng::new(402);
+    for _ in 0..CASES {
+        let node = random_node(&mut rng);
+        let inputs: Vec<String> = (0..rng.index(3) + 1)
+            .map(|_| lowercase_label(&mut rng, 8))
+            .collect();
         let m = meta(inputs, vec![]);
         let a = signature_set(&node, &m);
         let b = signature_set(&node, &m);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         // The operator signature only depends on the root kind.
         let mut relabelled = node.clone();
         relabelled.label = "different_label".into();
         let c = signature_set(&relabelled, &m);
-        prop_assert_eq!(a.operator, c.operator);
+        assert_eq!(a.operator, c.operator);
         // Changing the label changes the exact subgraph signature.
         if node.label != relabelled.label {
-            prop_assert_ne!(a.op_subgraph, c.op_subgraph);
+            assert_ne!(a.op_subgraph, c.op_subgraph);
         }
     }
+}
 
-    #[test]
-    fn partition_count_does_not_change_signatures(
-        node in node_strategy(),
-        p1 in 1usize..3000,
-        p2 in 1usize..3000,
-    ) {
+#[test]
+fn partition_count_does_not_change_signatures() {
+    let mut rng = DetRng::new(403);
+    for _ in 0..CASES {
+        let node = random_node(&mut rng);
+        let p1 = rng.index(2999) + 1;
+        let p2 = rng.index(2999) + 1;
         let m = meta(vec!["t".into()], vec![]);
         let mut a_node = node.clone();
         a_node.partition_count = p1;
         let mut b_node = node;
         b_node.partition_count = p2;
-        prop_assert_eq!(signature_set(&a_node, &m), signature_set(&b_node, &m));
+        assert_eq!(signature_set(&a_node, &m), signature_set(&b_node, &m));
     }
 }

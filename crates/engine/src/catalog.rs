@@ -64,7 +64,11 @@ impl TableDef {
 
     /// Average row width in bytes (sum of column widths).
     pub fn avg_row_bytes(&self) -> f64 {
-        self.columns.iter().map(|c| c.avg_width).sum::<f64>().max(1.0)
+        self.columns
+            .iter()
+            .map(|c| c.avg_width)
+            .sum::<f64>()
+            .max(1.0)
     }
 
     /// Total size of the table in bytes.

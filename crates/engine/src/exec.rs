@@ -245,10 +245,7 @@ impl Simulator {
             PhysicalOpKind::MergeJoin => {
                 // Merge join over unsorted inputs would have to sort; the optimizer only
                 // produces it over sorted children, but guard with a penalty anyway.
-                let sorted = node
-                    .children
-                    .iter()
-                    .all(|c| !c.sorted_on.is_empty());
+                let sorted = node.children.iter().all(|c| !c.sorted_on.is_empty());
                 let penalty = if sorted { 1.0 } else { 3.0 };
                 penalty * rows_in * truth::MJ_PER_ROW + rows_out * truth::OUT_PER_ROW
             }
@@ -265,8 +262,7 @@ impl Simulator {
             }
             PhysicalOpKind::Exchange => bytes_in * truth::NET_PER_BYTE,
             PhysicalOpKind::Process => {
-                rows_in * truth::UDF_PER_ROW * node.udf_cost_factor
-                    + rows_out * truth::OUT_PER_ROW
+                rows_in * truth::UDF_PER_ROW * node.udf_cost_factor + rows_out * truth::OUT_PER_ROW
             }
             PhysicalOpKind::Output => bytes_out * truth::WRITE_PER_BYTE,
         };
@@ -433,7 +429,10 @@ mod tests {
         let sim = Simulator::default_cluster();
         let run = sim.run(&plan);
         assert_eq!(run.operator_runs.len(), plan.op_count());
-        assert!(run.operator_runs.values().all(|r| r.exclusive_seconds > 0.0));
+        assert!(run
+            .operator_runs
+            .values()
+            .all(|r| r.exclusive_seconds > 0.0));
         assert!(run.job_latency > 0.0);
         assert!(run.total_cpu_seconds >= run.job_latency);
         assert_eq!(run.peak_containers, 16);

@@ -174,7 +174,13 @@ impl LogicalNode {
     }
 
     /// Convenience: join `self` with `right`.
-    pub fn join(self, right: LogicalNode, keys: Vec<String>, est_fanout: f64, actual_fanout: f64) -> Self {
+    pub fn join(
+        self,
+        right: LogicalNode,
+        keys: Vec<String>,
+        est_fanout: f64,
+        actual_fanout: f64,
+    ) -> Self {
         LogicalNode::internal(
             LogicalOp::Join {
                 kind: JoinKind::Inner,
@@ -236,12 +242,7 @@ impl LogicalNode {
 
     /// Depth of the subtree (a single node has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// Count of each logical operator name in the subtree, sorted by name — the
@@ -283,9 +284,8 @@ impl LogicalNode {
             .map(|c| c.derive_cards(catalog))
             .collect::<Result<Vec<_>>>()?;
 
-        let sum_child = |f: &dyn Fn(&DerivedCards) -> f64| -> f64 {
-            child_cards.iter().map(|c| f(c)).sum()
-        };
+        let sum_child =
+            |f: &dyn Fn(&DerivedCards) -> f64| -> f64 { child_cards.iter().map(|c| f(c)).sum() };
 
         let (estimated, actual) = match &self.op {
             LogicalOp::Get { table } => {
@@ -344,7 +344,10 @@ impl LogicalNode {
             }
             LogicalOp::Sort { .. } => {
                 let c = &child_cards[0];
-                (unary_stats(c.estimated, 1.0, 1.0), unary_stats(c.actual, 1.0, 1.0))
+                (
+                    unary_stats(c.estimated, 1.0, 1.0),
+                    unary_stats(c.actual, 1.0, 1.0),
+                )
             }
             LogicalOp::Process {
                 est_selectivity,
@@ -381,7 +384,10 @@ impl LogicalNode {
             }
             LogicalOp::Output { .. } => {
                 let c = &child_cards[0];
-                (unary_stats(c.estimated, 1.0, 1.0), unary_stats(c.actual, 1.0, 1.0))
+                (
+                    unary_stats(c.estimated, 1.0, 1.0),
+                    unary_stats(c.actual, 1.0, 1.0),
+                )
             }
         };
         Ok(DerivedCards { estimated, actual })
@@ -427,7 +433,10 @@ mod tests {
         ));
         c.add_table(TableDef::new(
             "users",
-            vec![ColumnDef::new("user", 8.0, 1.0), ColumnDef::new("geo", 8.0, 0.01)],
+            vec![
+                ColumnDef::new("user", 8.0, 1.0),
+                ColumnDef::new("geo", 8.0, 0.01),
+            ],
             10_000.0,
             8,
         ));
@@ -447,7 +456,10 @@ mod tests {
         let p = sample_plan();
         assert_eq!(p.node_count(), 6);
         assert_eq!(p.depth(), 5);
-        assert_eq!(p.input_tables(), vec!["events".to_string(), "users".to_string()]);
+        assert_eq!(
+            p.input_tables(),
+            vec!["events".to_string(), "users".to_string()]
+        );
         let freq = p.operator_frequency();
         assert!(freq.contains(&("Get".to_string(), 2)));
         assert!(freq.contains(&("Filter".to_string(), 1)));

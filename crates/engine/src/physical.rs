@@ -145,7 +145,11 @@ pub struct PhysicalNode {
 
 impl PhysicalNode {
     /// Create a node with defaulted statistics and properties.
-    pub fn new(kind: PhysicalOpKind, label: impl Into<String>, children: Vec<PhysicalNode>) -> Self {
+    pub fn new(
+        kind: PhysicalOpKind,
+        label: impl Into<String>,
+        children: Vec<PhysicalNode>,
+    ) -> Self {
         PhysicalNode {
             id: OpId(0),
             kind,
@@ -206,7 +210,8 @@ impl PhysicalNode {
         use std::collections::BTreeMap;
         let mut acc = BTreeMap::new();
         self.visit(&mut |n| {
-            *acc.entry(n.kind.logical_name().to_string()).or_insert(0usize) += 1;
+            *acc.entry(n.kind.logical_name().to_string())
+                .or_insert(0usize) += 1;
         });
         acc.into_iter().collect()
     }

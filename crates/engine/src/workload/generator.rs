@@ -99,12 +99,18 @@ impl GeneratedWorkload {
 
     /// Number of recurring jobs on a day.
     pub fn recurring_count(&self, day: DayIndex) -> usize {
-        self.jobs_on_day(day).iter().filter(|j| j.meta.recurring).count()
+        self.jobs_on_day(day)
+            .iter()
+            .filter(|j| j.meta.recurring)
+            .count()
     }
 
     /// Number of ad-hoc jobs on a day.
     pub fn adhoc_count(&self, day: DayIndex) -> usize {
-        self.jobs_on_day(day).iter().filter(|j| !j.meta.recurring).count()
+        self.jobs_on_day(day)
+            .iter()
+            .filter(|j| !j.meta.recurring)
+            .count()
     }
 
     /// Number of distinct recurring templates submitted on a day.
@@ -131,7 +137,8 @@ pub fn generate_cluster_workload(config: &ClusterConfig, days: u32) -> Generated
         let factors = FamilyFactors::draw(&mut rng);
         // Hot tables are preferred as family anchors, so different families (and the
         // ad-hoc jobs) end up sharing inputs.
-        let anchor = &table_names[(rng.zipf(table_names.len(), 1.1) - 1).min(table_names.len() - 1)];
+        let anchor =
+            &table_names[(rng.zipf(table_names.len(), 1.1) - 1).min(table_names.len() - 1)];
         let prefix = family_prefix(family, anchor, &factors, &mut rng);
         for t in 0..config.templates_per_family {
             let (plan, inputs) =
@@ -143,9 +150,10 @@ pub fn generate_cluster_workload(config: &ClusterConfig, days: u32) -> Generated
                 family,
                 base_plan: plan,
                 input_tables: inputs,
-                instances_per_day: rng
-                    .int_range(config.instances_per_day.0 as u64, config.instances_per_day.1 as u64)
-                    as usize,
+                instances_per_day: rng.int_range(
+                    config.instances_per_day.0 as u64,
+                    config.instances_per_day.1 as u64,
+                ) as usize,
             });
         }
         family_data.push((factors, prefix));
@@ -266,7 +274,10 @@ mod tests {
     fn small_cluster_generates_recurring_and_adhoc_jobs() {
         let config = ClusterConfig::small(ClusterId(0));
         let w = generate_cluster_workload(&config, 2);
-        assert_eq!(w.templates.len(), config.n_families * config.templates_per_family);
+        assert_eq!(
+            w.templates.len(),
+            config.n_families * config.templates_per_family
+        );
         assert!(!w.jobs.is_empty());
         let day0 = DayIndex(0);
         let rec = w.recurring_count(day0);

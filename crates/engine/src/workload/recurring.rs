@@ -108,11 +108,8 @@ pub fn family_prefix(
 ) -> LogicalNode {
     let est_sel = rng.uniform(0.01, 0.6);
     let actual_sel = (est_sel * factors.filter_error).clamp(1e-6, 1.0);
-    let mut node = LogicalNode::get(table).filter(
-        format!("family{family}_pred"),
-        est_sel,
-        actual_sel,
-    );
+    let mut node =
+        LogicalNode::get(table).filter(format!("family{family}_pred"), est_sel, actual_sel);
     if rng.chance(0.6) {
         let est_udf_sel = rng.uniform(0.2, 1.0);
         let actual_udf_sel = (est_udf_sel * rng.lognormal_noise(0.4)).clamp(1e-6, 2.0);
@@ -198,7 +195,8 @@ pub fn instantiate_plan(base: &LogicalNode, params: &[f64], rng: &mut DetRng) ->
                 actual_selectivity, ..
             } => {
                 *actual_selectivity =
-                    (*actual_selectivity * param_shift * rng.lognormal_noise(0.05)).clamp(1e-7, 1.0);
+                    (*actual_selectivity * param_shift * rng.lognormal_noise(0.05))
+                        .clamp(1e-7, 1.0);
             }
             LogicalOp::Join { actual_fanout, .. } => {
                 *actual_fanout = (*actual_fanout * rng.lognormal_noise(0.05)).max(1e-7);
@@ -213,8 +211,7 @@ pub fn instantiate_plan(base: &LogicalNode, params: &[f64], rng: &mut DetRng) ->
             LogicalOp::Process {
                 actual_selectivity, ..
             } => {
-                *actual_selectivity =
-                    (*actual_selectivity * rng.lognormal_noise(0.05)).max(1e-7);
+                *actual_selectivity = (*actual_selectivity * rng.lognormal_noise(0.05)).max(1e-7);
             }
             _ => {}
         }
@@ -309,7 +306,13 @@ mod tests {
         assert!(max_err > 2.0, "some families over-estimate heavily");
         assert!(min_err < 0.5, "some families under-estimate heavily");
         assert!(factors.iter().all(|f| f.udf_cost_factor >= 0.2));
-        let max_udf = factors.iter().map(|f| f.udf_cost_factor).fold(0.0f64, f64::max);
-        assert!(max_udf > 10.0, "some UDFs are far more expensive than relational operators");
+        let max_udf = factors
+            .iter()
+            .map(|f| f.udf_cost_factor)
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_udf > 10.0,
+            "some UDFs are far more expensive than relational operators"
+        );
     }
 }

@@ -156,7 +156,13 @@ fn flt(node: LogicalNode, pred: &str, est: f64, p: &TpchParams) -> LogicalNode {
 }
 
 /// Join helper with a mild fanout estimation error.
-fn jn(left: LogicalNode, right: LogicalNode, key: &str, est_fanout: f64, p: &TpchParams) -> LogicalNode {
+fn jn(
+    left: LogicalNode,
+    right: LogicalNode,
+    key: &str,
+    est_fanout: f64,
+    p: &TpchParams,
+) -> LogicalNode {
     let actual = (est_fanout / p.estimation_error.sqrt()).max(1e-7);
     left.join(right, vec![key.to_string()], est_fanout, actual)
 }
@@ -180,7 +186,11 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
 
     match q {
         1 => flt(li(), "l_shipdate <= date - 90", 0.98, p)
-            .aggregate(vec!["l_returnflag".into(), "l_linestatus".into()], 1e-6, 8e-7)
+            .aggregate(
+                vec!["l_returnflag".into(), "l_linestatus".into()],
+                1e-6,
+                8e-7,
+            )
             .sort(vec!["l_returnflag".into()])
             .output("q1"),
         2 => {
@@ -192,7 +202,13 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
                 0.2,
                 p,
             );
-            let joined = jn(jn(ps(), parts, "partkey", 0.004, p), sups, "suppkey", 0.2, p);
+            let joined = jn(
+                jn(ps(), parts, "partkey", 0.004, p),
+                sups,
+                "suppkey",
+                0.2,
+                p,
+            );
             joined
                 .aggregate(vec!["ps_partkey".into()], 0.3, 0.25)
                 .sort(vec!["s_acctbal".into()])
@@ -211,10 +227,16 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
         4 => {
             let o = flt(ord(), "o_orderdate in quarter", 0.038, p);
             let l = flt(li(), "l_commitdate < l_receiptdate", 0.63, p);
-            jn(o, l.aggregate(vec!["l_orderkey".into()], 0.27, 0.25), "orderkey", 0.05, p)
-                .aggregate(vec!["o_orderpriority".into()], 1e-6, 8e-7)
-                .sort(vec!["o_orderpriority".into()])
-                .output("q4")
+            jn(
+                o,
+                l.aggregate(vec!["l_orderkey".into()], 0.27, 0.25),
+                "orderkey",
+                0.05,
+                p,
+            )
+            .aggregate(vec!["o_orderpriority".into()], 1e-6, 8e-7)
+            .sort(vec!["o_orderpriority".into()])
+            .output("q4")
         }
         5 => {
             let r = flt(reg(), "r_name = ?", 0.2, p);
@@ -252,7 +274,19 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
             let l_p = jn(li(), p_f, "partkey", 0.0075, p);
             let s_l = jn(l_p, supp(), "suppkey", 1.0, p);
             let o = flt(ord(), "o_orderdate between 1995 and 1996", 0.3, p);
-            let c_o = jn(o, jn(cust(), jn(nat(), reg(), "regionkey", 0.2, p), "nationkey", 0.2, p), "custkey", 0.2, p);
+            let c_o = jn(
+                o,
+                jn(
+                    cust(),
+                    jn(nat(), reg(), "regionkey", 0.2, p),
+                    "nationkey",
+                    0.2,
+                    p,
+                ),
+                "custkey",
+                0.2,
+                p,
+            );
             jn(s_l, c_o, "orderkey", 0.3, p)
                 .aggregate(vec!["o_year".into()], 1e-6, 8e-7)
                 .sort(vec!["o_year".into()])
@@ -273,10 +307,16 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
             let o = flt(ord(), "o_orderdate in quarter", 0.038, p);
             let l = flt(li(), "l_returnflag = 'R'", 0.25, p);
             let lo = jn(l, o, "orderkey", 0.1, p);
-            jn(jn(lo, cust(), "custkey", 1.0, p), nat(), "nationkey", 1.0, p)
-                .aggregate(vec!["c_custkey".into()], 0.3, 0.25)
-                .sort(vec!["revenue".into()])
-                .output("q10")
+            jn(
+                jn(lo, cust(), "custkey", 1.0, p),
+                nat(),
+                "nationkey",
+                1.0,
+                p,
+            )
+            .aggregate(vec!["c_custkey".into()], 0.3, 0.25)
+            .sort(vec!["revenue".into()])
+            .output("q10")
         }
         11 => {
             let n = flt(nat(), "n_name = ?", 0.04, p);
@@ -295,10 +335,16 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
         }
         13 => {
             let o = flt(ord(), "o_comment not like ?", 0.98, p);
-            jn(cust(), o.aggregate(vec!["o_custkey".into()], 0.066, 0.06), "custkey", 1.0, p)
-                .aggregate(vec!["c_count".into()], 1e-4, 8e-5)
-                .sort(vec!["custdist".into()])
-                .output("q13")
+            jn(
+                cust(),
+                o.aggregate(vec!["o_custkey".into()], 0.066, 0.06),
+                "custkey",
+                1.0,
+                p,
+            )
+            .aggregate(vec!["c_count".into()], 1e-4, 8e-5)
+            .sort(vec!["custdist".into()])
+            .output("q13")
         }
         14 => {
             let l = flt(li(), "l_shipdate in month", 0.013, p);
@@ -314,31 +360,59 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
                 .output("q15")
         }
         16 => {
-            let pt = flt(part(), "p_brand <> ? and p_type not like ? and p_size in", 0.04, p);
+            let pt = flt(
+                part(),
+                "p_brand <> ? and p_type not like ? and p_size in",
+                0.04,
+                p,
+            );
             let s_bad = flt(supp(), "s_comment like '%Complaints%'", 0.0005, p);
             let ps_ok = jn(ps(), pt, "partkey", 0.04, p);
             jn(ps_ok, s_bad, "suppkey", 0.9, p)
-                .aggregate(vec!["p_brand".into(), "p_type".into(), "p_size".into()], 0.05, 0.04)
+                .aggregate(
+                    vec!["p_brand".into(), "p_type".into(), "p_size".into()],
+                    0.05,
+                    0.04,
+                )
                 .sort(vec!["supplier_cnt".into()])
                 .output("q16")
         }
         17 => {
             let pt = flt(part(), "p_brand = ? and p_container = ?", 0.001, p);
-            let avg_qty = jn(li(), pt.clone(), "partkey", 0.001, p)
-                .aggregate(vec!["l_partkey".into()], 0.9, 0.85);
-            jn(jn(li(), pt, "partkey", 0.001, p), avg_qty, "partkey", 0.3, p)
-                .aggregate(vec![], 1e-7, 1e-7)
-                .output("q17")
+            let avg_qty = jn(li(), pt.clone(), "partkey", 0.001, p).aggregate(
+                vec!["l_partkey".into()],
+                0.9,
+                0.85,
+            );
+            jn(
+                jn(li(), pt, "partkey", 0.001, p),
+                avg_qty,
+                "partkey",
+                0.3,
+                p,
+            )
+            .aggregate(vec![], 1e-7, 1e-7)
+            .output("q17")
         }
         18 => {
             let big = li()
                 .aggregate(vec!["l_orderkey".into()], 0.25, 0.22)
-                .filter("sum(qty) > ?", 0.005, (0.005 * p.selectivity_scale / p.estimation_error).clamp(1e-7, 1.0));
+                .filter(
+                    "sum(qty) > ?",
+                    0.005,
+                    (0.005 * p.selectivity_scale / p.estimation_error).clamp(1e-7, 1.0),
+                );
             let o_big = jn(ord(), big, "orderkey", 0.005, p);
-            jn(jn(cust(), o_big, "custkey", 0.005, p), li(), "orderkey", 4.0, p)
-                .aggregate(vec!["o_orderkey".into()], 0.2, 0.18)
-                .sort(vec!["o_totalprice".into()])
-                .output("q18")
+            jn(
+                jn(cust(), o_big, "custkey", 0.005, p),
+                li(),
+                "orderkey",
+                4.0,
+                p,
+            )
+            .aggregate(vec!["o_orderkey".into()], 0.2, 0.18)
+            .sort(vec!["o_totalprice".into()])
+            .output("q18")
         }
         19 => {
             let pt = flt(part(), "brand/container/size disjunction", 0.002, p);
@@ -349,13 +423,22 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
         }
         20 => {
             let pt = flt(part(), "p_name like ?", 0.011, p);
-            let l_agg = flt(li(), "l_shipdate in year", 0.15, p)
-                .aggregate(vec!["l_partkey".into(), "l_suppkey".into()], 0.3, 0.27);
+            let l_agg = flt(li(), "l_shipdate in year", 0.15, p).aggregate(
+                vec!["l_partkey".into(), "l_suppkey".into()],
+                0.3,
+                0.27,
+            );
             let ps_f = jn(jn(ps(), pt, "partkey", 0.011, p), l_agg, "partkey", 0.5, p);
             let n = flt(nat(), "n_name = ?", 0.04, p);
-            jn(jn(supp(), n, "nationkey", 0.04, p), ps_f.aggregate(vec!["ps_suppkey".into()], 0.4, 0.35), "suppkey", 0.5, p)
-                .sort(vec!["s_name".into()])
-                .output("q20")
+            jn(
+                jn(supp(), n, "nationkey", 0.04, p),
+                ps_f.aggregate(vec!["ps_suppkey".into()], 0.4, 0.35),
+                "suppkey",
+                0.5,
+                p,
+            )
+            .sort(vec!["s_name".into()])
+            .output("q20")
         }
         21 => {
             let n = flt(nat(), "n_name = ?", 0.04, p);
@@ -363,14 +446,25 @@ pub fn tpch_query(q: usize, p: &TpchParams) -> LogicalNode {
             let l1 = flt(li(), "l_receiptdate > l_commitdate", 0.5, p);
             let o = flt(ord(), "o_orderstatus = 'F'", 0.49, p);
             let sl = jn(l1, s, "suppkey", 0.04, p);
-            jn(jn(sl, o, "orderkey", 0.5, p), li().aggregate(vec!["l_orderkey".into()], 0.25, 0.22), "orderkey", 0.8, p)
-                .aggregate(vec!["s_name".into()], 1e-4, 8e-5)
-                .sort(vec!["numwait".into()])
-                .output("q21")
+            jn(
+                jn(sl, o, "orderkey", 0.5, p),
+                li().aggregate(vec!["l_orderkey".into()], 0.25, 0.22),
+                "orderkey",
+                0.8,
+                p,
+            )
+            .aggregate(vec!["s_name".into()], 1e-4, 8e-5)
+            .sort(vec!["numwait".into()])
+            .output("q21")
         }
         _ => {
             // Q22 (and the fallback): customers with above-average balances and no orders.
-            let c = flt(cust(), "substring(c_phone) in (...) and c_acctbal > avg", 0.13, p);
+            let c = flt(
+                cust(),
+                "substring(c_phone) in (...) and c_acctbal > avg",
+                0.13,
+                p,
+            );
             let o_agg = ord().aggregate(vec!["o_custkey".into()], 0.066, 0.06);
             jn(c, o_agg, "custkey", 0.35, p)
                 .aggregate(vec!["cntrycode".into()], 1e-5, 8e-6)
@@ -447,7 +541,10 @@ mod tests {
     #[test]
     fn queries_touch_expected_tables() {
         let p = TpchParams::reference();
-        assert_eq!(tpch_query(1, &p).input_tables(), vec!["lineitem".to_string()]);
+        assert_eq!(
+            tpch_query(1, &p).input_tables(),
+            vec!["lineitem".to_string()]
+        );
         let q3_tables = tpch_query(3, &p).input_tables();
         assert!(q3_tables.contains(&"customer".to_string()));
         assert!(q3_tables.contains(&"orders".to_string()));

@@ -1,25 +1,36 @@
-//! Property-based tests for the engine: cardinality derivation, stage formation, and
+//! Property-style tests for the engine: cardinality derivation, stage formation, and
 //! the execution simulator over randomly shaped (but well-formed) plans.
+//!
+//! Inputs are generated from the workspace's own [`DetRng`] (the build is
+//! offline and dependency-free, so there is no proptest).
 
+use cleo_common::rng::DetRng;
 use cleo_engine::catalog::{Catalog, ColumnDef, TableDef};
 use cleo_engine::exec::{Simulator, SimulatorConfig};
 use cleo_engine::logical::LogicalNode;
 use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind, PhysicalPlan};
 use cleo_engine::stage::build_stage_graph;
 use cleo_engine::types::{ClusterId, DayIndex, JobId, OpStats};
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
     c.add_table(TableDef::new(
         "t0",
-        vec![ColumnDef::new("k", 8.0, 0.1), ColumnDef::new("v", 40.0, 0.8)],
+        vec![
+            ColumnDef::new("k", 8.0, 0.1),
+            ColumnDef::new("v", 40.0, 0.8),
+        ],
         1e7,
         32,
     ));
     c.add_table(TableDef::new(
         "t1",
-        vec![ColumnDef::new("k", 8.0, 1.0), ColumnDef::new("d", 16.0, 0.2)],
+        vec![
+            ColumnDef::new("k", 8.0, 1.0),
+            ColumnDef::new("d", 16.0, 0.2),
+        ],
         1e5,
         4,
     ));
@@ -28,26 +39,24 @@ fn catalog() -> Catalog {
 
 /// A random logical plan: a chain of unary operators over a scan, optionally joined
 /// with a second scan, optionally aggregated.
-fn logical_plan_strategy() -> impl Strategy<Value = LogicalNode> {
-    (
-        prop::collection::vec((0.0001f64..1.0, 0.0001f64..1.0), 0..4),
-        any::<bool>(),
-        any::<bool>(),
-        0.0001f64..0.5,
-    )
-        .prop_map(|(filters, join, aggregate, group_fraction)| {
-            let mut plan = LogicalNode::get("t0");
-            for (i, (est, act)) in filters.iter().enumerate() {
-                plan = plan.filter(format!("p{i}"), *est, *act);
-            }
-            if join {
-                plan = plan.join(LogicalNode::get("t1"), vec!["k".into()], 1.0, 0.7);
-            }
-            if aggregate {
-                plan = plan.aggregate(vec!["k".into()], group_fraction, group_fraction * 0.5);
-            }
-            plan.output("sink")
-        })
+fn random_logical_plan(rng: &mut DetRng) -> LogicalNode {
+    let n_filters = rng.index(4);
+    let join = rng.chance(0.5);
+    let aggregate = rng.chance(0.5);
+    let group_fraction = rng.uniform(0.0001, 0.5);
+    let mut plan = LogicalNode::get("t0");
+    for i in 0..n_filters {
+        let est = rng.uniform(0.0001, 1.0);
+        let act = rng.uniform(0.0001, 1.0);
+        plan = plan.filter(format!("p{i}"), est, act);
+    }
+    if join {
+        plan = plan.join(LogicalNode::get("t1"), vec!["k".into()], 1.0, 0.7);
+    }
+    if aggregate {
+        plan = plan.aggregate(vec!["k".into()], group_fraction, group_fraction * 0.5);
+    }
+    plan.output("sink")
 }
 
 fn meta(job: u64) -> JobMeta {
@@ -64,89 +73,103 @@ fn meta(job: u64) -> JobMeta {
 }
 
 /// A random linear physical pipeline with an exchange in the middle.
-fn physical_plan_strategy() -> impl Strategy<Value = PhysicalPlan> {
-    (1usize..64, 1usize..256, 1e3f64..1e8, 1u64..1000).prop_map(|(p1, p2, rows, job)| {
-        let stats = |r: f64| OpStats {
-            input_cardinality: r,
-            base_cardinality: r,
-            output_cardinality: r,
-            avg_row_bytes: 50.0,
-        };
-        let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t0", vec![]);
-        extract.est = stats(rows);
-        extract.act = stats(rows);
-        extract.partition_count = p1;
-        let mut filter = PhysicalNode::new(PhysicalOpKind::Filter, "p", vec![extract]);
-        filter.est = stats(rows * 0.3);
-        filter.act = stats(rows * 0.2);
-        filter.partition_count = p1;
-        let mut exch = PhysicalNode::new(PhysicalOpKind::Exchange, "k", vec![filter]);
-        exch.est = stats(rows * 0.3);
-        exch.act = stats(rows * 0.2);
-        exch.partition_count = p2;
-        let mut agg = PhysicalNode::new(PhysicalOpKind::HashAggregate, "k", vec![exch]);
-        agg.est = stats(rows * 0.01);
-        agg.act = stats(rows * 0.005);
-        agg.partition_count = p2;
-        let mut out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![agg]);
-        out.est = stats(rows * 0.01);
-        out.act = stats(rows * 0.005);
-        out.partition_count = p2;
-        PhysicalPlan::new(meta(job), out)
-    })
+fn random_physical_plan(rng: &mut DetRng) -> PhysicalPlan {
+    let p1 = rng.index(63) + 1;
+    let p2 = rng.index(255) + 1;
+    let rows = rng.uniform(1e3, 1e8);
+    let job = rng.int_range(1, 999);
+    let stats = |r: f64| OpStats {
+        input_cardinality: r,
+        base_cardinality: r,
+        output_cardinality: r,
+        avg_row_bytes: 50.0,
+    };
+    let mut extract = PhysicalNode::new(PhysicalOpKind::Extract, "t0", vec![]);
+    extract.est = stats(rows);
+    extract.act = stats(rows);
+    extract.partition_count = p1;
+    let mut filter = PhysicalNode::new(PhysicalOpKind::Filter, "p", vec![extract]);
+    filter.est = stats(rows * 0.3);
+    filter.act = stats(rows * 0.2);
+    filter.partition_count = p1;
+    let mut exch = PhysicalNode::new(PhysicalOpKind::Exchange, "k", vec![filter]);
+    exch.est = stats(rows * 0.3);
+    exch.act = stats(rows * 0.2);
+    exch.partition_count = p2;
+    let mut agg = PhysicalNode::new(PhysicalOpKind::HashAggregate, "k", vec![exch]);
+    agg.est = stats(rows * 0.01);
+    agg.act = stats(rows * 0.005);
+    agg.partition_count = p2;
+    let mut out = PhysicalNode::new(PhysicalOpKind::Output, "sink", vec![agg]);
+    out.est = stats(rows * 0.01);
+    out.act = stats(rows * 0.005);
+    out.partition_count = p2;
+    PhysicalPlan::new(meta(job), out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn derived_cardinalities_are_positive_and_bounded(plan in logical_plan_strategy()) {
+#[test]
+fn derived_cardinalities_are_positive_and_bounded() {
+    let mut rng = DetRng::new(301);
+    for _ in 0..CASES {
+        let plan = random_logical_plan(&mut rng);
         let cards = plan.derive_cards(&catalog()).unwrap();
-        prop_assert!(cards.estimated.output_cardinality >= 1.0);
-        prop_assert!(cards.actual.output_cardinality >= 1.0);
-        prop_assert!(cards.estimated.avg_row_bytes >= 1.0);
+        assert!(cards.estimated.output_cardinality >= 1.0);
+        assert!(cards.actual.output_cardinality >= 1.0);
+        assert!(cards.estimated.avg_row_bytes >= 1.0);
         // Base cardinality equals the sum of the scanned tables in both worlds.
-        prop_assert!((cards.estimated.base_cardinality - cards.actual.base_cardinality).abs() < 1e-6);
+        assert!((cards.estimated.base_cardinality - cards.actual.base_cardinality).abs() < 1e-6);
         // No single-output operator chain can exceed the cross-product bound here:
         // output <= base * max join fanout (1.0) for this plan family.
-        prop_assert!(cards.actual.output_cardinality <= cards.actual.base_cardinality + 1.0);
+        assert!(cards.actual.output_cardinality <= cards.actual.base_cardinality + 1.0);
     }
+}
 
-    #[test]
-    fn stage_graphs_partition_every_operator_exactly_once(plan in physical_plan_strategy()) {
+#[test]
+fn stage_graphs_partition_every_operator_exactly_once() {
+    let mut rng = DetRng::new(302);
+    for _ in 0..CASES {
+        let plan = random_physical_plan(&mut rng);
         let graph = build_stage_graph(&plan);
         // Every operator appears in exactly one stage.
         let mut seen = std::collections::HashSet::new();
         for stage in &graph.stages {
             for op in &stage.op_ids {
-                prop_assert!(seen.insert(*op), "operator listed in two stages");
+                assert!(seen.insert(*op), "operator listed in two stages");
             }
         }
-        prop_assert_eq!(seen.len(), plan.op_count());
+        assert_eq!(seen.len(), plan.op_count());
         // Stage partition counts match their partitioning operator.
         for stage in &graph.stages {
             let root = plan.root.find(stage.partitioning_op).unwrap();
-            prop_assert_eq!(stage.partition_count, root.partition_count);
-            prop_assert!(root.kind.is_partitioning());
+            assert_eq!(stage.partition_count, root.partition_count);
+            assert!(root.kind.is_partitioning());
         }
     }
+}
 
-    #[test]
-    fn simulator_latencies_are_positive_finite_and_deterministic(plan in physical_plan_strategy()) {
+#[test]
+fn simulator_latencies_are_positive_finite_and_deterministic() {
+    let mut rng = DetRng::new(303);
+    for _ in 0..CASES {
+        let plan = random_physical_plan(&mut rng);
         let sim = Simulator::new(SimulatorConfig::default());
         let a = sim.run(&plan);
         let b = sim.run(&plan);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.job_latency.is_finite() && a.job_latency > 0.0);
-        prop_assert!(a.total_cpu_seconds >= a.job_latency - 1e-9);
-        prop_assert_eq!(a.operator_runs.len(), plan.op_count());
+        assert_eq!(&a, &b);
+        assert!(a.job_latency.is_finite() && a.job_latency > 0.0);
+        assert!(a.total_cpu_seconds >= a.job_latency - 1e-9);
+        assert_eq!(a.operator_runs.len(), plan.op_count());
         for run in a.operator_runs.values() {
-            prop_assert!(run.exclusive_seconds.is_finite() && run.exclusive_seconds > 0.0);
+            assert!(run.exclusive_seconds.is_finite() && run.exclusive_seconds > 0.0);
         }
     }
+}
 
-    #[test]
-    fn noiseless_latency_decreases_when_rows_shrink(rows in 1e5f64..1e8) {
+#[test]
+fn noiseless_latency_decreases_when_rows_shrink() {
+    let mut rng = DetRng::new(304);
+    for _ in 0..CASES {
+        let rows = rng.uniform(1e5, 1e8);
         let sim = Simulator::new(SimulatorConfig::noiseless(1));
         let build = |r: f64| {
             let stats = |x: f64| OpStats {
@@ -167,6 +190,6 @@ proptest! {
         };
         let big = sim.run(&build(rows));
         let small = sim.run(&build(rows / 10.0));
-        prop_assert!(small.job_latency <= big.job_latency + 1e-9);
+        assert!(small.job_latency <= big.job_latency + 1e-9);
     }
 }

@@ -242,7 +242,12 @@ mod tests {
     fn split_and_moments() {
         let ds = Dataset::from_rows(
             names(2),
-            vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0], vec![7.0, 70.0]],
+            vec![
+                vec![1.0, 10.0],
+                vec![3.0, 30.0],
+                vec![5.0, 50.0],
+                vec![7.0, 70.0],
+            ],
             vec![1.0, 2.0, 3.0, 4.0],
         )
         .unwrap();

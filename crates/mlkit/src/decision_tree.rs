@@ -220,8 +220,8 @@ impl DecisionTreeRegressor {
                 }
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 if best.map_or(true, |(_, _, b)| sse < b) {
                     best = Some((f, 0.5 * (cur_val + next_val), sse));
                 }
@@ -248,7 +248,11 @@ impl DecisionTreeRegressor {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -265,9 +269,7 @@ impl Regressor for DecisionTreeRegressor {
         if !self.fitted {
             return 0.0;
         }
-        self.config
-            .target_transform
-            .inverse(self.predict_raw(row))
+        self.config.target_transform.inverse(self.predict_raw(row))
     }
 
     fn is_fitted(&self) -> bool {
@@ -287,9 +289,7 @@ mod tests {
 
     fn step_dataset() -> Dataset {
         // y depends on a threshold of x0, ignoring x1.
-        let rows: Vec<Vec<f64>> = (0..60)
-            .map(|i| vec![i as f64, (i % 5) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 5) as f64]).collect();
         let targets: Vec<f64> = rows
             .iter()
             .map(|r| if r[0] < 30.0 { 10.0 } else { 100.0 })

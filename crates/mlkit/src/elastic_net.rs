@@ -182,7 +182,11 @@ impl Regressor for ElasticNet {
 
         let (raw_w, raw_b) = scaler.unscale_weights(&w, y_mean);
         self.weights = raw_w;
-        self.intercept = if self.config.fit_intercept { raw_b } else { raw_b - y_mean };
+        self.intercept = if self.config.fit_intercept {
+            raw_b
+        } else {
+            raw_b - y_mean
+        };
         self.fitted = true;
         Ok(())
     }
@@ -235,7 +239,12 @@ mod tests {
             rows.push(vec![x0, x1, x2]);
             targets.push(y.max(0.0));
         }
-        Dataset::from_rows(vec!["x0".into(), "x1".into(), "noise".into()], rows, targets).unwrap()
+        Dataset::from_rows(
+            vec!["x0".into(), "x1".into(), "noise".into()],
+            rows,
+            targets,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -249,7 +258,11 @@ mod tests {
         let corr = stats::pearson(&preds, ds.targets());
         assert!(corr > 0.99, "corr = {corr}");
         // Weight on x0 should be close to 4.
-        assert!((model.weights()[0] - 4.0).abs() < 0.3, "{:?}", model.weights());
+        assert!(
+            (model.weights()[0] - 4.0).abs() < 0.3,
+            "{:?}",
+            model.weights()
+        );
     }
 
     #[test]
@@ -265,13 +278,15 @@ mod tests {
             rows.push(vec![x0, x1, x0 * x1]);
             targets.push(0.5 * x0 * x1 * rng.lognormal_noise(0.1));
         }
-        let ds =
-            Dataset::from_rows(vec!["x0".into(), "x1".into(), "x0x1".into()], rows, targets)
-                .unwrap();
+        let ds = Dataset::from_rows(vec!["x0".into(), "x1".into(), "x0x1".into()], rows, targets)
+            .unwrap();
         let mut model = ElasticNet::paper_default();
         model.fit(&ds).unwrap();
         let preds = model.predict(&ds);
-        assert!(preds.iter().all(|&p| p >= 0.0), "log target keeps predictions positive");
+        assert!(
+            preds.iter().all(|&p| p >= 0.0),
+            "log target keeps predictions positive"
+        );
         let corr = stats::pearson(&preds, ds.targets());
         assert!(corr > 0.9, "corr = {corr}");
     }
@@ -317,7 +332,12 @@ mod tests {
     fn handles_constant_columns() {
         let ds = Dataset::from_rows(
             vec!["c".into(), "x".into()],
-            vec![vec![7.0, 1.0], vec![7.0, 2.0], vec![7.0, 3.0], vec![7.0, 4.0]],
+            vec![
+                vec![7.0, 1.0],
+                vec![7.0, 2.0],
+                vec![7.0, 3.0],
+                vec![7.0, 4.0],
+            ],
             vec![2.0, 4.0, 6.0, 8.0],
         )
         .unwrap();

@@ -236,7 +236,11 @@ mod tests {
             let parts = rng.uniform(1.0, 256.0);
             let base = 1e-4 * card * rowlen.sqrt() / parts + 0.5 * parts;
             let noise = rng.lognormal_noise(0.2);
-            let outlier = if rng.chance(0.03) { rng.uniform(5.0, 20.0) } else { 1.0 };
+            let outlier = if rng.chance(0.03) {
+                rng.uniform(5.0, 20.0)
+            } else {
+                1.0
+            };
             rows.push(vec![card, rowlen, parts, card / parts]);
             targets.push(base * noise * outlier);
         }

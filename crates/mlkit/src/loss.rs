@@ -91,9 +91,11 @@ pub fn log1p_clamped(x: f64) -> f64 {
     (1.0 + x.max(0.0)).ln()
 }
 
-/// Inverse of [`log1p_clamped`].
+/// Inverse of [`log1p_clamped`].  The exponent is capped so a linear model
+/// extrapolating far outside its training range maps to a huge-but-finite
+/// runtime instead of `inf` (which would poison any downstream training set).
 pub fn expm1_clamped(x: f64) -> f64 {
-    (x.exp() - 1.0).max(0.0)
+    (x.min(700.0).exp() - 1.0).max(0.0)
 }
 
 /// How the target is transformed before fitting and predictions are transformed back.

@@ -51,11 +51,7 @@ impl RegressionReport {
             return RegressionReport::empty();
         }
         let w = |f: fn(&RegressionReport) -> f64| -> f64 {
-            reports
-                .iter()
-                .map(|r| f(r) * r.n as f64)
-                .sum::<f64>()
-                / total as f64
+            reports.iter().map(|r| f(r) * r.n as f64).sum::<f64>() / total as f64
         };
         RegressionReport {
             n: total,

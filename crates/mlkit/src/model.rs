@@ -13,6 +13,9 @@ use crate::random_forest::RandomForestRegressor;
 use cleo_common::Result;
 
 /// A trainable regression model mapping a feature row to a non-negative cost.
+///
+/// The trait is `Send + Sync` so model stores can train their thousands of
+/// per-signature models across threads and share trained models freely.
 pub trait Regressor: Send + Sync {
     /// Fit the model on a dataset. Re-fitting replaces the previous state.
     fn fit(&mut self, data: &Dataset) -> Result<()>;
@@ -21,9 +24,23 @@ pub trait Regressor: Send + Sync {
     /// model has not been fitted; use [`Regressor::is_fitted`] to check.
     fn predict_row(&self, row: &[f64]) -> f64;
 
+    /// Predict a batch of feature rows in one call.
+    ///
+    /// This is the API the optimizer's per-stage costing uses: one operator is
+    /// evaluated at many candidate partition counts against the *same* model, so
+    /// batching amortises the model lookup and keeps the per-candidate work tight.
+    /// The default implementation maps [`Regressor::predict_row`]; implementations
+    /// may override it with a genuinely vectorised path, but must return bitwise
+    /// the same values as the row-by-row loop.
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        rows.iter().map(|row| self.predict_row(row)).collect()
+    }
+
     /// Predict every row of a dataset.
     fn predict(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.n_rows()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// True once `fit` has succeeded.

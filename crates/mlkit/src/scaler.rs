@@ -46,12 +46,8 @@ impl StandardScaler {
         let rows: Vec<Vec<f64>> = (0..data.n_rows())
             .map(|i| self.transform_row(data.row(i)))
             .collect();
-        Dataset::from_rows(
-            data.feature_names().to_vec(),
-            rows,
-            data.targets().to_vec(),
-        )
-        .expect("same shape as input dataset")
+        Dataset::from_rows(data.feature_names().to_vec(), rows, data.targets().to_vec())
+            .expect("same shape as input dataset")
     }
 
     /// Convert a weight vector learned in standardised space back to raw-feature space,
@@ -128,10 +124,14 @@ mod tests {
         let (w_raw, b_raw) = scaler.unscale_weights(&w_std, b_std);
         for i in 0..ds.n_rows() {
             let std_row = scaler.transform_row(ds.row(i));
-            let pred_std: f64 =
-                std_row.iter().zip(&w_std).map(|(x, w)| x * w).sum::<f64>() + b_std;
-            let pred_raw: f64 =
-                ds.row(i).iter().zip(&w_raw).map(|(x, w)| x * w).sum::<f64>() + b_raw;
+            let pred_std: f64 = std_row.iter().zip(&w_std).map(|(x, w)| x * w).sum::<f64>() + b_std;
+            let pred_raw: f64 = ds
+                .row(i)
+                .iter()
+                .zip(&w_raw)
+                .map(|(x, w)| x * w)
+                .sum::<f64>()
+                + b_raw;
             assert!((pred_std - pred_raw).abs() < 1e-9);
         }
     }

@@ -1,72 +1,121 @@
-//! Property-based tests for the ML toolkit: every learner must stay finite,
+//! Property-style tests for the ML toolkit: every learner must stay finite,
 //! non-negative (under the log-target transform), and deterministic for a fixed seed,
 //! over arbitrary well-formed training data.
+//!
+//! Inputs are generated from the workspace's own [`DetRng`] (the build is
+//! offline and dependency-free, so there is no proptest).
 
+use cleo_common::rng::DetRng;
 use cleo_mlkit::loss::TargetTransform;
-use cleo_mlkit::model::{Regressor, RegressorKind};
+use cleo_mlkit::model::RegressorKind;
 use cleo_mlkit::{Dataset, Loss};
-use proptest::prelude::*;
 
-/// Strategy: a small regression dataset with positive targets (runtimes).
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..5, 8usize..40).prop_flat_map(|(n_cols, n_rows)| {
-        let row = prop::collection::vec(0.0f64..1e6, n_cols);
-        let rows = prop::collection::vec(row, n_rows);
-        let targets = prop::collection::vec(0.01f64..1e5, n_rows);
-        (rows, targets).prop_map(move |(rows, targets)| {
-            let names = (0..n_cols).map(|i| format!("f{i}")).collect();
-            Dataset::from_rows(names, rows, targets).expect("well-formed dataset")
-        })
-    })
+/// A small regression dataset with positive targets (runtimes).
+fn random_dataset(rng: &mut DetRng) -> Dataset {
+    let n_cols = rng.index(3) + 2; // 2..5
+    let n_rows = rng.index(32) + 8; // 8..40
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|_| (0..n_cols).map(|_| rng.uniform(0.0, 1e6)).collect())
+        .collect();
+    let targets: Vec<f64> = (0..n_rows).map(|_| rng.uniform(0.01, 1e5)).collect();
+    let names = (0..n_cols).map(|i| format!("f{i}")).collect();
+    Dataset::from_rows(names, rows, targets).expect("well-formed dataset")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn all_learners_produce_finite_nonnegative_predictions(ds in dataset_strategy()) {
+#[test]
+fn all_learners_produce_finite_nonnegative_predictions() {
+    let mut rng = DetRng::new(201);
+    for _ in 0..16 {
+        let ds = random_dataset(&mut rng);
         for kind in RegressorKind::all() {
             let mut model = kind.build(7);
             model.fit(&ds).expect("fit succeeds on well-formed data");
             for i in 0..ds.n_rows() {
                 let p = model.predict_row(ds.row(i));
-                prop_assert!(p.is_finite(), "{} produced non-finite prediction", kind.name());
-                prop_assert!(p >= 0.0, "{} produced negative prediction {p}", kind.name());
+                assert!(
+                    p.is_finite(),
+                    "{} produced non-finite prediction",
+                    kind.name()
+                );
+                assert!(p >= 0.0, "{} produced negative prediction {p}", kind.name());
             }
         }
     }
+}
 
-    #[test]
-    fn learners_are_deterministic_for_a_seed(ds in dataset_strategy()) {
-        for kind in [RegressorKind::RandomForest, RegressorKind::FastTree, RegressorKind::Mlp] {
+#[test]
+fn learners_are_deterministic_for_a_seed() {
+    let mut rng = DetRng::new(202);
+    for _ in 0..8 {
+        let ds = random_dataset(&mut rng);
+        for kind in [
+            RegressorKind::RandomForest,
+            RegressorKind::FastTree,
+            RegressorKind::Mlp,
+        ] {
             let mut a = kind.build(13);
             let mut b = kind.build(13);
             a.fit(&ds).unwrap();
             b.fit(&ds).unwrap();
             for i in 0..ds.n_rows().min(10) {
-                prop_assert_eq!(a.predict_row(ds.row(i)).to_bits(), b.predict_row(ds.row(i)).to_bits());
+                assert_eq!(
+                    a.predict_row(ds.row(i)).to_bits(),
+                    b.predict_row(ds.row(i)).to_bits()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn losses_are_nonnegative_and_zero_for_perfect_predictions(ys in prop::collection::vec(0.0f64..1e6, 1..50)) {
+#[test]
+fn batched_prediction_matches_row_by_row() {
+    let mut rng = DetRng::new(203);
+    for _ in 0..8 {
+        let ds = random_dataset(&mut rng);
+        for kind in RegressorKind::all() {
+            let mut model = kind.build(11);
+            model.fit(&ds).unwrap();
+            let rows: Vec<&[f64]> = (0..ds.n_rows()).map(|i| ds.row(i)).collect();
+            let batched = model.predict_batch(&rows);
+            assert_eq!(batched.len(), ds.n_rows());
+            for (i, b) in batched.iter().enumerate() {
+                assert_eq!(
+                    b.to_bits(),
+                    model.predict_row(ds.row(i)).to_bits(),
+                    "{} batch/row mismatch at {i}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn losses_are_nonnegative_and_zero_for_perfect_predictions() {
+    let mut rng = DetRng::new(204);
+    for _ in 0..32 {
+        let len = rng.index(49) + 1;
+        let ys: Vec<f64> = (0..len).map(|_| rng.uniform(0.0, 1e6)).collect();
         for loss in [
             Loss::MedianAbsoluteError,
             Loss::MeanAbsoluteError,
             Loss::MeanSquaredError,
             Loss::MeanSquaredLogError,
         ] {
-            prop_assert!(loss.evaluate(&ys, &ys).abs() < 1e-9);
+            assert!(loss.evaluate(&ys, &ys).abs() < 1e-9);
             let shifted: Vec<f64> = ys.iter().map(|y| y + 1.0).collect();
-            prop_assert!(loss.evaluate(&shifted, &ys) >= 0.0);
+            assert!(loss.evaluate(&shifted, &ys) >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn log_target_transform_round_trips(y in 0.0f64..1e12) {
+#[test]
+fn log_target_transform_round_trips() {
+    let mut rng = DetRng::new(205);
+    for _ in 0..256 {
+        let y = rng.uniform(0.0, 1e12);
         let t = TargetTransform::Log1p;
         let back = t.inverse(t.forward(y));
-        prop_assert!((back - y).abs() <= 1e-6 * (1.0 + y));
+        assert!((back - y).abs() <= 1e-6 * (1.0 + y));
     }
 }

@@ -25,6 +25,24 @@ pub trait CostModel: Send + Sync {
     /// values into `est` upstream instead).
     fn exclusive_cost(&self, node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> f64;
 
+    /// Exclusive cost of `node` at every candidate partition count, in one call.
+    ///
+    /// Partition exploration costs the same operator at tens of candidate counts;
+    /// batching lets learned models compute signatures and resolve model lookups
+    /// once per operator instead of once per candidate.  The default forwards to
+    /// [`CostModel::exclusive_cost`]; overrides must return identical values.
+    fn exclusive_cost_batch(
+        &self,
+        node: &PhysicalNode,
+        partitions: &[usize],
+        meta: &JobMeta,
+    ) -> Vec<f64> {
+        partitions
+            .iter()
+            .map(|&p| self.exclusive_cost(node, p, meta))
+            .collect()
+    }
+
     /// Decompose the cost around the partition count as `cost(P) ≈ θ_p / P + θ_c · P`
     /// (plus terms independent of `P`).  Used by the analytical partition-exploration
     /// strategy of Section 5.3; models that cannot provide it return `None` and the
@@ -221,8 +239,12 @@ mod tests {
     fn default_model_is_blind_to_udf_cost() {
         let m = HeuristicCostModel::default_model();
         let cheap = m.exclusive_cost(&node(PhysicalOpKind::Process, 1e7, 1.0), 10, &meta());
-        let expensive_udf = m.exclusive_cost(&node(PhysicalOpKind::Process, 1e7, 25.0), 10, &meta());
-        assert_eq!(cheap, expensive_udf, "heuristic models cannot see UDF cost factors");
+        let expensive_udf =
+            m.exclusive_cost(&node(PhysicalOpKind::Process, 1e7, 25.0), 10, &meta());
+        assert_eq!(
+            cheap, expensive_udf,
+            "heuristic models cannot see UDF cost factors"
+        );
     }
 
     #[test]

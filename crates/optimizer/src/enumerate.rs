@@ -260,7 +260,11 @@ impl<'a> Enumerator<'a> {
         _act: OpStats,
     ) -> PhysicalNode {
         // A sort does not change cardinalities: reuse the child's output stats.
-        let mut node = PhysicalNode::new(PhysicalOpKind::Sort, keys.join(","), vec![child.node.clone()]);
+        let mut node = PhysicalNode::new(
+            PhysicalOpKind::Sort,
+            keys.join(","),
+            vec![child.node.clone()],
+        );
         node.est = passthrough_stats(&child.node.est);
         node.act = passthrough_stats(&child.node.act);
         node.partition_count = child.node.partition_count;
@@ -278,8 +282,7 @@ impl<'a> Enumerator<'a> {
     ) -> PhysicalNode {
         let est = passthrough_stats(&child.est);
         let act = passthrough_stats(&child.act);
-        let mut node =
-            PhysicalNode::new(PhysicalOpKind::Exchange, keys.join(","), vec![child]);
+        let mut node = PhysicalNode::new(PhysicalOpKind::Exchange, keys.join(","), vec![child]);
         node.est = est;
         node.act = act;
         node.partition_count = partitions;
@@ -310,8 +313,9 @@ impl<'a> Enumerator<'a> {
         alts: &mut Vec<Alternative>,
     ) {
         let scalar = group_keys.is_empty();
-        let already_partitioned =
-            !scalar && child.node.partitioned_on == group_keys && !child.node.partitioned_on.is_empty();
+        let already_partitioned = !scalar
+            && child.node.partitioned_on == group_keys
+            && !child.node.partitioned_on.is_empty();
 
         // Candidate "pre-exchange" children: plain, and optionally locally pre-aggregated.
         let mut pre_children: Vec<(PhysicalNode, f64)> = vec![(child.node.clone(), child.cost)];
@@ -332,18 +336,19 @@ impl<'a> Enumerator<'a> {
 
         for (pre, pre_cost) in pre_children {
             // Establish the partitioning requirement.
-            let (partitioned, part_cost) = if already_partitioned && pre.kind != PhysicalOpKind::LocalAggregate {
-                (pre.clone(), pre_cost)
-            } else {
-                let partitions = if scalar {
-                    1
+            let (partitioned, part_cost) =
+                if already_partitioned && pre.kind != PhysicalOpKind::LocalAggregate {
+                    (pre.clone(), pre_cost)
                 } else {
-                    default_partition_count(pre.est.output_bytes())
+                    let partitions = if scalar {
+                        1
+                    } else {
+                        default_partition_count(pre.est.output_bytes())
+                    };
+                    let exch = self.exchange_enforcer(pre.clone(), group_keys.to_vec(), partitions);
+                    let exch_alt = self.costed(exch, pre_cost);
+                    (exch_alt.node, exch_alt.cost)
                 };
-                let exch = self.exchange_enforcer(pre.clone(), group_keys.to_vec(), partitions);
-                let exch_alt = self.costed(exch, pre_cost);
-                (exch_alt.node, exch_alt.cost)
-            };
 
             // Hash aggregation.
             let mut hash = PhysicalNode::new(
@@ -398,7 +403,12 @@ impl<'a> Enumerator<'a> {
         } else if right_ok {
             right.node.partition_count
         } else {
-            default_partition_count(left.node.est.output_bytes().max(right.node.est.output_bytes()))
+            default_partition_count(
+                left.node
+                    .est
+                    .output_bytes()
+                    .max(right.node.est.output_bytes()),
+            )
         };
 
         // Prepare each side: exchange if not partitioned on the keys with that count.
@@ -431,10 +441,7 @@ impl<'a> Enumerator<'a> {
             if node.sorted_on == keys {
                 (node, cost)
             } else {
-                let alt = Alternative {
-                    node,
-                    cost,
-                };
+                let alt = Alternative { node, cost };
                 let sort = self.sort_enforcer(&alt, keys.to_vec(), est, act);
                 let s = self.costed(sort, cost);
                 (s.node, s.cost)
@@ -483,7 +490,11 @@ fn local_agg_stats(child_out: &OpStats, global_agg: &OpStats, partitions: f64) -
 /// Keep the cheapest alternative overall plus the cheapest per distinct
 /// (partitioned_on, sorted_on) property pair, capped at [`MAX_ALTERNATIVES`].
 fn prune(mut alts: Vec<Alternative>) -> Vec<Alternative> {
-    alts.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    alts.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Alternative> = Vec::new();
     let mut seen: Vec<(Vec<String>, Vec<String>)> = Vec::new();
     for alt in alts {
@@ -510,13 +521,19 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(TableDef::new(
             "big",
-            vec![ColumnDef::new("k", 8.0, 0.1), ColumnDef::new("v", 72.0, 0.9)],
+            vec![
+                ColumnDef::new("k", 8.0, 0.1),
+                ColumnDef::new("v", 72.0, 0.9),
+            ],
             5e8,
             120,
         ));
         c.add_table(TableDef::new(
             "small",
-            vec![ColumnDef::new("k", 8.0, 1.0), ColumnDef::new("d", 24.0, 0.5)],
+            vec![
+                ColumnDef::new("k", 8.0, 1.0),
+                ColumnDef::new("d", 24.0, 0.5),
+            ],
             1e5,
             4,
         ));
@@ -555,7 +572,9 @@ mod tests {
 
     #[test]
     fn scan_filter_plan_is_a_simple_pipeline() {
-        let plan = LogicalNode::get("big").filter("v > 1", 0.1, 0.1).output("o");
+        let plan = LogicalNode::get("big")
+            .filter("v > 1", 0.1, 0.1)
+            .output("o");
         let (root, stats) = enumerate_best(&plan);
         assert_eq!(root.kind, PhysicalOpKind::Output);
         assert_eq!(root.children[0].kind, PhysicalOpKind::Filter);

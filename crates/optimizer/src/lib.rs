@@ -20,7 +20,6 @@ pub use cost::{CostModel, DefaultCostModel, HeuristicCostModel};
 pub use enumerate::{default_partition_count, Alternative, EnumerationStats, MAX_PARTITIONS};
 pub use optimizer::{OptimizationStats, OptimizedPlan, Optimizer, OptimizerConfig};
 pub use resource::{
-    analytical_lookup_count, candidate_counts, explore_stage_analytical,
-    explore_stage_sampling, geometric_lookup_count, ExplorationOutcome, PartitionExploration,
-    ResourceContext,
+    analytical_lookup_count, candidate_counts, explore_stage_analytical, explore_stage_sampling,
+    geometric_lookup_count, ExplorationOutcome, PartitionExploration, ResourceContext,
 };

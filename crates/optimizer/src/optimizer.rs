@@ -105,7 +105,11 @@ impl<'a> Optimizer<'a> {
             self.config.enable_local_aggregation,
         );
         let mut alternatives = enumerator.enumerate(&job.plan)?;
-        alternatives.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+        alternatives.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = alternatives
             .into_iter()
             .next()
@@ -232,13 +236,19 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(TableDef::new(
             "facts",
-            vec![ColumnDef::new("k", 8.0, 0.05), ColumnDef::new("v", 92.0, 0.9)],
+            vec![
+                ColumnDef::new("k", 8.0, 0.05),
+                ColumnDef::new("v", 92.0, 0.9),
+            ],
             2e8,
             80,
         ));
         c.add_table(TableDef::new(
             "dims",
-            vec![ColumnDef::new("k", 8.0, 1.0), ColumnDef::new("d", 40.0, 0.3)],
+            vec![
+                ColumnDef::new("k", 8.0, 1.0),
+                ColumnDef::new("d", 40.0, 0.3),
+            ],
             5e5,
             4,
         ));
@@ -277,14 +287,14 @@ mod tests {
         assert!(result.stats.model_invocations > result.plan.op_count());
         assert_eq!(result.plan.meta.name, "opt_test");
         // The plan must contain a join and an aggregate implementation.
-        let kinds: Vec<PhysicalOpKind> =
-            result.plan.operators().iter().map(|o| o.kind).collect();
+        let kinds: Vec<PhysicalOpKind> = result.plan.operators().iter().map(|o| o.kind).collect();
         assert!(kinds
             .iter()
             .any(|k| matches!(k, PhysicalOpKind::HashJoin | PhysicalOpKind::MergeJoin)));
-        assert!(kinds
-            .iter()
-            .any(|k| matches!(k, PhysicalOpKind::HashAggregate | PhysicalOpKind::StreamAggregate)));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            PhysicalOpKind::HashAggregate | PhysicalOpKind::StreamAggregate
+        )));
         assert!(kinds.contains(&PhysicalOpKind::Exchange));
     }
 
@@ -292,12 +302,7 @@ mod tests {
     /// the resource-aware pass rewrites exchange-rooted stages.
     struct SmallPartitionLover;
     impl CostModel for SmallPartitionLover {
-        fn exclusive_cost(
-            &self,
-            node: &PhysicalNode,
-            partitions: usize,
-            _meta: &JobMeta,
-        ) -> f64 {
+        fn exclusive_cost(&self, node: &PhysicalNode, partitions: usize, _meta: &JobMeta) -> f64 {
             let p = partitions.max(1) as f64;
             node.est.output_cardinality.max(1.0) * 1e-6 / p + 2.0 * p
         }
@@ -360,8 +365,12 @@ mod tests {
             use_actual_cardinalities: true,
             ..OptimizerConfig::default()
         };
-        let a = Optimizer::new(&model, default_cfg).optimize(&job()).unwrap();
-        let b = Optimizer::new(&model, perfect_cfg).optimize(&job()).unwrap();
+        let a = Optimizer::new(&model, default_cfg)
+            .optimize(&job())
+            .unwrap();
+        let b = Optimizer::new(&model, perfect_cfg)
+            .optimize(&job())
+            .unwrap();
         // The job's actual selectivities are lower than the estimates, so the perfect
         // cardinality plan should look cheaper to the cost model.
         assert!(b.estimated_cost < a.estimated_cost);

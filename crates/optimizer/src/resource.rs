@@ -144,13 +144,12 @@ pub fn explore_stage_sampling(
     };
     let mut invocations = 0;
     for op in stage_ops {
-        let costs: Vec<f64> = candidates
-            .iter()
-            .map(|&p| {
-                invocations += 1;
-                cost_model.exclusive_cost(op, p, meta)
-            })
-            .collect();
+        // One batched call per operator: learned models compute the operator's
+        // signatures once and evaluate all candidate counts against the same
+        // resolved models (Section 5.3's look-up cost, minus the redundancy).
+        let costs = cost_model.exclusive_cost_batch(op, candidates, meta);
+        debug_assert_eq!(costs.len(), candidates.len());
+        invocations += candidates.len();
         ctx.operator_costs.push(costs);
     }
     let (best_idx, best_cost) = ctx.best_candidate()?;
@@ -225,12 +224,7 @@ pub fn analytical_lookup_count(n_operators: usize) -> usize {
 
 /// Predicted number of model look-ups for geometric sampling with skip coefficient `s`.
 pub fn geometric_lookup_count(n_operators: usize, skip: f64, max_partitions: usize) -> usize {
-    candidate_counts(
-        PartitionExploration::Geometric { skip },
-        max_partitions,
-    )
-    .len()
-        * n_operators
+    candidate_counts(PartitionExploration::Geometric { skip }, max_partitions).len() * n_operators
 }
 
 #[cfg(test)]
@@ -272,7 +266,11 @@ mod tests {
             let p = partitions.max(1) as f64;
             node.est.input_cardinality / p + 0.5 * p
         }
-        fn partition_coefficients(&self, node: &PhysicalNode, _meta: &JobMeta) -> Option<(f64, f64)> {
+        fn partition_coefficients(
+            &self,
+            node: &PhysicalNode,
+            _meta: &JobMeta,
+        ) -> Option<(f64, f64)> {
             Some((node.est.input_cardinality, 0.5))
         }
         fn name(&self) -> &str {
@@ -288,7 +286,13 @@ mod tests {
         assert!(*geo.last().unwrap() <= 1000);
         let uni = candidate_counts(PartitionExploration::Uniform { samples: 10 }, 1000);
         assert!(uni.contains(&1) && uni.contains(&1000));
-        let rnd = candidate_counts(PartitionExploration::Random { samples: 10, seed: 3 }, 1000);
+        let rnd = candidate_counts(
+            PartitionExploration::Random {
+                samples: 10,
+                seed: 3,
+            },
+            1000,
+        );
         assert!(rnd.len() >= 5 && rnd.iter().all(|&p| p >= 1 && p <= 1000));
         let exhaustive = candidate_counts(PartitionExploration::Exhaustive, 50);
         assert_eq!(exhaustive.len(), 50);
@@ -311,7 +315,10 @@ mod tests {
         let model = UShape;
         let candidates = candidate_counts(PartitionExploration::Geometric { skip: 2.0 }, 2500);
         let out = explore_stage_sampling(&ops, &candidates, &model, &meta()).unwrap();
-        assert!(out.partition_count >= 100 && out.partition_count <= 400, "{out:?}");
+        assert!(
+            out.partition_count >= 100 && out.partition_count <= 400,
+            "{out:?}"
+        );
         assert_eq!(out.model_invocations, candidates.len());
     }
 

@@ -27,8 +27,13 @@ fn main() {
     let simulator = Simulator::new(SimulatorConfig::default());
     let default_model = HeuristicCostModel::default_model();
     let jobs: Vec<_> = workload.jobs.iter().collect();
-    let telemetry = pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator)
-        .expect("execution");
+    let telemetry = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .expect("execution");
     let train_log = telemetry.slice_days(DayIndex(0), DayIndex(1));
     let test_log = telemetry.slice_days(DayIndex(2), DayIndex(2));
 
@@ -58,9 +63,13 @@ fn main() {
         .iter()
         .filter(|j| j.meta.day == DayIndex(2))
         .collect();
-    let baseline =
-        pipeline::run_jobs(&day2_jobs, &default_model, OptimizerConfig::default(), &simulator)
-            .expect("baseline");
+    let baseline = pipeline::run_jobs(
+        &day2_jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .expect("baseline");
     let learned = LearnedCostModel::new(predictor);
     let improved = pipeline::run_jobs(
         &day2_jobs,

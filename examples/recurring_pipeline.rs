@@ -34,7 +34,10 @@ fn clickstream_job(instance: u64, input_rows: f64) -> JobSpec {
     ));
     catalog.add_table(TableDef::new(
         "markets",
-        vec![ColumnDef::new("market_id", 8.0, 1.0), ColumnDef::new("region", 16.0, 0.02)],
+        vec![
+            ColumnDef::new("market_id", 8.0, 1.0),
+            ColumnDef::new("region", 16.0, 0.02),
+        ],
         50_000.0,
         2,
     ));
@@ -43,7 +46,12 @@ fn clickstream_job(instance: u64, input_rows: f64) -> JobSpec {
     let plan = LogicalNode::get("clickstream")
         .filter("url LIKE '%search%'", 0.30, 0.11)
         .process("ExtractFacts", 0.9, 0.65, 18.0) // expensive UDF, invisible to the default model
-        .join(LogicalNode::get("markets"), vec!["market_id".into()], 1.0, 0.8)
+        .join(
+            LogicalNode::get("markets"),
+            vec!["market_id".into()],
+            1.0,
+            0.8,
+        )
         .aggregate(vec!["region".into(), "hour".into()], 0.001, 0.0004)
         .output("fact_store");
 

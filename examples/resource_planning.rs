@@ -9,9 +9,7 @@ use cleo::engine::exec::{Simulator, SimulatorConfig};
 use cleo::engine::stage::build_stage_graph;
 use cleo::engine::workload::generator::{generate_cluster_workload, ClusterConfig};
 use cleo::engine::{ClusterId, DayIndex, PhysicalOpKind};
-use cleo::optimizer::{
-    HeuristicCostModel, Optimizer, OptimizerConfig, PartitionExploration,
-};
+use cleo::optimizer::{HeuristicCostModel, Optimizer, OptimizerConfig, PartitionExploration};
 
 fn main() {
     // Telemetry + learned models from a small synthetic cluster.
@@ -19,11 +17,14 @@ fn main() {
     let simulator = Simulator::new(SimulatorConfig::default());
     let default_model = HeuristicCostModel::default_model();
     let jobs: Vec<_> = workload.jobs.iter().collect();
-    let telemetry =
-        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator)
-            .expect("telemetry");
-    let predictor =
-        pipeline::train_predictor(&telemetry, TrainerConfig::default()).expect("train");
+    let telemetry = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .expect("telemetry");
+    let predictor = pipeline::train_predictor(&telemetry, TrainerConfig::default()).expect("train");
     let learned = LearnedCostModel::new(predictor);
 
     // Pick one job from the last day and optimize it under different strategies.
@@ -33,10 +34,17 @@ fn main() {
         .filter(|j| j.meta.day == DayIndex(1))
         .max_by_key(|j| j.plan.node_count())
         .expect("a job");
-    println!("job: {} ({} logical operators)\n", job.meta.name, job.plan.node_count());
+    println!(
+        "job: {} ({} logical operators)\n",
+        job.meta.name,
+        job.plan.node_count()
+    );
 
     let strategies: Vec<(&str, OptimizerConfig)> = vec![
-        ("default heuristics (no exploration)", OptimizerConfig::default()),
+        (
+            "default heuristics (no exploration)",
+            OptimizerConfig::default(),
+        ),
         (
             "learned + geometric sampling",
             OptimizerConfig {
@@ -49,7 +57,9 @@ fn main() {
     ];
 
     for (name, config) in strategies {
-        let optimized = Optimizer::new(&learned, config).optimize(job).expect("optimize");
+        let optimized = Optimizer::new(&learned, config)
+            .optimize(job)
+            .expect("optimize");
         let run = simulator.run(&optimized.plan);
         let stages = build_stage_graph(&optimized.plan);
         let exchange_partitions: Vec<usize> = optimized

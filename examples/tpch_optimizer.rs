@@ -23,7 +23,15 @@ fn main() {
         .into_iter()
         .flat_map(|q| {
             (0..6)
-                .map(|run| tpch_job(q, run, scale_factor, &TpchParams::draw(&mut rng), ClusterId(0)))
+                .map(|run| {
+                    tpch_job(
+                        q,
+                        run,
+                        scale_factor,
+                        &TpchParams::draw(&mut rng),
+                        ClusterId(0),
+                    )
+                })
                 .collect::<Vec<_>>()
         })
         .collect();

@@ -17,8 +17,13 @@ fn learned_models_outperform_default_cost_model_end_to_end() {
     let simulator = Simulator::new(SimulatorConfig::default());
     let default_model = HeuristicCostModel::default_model();
     let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
-    let telemetry =
-        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+    let telemetry = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .unwrap();
 
     let train = telemetry.slice_days(DayIndex(0), DayIndex(1));
     let test = telemetry.slice_days(DayIndex(2), DayIndex(2));
@@ -28,7 +33,11 @@ fn learned_models_outperform_default_cost_model_end_to_end() {
     let evals = pipeline::evaluate_predictor(&predictor, &test);
     let combined = evals.iter().find(|e| e.name == "Combined").unwrap();
 
-    assert!(combined.correlation > 0.7, "combined corr {}", combined.correlation);
+    assert!(
+        combined.correlation > 0.7,
+        "combined corr {}",
+        combined.correlation
+    );
     assert!(
         combined.correlation > default_eval.correlation,
         "combined {} vs default {}",
@@ -59,8 +68,13 @@ fn resource_aware_replanning_produces_valid_plans() {
     let simulator = Simulator::new(SimulatorConfig::default());
     let default_model = HeuristicCostModel::default_model();
     let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
-    let telemetry =
-        pipeline::run_jobs(&jobs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+    let telemetry = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .unwrap();
     let predictor = pipeline::train_predictor(&telemetry, TrainerConfig::default()).unwrap();
     let learned = LearnedCostModel::new(predictor);
 
@@ -95,7 +109,10 @@ fn resource_aware_replanning_produces_valid_plans() {
             changed_partitions += 1;
         }
     }
-    assert!(changed_partitions > 0, "resource-aware planning never changed a partition count");
+    assert!(
+        changed_partitions > 0,
+        "resource-aware planning never changed a partition count"
+    );
 }
 
 /// The TPC-H workload runs end to end through optimizer, simulator, and training.
@@ -113,8 +130,13 @@ fn tpch_end_to_end_round_trip() {
         })
         .collect();
     let refs: Vec<&JobSpec> = jobs.iter().collect();
-    let log =
-        pipeline::run_jobs(&refs, &default_model, OptimizerConfig::default(), &simulator).unwrap();
+    let log = pipeline::run_jobs(
+        &refs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .unwrap();
     assert_eq!(log.len(), 44);
     let predictor = pipeline::train_predictor(&log, TrainerConfig::default()).unwrap();
     assert!(predictor.model_count() > 10);
@@ -137,7 +159,8 @@ fn whole_pipeline_is_deterministic() {
         let simulator = Simulator::new(SimulatorConfig::default());
         let model = HeuristicCostModel::default_model();
         let jobs: Vec<&JobSpec> = workload.jobs.iter().take(15).collect();
-        let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
+        let log =
+            pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
         (
             log.total_latency(),
             log.total_cpu_seconds(),
