@@ -1,0 +1,99 @@
+//! Micro-benchmark: feedback-loop throughput and the signature-keyed prediction
+//! cache.
+//!
+//! Measures (a) epochs/sec of the full serve → retrain → guarded-publish cycle and
+//! (b) predictions/sec of recurring-job costing with and without the prediction
+//! cache (the recurring-workload shape of §2: the same templates are costed again
+//! and again across epochs).  Writes `BENCH_feedback_loop.json` so the perf
+//! trajectory of the subsystem is tracked across PRs.
+
+use std::sync::Arc;
+
+use cleo_bench::BenchGroup;
+use cleo_core::feedback::{FeedbackConfig, FeedbackLoop, WindowEviction};
+use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
+use cleo_engine::exec::{Simulator, SimulatorConfig};
+use cleo_engine::workload::JobSpec;
+use cleo_optimizer::CostModel;
+
+fn main() {
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
+    let cluster = ctx.cluster(0);
+    let mut group = BenchGroup::new("feedback_loop");
+    group.sample_size(5);
+
+    // (a) Full feedback epochs over a recurring slice of the workload.
+    let epoch_jobs: Vec<&JobSpec> = cluster.workload.jobs.iter().take(30).collect();
+    let mut fl = FeedbackLoop::new(
+        FeedbackConfig {
+            eviction: WindowEviction::JobCount(120),
+            ..FeedbackConfig::default()
+        },
+        Simulator::new(SimulatorConfig::default()),
+    );
+    let epoch_sample = group.bench_function("epoch_serve_retrain_publish", || {
+        fl.run_epoch(&epoch_jobs).expect("epoch")
+    });
+    let epochs_per_sec = 1.0 / epoch_sample.median.as_secs_f64().max(1e-12);
+
+    // (b) Recurring-job costing through the batched path, cached vs. uncached.
+    let predictor = Arc::new(
+        pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train"),
+    );
+    let cached = LearnedCostModel::new(Arc::clone(&predictor));
+    let uncached = LearnedCostModel::without_cache(predictor);
+    let candidates: Vec<usize> = (0..32).map(|i| 1 + 8 * i).collect();
+    let plans: Vec<_> = cluster.test_log.jobs().iter().take(20).collect();
+    let predictions_per_run: usize = plans
+        .iter()
+        .map(|j| j.plan.operators().len() * candidates.len())
+        .sum();
+
+    let cost_all = |model: &LearnedCostModel| -> f64 {
+        let mut acc = 0.0;
+        for job in &plans {
+            for node in job.plan.operators() {
+                acc += model
+                    .exclusive_cost_batch(node, &candidates, &job.plan.meta)
+                    .iter()
+                    .sum::<f64>();
+            }
+        }
+        acc
+    };
+    let uncached_sample =
+        group.bench_function("recurring_costing_uncached", || cost_all(&uncached));
+    // The warm-up runs populate the cache, so the timed samples measure the
+    // steady state recurring jobs see from their second appearance on.
+    let cached_sample = group.bench_function("recurring_costing_cached", || cost_all(&cached));
+    group.finish();
+
+    let uncached_preds_per_sec =
+        predictions_per_run as f64 / uncached_sample.median.as_secs_f64().max(1e-12);
+    let cached_preds_per_sec =
+        predictions_per_run as f64 / cached_sample.median.as_secs_f64().max(1e-12);
+    let speedup =
+        uncached_sample.median.as_secs_f64() / cached_sample.median.as_secs_f64().max(1e-12);
+    let hit_rate = cached.cache_stats().hit_rate();
+
+    println!(
+        "\nepochs/sec: {epochs_per_sec:.3}  predictions/sec cached: {cached_preds_per_sec:.0} \
+         uncached: {uncached_preds_per_sec:.0}  speedup: {speedup:.2}x  hit rate: {:.1}%",
+        hit_rate * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"feedback_loop\",\n  \"epochs_per_sec\": {epochs_per_sec:.4},\n  \
+         \"epoch_jobs\": {},\n  \"predictions_per_run\": {predictions_per_run},\n  \
+         \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
+         \"predictions_per_sec_cached\": {cached_preds_per_sec:.1},\n  \
+         \"cache_speedup\": {speedup:.3},\n  \"cache_hit_rate\": {hit_rate:.4}\n}}\n",
+        epoch_jobs.len()
+    );
+    // Anchor the result file at the workspace root regardless of the bench cwd.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_feedback_loop.json");
+    std::fs::write(&path, &json).expect("write BENCH_feedback_loop.json");
+    println!("wrote {}", path.display());
+}

@@ -13,7 +13,7 @@ fn main() {
         pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train");
     let learned = LearnedCostModel::new(predictor);
     let default_model = HeuristicCostModel::default_model();
-    let job = &cluster.test_log.jobs[0];
+    let job = &cluster.test_log.jobs()[0];
     let node = job.plan.operators()[1].clone();
     let meta = job.plan.meta.clone();
     let candidates: Vec<usize> = (0..64).map(|i| 1 + 4 * i).collect();

@@ -19,7 +19,7 @@ fn main() {
     // Pick one exchange-rooted stage from the test day.
     let job = cluster
         .test_log
-        .jobs
+        .jobs()
         .iter()
         .find(|j| {
             j.plan

@@ -93,7 +93,7 @@ pub fn tab4(ctx: &ExperimentContext) -> Result<String> {
     );
     let default_eval =
         pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.train_log);
-    table.add_row(&vec![
+    table.add_row(&[
         "Default".to_string(),
         fnum(default_eval.correlation, 2),
         fpct(default_eval.median_error_pct),
@@ -110,7 +110,7 @@ pub fn tab4(ctx: &ExperimentContext) -> Result<String> {
                 acts.extend(cv.actuals);
             }
         }
-        table.add_row(&vec![
+        table.add_row(&[
             kind.name().to_string(),
             fnum(stats::pearson(&preds, &acts), 2),
             fpct(stats::median_error_pct(&preds, &acts)),
@@ -129,14 +129,14 @@ pub fn tab5(ctx: &ExperimentContext) -> Result<String> {
     );
     let default_eval =
         pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.test_log);
-    table.add_row(&vec![
+    table.add_row(&[
         "Default".to_string(),
         fnum(default_eval.correlation, 2),
         fpct(default_eval.median_error_pct),
         "100%".to_string(),
     ]);
     for eval in pipeline::evaluate_predictor(&cluster.predictor, &cluster.test_log) {
-        table.add_row(&vec![
+        table.add_row(&[
             eval.name.clone(),
             fnum(eval.correlation, 2),
             fpct(eval.median_error_pct),
@@ -203,7 +203,7 @@ pub fn tab6(ctx: &ExperimentContext) -> Result<String> {
     );
     let default_eval =
         pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &cluster.test_log);
-    table.add_row(&vec![
+    table.add_row(&[
         "Default".to_string(),
         fnum(default_eval.correlation, 2),
         fpct(default_eval.median_error_pct),
@@ -212,7 +212,7 @@ pub fn tab6(ctx: &ExperimentContext) -> Result<String> {
         let mut model = kind.build(11);
         model.fit(&train)?;
         let preds: Vec<f64> = test_rows.iter().map(|r| model.predict_row(r)).collect();
-        table.add_row(&vec![
+        table.add_row(&[
             kind.name().to_string(),
             fnum(stats::pearson(&preds, &test_targets), 2),
             fpct(stats::median_error_pct(&preds, &test_targets)),
@@ -243,7 +243,7 @@ pub fn fig7(ctx: &ExperimentContext) -> Result<String> {
             }
         }
         let covered = eval.pairs.len();
-        table.add_row(&vec![
+        table.add_row(&[
             eval.name.clone(),
             fnum(buckets[0] as f64 / total as f64, 2),
             fnum(buckets[1] as f64 / total as f64, 2),
@@ -328,7 +328,7 @@ pub fn fig12(ctx: &ExperimentContext, all_jobs: bool) -> Result<String> {
             let preds: Vec<f64> = eval.pairs.iter().map(|p| p.0).collect();
             let acts: Vec<f64> = eval.pairs.iter().map(|p| p.1).collect();
             let cdf = RatioCdf::from_pairs(&preds, &acts);
-            table.add_row(&vec![
+            table.add_row(&[
                 format!("Cluster{}", i + 1),
                 eval.name.clone(),
                 fnum(eval.correlation, 2),
@@ -363,7 +363,7 @@ pub fn tab7(ctx: &ExperimentContext) -> Result<String> {
         }
         let default_eval =
             pipeline::evaluate_cost_model(&HeuristicCostModel::default_model(), &log);
-        table.add_row(&vec![
+        table.add_row(&[
             label.to_string(),
             "Default".to_string(),
             fnum(default_eval.correlation, 2),
@@ -372,7 +372,7 @@ pub fn tab7(ctx: &ExperimentContext) -> Result<String> {
             "100%".to_string(),
         ]);
         for eval in pipeline::evaluate_predictor(&cluster.predictor, &log) {
-            table.add_row(&vec![
+            table.add_row(&[
                 label.to_string(),
                 eval.name.clone(),
                 fnum(eval.correlation, 2),
@@ -412,7 +412,7 @@ pub fn tab8(ctx: &ExperimentContext) -> Result<String> {
             let c = adhoc.iter().find(|e| e.name == "Combined").unwrap();
             (c.correlation, c.median_error_pct)
         };
-        table.add_row(&vec![
+        table.add_row(&[
             format!("Cluster {}", i + 1),
             fnum(default_eval.correlation, 2),
             fpct(default_eval.median_error_pct),
@@ -465,7 +465,7 @@ pub fn fig14(ctx: &ExperimentContext) -> Result<String> {
             continue;
         }
         let default_eval = pipeline::evaluate_cost_model(&default_model, &window);
-        table.add_row(&vec![
+        table.add_row(&[
             format!("{}", day - 1),
             "Default".into(),
             "100%".into(),
@@ -474,7 +474,7 @@ pub fn fig14(ctx: &ExperimentContext) -> Result<String> {
             fnum(default_eval.correlation, 2),
         ]);
         for eval in pipeline::evaluate_predictor(&predictor, &window) {
-            table.add_row(&vec![
+            table.add_row(&[
                 format!("{}", day - 1),
                 eval.name.clone(),
                 format!("{:.0}%", eval.coverage * 100.0),
@@ -497,7 +497,7 @@ pub fn fig15(ctx: &ExperimentContext) -> Result<String> {
     // re-cost with the default model.
     let mut cardlearner_pairs = Vec::new();
     let mut cleo_cardlearner_pairs = Vec::new();
-    for job in &cluster.test_log.jobs {
+    for job in cluster.test_log.jobs() {
         let rewritten = learner.apply(&job.plan);
         rewritten.root.visit(&mut |node| {
             if let Some(actual) = job.run.exclusive(node.id) {

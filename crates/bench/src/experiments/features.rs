@@ -51,7 +51,7 @@ pub fn tab1(ctx: &ExperimentContext) -> Result<String> {
             preds.extend(model.predict(&test));
             acts.extend(test.targets().to_vec());
         }
-        table.add_row(&vec![
+        table.add_row(&[
             loss.name().to_string(),
             fpct(stats::median_error_pct(&preds, &acts)),
         ]);
@@ -66,7 +66,7 @@ fn weight_table(title: &str, weights: &[f64], top_k: usize) -> String {
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut table = TextTable::new(title, &["Feature", "Normalized Weight"]);
     for (name, w) in pairs.into_iter().take(top_k) {
-        table.add_row(&vec![name, fnum(w, 4)]);
+        table.add_row(&[name, fnum(w, 4)]);
     }
     table.render()
 }
@@ -114,7 +114,7 @@ pub fn fig16(ctx: &ExperimentContext) -> Result<String> {
     let names = feature_names();
     let mut over_scans: (Vec<Vec<f64>>, Vec<f64>) = (vec![], vec![]);
     let mut over_joins: (Vec<Vec<f64>>, Vec<f64>) = (vec![], vec![]);
-    for job in &cluster.train_log.jobs {
+    for job in cluster.train_log.jobs() {
         for (node, latency) in job.operator_samples() {
             if node.kind != cleo_engine::PhysicalOpKind::HashJoin {
                 continue;
@@ -148,8 +148,10 @@ pub fn fig16(ctx: &ExperimentContext) -> Result<String> {
             continue;
         }
         let data = Dataset::from_rows(names.clone(), rows, targets)?;
-        let mut cfg = cleo_mlkit::elastic_net::ElasticNetConfig::default();
-        cfg.alpha = 0.05;
+        let cfg = cleo_mlkit::elastic_net::ElasticNetConfig {
+            alpha: 0.05,
+            ..Default::default()
+        };
         let mut model = cleo_mlkit::ElasticNet::new(cfg);
         model.fit(&data)?;
         let weights = normalized_weights(&[model.feature_weights().unwrap_or_default()]);
@@ -232,8 +234,10 @@ pub fn fig18(ctx: &ExperimentContext) -> Result<String> {
             let rows: Vec<Vec<f64>> = idx.iter().map(|&i| project(&samples[i])).collect();
             let targets: Vec<f64> = idx.iter().map(|&i| samples[i].exclusive_seconds).collect();
             let data = Dataset::from_rows(sub_names.clone(), rows, targets)?;
-            let mut cfg = cleo_mlkit::elastic_net::ElasticNetConfig::default();
-            cfg.alpha = 0.05;
+            let cfg = cleo_mlkit::elastic_net::ElasticNetConfig {
+                alpha: 0.05,
+                ..Default::default()
+            };
             let mut model = cleo_mlkit::ElasticNet::new(cfg);
             if model.fit(&data).is_ok() {
                 models.insert(*sig, model);
@@ -245,7 +249,7 @@ pub fn fig18(ctx: &ExperimentContext) -> Result<String> {
                 acts.push(s.exclusive_seconds);
             }
         }
-        table.add_row(&vec![
+        table.add_row(&[
             format!("{k}"),
             names[order[k - 1]].clone(),
             fpct(stats::median_error_pct(&preds, &acts)),

@@ -8,6 +8,7 @@
 
 pub mod accuracy;
 pub mod features;
+pub mod feedback;
 pub mod performance;
 pub mod resources;
 pub mod workload;
@@ -44,6 +45,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig19",
     "fig20",
     "overheads",
+    "feedback_loop",
 ];
 
 /// Run one experiment by id.
@@ -75,6 +77,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Result<String> {
         "fig19" => performance::fig19(ctx),
         "fig20" => performance::fig20(ctx),
         "overheads" => performance::overheads(ctx),
+        "feedback_loop" => feedback::feedback_loop(ctx),
         other => Err(cleo_common::CleoError::Config(format!(
             "unknown experiment id '{other}'"
         ))),

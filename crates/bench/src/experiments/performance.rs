@@ -60,7 +60,7 @@ pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
         ],
     );
     for c in &selected {
-        table.add_row(&vec![
+        table.add_row(&[
             c.name.clone(),
             fnum(c.baseline_latency, 1),
             fnum(c.new_latency, 1),
@@ -147,7 +147,7 @@ pub fn fig20(ctx: &ExperimentContext) -> Result<String> {
             continue;
         }
         changed += 1;
-        table.add_row(&vec![
+        table.add_row(&[
             format!("Q{q}"),
             fnum(c.latency_improvement_pct(), 1),
             fnum(c.cpu_improvement_pct(), 1),
@@ -193,32 +193,32 @@ pub fn overheads(ctx: &ExperimentContext) -> Result<String> {
         "Section 6.6.3: training and runtime overheads",
         &["Metric", "Value"],
     );
-    table.add_row(&vec![
+    table.add_row(&[
         "Training jobs (cluster 1, 2-day window)".into(),
         format!("{}", cluster.train_log.len()),
     ]);
-    table.add_row(&vec![
+    table.add_row(&[
         "Operator samples".into(),
         format!("{}", cluster.train_log.operator_sample_count()),
     ]);
-    table.add_row(&vec!["Models learned".into(), format!("{model_count}")]);
-    table.add_row(&vec!["Training time (s)".into(), fnum(training_secs, 2)]);
-    table.add_row(&vec![
+    table.add_row(&["Models learned".into(), format!("{model_count}")]);
+    table.add_row(&["Training time (s)".into(), fnum(training_secs, 2)]);
+    table.add_row(&[
         "Avg optimization time, default (ms/job)".into(),
         fnum(default_micros as f64 / 1000.0 / jobs.len() as f64, 3),
     ]);
-    table.add_row(&vec![
+    table.add_row(&[
         "Avg optimization time, CLEO (ms/job)".into(),
         fnum(learned_micros as f64 / 1000.0 / jobs.len() as f64, 3),
     ]);
-    table.add_row(&vec![
+    table.add_row(&[
         "Optimization overhead (%)".into(),
         fnum(
             (learned_micros as f64 / default_micros.max(1) as f64 - 1.0) * 100.0,
             1,
         ),
     ]);
-    table.add_row(&vec![
+    table.add_row(&[
         "Learned-model invocations (50 jobs)".into(),
         format!("{}", learned.invocation_count()),
     ]);

@@ -28,7 +28,7 @@ pub fn fig8c(_ctx: &ExperimentContext) -> Result<String> {
         ],
     );
     for m in [1usize, 5, 10, 20, 30, 40] {
-        table.add_row(&vec![
+        table.add_row(&[
             format!("{m}"),
             format!("{}", m * 3000),
             format!("{}", analytical_lookup_count(m)),
@@ -55,7 +55,7 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
 
     // Collect exchange-rooted stages from the test-day plans.
     let mut stages: Vec<(Vec<cleo_engine::PhysicalNode>, cleo_engine::JobMeta)> = Vec::new();
-    for job in cluster.test_log.jobs.iter().take(80) {
+    for job in cluster.test_log.jobs().iter().take(80) {
         let graph = build_stage_graph(&job.plan);
         for stage in &graph.stages {
             let root = job.plan.root.find(stage.partitioning_op).unwrap();
@@ -140,7 +140,7 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
                     lookups += outcome.model_invocations;
                 }
             }
-            table.add_row(&vec![
+            table.add_row(&[
                 name.to_string(),
                 format!("{n}"),
                 fpct(stats::median(&gaps)),
@@ -160,7 +160,7 @@ pub fn fig17(ctx: &ExperimentContext) -> Result<String> {
             lookups += outcome.model_invocations;
         }
     }
-    table.add_row(&vec![
+    table.add_row(&[
         "Analytical".to_string(),
         "-".to_string(),
         fpct(stats::median(&gaps)),

@@ -44,7 +44,7 @@ pub fn fig2(ctx: &ExperimentContext) -> Result<String> {
                 / (1024.0 * 1024.0 * 1024.0)
         })
         .collect();
-    let latencies: Vec<f64> = log.jobs.iter().map(|j| j.run.job_latency).collect();
+    let latencies: Vec<f64> = log.jobs().iter().map(|j| j.run.job_latency).collect();
 
     let mut table = TextTable::new(
         "Figure 2: 150 instances of one recurring job",
@@ -56,7 +56,7 @@ pub fn fig2(ctx: &ExperimentContext) -> Result<String> {
     ] {
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
-        table.add_row(&vec![
+        table.add_row(&[
             name.to_string(),
             fnum(min, 1),
             fnum(stats::median(xs), 1),
@@ -106,7 +106,7 @@ pub fn fig9(ctx: &ExperimentContext) -> Result<String> {
             let day_idx = DayIndex(day);
             let day_jobs: Vec<_> = cluster
                 .telemetry
-                .jobs
+                .jobs()
                 .iter()
                 .filter(|j| j.day() == day_idx)
                 .collect();
@@ -124,8 +124,8 @@ pub fn fig9(ctx: &ExperimentContext) -> Result<String> {
                     }
                 });
             }
-            let common: usize = counts.values().filter(|&&c| c > 1).map(|&c| c).sum();
-            table.add_row(&vec![
+            let common: usize = counts.values().filter(|&&c| c > 1).copied().sum();
+            table.add_row(&[
                 format!("Cluster{}", i + 1),
                 format!("Day{}", day + 1),
                 format!("{}", day_jobs.len()),
@@ -163,7 +163,7 @@ pub fn fig10(ctx: &ExperimentContext) -> Result<String> {
         for day in 0..ctx.days.saturating_sub(1).min(2) {
             let d0 = DayIndex(day);
             let d1 = DayIndex(day + 1);
-            table.add_row(&vec![
+            table.add_row(&[
                 format!("Cluster{}", i + 1),
                 format!("Day{}-to-Day{}", day + 1, day + 2),
                 pct(

@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn zipf_prefers_low_ranks() {
         let mut r = DetRng::new(17);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..10_000 {
             counts[r.zipf(10, 1.2) - 1] += 1;
         }

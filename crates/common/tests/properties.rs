@@ -34,7 +34,7 @@ fn pearson_is_bounded_and_symmetric() {
         let a = &xs[..n];
         let b = &ys[..n];
         let r = stats::pearson(a, b);
-        assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         assert!((r - stats::pearson(b, a)).abs() < 1e-9);
     }
 }

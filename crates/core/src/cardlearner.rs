@@ -32,7 +32,7 @@ impl CardLearner {
     /// cardinality.
     pub fn train(log: &TelemetryLog, min_samples: usize) -> Result<Self> {
         let mut grouped: HashMap<u64, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
-        for job in &log.jobs {
+        for job in log.jobs() {
             job.plan.root.visit(&mut |node| {
                 let sig = subgraph_signature(node);
                 let entry = grouped.entry(sig).or_default();
@@ -150,10 +150,7 @@ mod tests {
         for job in workload.jobs.iter().take(40) {
             let optimized = optimizer.optimize(job).unwrap();
             let run = simulator.run(&optimized.plan);
-            log.push(JobTelemetry {
-                plan: optimized.plan,
-                run,
-            });
+            log.push(JobTelemetry::new(optimized.plan, run));
         }
         log
     }
@@ -169,7 +166,7 @@ mod tests {
         // than the original estimates, for the majority of covered operators.
         let mut improved = 0usize;
         let mut total = 0usize;
-        for job in log.jobs.iter().take(10) {
+        for job in log.jobs().iter().take(10) {
             let rewritten = learner.apply(&job.plan);
             for (orig, new) in job
                 .plan
@@ -200,7 +197,7 @@ mod tests {
     fn apply_preserves_plan_structure() {
         let log = telemetry();
         let learner = CardLearner::train(&log, 3).unwrap();
-        let plan = &log.jobs[0].plan;
+        let plan = &log.jobs()[0].plan;
         let rewritten = learner.apply(plan);
         assert_eq!(plan.op_count(), rewritten.op_count());
         for (a, b) in plan.operators().iter().zip(rewritten.operators().iter()) {

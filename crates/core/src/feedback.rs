@@ -1,0 +1,421 @@
+//! The epoch-driven feedback loop: Cleo's continuous deployment story.
+//!
+//! Section 5.1 describes a *continuous* cycle — instrument runs, train on a sliding
+//! telemetry window, feed the models back to the optimizer — where the one-shot
+//! helpers of [`crate::pipeline`] only cover a single turn.  [`FeedbackLoop`] is the
+//! subsystem version of that cycle:
+//!
+//! 1. **Serve** — each epoch's jobs are optimized concurrently through the
+//!    [`SharedOptimizer`] against whichever registry version is current (the
+//!    hand-written fallback until the first publish), simulated, and their telemetry
+//!    stamped with the epoch and serving model version.
+//! 2. **Window** — telemetry accumulates in a bounded sliding window
+//!    ([`WindowEviction`]: job-count FIFO or trailing-days retention), so training
+//!    cost and drift sensitivity stay constant as the deployment ages.
+//! 3. **Retrain** — every epoch retrains the per-signature models over the window
+//!    with the parallel [`CleoTrainer`], under an epoch-derived seed that keeps the
+//!    loop bit-deterministic across thread counts.
+//! 4. **Guarded publish** — the candidate is evaluated against the *incumbent* on a
+//!    deterministic holdout slice of the window; it is published to the
+//!    [`ModelRegistry`] only when it does not regress, otherwise the previous
+//!    version keeps serving (and the rejection is reported).
+
+use std::sync::Arc;
+
+use cleo_common::Result;
+use cleo_engine::exec::Simulator;
+use cleo_engine::telemetry::{JobTelemetry, TelemetryLog};
+use cleo_engine::workload::JobSpec;
+use cleo_optimizer::{
+    CostModel, CostModelProvider, HeuristicCostModel, OptimizerConfig, SharedOptimizer,
+};
+
+use crate::integration::LearnedCostModel;
+use crate::pipeline::evaluate_cost_model_jobs;
+use crate::registry::{HoldoutMetrics, ModelRegistry, RegistryCostModelProvider};
+use crate::trainer::{CleoTrainer, TrainerConfig};
+
+/// How the sliding telemetry window evicts old records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowEviction {
+    /// Keep at most this many jobs, evicting the oldest first.
+    JobCount(usize),
+    /// Keep only the trailing N days of telemetry.
+    RecentDays(u32),
+}
+
+/// Feedback-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackConfig {
+    /// Sliding-window bound and eviction policy.
+    pub eviction: WindowEviction,
+    /// Trainer hyper-parameters; the seed is re-derived per epoch
+    /// ([`TrainerConfig::for_epoch`]).
+    pub trainer: TrainerConfig,
+    /// Fraction of window jobs held out from training and used for the publish
+    /// guard (clamped to at least one job).
+    pub holdout_fraction: f64,
+    /// Minimum window jobs before a retrain is attempted.
+    pub min_training_jobs: usize,
+    /// Publish guard: how much correlation loss vs. the incumbent is tolerated.
+    pub correlation_tolerance: f64,
+    /// Publish guard: how many percentage points of median-error growth vs. the
+    /// incumbent are tolerated.
+    pub error_tolerance_pct: f64,
+    /// Optimizer configuration used for serving.
+    pub optimizer: OptimizerConfig,
+    /// OS threads used to optimize an epoch's jobs (0 = all cores).  Serving is
+    /// deterministic regardless: plans depend only on the model version.
+    pub serving_threads: usize,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            eviction: WindowEviction::JobCount(512),
+            trainer: TrainerConfig::default(),
+            holdout_fraction: 0.2,
+            min_training_jobs: 12,
+            correlation_tolerance: 0.02,
+            error_tolerance_pct: 2.0,
+            optimizer: OptimizerConfig::resource_aware(),
+            serving_threads: 0,
+        }
+    }
+}
+
+/// What happened to the candidate model of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PublishDecision {
+    /// The candidate did not regress and became the new current version.
+    Published {
+        /// The newly published registry version.
+        version: u64,
+    },
+    /// The candidate regressed on the holdout; the previous version keeps serving.
+    RejectedRegression,
+    /// The window held too few jobs to train (no candidate was produced).
+    SkippedTooFewJobs,
+}
+
+/// Retraining outcome of one epoch: the guard's inputs and its decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainOutcome {
+    /// The decision taken.
+    pub decision: PublishDecision,
+    /// Candidate holdout metrics (absent when training was skipped).
+    pub candidate: Option<HoldoutMetrics>,
+    /// Incumbent metrics over the same holdout (absent when training was skipped).
+    pub incumbent: Option<HoldoutMetrics>,
+}
+
+/// Report of one full feedback epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Epoch number (1-based).
+    pub epoch: u32,
+    /// Registry version that served this epoch's jobs (0 = fallback model).
+    pub served_version: u64,
+    /// Jobs optimized and executed this epoch.
+    pub jobs_run: usize,
+    /// Cumulative end-to-end latency of the epoch's jobs (seconds).
+    pub total_latency: f64,
+    /// Total processing time of the epoch's jobs (container-seconds).
+    pub total_cpu_seconds: f64,
+    /// Window size after ingesting this epoch (jobs).
+    pub window_jobs: usize,
+    /// Jobs evicted from the window this epoch.
+    pub evicted_jobs: usize,
+    /// Retraining outcome.
+    pub retrain: RetrainOutcome,
+}
+
+impl EpochReport {
+    /// Mean end-to-end job latency of the epoch (seconds).
+    pub fn mean_latency(&self) -> f64 {
+        if self.jobs_run == 0 {
+            0.0
+        } else {
+            self.total_latency / self.jobs_run as f64
+        }
+    }
+}
+
+/// The continuous feedback loop (serve → window → retrain → guarded publish).
+pub struct FeedbackLoop {
+    config: FeedbackConfig,
+    registry: Arc<ModelRegistry>,
+    provider: Arc<RegistryCostModelProvider>,
+    simulator: Simulator,
+    window: TelemetryLog,
+    epoch: u32,
+}
+
+impl FeedbackLoop {
+    /// Create a loop serving the default hand-written cost model until the first
+    /// version is published.
+    pub fn new(config: FeedbackConfig, simulator: Simulator) -> Self {
+        Self::with_fallback(
+            config,
+            simulator,
+            Arc::new(HeuristicCostModel::default_model()),
+        )
+    }
+
+    /// Create a loop with an explicit fallback (version 0) cost model.
+    pub fn with_fallback(
+        config: FeedbackConfig,
+        simulator: Simulator,
+        fallback: Arc<dyn CostModel>,
+    ) -> Self {
+        let registry = Arc::new(ModelRegistry::new());
+        let provider = Arc::new(RegistryCostModelProvider::new(
+            Arc::clone(&registry),
+            fallback,
+        ));
+        FeedbackLoop {
+            config,
+            registry,
+            provider,
+            simulator,
+            window: TelemetryLog::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The model registry the loop publishes into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The provider concurrent optimizers serve from (shared with the loop, so a
+    /// publish by [`FeedbackLoop::run_epoch`] is immediately visible to external
+    /// serving paths holding this handle).
+    pub fn provider(&self) -> Arc<RegistryCostModelProvider> {
+        Arc::clone(&self.provider)
+    }
+
+    /// The current sliding telemetry window.
+    pub fn window(&self) -> &TelemetryLog {
+        &self.window
+    }
+
+    /// Drop the entire sliding window (e.g. after a detected telemetry
+    /// corruption, so the next epochs rebuild it from fresh runs).
+    pub fn clear_window(&mut self) {
+        self.window = TelemetryLog::new();
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FeedbackConfig {
+        &self.config
+    }
+
+    /// The holdout stride the publish guard uses: every `stride`-th window job
+    /// (by stable window order) is held out from training and scored instead.
+    pub fn holdout_stride(&self) -> usize {
+        (1.0 / self.config.holdout_fraction.clamp(0.05, 0.5)).round() as usize
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Ingest externally executed telemetry into the sliding window (applies the
+    /// eviction policy).  Returns the number of evicted jobs.
+    pub fn observe(&mut self, log: TelemetryLog) -> usize {
+        self.window.extend(log);
+        self.evict()
+    }
+
+    fn evict(&mut self) -> usize {
+        match self.config.eviction {
+            WindowEviction::JobCount(max_jobs) => self.window.drain_window(max_jobs).len(),
+            WindowEviction::RecentDays(days) => self.window.retain_recent_days(days).len(),
+        }
+    }
+
+    /// Run one full epoch over `jobs`: serve, ingest, retrain, guarded publish.
+    pub fn run_epoch(&mut self, jobs: &[&JobSpec]) -> Result<EpochReport> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let served_version = self.registry.current_version();
+
+        // Serve: optimize concurrently against the current version, simulate in
+        // job order, stamp provenance (see `pipeline::run_jobs_shared`).
+        let shared = SharedOptimizer::new(
+            Arc::clone(&self.provider) as Arc<dyn CostModelProvider>,
+            self.config.optimizer,
+        );
+        let served = crate::pipeline::run_jobs_shared(
+            jobs,
+            &shared,
+            &self.simulator,
+            epoch,
+            self.config.serving_threads,
+        )?;
+        let jobs_run = served.len();
+        let total_latency = served.total_latency();
+        let total_cpu_seconds = served.total_cpu_seconds();
+        let evicted_jobs = self.observe(served);
+
+        let retrain = self.retrain()?;
+        Ok(EpochReport {
+            epoch,
+            served_version,
+            jobs_run,
+            total_latency,
+            total_cpu_seconds,
+            window_jobs: self.window.len(),
+            evicted_jobs,
+            retrain,
+        })
+    }
+
+    /// Retrain over the current window and publish the candidate if it does not
+    /// regress vs. the incumbent on the holdout slice.  Called by
+    /// [`FeedbackLoop::run_epoch`]; exposed for loops that ingest telemetry via
+    /// [`FeedbackLoop::observe`] (e.g. replaying pre-executed logs).
+    pub fn retrain(&mut self) -> Result<RetrainOutcome> {
+        if self.window.len() < self.config.min_training_jobs.max(2) {
+            return Ok(RetrainOutcome {
+                decision: PublishDecision::SkippedTooFewJobs,
+                candidate: None,
+                incumbent: None,
+            });
+        }
+
+        // Deterministic holdout: every k-th window job (by stable window order).
+        // The split depends only on the window contents — never on thread count.
+        // Borrowed splits: nothing in the window is cloned on this path.
+        let stride = self.holdout_stride();
+        let (holdout, train): (Vec<_>, Vec<_>) = self
+            .window
+            .jobs()
+            .iter()
+            .enumerate()
+            .partition(|(i, _)| i % stride == 0);
+        let holdout: Vec<&JobTelemetry> = holdout.into_iter().map(|(_, j)| j).collect();
+        let train: Vec<&JobTelemetry> = train.into_iter().map(|(_, j)| j).collect();
+        if holdout.is_empty() || train.is_empty() {
+            return Ok(RetrainOutcome {
+                decision: PublishDecision::SkippedTooFewJobs,
+                candidate: None,
+                incumbent: None,
+            });
+        }
+
+        let trainer = CleoTrainer::new(self.config.trainer.for_epoch(self.epoch));
+        let samples = CleoTrainer::collect_samples_from(train.iter().copied());
+        let predictor = Arc::new(trainer.train_from_samples(samples)?);
+
+        // Guard: candidate and incumbent are measured by the same instrument (the
+        // CostModel seam over the holdout jobs), so the comparison is apples to
+        // apples even when the incumbent is the hand-written fallback.
+        let candidate_model = LearnedCostModel::without_cache(Arc::clone(&predictor));
+        let candidate = holdout_metrics(&candidate_model, &holdout);
+        let (incumbent_model, _) = self.provider.snapshot();
+        let incumbent = holdout_metrics(incumbent_model.as_ref(), &holdout);
+
+        if candidate.regresses_from(
+            &incumbent,
+            self.config.correlation_tolerance,
+            self.config.error_tolerance_pct,
+        ) {
+            return Ok(RetrainOutcome {
+                decision: PublishDecision::RejectedRegression,
+                candidate: Some(candidate),
+                incumbent: Some(incumbent),
+            });
+        }
+
+        let snapshot = self.registry.publish(predictor, self.epoch, candidate);
+        Ok(RetrainOutcome {
+            decision: PublishDecision::Published {
+                version: snapshot.version(),
+            },
+            candidate: Some(candidate),
+            incumbent: Some(incumbent),
+        })
+    }
+}
+
+/// Evaluate a cost model over the borrowed holdout slice in the guard's
+/// vocabulary.
+fn holdout_metrics(model: &dyn CostModel, holdout: &[&JobTelemetry]) -> HoldoutMetrics {
+    let eval = evaluate_cost_model_jobs(model, holdout.iter().copied());
+    HoldoutMetrics {
+        correlation: eval.correlation,
+        median_error_pct: eval.median_error_pct,
+        sample_count: eval.pairs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleo_engine::exec::SimulatorConfig;
+    use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+    use cleo_engine::ClusterId;
+
+    fn loop_with_small_window() -> (FeedbackLoop, Vec<JobSpec>) {
+        let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+        let config = FeedbackConfig {
+            eviction: WindowEviction::JobCount(64),
+            serving_threads: 2,
+            ..FeedbackConfig::default()
+        };
+        let fl = FeedbackLoop::new(config, Simulator::new(SimulatorConfig::default()));
+        (fl, workload.jobs)
+    }
+
+    #[test]
+    fn epochs_publish_and_stamp_provenance() {
+        let (mut fl, jobs) = loop_with_small_window();
+        let refs: Vec<&JobSpec> = jobs.iter().take(40).collect();
+
+        let first = fl.run_epoch(&refs).unwrap();
+        assert_eq!(first.epoch, 1);
+        assert_eq!(first.served_version, 0, "epoch 1 serves the fallback");
+        assert_eq!(first.jobs_run, 40);
+        assert!(matches!(
+            first.retrain.decision,
+            PublishDecision::Published { version: 1 }
+        ));
+
+        let second = fl.run_epoch(&refs).unwrap();
+        assert_eq!(second.served_version, 1, "epoch 2 serves the learned model");
+        // Window respects the job-count bound and carries provenance stamps.
+        assert!(second.window_jobs <= 64);
+        assert!(fl
+            .window()
+            .jobs()
+            .iter()
+            .any(|j| j.provenance.model_version == 1 && j.provenance.epoch == 2));
+        assert!(fl.epoch() == 2);
+        assert!(fl.registry().version_count() >= 1);
+    }
+
+    #[test]
+    fn too_small_window_skips_training() {
+        let (mut fl, jobs) = loop_with_small_window();
+        let refs: Vec<&JobSpec> = jobs.iter().take(3).collect();
+        let report = fl.run_epoch(&refs).unwrap();
+        assert_eq!(report.retrain.decision, PublishDecision::SkippedTooFewJobs);
+        assert_eq!(fl.registry().current_version(), 0);
+    }
+
+    #[test]
+    fn observe_applies_eviction_policy() {
+        let (mut fl, jobs) = loop_with_small_window();
+        let refs: Vec<&JobSpec> = jobs.iter().take(10).collect();
+        fl.run_epoch(&refs).unwrap();
+        let window_before = fl.window().len();
+        // Re-observing the same telemetry pushes the window over its bound only
+        // once it exceeds 64 jobs.
+        let copy = fl.window().clone();
+        let evicted = fl.observe(copy);
+        assert_eq!(evicted, (window_before * 2).saturating_sub(64));
+    }
+}

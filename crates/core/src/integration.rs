@@ -5,33 +5,213 @@
 //! Optimize-Inputs step as the default cost model (Figure 8a, step 10) and can drive
 //! the resource-aware partition exploration of Section 5.2 through
 //! [`CostModel::partition_coefficients`].
+//!
+//! The predictor is held behind an [`Arc`], so one trained model version can be
+//! shared by many concurrent optimizations (see [`crate::registry`]).  A
+//! signature-keyed [`PredictionCache`] memoises combined predictions: recurring jobs
+//! re-optimized across feedback epochs present the same `(signature, feature)` pairs
+//! again and again, and a cache hit skips every per-family model lookup and the
+//! FastTree ensemble walk.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use cleo_common::hash::StableHasher;
 use cleo_engine::physical::{JobMeta, PhysicalNode};
 use cleo_optimizer::CostModel;
 
+use crate::features::extract_features;
 use crate::models::CleoPredictor;
+use crate::signature::{signature_set, SignatureSet};
+
+/// Floor applied to every cost returned to the optimizer, so that downstream
+/// ratios/divisions stay finite even when a model extrapolates to ~0.  One shared
+/// constant keeps the scalar and batched costing paths from drifting.
+const COST_FLOOR_SECONDS: f64 = 1e-6;
+
+/// Clamp a combined prediction to the cost floor (shared by the scalar and batch
+/// paths — see [`COST_FLOOR_SECONDS`]).
+#[inline]
+fn clamp_cost(cost: f64) -> f64 {
+    cost.max(COST_FLOOR_SECONDS)
+}
+
+/// Number of independently locked cache shards (a power of two; selected by the
+/// top bits of the key so concurrent optimizer threads rarely contend).
+const CACHE_SHARDS: usize = 16;
+
+/// Default total cache capacity (entries across all shards).
+const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Hit/miss counters of a [`LearnedCostModel`]'s prediction cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that ran the full prediction stack.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, bounded memo of combined predictions for whole candidate sweeps,
+/// keyed by `hash(signature set, root statistics, job params, candidate counts)`.
+///
+/// The feature rows of a sweep are a pure function of those inputs — the four
+/// signatures pin the exact subtree template (and with it `node_count`/`depth`)
+/// and the normalised input set, while the root's estimated statistics and the
+/// job parameters contribute every remaining feature — so memoisation is exact:
+/// a hit returns the bit-identical values the predictor would have computed.
+/// Caching at sweep granularity is what makes hits cheap: one lookup replaces a
+/// per-candidate feature extraction (each an O(subtree) walk) *and* the model
+/// evaluations behind it.  When a shard outgrows its slice of the capacity it is
+/// cleared wholesale — an epoch-style reset that bounds memory without per-entry
+/// bookkeeping on the serving path.
+#[derive(Debug)]
+struct PredictionCache {
+    shards: Vec<Mutex<HashMap<u64, Vec<f64>>>>,
+    per_shard_capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PredictionCache {
+    fn new(capacity: usize) -> Self {
+        PredictionCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Vec<f64>>> {
+        &self.shards[(key >> 60) as usize % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: u64) -> Option<Vec<f64>> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: u64, costs: Vec<f64>) {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.len() >= self.per_shard_capacity {
+            shard.clear();
+        }
+        shard.insert(key, costs);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Stable cache key over everything the feature rows of one candidate sweep
+/// depend on (see [`PredictionCache`]).
+fn cache_key(
+    signatures: &SignatureSet,
+    node: &PhysicalNode,
+    meta: &JobMeta,
+    partitions: &[usize],
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(signatures.op_subgraph)
+        .write_u64(signatures.op_subgraph_approx)
+        .write_u64(signatures.op_input)
+        .write_u64(signatures.operator)
+        .write_u64(node.est.input_cardinality.to_bits())
+        .write_u64(node.est.base_cardinality.to_bits())
+        .write_u64(node.est.output_cardinality.to_bits())
+        .write_u64(node.est.avg_row_bytes.to_bits())
+        .write_u64(meta.params.first().copied().unwrap_or(0.0).to_bits())
+        .write_u64(meta.params.get(1).copied().unwrap_or(0.0).to_bits());
+    // The signatures hash the *sorted, deduplicated* input set, but the IN
+    // feature hashes the inputs in raw order — key on the raw list too, or two
+    // jobs differing only in input order would share an entry.
+    for input in &meta.normalized_inputs {
+        h.write_str(input);
+    }
+    for &p in partitions {
+        h.write_u64(p as u64);
+    }
+    h.finish()
+}
 
 /// The learned cost model plugged into the optimizer.
+#[derive(Debug)]
 pub struct LearnedCostModel {
-    predictor: CleoPredictor,
+    predictor: Arc<CleoPredictor>,
     /// Number of model invocations performed (reported in the overhead analysis).
     invocations: AtomicUsize,
+    /// Signature-keyed memo of combined predictions (`None` = caching disabled).
+    cache: Option<PredictionCache>,
 }
 
 impl LearnedCostModel {
-    /// Wrap a trained predictor.
-    pub fn new(predictor: CleoPredictor) -> Self {
+    /// Wrap a trained predictor (accepts an owned predictor or an existing
+    /// [`Arc`]), with the signature-keyed prediction cache enabled.
+    pub fn new(predictor: impl Into<Arc<CleoPredictor>>) -> Self {
+        Self::with_cache_capacity(predictor, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Like [`LearnedCostModel::new`] with an explicit total cache capacity
+    /// (`0` disables caching — every invocation runs the full prediction stack).
+    pub fn with_cache_capacity(predictor: impl Into<Arc<CleoPredictor>>, capacity: usize) -> Self {
         LearnedCostModel {
-            predictor,
+            predictor: predictor.into(),
             invocations: AtomicUsize::new(0),
+            cache: (capacity > 0).then(|| PredictionCache::new(capacity)),
         }
+    }
+
+    /// Wrap a predictor with the prediction cache disabled (baseline for the
+    /// cache microbenchmarks).
+    pub fn without_cache(predictor: impl Into<Arc<CleoPredictor>>) -> Self {
+        Self::with_cache_capacity(predictor, 0)
     }
 
     /// The wrapped predictor.
     pub fn predictor(&self) -> &CleoPredictor {
         &self.predictor
+    }
+
+    /// A shareable handle to the wrapped predictor.
+    pub fn shared_predictor(&self) -> Arc<CleoPredictor> {
+        Arc::clone(&self.predictor)
     }
 
     /// Number of cost-model invocations so far.
@@ -43,15 +223,60 @@ impl LearnedCostModel {
     pub fn reset_invocation_count(&self) {
         self.invocations.store(0, Ordering::Relaxed);
     }
+
+    /// Hit/miss counters of the prediction cache (zeros when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Drop all cached predictions and reset the hit/miss counters.
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.reset();
+        }
+    }
+}
+
+impl LearnedCostModel {
+    /// Run the full prediction stack for one candidate sweep (no cache).
+    fn predict_sweep(
+        &self,
+        signatures: &SignatureSet,
+        node: &PhysicalNode,
+        partitions: &[usize],
+        meta: &JobMeta,
+    ) -> Vec<f64> {
+        let feature_rows: Vec<Vec<f64>> = partitions
+            .iter()
+            .map(|&p| extract_features(node, p, meta))
+            .collect();
+        self.predictor
+            .predict_batch_from_parts(signatures, &feature_rows)
+            .into_iter()
+            .map(|b| clamp_cost(b.combined))
+            .collect()
+    }
+
+    /// Cost a candidate sweep through the cache (one lookup per sweep).
+    fn cost_sweep(&self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) -> Vec<f64> {
+        let signatures = signature_set(node, meta);
+        let Some(cache) = &self.cache else {
+            return self.predict_sweep(&signatures, node, partitions, meta);
+        };
+        let key = cache_key(&signatures, node, meta, partitions);
+        if let Some(costs) = cache.get(key) {
+            return costs;
+        }
+        let costs = self.predict_sweep(&signatures, node, partitions, meta);
+        cache.insert(key, costs.clone());
+        costs
+    }
 }
 
 impl CostModel for LearnedCostModel {
     fn exclusive_cost(&self, node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> f64 {
         self.invocations.fetch_add(1, Ordering::Relaxed);
-        self.predictor
-            .predict(node, partitions, meta)
-            .combined
-            .max(1e-6)
+        self.cost_sweep(node, &[partitions], meta)[0]
     }
 
     fn exclusive_cost_batch(
@@ -61,14 +286,11 @@ impl CostModel for LearnedCostModel {
         meta: &JobMeta,
     ) -> Vec<f64> {
         // One signature computation + one model lookup per family for the whole
-        // candidate set (the batched invocation path of resource-aware planning).
+        // candidate set (the batched invocation path of resource-aware planning),
+        // and on a repeat sweep of a recurring operator a single cache lookup.
         self.invocations
             .fetch_add(partitions.len(), Ordering::Relaxed);
-        self.predictor
-            .predict_candidates(node, partitions, meta)
-            .into_iter()
-            .map(|b| b.combined.max(1e-6))
-            .collect()
+        self.cost_sweep(node, partitions, meta)
     }
 
     fn partition_coefficients(&self, node: &PhysicalNode, meta: &JobMeta) -> Option<(f64, f64)> {
@@ -165,6 +387,59 @@ mod tests {
         model.reset_invocation_count();
         assert_eq!(model.invocation_count(), 0);
         assert_eq!(model.name(), "CLEO (learned)");
+    }
+
+    #[test]
+    fn cached_predictions_are_bit_identical_to_uncached() {
+        let predictor = std::sync::Arc::new(u_shape_predictor());
+        let cached = LearnedCostModel::new(std::sync::Arc::clone(&predictor));
+        let uncached = LearnedCostModel::without_cache(predictor);
+        let m = meta();
+        let candidates: Vec<usize> = (0..32).map(|i| 1 + 8 * i).collect();
+        for rows in [1e5, 1e6, 3e6] {
+            let node = exchange_node(rows, 8);
+            for &p in &candidates {
+                // Scalar path: first call misses, second call hits; all equal the
+                // uncached model bit for bit.
+                let cold = cached.exclusive_cost(&node, p, &m);
+                let warm = cached.exclusive_cost(&node, p, &m);
+                let reference = uncached.exclusive_cost(&node, p, &m);
+                assert_eq!(cold.to_bits(), reference.to_bits());
+                assert_eq!(warm.to_bits(), reference.to_bits());
+            }
+            // Batch path over a mix of cached and new partition counts.
+            let batch = cached.exclusive_cost_batch(&node, &candidates, &m);
+            let reference = uncached.exclusive_cost_batch(&node, &candidates, &m);
+            for (a, b) in batch.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "repeat costing must hit: {stats:?}");
+        assert!(stats.misses > 0);
+        // Per rows value: 32 scalar sweeps miss cold and hit warm, plus one
+        // batch-sweep miss — 32 hits / 65 lookups.
+        assert!(stats.hit_rate() > 0.4, "hit rate {}", stats.hit_rate());
+        assert_eq!(uncached.cache_stats(), CacheStats::default());
+
+        cached.clear_cache();
+        assert_eq!(cached.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded() {
+        let model = LearnedCostModel::with_cache_capacity(u_shape_predictor(), 64);
+        let m = meta();
+        // Far more distinct (rows, partitions) combinations than capacity: the
+        // sharded reset must keep this from growing unboundedly, and every
+        // prediction must stay correct (spot-checked against a fresh model).
+        for i in 0..400 {
+            let node = exchange_node(1e5 + 1e3 * i as f64, 4);
+            let c = model.exclusive_cost(&node, 4 + (i % 13), &m);
+            assert!(c > 0.0);
+        }
+        let stats = model.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 400);
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! * [`trainer`] — the training pipeline (min-occurrence filtering, meta hold-out),
 //! * [`integration`] — [`integration::LearnedCostModel`], the drop-in
 //!   [`cleo_optimizer::CostModel`] implementation, including the analytical partition
-//!   coefficients used for resource-aware planning,
+//!   coefficients used for resource-aware planning and the signature-keyed
+//!   prediction cache for recurring-job costing,
 //! * [`cardlearner`] — the learned-cardinality baseline of Section 6.4,
-//! * [`pipeline`] — the end-to-end feedback loop (optimize → simulate → train →
-//!   re-optimize) and the evaluation helpers shared by the experiment runners.
+//! * [`pipeline`] — one-shot runs (optimize → simulate → train → re-optimize) and
+//!   the evaluation helpers shared by the experiment runners,
+//! * [`registry`] — the versioned model registry: immutable predictor snapshots
+//!   behind an atomic publish/load seam, served to concurrent optimizations,
+//! * [`feedback`] — the continuous loop of Section 5.1: epoch-driven serving over a
+//!   bounded sliding telemetry window, parallel retraining, and holdout-guarded
+//!   version rollout.
 //!
 //! ## Quick start
 //!
@@ -48,19 +54,25 @@
 
 pub mod cardlearner;
 pub mod features;
+pub mod feedback;
 pub mod integration;
 pub mod models;
 pub mod pipeline;
+pub mod registry;
 pub mod signature;
 pub mod trainer;
 
 pub use cardlearner::CardLearner;
 pub use features::{extract_features, feature_count, feature_names, normalized_weights};
-pub use integration::LearnedCostModel;
+pub use feedback::{
+    EpochReport, FeedbackConfig, FeedbackLoop, PublishDecision, RetrainOutcome, WindowEviction,
+};
+pub use integration::{CacheStats, LearnedCostModel};
 pub use models::{CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown};
 pub use pipeline::{
     collect_samples, compare_runs, evaluate_cost_model, evaluate_predictor, run_jobs,
-    train_predictor, JobComparison, ModelEvaluation,
+    run_jobs_shared, train_predictor, JobComparison, ModelEvaluation,
 };
+pub use registry::{HoldoutMetrics, ModelRegistry, ModelSnapshot, RegistryCostModelProvider};
 pub use signature::{signature_set, ModelFamily, SignatureSet};
 pub use trainer::{CleoTrainer, TrainerConfig};

@@ -62,11 +62,11 @@ struct SignatureTask<'a> {
 /// Group `samples` by their `family` signature, keeping only signatures with at
 /// least `min_samples` occurrences.  The result is sorted by signature so task
 /// lists (and therefore thread assignment) are deterministic.
-fn group_by_signature<'a>(
+fn group_by_signature(
     family: ModelFamily,
-    samples: &'a [OperatorSample],
+    samples: &[OperatorSample],
     min_samples: usize,
-) -> Vec<(u64, Vec<&'a OperatorSample>)> {
+) -> Vec<(u64, Vec<&OperatorSample>)> {
     let mut grouped: HashMap<u64, Vec<&OperatorSample>> = HashMap::new();
     for s in samples {
         grouped
@@ -115,8 +115,10 @@ fn fit_signature_model(names: &[String], group: &[&OperatorSample]) -> Result<St
     // to this reproduction's target scale (log-seconds rather than the cost
     // units SCOPE uses); the structure (L1+L2, MSLE objective, automatic
     // feature selection) is unchanged.
-    let mut config = cleo_mlkit::elastic_net::ElasticNetConfig::default();
-    config.alpha = 0.05;
+    let config = cleo_mlkit::elastic_net::ElasticNetConfig {
+        alpha: 0.05,
+        ..Default::default()
+    };
     let mut model = ElasticNet::new(config);
     model.fit(&data)?;
     Ok(StoredModel {

@@ -1,23 +1,28 @@
-//! End-to-end feedback loop and evaluation helpers.
+//! One-shot pipeline runs and evaluation helpers.
 //!
 //! Section 5.1 describes Cleo's deployment loop: instrument runs → train models on a
 //! window of telemetry → feed the models back to the optimizer → plans improve → new
-//! telemetry.  This module provides that loop for the reproduction, plus the
-//! evaluation helpers the experiment runners share (per-family accuracy/coverage in
-//! the same vocabulary as Tables 5, 7 and 8).
+//! telemetry.  The *continuous* version of that loop is [`crate::feedback`]; this
+//! module provides single turns of it ([`run_jobs`] / [`run_jobs_shared`] — the
+//! latter is the serving path the feedback loop itself uses) plus the evaluation
+//! helpers the experiment runners share (per-family accuracy/coverage in the same
+//! vocabulary as Tables 5, 7 and 8).
 
 use cleo_common::stats;
 use cleo_common::Result;
 use cleo_engine::exec::Simulator;
-use cleo_engine::telemetry::{JobTelemetry, TelemetryLog};
+use cleo_engine::telemetry::{JobTelemetry, ModelProvenance, TelemetryLog};
 use cleo_engine::workload::JobSpec;
-use cleo_optimizer::{CostModel, Optimizer, OptimizerConfig};
+use cleo_optimizer::{CostModel, Optimizer, OptimizerConfig, SharedOptimizer};
 
 use crate::models::{CleoPredictor, OperatorSample};
 use crate::signature::ModelFamily;
 use crate::trainer::{CleoTrainer, TrainerConfig};
 
 /// Optimize and simulate a set of jobs with a given cost model, producing telemetry.
+///
+/// The one-shot borrowed-model path (no provenance stamps, serial).  Continuous
+/// serving against a mutable model registry goes through [`run_jobs_shared`].
 pub fn run_jobs(
     jobs: &[&JobSpec],
     cost_model: &dyn CostModel,
@@ -29,10 +34,38 @@ pub fn run_jobs(
     for job in jobs {
         let optimized = optimizer.optimize(job)?;
         let run = simulator.run(&optimized.plan);
-        log.push(JobTelemetry {
-            plan: optimized.plan,
+        log.push(JobTelemetry::new(optimized.plan, run));
+    }
+    Ok(log)
+}
+
+/// Optimize and simulate a set of jobs through a [`SharedOptimizer`] — the serving
+/// path of the feedback loop.
+///
+/// Jobs are optimized across `threads` OS threads (0 = all cores), each against the
+/// provider's model snapshot at the moment it starts; simulation then runs in job
+/// order (the simulator derives its noise stream per job id, so the thread schedule
+/// cannot leak into the telemetry).  Every record is stamped with `epoch` and the
+/// registry version that optimized its plan.
+pub fn run_jobs_shared(
+    jobs: &[&JobSpec],
+    optimizer: &SharedOptimizer,
+    simulator: &Simulator,
+    epoch: u32,
+    threads: usize,
+) -> Result<TelemetryLog> {
+    let optimized = optimizer.optimize_all(jobs, threads)?;
+    let mut log = TelemetryLog::new();
+    for plan in optimized {
+        let run = simulator.run(&plan.plan);
+        log.push(JobTelemetry::with_provenance(
+            plan.plan,
             run,
-        });
+            ModelProvenance {
+                epoch,
+                model_version: plan.stats.model_version,
+            },
+        ));
     }
     Ok(log)
 }
@@ -111,8 +144,17 @@ pub fn evaluate_predictor(predictor: &CleoPredictor, log: &TelemetryLog) -> Vec<
 /// Evaluate a hand-written cost model (default / manually tuned) against the actual
 /// exclusive latencies of a telemetry log.
 pub fn evaluate_cost_model(cost_model: &dyn CostModel, log: &TelemetryLog) -> ModelEvaluation {
+    evaluate_cost_model_jobs(cost_model, log.jobs())
+}
+
+/// Evaluate a cost model over borrowed telemetry records (the zero-copy variant
+/// the feedback loop's publish guard uses on its holdout slice).
+pub fn evaluate_cost_model_jobs<'a>(
+    cost_model: &dyn CostModel,
+    jobs: impl IntoIterator<Item = &'a JobTelemetry>,
+) -> ModelEvaluation {
     let mut pairs = Vec::new();
-    for job in &log.jobs {
+    for job in jobs {
         for (node, latency) in job.operator_samples() {
             let pred = cost_model.exclusive_cost(node, node.partition_count, &job.plan.meta);
             pairs.push((pred, latency));
@@ -171,9 +213,9 @@ impl JobComparison {
 /// Compare two telemetry logs of the same job list (baseline vs. new cost model).
 pub fn compare_runs(baseline: &TelemetryLog, new: &TelemetryLog) -> Vec<JobComparison> {
     baseline
-        .jobs
+        .jobs()
         .iter()
-        .zip(new.jobs.iter())
+        .zip(new.jobs().iter())
         .map(|(b, n)| {
             let structurally_equal = b.plan.op_count() == n.plan.op_count()
                 && b.plan

@@ -1,0 +1,459 @@
+//! The versioned model registry: how trained models reach the serving path.
+//!
+//! The paper's deployment (Section 5.1) is a continuous loop — instrument runs,
+//! train on a telemetry window, feed the models back to the optimizer.  The
+//! "feed back" step is this module: a [`ModelRegistry`] holds immutable
+//! [`ModelSnapshot`]s (predictor + cost model + the holdout metrics it was
+//! published with) and swaps an atomic "current" pointer on publish.  Readers
+//! clone an [`Arc`] under a briefly held lock and then never coordinate again:
+//! an optimization in flight keeps its snapshot alive even if ten newer versions
+//! are published before it finishes.
+//!
+//! [`RegistryCostModelProvider`] adapts the registry to the optimizer's
+//! [`CostModelProvider`] seam, serving a hand-written fallback model (version 0)
+//! until the first version is published and after a full rollback.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use cleo_optimizer::{CostModel, CostModelProvider};
+
+use crate::integration::LearnedCostModel;
+use crate::models::CleoPredictor;
+
+/// Accuracy of a model version over its publish-time holdout slice, in the
+/// vocabulary of Tables 5/7/8 (correlation + median relative error).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldoutMetrics {
+    /// Pearson correlation between predictions and actual exclusive latencies.
+    pub correlation: f64,
+    /// Median relative error (%) over the holdout operators.
+    pub median_error_pct: f64,
+    /// Number of holdout operator samples the metrics were computed over.
+    pub sample_count: usize,
+}
+
+impl HoldoutMetrics {
+    /// True when `self` is a regression from `incumbent`: correlation dropped by
+    /// more than `correlation_tolerance` or median error grew by more than
+    /// `error_tolerance_pct` percentage points.  This is the guarded-rollout
+    /// predicate — a candidate that regresses is never published.
+    pub fn regresses_from(
+        &self,
+        incumbent: &HoldoutMetrics,
+        correlation_tolerance: f64,
+        error_tolerance_pct: f64,
+    ) -> bool {
+        self.correlation < incumbent.correlation - correlation_tolerance
+            || self.median_error_pct > incumbent.median_error_pct + error_tolerance_pct
+    }
+}
+
+/// One immutable published model version.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    version: u64,
+    epoch: u32,
+    model: Arc<LearnedCostModel>,
+    holdout: HoldoutMetrics,
+}
+
+impl ModelSnapshot {
+    /// The registry version (1-based; 0 means "no published model").
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The feedback epoch that published this version.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The served cost model (shares its prediction cache across all readers).
+    pub fn cost_model(&self) -> &Arc<LearnedCostModel> {
+        &self.model
+    }
+
+    /// The underlying predictor.
+    pub fn predictor(&self) -> &CleoPredictor {
+        self.model.predictor()
+    }
+
+    /// The holdout metrics this version was published with.
+    pub fn holdout(&self) -> &HoldoutMetrics {
+        &self.holdout
+    }
+}
+
+/// Published snapshots plus the serving lineage (under one lock so publish and
+/// rollback see a consistent view of both).
+#[derive(Debug, Default)]
+struct RegistryHistory {
+    /// Every published snapshot, in version order (versions are never reused,
+    /// so a rollback leaves history intact).
+    published: Vec<Arc<ModelSnapshot>>,
+    /// Stack of versions on the serving lineage: publish pushes, rollback pops.
+    /// A rolled-back (bad) version leaves the stack for good, so a later
+    /// rollback returns to what was actually serving — never to a version that
+    /// was itself rolled back earlier.
+    serving_stack: Vec<u64>,
+}
+
+/// The versioned model registry.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    /// The snapshot served to new optimizations (`None` until the first publish).
+    current: RwLock<Option<Arc<ModelSnapshot>>>,
+    /// Publish/rollback bookkeeping.
+    history: Mutex<RegistryHistory>,
+    /// Version stamp mirror of `current`, readable without the lock.
+    served_version: AtomicU64,
+    /// Next version to assign (versions start at 1).
+    next_version: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    // Not derived: a derived default would start `next_version` at 0, colliding
+    // with the "no published model" sentinel.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// Create an empty registry (version 0 = nothing published).
+    pub fn new() -> Self {
+        ModelRegistry {
+            current: RwLock::new(None),
+            history: Mutex::new(RegistryHistory::default()),
+            served_version: AtomicU64::new(0),
+            next_version: AtomicU64::new(1),
+        }
+    }
+
+    /// Publish a trained predictor as the new current version and return its
+    /// snapshot.  The swap is atomic: concurrent readers see either the old or
+    /// the new snapshot, never a torn state, and snapshots already handed out
+    /// stay valid (they are immutable and reference counted).
+    pub fn publish(
+        &self,
+        predictor: impl Into<Arc<CleoPredictor>>,
+        epoch: u32,
+        holdout: HoldoutMetrics,
+    ) -> Arc<ModelSnapshot> {
+        let model = Arc::new(LearnedCostModel::new(predictor));
+        // Assign the version while holding both locks (history first, matching
+        // `rollback`): concurrent publishes must install in version order, or
+        // the registry could end up serving an older version than the newest
+        // and break rollback's predecessor scan.
+        let mut history = self.history.lock().expect("registry history poisoned");
+        let mut current = self.current.write().expect("registry pointer poisoned");
+        let snapshot = Arc::new(ModelSnapshot {
+            version: self.next_version.fetch_add(1, Ordering::Relaxed),
+            epoch,
+            model,
+            holdout,
+        });
+        history.published.push(Arc::clone(&snapshot));
+        history.serving_stack.push(snapshot.version);
+        *current = Some(Arc::clone(&snapshot));
+        self.served_version
+            .store(snapshot.version, Ordering::Release);
+        snapshot
+    }
+
+    /// The currently served snapshot, if any.
+    pub fn current(&self) -> Option<Arc<ModelSnapshot>> {
+        self.current
+            .read()
+            .expect("registry pointer poisoned")
+            .clone()
+    }
+
+    /// Version of the currently served snapshot (0 = none), without locking.
+    pub fn current_version(&self) -> u64 {
+        self.served_version.load(Ordering::Acquire)
+    }
+
+    /// Look up a published snapshot by version.
+    pub fn version(&self, version: u64) -> Option<Arc<ModelSnapshot>> {
+        self.history
+            .lock()
+            .expect("registry history poisoned")
+            .published
+            .iter()
+            .find(|s| s.version == version)
+            .cloned()
+    }
+
+    /// Every published snapshot, oldest first (including rolled-back versions).
+    pub fn versions(&self) -> Vec<Arc<ModelSnapshot>> {
+        self.history
+            .lock()
+            .expect("registry history poisoned")
+            .published
+            .clone()
+    }
+
+    /// Number of versions ever published.
+    pub fn version_count(&self) -> usize {
+        self.history
+            .lock()
+            .expect("registry history poisoned")
+            .published
+            .len()
+    }
+
+    /// True when nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.version_count() == 0
+    }
+
+    /// Roll the served pointer back to the version that was serving before the
+    /// current one, returning the snapshot now being served (`None` when the
+    /// rollback leaves the registry serving the fallback model).  The rolled-back
+    /// version leaves the serving lineage for good — a later rollback never
+    /// returns to a version that was itself rolled back — but stays addressable
+    /// in history.
+    pub fn rollback(&self) -> Option<Arc<ModelSnapshot>> {
+        let mut history = self.history.lock().expect("registry history poisoned");
+        let mut current = self.current.write().expect("registry pointer poisoned");
+        history.serving_stack.pop();
+        let predecessor = history
+            .serving_stack
+            .last()
+            .and_then(|&v| history.published.iter().find(|s| s.version == v).cloned());
+        self.served_version.store(
+            predecessor.as_ref().map(|s| s.version).unwrap_or(0),
+            Ordering::Release,
+        );
+        *current = predecessor.clone();
+        predecessor
+    }
+}
+
+/// Adapter serving a [`ModelRegistry`] through the optimizer's
+/// [`CostModelProvider`] seam, with a hand-written fallback for version 0.
+pub struct RegistryCostModelProvider {
+    registry: Arc<ModelRegistry>,
+    fallback: Arc<dyn CostModel>,
+}
+
+impl RegistryCostModelProvider {
+    /// Serve `registry`, falling back to `fallback` until a version is published.
+    pub fn new(registry: Arc<ModelRegistry>, fallback: Arc<dyn CostModel>) -> Self {
+        RegistryCostModelProvider { registry, fallback }
+    }
+
+    /// The registry being served.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+}
+
+impl CostModelProvider for RegistryCostModelProvider {
+    fn current(&self) -> Arc<dyn CostModel> {
+        self.snapshot().0
+    }
+
+    fn current_version(&self) -> u64 {
+        self.registry.current_version()
+    }
+
+    fn snapshot(&self) -> (Arc<dyn CostModel>, u64) {
+        match self.registry.current() {
+            Some(s) => (Arc::clone(s.cost_model()) as Arc<dyn CostModel>, s.version),
+            None => (Arc::clone(&self.fallback), 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{CombinedModel, ModelStore, OperatorSample};
+    use crate::signature::ModelFamily;
+    use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind};
+    use cleo_engine::types::{ClusterId, DayIndex, JobId, OpStats};
+    use cleo_optimizer::HeuristicCostModel;
+
+    fn tiny_predictor(scale: f64) -> CleoPredictor {
+        let meta = JobMeta {
+            id: JobId(1),
+            cluster: ClusterId(0),
+            template: None,
+            name: "registry".into(),
+            normalized_inputs: vec!["t".into()],
+            params: vec![],
+            day: DayIndex(0),
+            recurring: true,
+        };
+        let samples: Vec<OperatorSample> = (0..24)
+            .map(|i| {
+                let rows = 1e5 * (1.0 + i as f64);
+                let mut n = PhysicalNode::new(PhysicalOpKind::Filter, "pred", vec![]);
+                n.est = OpStats {
+                    input_cardinality: rows,
+                    base_cardinality: rows,
+                    output_cardinality: rows / 2.0,
+                    avg_row_bytes: 40.0,
+                };
+                n.partition_count = 4 + (i % 4);
+                OperatorSample::from_node(&n, scale * rows * 1e-7 + 0.05, &meta)
+            })
+            .collect();
+        CleoPredictor::new(
+            vec![ModelStore::train(ModelFamily::Operator, &samples, 5).unwrap()],
+            CombinedModel::default(),
+        )
+    }
+
+    fn metrics(correlation: f64, median_error_pct: f64) -> HoldoutMetrics {
+        HoldoutMetrics {
+            correlation,
+            median_error_pct,
+            sample_count: 100,
+        }
+    }
+
+    #[test]
+    fn default_registry_versions_from_one_like_new() {
+        let registry = ModelRegistry::default();
+        let v1 = registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        assert_eq!(
+            v1.version(),
+            1,
+            "version 0 is the 'nothing published' sentinel"
+        );
+        assert_eq!(registry.current_version(), 1);
+    }
+
+    #[test]
+    fn publish_load_and_version_stamps() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert_eq!(registry.current_version(), 0);
+        assert!(registry.current().is_none());
+
+        let v1 = registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(registry.current_version(), 1);
+
+        let v2 = registry.publish(tiny_predictor(2.0), 2, metrics(0.92, 9.0));
+        assert_eq!(v2.version(), 2);
+        assert_eq!(registry.current_version(), 2);
+        assert_eq!(registry.version_count(), 2);
+        // Old snapshots stay addressable and immutable.
+        let old = registry.version(1).unwrap();
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.holdout().sample_count, 100);
+        assert_eq!(registry.versions().len(), 2);
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_publishes() {
+        let registry = ModelRegistry::new();
+        registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        let held = registry.current().unwrap();
+        registry.publish(tiny_predictor(2.0), 2, metrics(0.91, 9.5));
+        // The held snapshot is unchanged even though the registry moved on.
+        assert_eq!(held.version(), 1);
+        assert_eq!(registry.current().unwrap().version(), 2);
+    }
+
+    #[test]
+    fn rollback_restores_the_previous_version() {
+        let registry = ModelRegistry::new();
+        assert!(registry.rollback().is_none());
+        registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        registry.publish(tiny_predictor(2.0), 2, metrics(0.92, 9.0));
+        let back = registry.rollback().unwrap();
+        assert_eq!(back.version(), 1);
+        assert_eq!(registry.current_version(), 1);
+        // Rolling back past the first version falls back to "nothing served".
+        assert!(registry.rollback().is_none());
+        assert_eq!(registry.current_version(), 0);
+        // History still remembers both versions.
+        assert_eq!(registry.version_count(), 2);
+    }
+
+    #[test]
+    fn rollback_never_returns_to_a_rolled_back_version() {
+        let registry = ModelRegistry::new();
+        registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        registry.publish(tiny_predictor(2.0), 2, metrics(0.92, 9.0));
+        // v2 turns out bad: back to v1.
+        assert_eq!(registry.rollback().unwrap().version(), 1);
+        registry.publish(tiny_predictor(3.0), 3, metrics(0.93, 8.5));
+        // v3 is also bad: the escape hatch must land on v1 (what was serving),
+        // not on v2 (already rolled back as bad).
+        assert_eq!(registry.rollback().unwrap().version(), 1);
+        assert_eq!(registry.current_version(), 1);
+        // All three versions remain addressable in history.
+        assert_eq!(registry.version_count(), 3);
+    }
+
+    #[test]
+    fn provider_serves_fallback_then_published_versions() {
+        let registry = Arc::new(ModelRegistry::new());
+        let provider = RegistryCostModelProvider::new(
+            Arc::clone(&registry),
+            Arc::new(HeuristicCostModel::default_model()),
+        );
+        let (model, version) = provider.snapshot();
+        assert_eq!(version, 0);
+        assert_eq!(model.name(), "Default");
+
+        registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        let (model, version) = provider.snapshot();
+        assert_eq!(version, 1);
+        assert_eq!(model.name(), "CLEO (learned)");
+        assert_eq!(provider.current_version(), 1);
+        assert_eq!(provider.registry().version_count(), 1);
+    }
+
+    #[test]
+    fn regression_predicate_guards_both_metrics() {
+        let incumbent = metrics(0.90, 10.0);
+        // Within tolerance on both axes: not a regression.
+        assert!(!metrics(0.895, 10.4).regresses_from(&incumbent, 0.01, 0.5));
+        // Correlation collapsed.
+        assert!(metrics(0.70, 10.0).regresses_from(&incumbent, 0.01, 0.5));
+        // Median error blew up.
+        assert!(metrics(0.90, 25.0).regresses_from(&incumbent, 0.01, 0.5));
+        // Strict improvement never regresses.
+        assert!(!metrics(0.95, 5.0).regresses_from(&incumbent, 0.0, 0.0));
+    }
+
+    #[test]
+    fn concurrent_publishes_and_reads_stay_consistent() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        std::thread::scope(|scope| {
+            let writer = {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for epoch in 2..12u32 {
+                        registry.publish(tiny_predictor(epoch as f64), epoch, metrics(0.9, 10.0));
+                    }
+                })
+            };
+            for _ in 0..4 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let snapshot = registry.current().expect("always published");
+                        // The snapshot is internally consistent no matter how the
+                        // publishes interleave.
+                        assert!(snapshot.version() >= 1);
+                        assert!(snapshot.predictor().model_count() > 0);
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(registry.current_version(), 11);
+        assert_eq!(registry.version_count(), 11);
+    }
+}

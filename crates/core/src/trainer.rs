@@ -8,7 +8,7 @@
 
 use cleo_common::rng::DetRng;
 use cleo_common::Result;
-use cleo_engine::telemetry::TelemetryLog;
+use cleo_engine::telemetry::{JobTelemetry, TelemetryLog};
 
 use crate::models::{
     CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown,
@@ -45,6 +45,17 @@ impl Default for TrainerConfig {
 }
 
 impl TrainerConfig {
+    /// Derive the per-epoch trainer configuration of the feedback loop: identical
+    /// hyper-parameters with the seed mixed with the epoch number, so every epoch
+    /// shuffles its window independently yet deterministically (the same epoch on
+    /// the same window trains the same predictor on 1 thread or N).
+    pub fn for_epoch(&self, epoch: u32) -> TrainerConfig {
+        TrainerConfig {
+            seed: self.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..*self
+        }
+    }
+
     /// The effective thread count (resolves `threads == 0` to the machine's
     /// available parallelism).
     pub fn effective_threads(&self) -> usize {
@@ -72,8 +83,17 @@ impl CleoTrainer {
 
     /// Turn a telemetry log into per-operator training samples.
     pub fn collect_samples(log: &TelemetryLog) -> Vec<OperatorSample> {
-        let mut samples = Vec::with_capacity(log.operator_sample_count());
-        for job in &log.jobs {
+        Self::collect_samples_from(log.jobs())
+    }
+
+    /// Turn borrowed telemetry records into per-operator training samples
+    /// (the zero-copy path the feedback loop uses to split its window without
+    /// cloning plans).
+    pub fn collect_samples_from<'a>(
+        jobs: impl IntoIterator<Item = &'a JobTelemetry>,
+    ) -> Vec<OperatorSample> {
+        let mut samples = Vec::new();
+        for job in jobs {
             for (node, latency) in job.operator_samples() {
                 samples.push(OperatorSample::from_node(node, latency, &job.plan.meta));
             }
@@ -171,7 +191,6 @@ impl CleoTrainer {
 mod tests {
     use super::*;
     use cleo_engine::exec::{Simulator, SimulatorConfig};
-    use cleo_engine::telemetry::JobTelemetry;
     use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
     use cleo_engine::ClusterId;
     use cleo_optimizer::{HeuristicCostModel, Optimizer, OptimizerConfig};
@@ -185,10 +204,7 @@ mod tests {
         for job in workload.jobs.iter().take(60) {
             let optimized = optimizer.optimize(job).unwrap();
             let run = simulator.run(&optimized.plan);
-            log.push(JobTelemetry {
-                plan: optimized.plan,
-                run,
-            });
+            log.push(JobTelemetry::new(optimized.plan, run));
         }
         log
     }

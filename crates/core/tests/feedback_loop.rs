@@ -1,0 +1,197 @@
+//! Feedback-loop system tests: the properties the continuous-retraining refactor
+//! promised.
+//!
+//! 1. **Determinism** — N epochs of the loop publish bit-identical registry
+//!    versions whether serving/training runs on 1 thread or T.
+//! 2. **Guarded rollout** — a poisoned epoch (telemetry whose labels were
+//!    corrupted) produces a candidate that regresses on the clean holdout, is
+//!    rejected, and the previous version keeps serving.
+//! 3. **Closing the loop** — within ≤3 epochs the learned model versions produce
+//!    plans with lower end-to-end latency than the default cost model that served
+//!    epoch 1.
+
+use cleo_common::rng::DetRng;
+use cleo_core::feedback::{FeedbackConfig, FeedbackLoop, PublishDecision, WindowEviction};
+use cleo_engine::exec::{Simulator, SimulatorConfig};
+use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo_engine::workload::JobSpec;
+use cleo_engine::ClusterId;
+
+fn jobs() -> Vec<JobSpec> {
+    // Two generated days of one small cluster: plenty of recurring templates, so
+    // per-signature models cover most of the next epoch's operators.
+    generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2).jobs
+}
+
+fn config(threads: usize) -> FeedbackConfig {
+    let mut config = FeedbackConfig {
+        eviction: WindowEviction::JobCount(400),
+        serving_threads: threads,
+        ..FeedbackConfig::default()
+    };
+    config.trainer.threads = threads;
+    config
+}
+
+#[test]
+fn epochs_are_bit_identical_across_thread_counts() {
+    let jobs = jobs();
+    let refs: Vec<&JobSpec> = jobs.iter().collect();
+
+    let run_loop = |threads: usize| {
+        let mut fl = FeedbackLoop::new(config(threads), Simulator::new(SimulatorConfig::default()));
+        let mut reports = Vec::new();
+        for _ in 0..3 {
+            reports.push(fl.run_epoch(&refs).unwrap());
+        }
+        (fl, reports)
+    };
+
+    let (serial_loop, serial_reports) = run_loop(1);
+    for threads in [2, 8] {
+        let (parallel_loop, parallel_reports) = run_loop(threads);
+
+        // Same decisions, same served versions, same telemetry totals per epoch.
+        for (a, b) in serial_reports.iter().zip(&parallel_reports) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.served_version, b.served_version, "epoch {}", a.epoch);
+            assert_eq!(a.retrain.decision, b.retrain.decision, "epoch {}", a.epoch);
+            assert_eq!(
+                a.total_latency.to_bits(),
+                b.total_latency.to_bits(),
+                "epoch {} telemetry must not depend on the thread schedule",
+                a.epoch
+            );
+        }
+
+        // Same published versions, and each version's predictor is bit-identical:
+        // probed over real plans, every prediction matches to the last bit.
+        assert_eq!(
+            serial_loop.registry().version_count(),
+            parallel_loop.registry().version_count()
+        );
+        for (a, b) in serial_loop
+            .registry()
+            .versions()
+            .iter()
+            .zip(parallel_loop.registry().versions())
+        {
+            assert_eq!(a.version(), b.version());
+            assert_eq!(a.epoch(), b.epoch());
+            assert_eq!(
+                a.holdout().correlation.to_bits(),
+                b.holdout().correlation.to_bits()
+            );
+            // Probe every operator of a dozen executed plans: predictions must
+            // match to the last bit.
+            for telemetry in serial_loop.window().jobs().iter().take(12) {
+                for node in telemetry.plan.operators() {
+                    let x = a
+                        .predictor()
+                        .predict(node, node.partition_count, &telemetry.plan.meta);
+                    let y = b
+                        .predictor()
+                        .predict(node, node.partition_count, &telemetry.plan.meta);
+                    assert_eq!(
+                        x.combined.to_bits(),
+                        y.combined.to_bits(),
+                        "version {} differs on {threads} threads",
+                        a.version()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn poisoned_epoch_keeps_serving_the_previous_version() {
+    let jobs = jobs();
+    let refs: Vec<&JobSpec> = jobs.iter().collect();
+    let mut fl = FeedbackLoop::new(config(2), Simulator::new(SimulatorConfig::default()));
+
+    // A clean epoch publishes version 1.
+    let first = fl.run_epoch(&refs).unwrap();
+    assert!(matches!(
+        first.retrain.decision,
+        PublishDecision::Published { version: 1 }
+    ));
+    assert_eq!(fl.registry().current_version(), 1);
+
+    // Poison the next window: scramble the labels of every job the holdout split
+    // will NOT sample (the guard's holdout stride is 1/holdout_fraction), so the
+    // candidate trains on garbage while the guard still measures against clean
+    // telemetry — the exact corruption the guarded rollout exists for.
+    let stride = fl.holdout_stride();
+    let mut poisoned_jobs = fl.window().clone().into_jobs();
+    let mut rng = DetRng::new(0xBAD);
+    for (i, job) in poisoned_jobs.iter_mut().enumerate() {
+        if i % stride == 0 {
+            continue; // holdout slot: leave clean
+        }
+        for run in job.run.operator_runs.values_mut() {
+            // Random garbage in a plausible range, uncorrelated with features.
+            run.exclusive_seconds = rng.uniform(1e-3, 1e3);
+        }
+    }
+    fl.clear_window();
+    fl.observe(cleo_engine::telemetry::TelemetryLog::from_jobs(
+        poisoned_jobs,
+    ));
+
+    let outcome = fl.retrain().unwrap();
+    assert_eq!(
+        outcome.decision,
+        PublishDecision::RejectedRegression,
+        "candidate {:?} incumbent {:?}",
+        outcome.candidate,
+        outcome.incumbent
+    );
+    // The registry still serves version 1; nothing new was published.
+    assert_eq!(fl.registry().current_version(), 1);
+    assert_eq!(fl.registry().version_count(), 1);
+}
+
+#[test]
+fn learned_versions_beat_the_default_model_within_three_epochs() {
+    let jobs = jobs();
+    let refs: Vec<&JobSpec> = jobs.iter().collect();
+    let mut fl = FeedbackLoop::new(config(0), Simulator::new(SimulatorConfig::default()));
+
+    let mut reports = Vec::new();
+    for _ in 0..3 {
+        reports.push(fl.run_epoch(&refs).unwrap());
+    }
+    assert_eq!(reports[0].served_version, 0, "epoch 1 = default cost model");
+    assert!(
+        reports.iter().skip(1).any(|r| r.served_version > 0),
+        "a learned version must start serving within 3 epochs"
+    );
+
+    let baseline = reports[0].total_latency;
+    let best_learned = reports
+        .iter()
+        .skip(1)
+        .filter(|r| r.served_version > 0)
+        .map(|r| r.total_latency)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_learned < baseline,
+        "learned-model epochs must lower total plan latency: baseline {baseline:.2}s, best learned {best_learned:.2}s"
+    );
+
+    // The loop never publishes a regressing version: every published snapshot's
+    // holdout metrics were at least as good as its incumbent's at publish time.
+    for report in &reports {
+        if let (Some(candidate), Some(incumbent)) =
+            (report.retrain.candidate, report.retrain.incumbent)
+        {
+            if matches!(report.retrain.decision, PublishDecision::Published { .. }) {
+                assert!(
+                    !candidate.regresses_from(&incumbent, 0.02, 2.0),
+                    "published a regressing candidate: {candidate:?} vs {incumbent:?}"
+                );
+            }
+        }
+    }
+}

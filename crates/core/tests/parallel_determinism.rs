@@ -27,10 +27,7 @@ fn telemetry(days: u32, take: usize) -> TelemetryLog {
     for job in workload.jobs.iter().take(take) {
         let optimized = optimizer.optimize(job).unwrap();
         let run = simulator.run(&optimized.plan);
-        log.push(JobTelemetry {
-            plan: optimized.plan,
-            run,
-        });
+        log.push(JobTelemetry::new(optimized.plan, run));
     }
     log
 }
@@ -85,7 +82,7 @@ fn one_thread_and_n_threads_train_bit_identical_predictors() {
 fn batched_prediction_matches_single_prediction() {
     let log = telemetry(2, 60);
     let predictor = train_with_threads(&log, 2);
-    let job = &log.jobs[0];
+    let job = &log.jobs()[0];
     let meta = &job.plan.meta;
     let candidates: Vec<usize> = vec![1, 2, 8, 64, 256, 1000];
     for node in job.plan.operators() {

@@ -56,7 +56,7 @@ impl Default for SimulatorConfig {
             outlier_probability: 0.01,
             cluster_speed_factors: vec![1.0, 1.15, 0.9, 1.25],
             template_complexity_sigma: 1.0,
-            seed: 0x5C0_9E,
+            seed: 0x0005_C09E,
         }
     }
 }

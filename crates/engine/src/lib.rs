@@ -29,6 +29,6 @@ pub use exec::{JobRun, OperatorRun, Simulator, SimulatorConfig};
 pub use logical::{JoinKind, LogicalNode, LogicalOp};
 pub use physical::{JobMeta, PhysicalNode, PhysicalOpKind, PhysicalPlan};
 pub use stage::{build_stage_graph, Stage, StageGraph};
-pub use telemetry::{JobTelemetry, TelemetryLog};
+pub use telemetry::{JobTelemetry, ModelProvenance, TelemetryLog};
 pub use types::{ClusterId, DayIndex, JobId, OpId, OpStats, Seconds, TemplateId};
 pub use workload::JobSpec;

@@ -285,7 +285,7 @@ impl LogicalNode {
             .collect::<Result<Vec<_>>>()?;
 
         let sum_child =
-            |f: &dyn Fn(&DerivedCards) -> f64| -> f64 { child_cards.iter().map(|c| f(c)).sum() };
+            |f: &dyn Fn(&DerivedCards) -> f64| -> f64 { child_cards.iter().map(f).sum() };
 
         let (estimated, actual) = match &self.op {
             LogicalOp::Get { table } => {

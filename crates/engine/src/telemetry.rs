@@ -10,6 +10,21 @@ use crate::exec::JobRun;
 use crate::physical::{PhysicalNode, PhysicalPlan};
 use crate::types::{DayIndex, JobId, OpId, Seconds};
 
+/// Which feedback epoch and model version produced a telemetry record.
+///
+/// The continuous loop of Section 5.1 serves every job from whichever model
+/// version is current; stamping that provenance into the telemetry lets later
+/// epochs attribute each observation to the model that planned it (and lets
+/// drift analyses separate "the workload changed" from "the model changed").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelProvenance {
+    /// Feedback-loop epoch during which the job ran (0 = outside any loop).
+    pub epoch: u32,
+    /// Registry version of the cost model that optimized the plan
+    /// (0 = no learned model / the hand-written fallback).
+    pub model_version: u64,
+}
+
 /// The record of one executed job: its plan and its measured runtimes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobTelemetry {
@@ -17,9 +32,28 @@ pub struct JobTelemetry {
     pub plan: PhysicalPlan,
     /// The measured execution outcome.
     pub run: JobRun,
+    /// Epoch/model-version stamp of the run.
+    pub provenance: ModelProvenance,
 }
 
 impl JobTelemetry {
+    /// Record a run with no feedback-loop provenance (epoch 0, version 0).
+    pub fn new(plan: PhysicalPlan, run: JobRun) -> Self {
+        JobTelemetry {
+            plan,
+            run,
+            provenance: ModelProvenance::default(),
+        }
+    }
+
+    /// Record a run stamped with the epoch and model version that produced it.
+    pub fn with_provenance(plan: PhysicalPlan, run: JobRun, provenance: ModelProvenance) -> Self {
+        JobTelemetry {
+            plan,
+            run,
+            provenance,
+        }
+    }
     /// Job id convenience accessor.
     pub fn job_id(&self) -> JobId {
         self.plan.meta.id
@@ -54,10 +88,38 @@ impl JobTelemetry {
 }
 
 /// A collection of executed jobs — one cluster-day (or several) of telemetry.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The log tracks whether its jobs arrived in non-decreasing day order (the normal
+/// case: telemetry is appended as days run).  Day-sorted logs slice training
+/// windows with two binary searches and a sub-range clone instead of re-scanning
+/// every record, and serve as the feedback loop's bounded sliding window via
+/// [`TelemetryLog::drain_window`] / [`TelemetryLog::retain_recent_days`].
+#[derive(Debug, Clone)]
 pub struct TelemetryLog {
-    /// Executed jobs in submission order.
-    pub jobs: Vec<JobTelemetry>,
+    /// Executed jobs in submission order.  Private so the day-order tracking
+    /// cannot be invalidated from outside: append via [`TelemetryLog::push`] /
+    /// [`TelemetryLog::extend`], read via [`TelemetryLog::jobs`], and rebuild
+    /// after bulk edits with [`TelemetryLog::into_jobs`] +
+    /// [`TelemetryLog::from_jobs`] (which re-detects the order).
+    jobs: Vec<JobTelemetry>,
+    /// True while `jobs` is non-decreasing in day (maintained on append).
+    day_sorted: bool,
+}
+
+impl Default for TelemetryLog {
+    fn default() -> Self {
+        TelemetryLog {
+            jobs: Vec::new(),
+            day_sorted: true,
+        }
+    }
+}
+
+impl PartialEq for TelemetryLog {
+    fn eq(&self, other: &Self) -> bool {
+        // `day_sorted` is a derived fast-path hint, not data.
+        self.jobs == other.jobs
+    }
 }
 
 impl TelemetryLog {
@@ -66,13 +128,39 @@ impl TelemetryLog {
         TelemetryLog::default()
     }
 
+    /// Build a log from jobs, detecting day order once.
+    pub fn from_jobs(jobs: Vec<JobTelemetry>) -> Self {
+        let day_sorted = jobs.windows(2).all(|w| w[0].day() <= w[1].day());
+        TelemetryLog { jobs, day_sorted }
+    }
+
+    /// The recorded jobs, in submission order.
+    pub fn jobs(&self) -> &[JobTelemetry] {
+        &self.jobs
+    }
+
+    /// Consume the log into its jobs (pair with [`TelemetryLog::from_jobs`] to
+    /// rebuild after bulk edits; the rebuild re-detects day order).
+    pub fn into_jobs(self) -> Vec<JobTelemetry> {
+        self.jobs
+    }
+
     /// Append one executed job.
     pub fn push(&mut self, job: JobTelemetry) {
+        if let Some(last) = self.jobs.last() {
+            self.day_sorted &= last.day() <= job.day();
+        }
         self.jobs.push(job);
     }
 
     /// Merge another log into this one.
     pub fn extend(&mut self, other: TelemetryLog) {
+        match (self.jobs.last(), other.jobs.first()) {
+            (Some(a), Some(b)) => {
+                self.day_sorted = self.day_sorted && other.day_sorted && a.day() <= b.day();
+            }
+            _ => self.day_sorted &= other.day_sorted,
+        }
         self.jobs.extend(other.jobs);
     }
 
@@ -86,20 +174,88 @@ impl TelemetryLog {
         self.jobs.is_empty()
     }
 
+    /// True while the recorded jobs are in non-decreasing day order (the
+    /// precondition for the binary-search window slicing).
+    pub fn is_day_sorted(&self) -> bool {
+        self.day_sorted
+    }
+
+    /// Debug-build guard for the binary-search paths: `jobs` is private and the
+    /// `day_sorted` flag is maintained by every mutating method, so this should
+    /// never fire — it exists to catch a future method forgetting the flag.
+    fn debug_check_day_sorted(&self) {
+        debug_assert!(
+            self.jobs.windows(2).all(|w| w[0].day() <= w[1].day()),
+            "TelemetryLog.jobs was reordered directly; day_sorted flag is stale"
+        );
+    }
+
     /// Total number of operator samples across all jobs.
     pub fn operator_sample_count(&self) -> usize {
         self.jobs.iter().map(|j| j.run.operator_runs.len()).sum()
     }
 
+    /// Evict the oldest jobs until at most `max_jobs` remain, returning the
+    /// evicted records (oldest first).  This is the feedback loop's sliding
+    /// window bound: O(evicted) plus one memmove, no re-scan of the survivors.
+    pub fn drain_window(&mut self, max_jobs: usize) -> Vec<JobTelemetry> {
+        let excess = self.jobs.len().saturating_sub(max_jobs);
+        // Dropping a prefix cannot break non-decreasing day order.
+        self.jobs.drain(..excess).collect()
+    }
+
+    /// Keep only the `max_days`-day window ending at the newest recorded day
+    /// (`0` is treated as `1`: the newest day alone), returning the evicted
+    /// records (oldest first).  Day-sorted logs locate the cut with a binary
+    /// search.
+    pub fn retain_recent_days(&mut self, max_days: u32) -> Vec<JobTelemetry> {
+        // Day-sorted logs read the newest day off the last record; only the
+        // unsorted fallback needs a scan.
+        let newest = if self.day_sorted {
+            self.jobs.last().map(|j| j.day())
+        } else {
+            self.jobs.iter().map(|j| j.day()).max()
+        };
+        let Some(newest) = newest else {
+            return Vec::new();
+        };
+        let cutoff = DayIndex(newest.0.saturating_sub(max_days.saturating_sub(1)));
+        if self.day_sorted {
+            self.debug_check_day_sorted();
+            let start = self.jobs.partition_point(|j| j.day() < cutoff);
+            self.jobs.drain(..start).collect()
+        } else {
+            let (evicted, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.jobs)
+                .into_iter()
+                .partition(|j| j.day() < cutoff);
+            self.jobs = kept;
+            self.day_sorted = self.jobs.windows(2).all(|w| w[0].day() <= w[1].day());
+            evicted
+        }
+    }
+
     /// Keep only jobs that ran within `[from, to]` (inclusive) days.
+    ///
+    /// Day-sorted logs (the common case — telemetry appended in day order) find
+    /// the window with two binary searches and clone only the selected range;
+    /// unsorted logs fall back to a full filtering scan.
     pub fn slice_days(&self, from: DayIndex, to: DayIndex) -> TelemetryLog {
-        TelemetryLog {
-            jobs: self
-                .jobs
-                .iter()
-                .filter(|j| j.day() >= from && j.day() <= to)
-                .cloned()
-                .collect(),
+        if self.day_sorted {
+            self.debug_check_day_sorted();
+            let start = self.jobs.partition_point(|j| j.day() < from);
+            let end = self.jobs.partition_point(|j| j.day() <= to);
+            TelemetryLog {
+                jobs: self.jobs[start..end].to_vec(),
+                day_sorted: true,
+            }
+        } else {
+            TelemetryLog::from_jobs(
+                self.jobs
+                    .iter()
+                    .filter(|j| j.day() >= from && j.day() <= to)
+                    .cloned()
+                    .collect(),
+            )
         }
     }
 
@@ -112,6 +268,8 @@ impl TelemetryLog {
                 .filter(|j| j.is_recurring() == recurring)
                 .cloned()
                 .collect(),
+            // Dropping records preserves relative day order.
+            day_sorted: self.day_sorted,
         }
     }
 
@@ -164,7 +322,7 @@ mod tests {
     fn telemetry(job: u64, day: u32, recurring: bool) -> JobTelemetry {
         let plan = simple_plan(job, day, recurring);
         let run = Simulator::new(SimulatorConfig::noiseless(1)).run(&plan);
-        JobTelemetry { plan, run }
+        JobTelemetry::new(plan, run)
     }
 
     #[test]
@@ -197,5 +355,88 @@ mod tests {
         other.push(telemetry(4, 0, true));
         log.extend(other);
         assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn provenance_defaults_and_stamping() {
+        let t = telemetry(1, 0, true);
+        assert_eq!(t.provenance, ModelProvenance::default());
+        let stamped = JobTelemetry::with_provenance(
+            t.plan.clone(),
+            t.run.clone(),
+            ModelProvenance {
+                epoch: 3,
+                model_version: 7,
+            },
+        );
+        assert_eq!(stamped.provenance.epoch, 3);
+        assert_eq!(stamped.provenance.model_version, 7);
+    }
+
+    #[test]
+    fn day_sorted_slicing_matches_filter_scan() {
+        // In-order pushes keep the sorted fast path.
+        let mut sorted = TelemetryLog::new();
+        for (job, day) in [(1u64, 0u32), (2, 0), (3, 1), (4, 2), (5, 2)] {
+            sorted.push(telemetry(job, day, true));
+        }
+        assert!(sorted.is_day_sorted());
+
+        // The same records pushed out of order lose it, but slicing must agree.
+        let mut shuffled = TelemetryLog::new();
+        for (job, day) in [(4u64, 2u32), (1, 0), (3, 1), (2, 0), (5, 2)] {
+            shuffled.push(telemetry(job, day, true));
+        }
+        assert!(!shuffled.is_day_sorted());
+
+        for (from, to) in [(0u32, 0u32), (0, 1), (1, 2), (2, 2), (3, 9)] {
+            let a = sorted.slice_days(DayIndex(from), DayIndex(to));
+            let b = shuffled.slice_days(DayIndex(from), DayIndex(to));
+            let mut ids_a: Vec<u64> = a.jobs.iter().map(|j| j.job_id().0).collect();
+            let mut ids_b: Vec<u64> = b.jobs.iter().map(|j| j.job_id().0).collect();
+            ids_a.sort_unstable();
+            ids_b.sort_unstable();
+            assert_eq!(ids_a, ids_b, "window [{from}, {to}]");
+        }
+    }
+
+    #[test]
+    fn drain_window_evicts_oldest_first() {
+        let mut log = TelemetryLog::new();
+        for day in 0..5u32 {
+            log.push(telemetry(day as u64, day, true));
+        }
+        let evicted = log.drain_window(2);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(evicted[0].day(), DayIndex(0));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.jobs[0].day(), DayIndex(3));
+        assert!(log.is_day_sorted());
+        // Already below the bound: nothing evicted.
+        assert!(log.drain_window(10).is_empty());
+    }
+
+    #[test]
+    fn retain_recent_days_keeps_the_trailing_window() {
+        let mut log = TelemetryLog::new();
+        for day in 0..6u32 {
+            log.push(telemetry(day as u64, day, true));
+            log.push(telemetry(100 + day as u64, day, false));
+        }
+        let evicted = log.retain_recent_days(2);
+        assert_eq!(evicted.len(), 8);
+        assert!(log.jobs.iter().all(|j| j.day() >= DayIndex(4)));
+        assert_eq!(log.len(), 4);
+
+        // Unsorted fallback gives the same surviving set.
+        let mut unsorted = TelemetryLog::new();
+        for day in [3u32, 0, 5, 1, 4, 2] {
+            unsorted.push(telemetry(day as u64, day, true));
+        }
+        assert!(!unsorted.is_day_sorted());
+        unsorted.retain_recent_days(2);
+        let mut days: Vec<u32> = unsorted.jobs.iter().map(|j| j.day().0).collect();
+        days.sort_unstable();
+        assert_eq!(days, vec![4, 5]);
     }
 }

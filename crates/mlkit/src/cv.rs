@@ -112,9 +112,11 @@ mod tests {
     }
 
     fn net_factory(_fold: usize) -> Box<dyn Regressor> {
-        let mut cfg = ElasticNetConfig::default();
-        cfg.alpha = 0.01;
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = ElasticNetConfig {
+            alpha: 0.01,
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         Box::new(ElasticNet::new(cfg))
     }
 

@@ -310,9 +310,11 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_single_leaf_mean() {
         let ds = step_dataset();
-        let mut cfg = DecisionTreeConfig::default();
-        cfg.max_depth = 0;
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = DecisionTreeConfig {
+            max_depth: 0,
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         let mut tree = DecisionTreeRegressor::new(cfg);
         tree.fit(&ds).unwrap();
         assert_eq!(tree.n_nodes(), 1);
@@ -323,9 +325,11 @@ mod tests {
     #[test]
     fn min_samples_leaf_limits_granularity() {
         let ds = step_dataset();
-        let mut cfg = DecisionTreeConfig::default();
-        cfg.min_samples_leaf = 25;
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = DecisionTreeConfig {
+            min_samples_leaf: 25,
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         let mut tree = DecisionTreeRegressor::new(cfg);
         tree.fit(&ds).unwrap();
         // With 60 samples and min leaf 25 at most one split is possible.
@@ -375,10 +379,12 @@ mod tests {
     #[test]
     fn feature_subsampling_still_produces_valid_tree() {
         let ds = step_dataset();
-        let mut cfg = DecisionTreeConfig::default();
-        cfg.max_features = Some(1);
-        cfg.seed = 3;
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = DecisionTreeConfig {
+            max_features: Some(1),
+            seed: 3,
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         let mut tree = DecisionTreeRegressor::new(cfg);
         tree.fit(&ds).unwrap();
         let preds = tree.predict(&ds);

@@ -159,17 +159,17 @@ impl Regressor for ElasticNet {
                 }
                 // rho = (1/n) * x_j · (r + x_j * w_j)
                 let mut rho = 0.0;
-                for i in 0..n {
+                for (i, r) in residual.iter().enumerate() {
                     let xij = std_data.row(i)[j];
-                    rho += xij * (residual[i] + xij * w[j]);
+                    rho += xij * (r + xij * w[j]);
                 }
                 rho /= nf;
                 let denom = col_sq[j] / nf + l2;
                 let new_w = Self::soft_threshold(rho, l1) / denom;
                 let delta = new_w - w[j];
                 if delta != 0.0 {
-                    for i in 0..n {
-                        residual[i] -= std_data.row(i)[j] * delta;
+                    for (i, r) in residual.iter_mut().enumerate() {
+                        *r -= std_data.row(i)[j] * delta;
                     }
                     w[j] = new_w;
                 }
@@ -250,8 +250,10 @@ mod tests {
     #[test]
     fn recovers_linear_relationship_with_identity_target() {
         let ds = linear_dataset(200, 0.1, 1);
-        let mut cfg = ElasticNetConfig::default();
-        cfg.alpha = 0.001; // nearly unregularised
+        let cfg = ElasticNetConfig {
+            alpha: 0.001, // nearly unregularised
+            ..Default::default()
+        };
         let mut model = ElasticNet::with_identity_target(cfg);
         model.fit(&ds).unwrap();
         let preds = model.predict(&ds);
@@ -294,10 +296,12 @@ mod tests {
     #[test]
     fn l1_penalty_zeroes_irrelevant_features() {
         let ds = linear_dataset(100, 0.01, 2);
-        let mut cfg = ElasticNetConfig::default();
-        cfg.alpha = 0.5;
-        cfg.l1_ratio = 1.0; // pure lasso
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = ElasticNetConfig {
+            alpha: 0.5,
+            l1_ratio: 1.0, // pure lasso
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         let mut model = ElasticNet::new(cfg);
         model.fit(&ds).unwrap();
         // The pure-noise feature should be dropped.
@@ -308,9 +312,11 @@ mod tests {
     #[test]
     fn strong_regularisation_shrinks_towards_mean() {
         let ds = linear_dataset(50, 0.1, 3);
-        let mut cfg = ElasticNetConfig::default();
-        cfg.alpha = 1e6;
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = ElasticNetConfig {
+            alpha: 1e6,
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         let mut model = ElasticNet::new(cfg);
         model.fit(&ds).unwrap();
         let mean_y = stats::mean(ds.targets());
@@ -341,9 +347,11 @@ mod tests {
             vec![2.0, 4.0, 6.0, 8.0],
         )
         .unwrap();
-        let mut cfg = ElasticNetConfig::default();
-        cfg.alpha = 0.001;
-        cfg.target_transform = TargetTransform::Identity;
+        let cfg = ElasticNetConfig {
+            alpha: 0.001,
+            target_transform: TargetTransform::Identity,
+            ..Default::default()
+        };
         let mut model = ElasticNet::new(cfg);
         model.fit(&ds).unwrap();
         let pred = model.predict_row(&[7.0, 2.5]);

@@ -136,8 +136,8 @@ impl Regressor for FastTreeRegressor {
             tree.fit_raw(&sample, &sample_residuals)?;
 
             // Update the running prediction on the full training set.
-            for i in 0..n {
-                current[i] += self.config.learning_rate * tree.predict_raw(data.row(i));
+            for (i, c) in current.iter_mut().enumerate() {
+                *c += self.config.learning_rate * tree.predict_raw(data.row(i));
             }
             self.trees.push(tree);
         }

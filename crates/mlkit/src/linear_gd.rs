@@ -162,8 +162,7 @@ impl Regressor for LinearGd {
             // Gradient step on weights and intercept, plus elastic-net subgradient.
             let mut db = 0.0;
             let mut dw = vec![0.0; d];
-            for i in 0..n {
-                let gi = grads[i];
+            for (i, &gi) in grads.iter().enumerate() {
                 if gi == 0.0 {
                     continue;
                 }

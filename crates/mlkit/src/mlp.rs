@@ -85,16 +85,16 @@ impl MlpRegressor {
         let h = self.config.hidden_size;
         let d = self.n_features;
         let mut hidden = vec![0.0; h];
-        for j in 0..h {
+        for (j, hj) in hidden.iter_mut().enumerate() {
             let mut z = self.b1[j];
             for (k, &xk) in x.iter().enumerate().take(d) {
                 z += self.w1[j * d + k] * xk;
             }
-            hidden[j] = z.max(0.0); // ReLU
+            *hj = z.max(0.0); // ReLU
         }
         let mut out = self.b2;
-        for j in 0..h {
-            out += self.w2[j] * hidden[j];
+        for (w2j, hj) in self.w2.iter().zip(&hidden) {
+            out += w2j * hj;
         }
         (hidden, out)
     }

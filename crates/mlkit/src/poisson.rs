@@ -112,9 +112,9 @@ impl Regressor for PoissonRegressor {
                     g_w[j] += err * xj;
                 }
             }
-            for j in 0..d {
-                g_w[j] += self.config.l2 * self.weights[j];
-                self.weights[j] -= lr * g_w[j];
+            for (j, gw) in g_w.iter_mut().enumerate() {
+                *gw += self.config.l2 * self.weights[j];
+                self.weights[j] -= lr * *gw;
             }
             self.intercept -= lr * g_b;
         }

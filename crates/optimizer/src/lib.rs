@@ -9,16 +9,21 @@
 //!
 //! The learned cost models of `cleo-core` implement [`cost::CostModel`] and plug in
 //! here without any further changes, which is precisely the "minimally invasive"
-//! integration the paper argues for.
+//! integration the paper argues for.  For continuous serving,
+//! [`provider::CostModelProvider`] + [`provider::SharedOptimizer`] let many jobs be
+//! optimized concurrently against whichever model version is current, with the
+//! version stamped into every optimized plan.
 
 pub mod cost;
 pub mod enumerate;
 pub mod optimizer;
+pub mod provider;
 pub mod resource;
 
 pub use cost::{CostModel, DefaultCostModel, HeuristicCostModel};
 pub use enumerate::{default_partition_count, Alternative, EnumerationStats, MAX_PARTITIONS};
 pub use optimizer::{OptimizationStats, OptimizedPlan, Optimizer, OptimizerConfig};
+pub use provider::{CostModelProvider, FixedCostModel, SharedOptimizer};
 pub use resource::{
     analytical_lookup_count, candidate_counts, explore_stage_analytical, explore_stage_sampling,
     geometric_lookup_count, ExplorationOutcome, PartitionExploration, ResourceContext,

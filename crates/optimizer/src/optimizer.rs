@@ -64,6 +64,9 @@ pub struct OptimizationStats {
     pub alternatives_generated: usize,
     /// Wall-clock optimization time in microseconds.
     pub optimization_micros: u128,
+    /// Registry version of the cost model that produced the plan (0 = unversioned;
+    /// stamped by [`crate::provider::SharedOptimizer`]).
+    pub model_version: u64,
 }
 
 /// The result of optimizing one job.
@@ -119,7 +122,7 @@ impl<'a> Optimizer<'a> {
         let mut stats = OptimizationStats {
             model_invocations: enumerator.stats.model_invocations,
             alternatives_generated: enumerator.stats.alternatives_generated,
-            optimization_micros: 0,
+            ..OptimizationStats::default()
         };
         let mut estimated_cost = best.cost;
 

@@ -1,0 +1,213 @@
+//! Shared-model serving: the seam between the optimizer and a *changing* cost model.
+//!
+//! The paper's deployment (Section 5.1) retrains models continuously while the
+//! optimizer keeps serving jobs.  [`Optimizer`] borrows one immutable
+//! [`CostModel`] for its lifetime — correct for a single optimization, but a serving
+//! loop needs "whichever model version is current *when this job starts*".
+//! [`CostModelProvider`] is that seam: it hands out an owning [`Arc`] snapshot of the
+//! current model, so a publish happening mid-job can never pull the model out from
+//! under an optimization in flight, and readers never coordinate with each other.
+//!
+//! [`SharedOptimizer`] drives the provider: every job snapshots the provider once,
+//! optimizes against that snapshot, and stamps the model version into the plan's
+//! [`OptimizationStats`] — which is how version provenance flows into telemetry.
+
+use std::sync::Arc;
+
+use cleo_common::Result;
+use cleo_engine::workload::JobSpec;
+
+use crate::cost::CostModel;
+use crate::optimizer::{OptimizedPlan, Optimizer, OptimizerConfig};
+
+/// A source of cost-model snapshots for concurrent serving.
+///
+/// Implementations must be cheap to call (an atomic pointer read / short critical
+/// section): [`SharedOptimizer`] calls [`CostModelProvider::current`] once per job.
+pub trait CostModelProvider: Send + Sync {
+    /// Snapshot the model to use for a job starting now.  The returned [`Arc`] keeps
+    /// the snapshot alive for the whole optimization even if a newer version is
+    /// published concurrently.
+    fn current(&self) -> Arc<dyn CostModel>;
+
+    /// Monotone version stamp of the model [`CostModelProvider::current`] would
+    /// return (0 = an unversioned / fallback model).  Stamped into every optimized
+    /// plan's [`OptimizationStats`].
+    fn current_version(&self) -> u64 {
+        0
+    }
+
+    /// Snapshot the model *and* its version as one consistent pair.  Providers
+    /// backed by a mutable registry should override this so a publish landing
+    /// between the two reads cannot mislabel a plan's provenance.
+    fn snapshot(&self) -> (Arc<dyn CostModel>, u64) {
+        (self.current(), self.current_version())
+    }
+}
+
+/// The trivial provider: always serves the same model (version 0).
+///
+/// This is what turns any plain [`CostModel`] into a [`CostModelProvider`] — the
+/// one-shot pipelines and baselines use it so they run through the exact same
+/// serving path as the feedback loop.
+pub struct FixedCostModel {
+    model: Arc<dyn CostModel>,
+}
+
+impl FixedCostModel {
+    /// Wrap a model.
+    pub fn new(model: Arc<dyn CostModel>) -> Self {
+        FixedCostModel { model }
+    }
+}
+
+impl CostModelProvider for FixedCostModel {
+    fn current(&self) -> Arc<dyn CostModel> {
+        Arc::clone(&self.model)
+    }
+}
+
+/// An optimizer front-end that serves jobs against a [`CostModelProvider`].
+///
+/// Unlike [`Optimizer`], it holds no model borrow, so one instance can serve many
+/// jobs concurrently while model versions are published underneath it.
+pub struct SharedOptimizer {
+    provider: Arc<dyn CostModelProvider>,
+    config: OptimizerConfig,
+}
+
+impl SharedOptimizer {
+    /// Create a serving optimizer over a provider.
+    pub fn new(provider: Arc<dyn CostModelProvider>, config: OptimizerConfig) -> Self {
+        SharedOptimizer { provider, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// The provider being served from.
+    pub fn provider(&self) -> &Arc<dyn CostModelProvider> {
+        &self.provider
+    }
+
+    /// Optimize one job against the current model snapshot, stamping the snapshot's
+    /// version into the plan's stats.
+    pub fn optimize(&self, job: &JobSpec) -> Result<OptimizedPlan> {
+        let (model, version) = self.provider.snapshot();
+        let mut optimized = Optimizer::new(model.as_ref(), self.config).optimize(job)?;
+        optimized.stats.model_version = version;
+        Ok(optimized)
+    }
+
+    /// Optimize a batch of jobs, spreading them across `threads` OS threads
+    /// (`0` = all available cores).  Results are returned in job order regardless
+    /// of the thread schedule; each job snapshots the provider independently, so a
+    /// concurrent publish simply means later jobs see the newer version.
+    pub fn optimize_all(&self, jobs: &[&JobSpec], threads: usize) -> Result<Vec<OptimizedPlan>> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(jobs.len().max(1));
+
+        if threads <= 1 {
+            return jobs.iter().map(|job| self.optimize(job)).collect();
+        }
+
+        let chunk_size = jobs.len().div_ceil(threads);
+        let mut out: Vec<Result<OptimizedPlan>> = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|job| self.optimize(job))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("optimizer worker panicked"));
+            }
+        });
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::HeuristicCostModel;
+    use cleo_engine::catalog::{Catalog, ColumnDef, TableDef};
+    use cleo_engine::logical::LogicalNode;
+    use cleo_engine::physical::JobMeta;
+    use cleo_engine::types::{ClusterId, DayIndex, JobId};
+
+    fn job(id: u64) -> JobSpec {
+        let mut catalog = Catalog::new();
+        catalog.add_table(TableDef::new(
+            "facts",
+            vec![
+                ColumnDef::new("k", 8.0, 0.1),
+                ColumnDef::new("v", 40.0, 0.8),
+            ],
+            1e7,
+            16,
+        ));
+        let plan = LogicalNode::get("facts")
+            .filter("v > 1", 0.3, 0.2)
+            .aggregate(vec!["k".into()], 0.05, 0.02)
+            .output("out");
+        JobSpec {
+            meta: JobMeta {
+                id: JobId(id),
+                cluster: ClusterId(0),
+                template: None,
+                name: format!("provider_test_{id}"),
+                normalized_inputs: vec!["facts".into()],
+                params: vec![],
+                day: DayIndex(0),
+                recurring: true,
+            },
+            plan,
+            catalog,
+        }
+    }
+
+    #[test]
+    fn fixed_provider_serves_version_zero() {
+        let provider = Arc::new(FixedCostModel::new(Arc::new(
+            HeuristicCostModel::default_model(),
+        )));
+        assert_eq!(provider.current_version(), 0);
+        let shared = SharedOptimizer::new(provider, OptimizerConfig::default());
+        let plan = shared.optimize(&job(1)).unwrap();
+        assert_eq!(plan.stats.model_version, 0);
+        assert!(plan.estimated_cost > 0.0);
+    }
+
+    #[test]
+    fn parallel_optimize_all_matches_serial_order_and_plans() {
+        let provider: Arc<dyn CostModelProvider> = Arc::new(FixedCostModel::new(Arc::new(
+            HeuristicCostModel::default_model(),
+        )));
+        let shared = SharedOptimizer::new(provider, OptimizerConfig::resource_aware());
+        let jobs: Vec<JobSpec> = (0..12).map(job).collect();
+        let refs: Vec<&JobSpec> = jobs.iter().collect();
+        let serial = shared.optimize_all(&refs, 1).unwrap();
+        let parallel = shared.optimize_all(&refs, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.plan.meta.id, p.plan.meta.id);
+            assert_eq!(s.estimated_cost.to_bits(), p.estimated_cost.to_bits());
+            assert_eq!(s.plan.op_count(), p.plan.op_count());
+        }
+    }
+}

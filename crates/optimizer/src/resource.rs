@@ -293,7 +293,7 @@ mod tests {
             },
             1000,
         );
-        assert!(rnd.len() >= 5 && rnd.iter().all(|&p| p >= 1 && p <= 1000));
+        assert!(rnd.len() >= 5 && rnd.iter().all(|p| (1..=1000).contains(p)));
         let exhaustive = candidate_counts(PartitionExploration::Exhaustive, 50);
         assert_eq!(exhaustive.len(), 50);
         assert!(candidate_counts(PartitionExploration::None, 100).is_empty());

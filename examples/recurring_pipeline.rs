@@ -96,12 +96,12 @@ fn main() {
         "executed {} instances; latency range {:.0}s – {:.0}s",
         telemetry.len(),
         telemetry
-            .jobs
+            .jobs()
             .iter()
             .map(|j| j.run.job_latency)
             .fold(f64::INFINITY, f64::min),
         telemetry
-            .jobs
+            .jobs()
             .iter()
             .map(|j| j.run.job_latency)
             .fold(0.0f64, f64::max),

@@ -143,7 +143,7 @@ fn tpch_end_to_end_round_trip() {
 
     // The learned model can cost every operator of every TPC-H plan.
     let learned = LearnedCostModel::new(predictor);
-    for job in &log.jobs {
+    for job in log.jobs() {
         for op in job.plan.operators() {
             let cost = learned.exclusive_cost(op, op.partition_count, &job.plan.meta);
             assert!(cost.is_finite() && cost >= 0.0);
