@@ -86,7 +86,6 @@ pub fn tab4(ctx: &ExperimentContext) -> Result<String> {
     for (i, s) in samples.iter().enumerate() {
         groups.entry(s.signatures.op_subgraph).or_default().push(i);
     }
-    let names = cleo_core::feature_names();
     let mut table = TextTable::new(
         "Table 4: ML algorithms for operator-subgraph models (5-fold CV, cluster 4)",
         &["Model", "Correlation", "Median Error"],
@@ -102,9 +101,12 @@ pub fn tab4(ctx: &ExperimentContext) -> Result<String> {
         let mut preds = Vec::new();
         let mut acts = Vec::new();
         for idx in groups.values().filter(|g| g.len() >= 10).take(40) {
-            let rows: Vec<Vec<f64>> = idx.iter().map(|&i| samples[i].features.clone()).collect();
             let targets: Vec<f64> = idx.iter().map(|&i| samples[i].exclusive_seconds).collect();
-            let data = Dataset::from_rows(names.clone(), rows, targets)?;
+            let data = Dataset::from_row_refs(
+                cleo_core::feature_name_strings(),
+                idx.iter().map(|&i| samples[i].features.as_slice()),
+                targets,
+            )?;
             if let Ok(cv) = kfold_cross_validate(&data, 5, 7, |fold| kind.build(fold as u64)) {
                 preds.extend(cv.predictions);
                 acts.extend(cv.actuals);
@@ -260,7 +262,6 @@ pub fn fig7(ctx: &ExperimentContext) -> Result<String> {
 pub fn fig11(ctx: &ExperimentContext) -> Result<String> {
     let cluster = ctx.cluster(3);
     let samples = CleoTrainer::collect_samples(&cluster.train_log);
-    let names = cleo_core::feature_names();
     use std::collections::HashMap;
 
     let mut table = TextTable::new(
@@ -284,10 +285,12 @@ pub fn fig11(ctx: &ExperimentContext) -> Result<String> {
             let mut preds = Vec::new();
             let mut acts = Vec::new();
             for idx in groups.values().filter(|g| g.len() >= 10).take(25) {
-                let rows: Vec<Vec<f64>> =
-                    idx.iter().map(|&i| samples[i].features.clone()).collect();
                 let targets: Vec<f64> = idx.iter().map(|&i| samples[i].exclusive_seconds).collect();
-                let data = Dataset::from_rows(names.clone(), rows, targets)?;
+                let data = Dataset::from_row_refs(
+                    cleo_core::feature_name_strings(),
+                    idx.iter().map(|&i| samples[i].features.as_slice()),
+                    targets,
+                )?;
                 if let Ok(cv) = kfold_cross_validate(&data, 5, 3, |fold| kind.build(fold as u64)) {
                     preds.extend(cv.predictions);
                     acts.extend(cv.actuals);

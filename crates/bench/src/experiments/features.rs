@@ -4,7 +4,9 @@ use cleo_common::stats;
 use cleo_common::table::{fnum, fpct, TextTable};
 use cleo_common::Result;
 
-use cleo_core::{feature_names, normalized_weights, CleoTrainer, ModelFamily};
+use cleo_core::{
+    feature_name_strings, feature_names, normalized_weights, CleoTrainer, ModelFamily,
+};
 use cleo_mlkit::linear_gd::LinearGd;
 use cleo_mlkit::model::Regressor;
 use cleo_mlkit::{Dataset, Loss};
@@ -21,7 +23,6 @@ pub fn tab1(ctx: &ExperimentContext) -> Result<String> {
     for (i, s) in samples.iter().enumerate() {
         groups.entry(s.signatures.op_subgraph).or_default().push(i);
     }
-    let names = feature_names();
     let mut table = TextTable::new(
         "Table 1: median error by regression loss function",
         &["Loss Function", "Median Error"],
@@ -37,9 +38,12 @@ pub fn tab1(ctx: &ExperimentContext) -> Result<String> {
         for idx in groups.values().filter(|g| g.len() >= 10).take(30) {
             // 80/20 split within the group.
             let split = (idx.len() * 4) / 5;
-            let rows: Vec<Vec<f64>> = idx.iter().map(|&i| samples[i].features.clone()).collect();
             let targets: Vec<f64> = idx.iter().map(|&i| samples[i].exclusive_seconds).collect();
-            let data = Dataset::from_rows(names.clone(), rows, targets)?;
+            let data = Dataset::from_row_refs(
+                feature_name_strings(),
+                idx.iter().map(|&i| samples[i].features.as_slice()),
+                targets,
+            )?;
             let (train, test) = data.split_at(split);
             if train.is_empty() || test.is_empty() {
                 continue;
@@ -62,7 +66,11 @@ pub fn tab1(ctx: &ExperimentContext) -> Result<String> {
 /// Render the top-k normalised feature weights of a model family.
 fn weight_table(title: &str, weights: &[f64], top_k: usize) -> String {
     let names = feature_names();
-    let mut pairs: Vec<(String, f64)> = names.into_iter().zip(weights.iter().copied()).collect();
+    let mut pairs: Vec<(String, f64)> = names
+        .iter()
+        .map(|s| s.to_string())
+        .zip(weights.iter().copied())
+        .collect();
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut table = TextTable::new(title, &["Feature", "Normalized Weight"]);
     for (name, w) in pairs.into_iter().take(top_k) {
@@ -111,7 +119,6 @@ pub fn fig6(ctx: &ExperimentContext) -> Result<String> {
 /// (join over scans vs join over other joins).
 pub fn fig16(ctx: &ExperimentContext) -> Result<String> {
     let cluster = ctx.cluster(0);
-    let names = feature_names();
     let mut over_scans: (Vec<Vec<f64>>, Vec<f64>) = (vec![], vec![]);
     let mut over_joins: (Vec<Vec<f64>>, Vec<f64>) = (vec![], vec![]);
     for job in cluster.train_log.jobs() {
@@ -147,7 +154,11 @@ pub fn fig16(ctx: &ExperimentContext) -> Result<String> {
             out.push_str(&format!("{label}: not enough samples ({})\n", rows.len()));
             continue;
         }
-        let data = Dataset::from_rows(names.clone(), rows, targets)?;
+        let data = Dataset::from_row_refs(
+            feature_name_strings(),
+            rows.iter().map(|r| r.as_slice()),
+            targets,
+        )?;
         let cfg = cleo_mlkit::elastic_net::ElasticNetConfig {
             alpha: 0.05,
             ..Default::default()
@@ -226,7 +237,7 @@ pub fn fig18(ctx: &ExperimentContext) -> Result<String> {
         let project = |s: &cleo_core::OperatorSample| -> Vec<f64> {
             selected.iter().map(|&i| s.features[i]).collect()
         };
-        let sub_names: Vec<String> = selected.iter().map(|&i| names[i].clone()).collect();
+        let sub_names: Vec<String> = selected.iter().map(|&i| names[i].to_string()).collect();
         let mut preds = Vec::new();
         let mut acts = Vec::new();
         let mut models: HashMap<u64, cleo_mlkit::ElasticNet> = HashMap::new();
@@ -251,7 +262,7 @@ pub fn fig18(ctx: &ExperimentContext) -> Result<String> {
         }
         table.add_row(&[
             format!("{k}"),
-            names[order[k - 1]].clone(),
+            names[order[k - 1]].to_string(),
             fpct(stats::median_error_pct(&preds, &acts)),
         ]);
     }

@@ -84,7 +84,9 @@ impl CardLearner {
         fn rewrite(node: &mut PhysicalNode, learner: &CardLearner, meta: &JobMeta) -> f64 {
             let mut child_out_sum = 0.0;
             for c in &mut node.children {
-                child_out_sum += rewrite(c, learner, meta);
+                // Copy-on-write: shared subtrees are cloned before their
+                // estimates are rewritten, so the source plan stays untouched.
+                child_out_sum += rewrite(std::sync::Arc::make_mut(c), learner, meta);
             }
             if !node.children.is_empty() {
                 node.est.input_cardinality = child_out_sum;
@@ -118,7 +120,7 @@ fn cardinality_features(node: &PhysicalNode, meta: &JobMeta) -> Vec<f64> {
     let pick = |n: &str| -> f64 {
         names
             .iter()
-            .position(|x| x == n)
+            .position(|&x| x == n)
             .map(|i| full[i])
             .unwrap_or(0.0)
     };

@@ -17,12 +17,23 @@
 //! optimization time the actuals are unknown, and learned models must work from the
 //! same inputs as the default cost model.
 
+use std::sync::{Arc, OnceLock};
+
 use cleo_common::hash;
 use cleo_engine::physical::{JobMeta, PhysicalNode};
 
 /// Names of the features produced by [`extract_features`], in order.
-pub fn feature_names() -> Vec<String> {
-    FEATURE_NAMES.iter().map(|s| s.to_string()).collect()
+/// Borrows the static table — no allocation per call.
+pub fn feature_names() -> &'static [&'static str] {
+    FEATURE_NAMES
+}
+
+/// The feature names as a shared `String` table (what [`cleo_mlkit::Dataset`]
+/// stores).  Materialised once per process and `Arc`-shared by every
+/// per-signature fit, so training thousands of models clones no name strings.
+pub fn feature_name_strings() -> Arc<[String]> {
+    static NAMES: OnceLock<Arc<[String]>> = OnceLock::new();
+    Arc::clone(NAMES.get_or_init(|| FEATURE_NAMES.iter().map(|s| s.to_string()).collect()))
 }
 
 /// The fixed feature ordering.
@@ -67,7 +78,7 @@ pub const FEATURE_NAMES: &[&str] = &[
 ];
 
 /// Number of features.
-pub fn feature_count() -> usize {
+pub const fn feature_count() -> usize {
     FEATURE_NAMES.len()
 }
 
@@ -76,6 +87,14 @@ fn safe_log(x: f64) -> f64 {
 }
 
 /// Encode the normalised input names into a stable numeric feature in `[0, 1]`.
+///
+/// The encoding depends only on the job metadata, so sweep-shaped callers hoist
+/// it out of the per-candidate loop via [`input_encoding`] +
+/// [`extract_features_with_encoding`].
+pub fn input_encoding(meta: &JobMeta) -> f64 {
+    encode_inputs(&meta.normalized_inputs)
+}
+
 fn encode_inputs(inputs: &[String]) -> f64 {
     if inputs.is_empty() {
         return 0.0;
@@ -89,18 +108,58 @@ fn encode_inputs(inputs: &[String]) -> f64 {
 
 /// Extract the feature vector for one operator at a candidate partition count.
 pub fn extract_features(node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> Vec<f64> {
+    let mut out = vec![0.0; feature_count()];
+    extract_features_into(node, partitions, meta, &mut out);
+    out
+}
+
+/// Extract the feature vector into a caller-provided slice of length
+/// [`feature_count`] — the allocation-free path the costing hot loop uses (the
+/// slice is a row of a reused `FeatureMatrix`).  Values are written with exactly
+/// the expressions of the original allocating extractor, so the two paths are
+/// bit-identical; `CL`/`D` read the node's cached subtree summary instead of
+/// re-walking the subtree.
+pub fn extract_features_into(
+    node: &PhysicalNode,
+    partitions: usize,
+    meta: &JobMeta,
+    dst: &mut [f64],
+) {
+    extract_features_with_encoding(node, partitions, meta, input_encoding(meta), dst);
+}
+
+/// Like [`extract_features_into`] with the input encoding precomputed by
+/// [`input_encoding`] — sweeps hash the job's input names once instead of once
+/// per candidate row.  Identical output for `encoding == input_encoding(meta)`.
+pub fn extract_features_with_encoding(
+    node: &PhysicalNode,
+    partitions: usize,
+    meta: &JobMeta,
+    encoding: f64,
+    dst: &mut [f64],
+) {
+    assert_eq!(dst.len(), feature_count(), "feature slice width mismatch");
     let i = node.est.input_cardinality.max(0.0);
     let b = node.est.base_cardinality.max(0.0);
     let c = node.est.output_cardinality.max(0.0);
     let l = node.est.avg_row_bytes.max(1.0);
     let p = partitions.max(1) as f64;
-    let inp = encode_inputs(&meta.normalized_inputs);
+    let inp = encoding;
     let pm1 = meta.params.first().copied().unwrap_or(0.0);
     let pm2 = meta.params.get(1).copied().unwrap_or(0.0);
     let cl = node.node_count() as f64;
     let d = node.depth() as f64;
+    // Each transcendental is evaluated once and reused (the seed recomputed
+    // `log` up to 12× and `sqrt` 5× per row); same inputs produce the same
+    // doubles, so the output stays bit-identical.
+    let sqrt_i = i.sqrt();
+    let sqrt_b = b.sqrt();
+    let sqrt_c = c.sqrt();
+    let log_i = safe_log(i);
+    let log_b = safe_log(b);
+    let log_c = safe_log(c);
 
-    vec![
+    let values = [
         i,
         b,
         c,
@@ -109,31 +168,32 @@ pub fn extract_features(node: &PhysicalNode, partitions: usize, meta: &JobMeta) 
         inp,
         pm1,
         pm2,
-        i.sqrt(),
-        b.sqrt(),
-        c.sqrt(),
+        sqrt_i,
+        sqrt_b,
+        sqrt_c,
         l * i,
         l * b,
-        l * safe_log(b),
-        l * safe_log(i),
-        l * safe_log(c),
+        l * log_b,
+        l * log_i,
+        l * log_c,
         b * c,
         i * c,
-        b * safe_log(c),
-        i * safe_log(c),
-        safe_log(i) * safe_log(c),
-        safe_log(b) * safe_log(c),
+        b * log_c,
+        i * log_c,
+        log_i * log_c,
+        log_b * log_c,
         i / p,
         c / p,
         b / p,
         i * l / p,
         c * l / p,
-        i.sqrt() / p,
-        c.sqrt() / p,
-        safe_log(i) / p,
+        sqrt_i / p,
+        sqrt_c / p,
+        log_i / p,
         cl,
         d,
-    ]
+    ];
+    dst.copy_from_slice(&values);
 }
 
 /// Indices of the features that involve the partition count `P` in a `1/P` term

@@ -13,6 +13,7 @@
 //! again and again, and a cache hit skips every per-family model lookup and the
 //! FastTree ensemble walk.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -21,9 +22,17 @@ use cleo_common::hash::StableHasher;
 use cleo_engine::physical::{JobMeta, PhysicalNode};
 use cleo_optimizer::CostModel;
 
-use crate::features::extract_features;
-use crate::models::CleoPredictor;
+use crate::models::{CleoPredictor, PredictScratch};
 use crate::signature::{signature_set, SignatureSet};
+
+thread_local! {
+    /// Per-thread inference scratch: every optimizer thread reuses one flat
+    /// feature matrix (plus the predictor's intermediate buffers) across all
+    /// candidate sweeps, so steady-state costing performs zero per-candidate
+    /// heap allocations.  Thread-local (rather than a field) keeps
+    /// [`LearnedCostModel`] `Sync` without a contended lock on the hot path.
+    static SWEEP_SCRATCH: RefCell<PredictScratch> = RefCell::new(PredictScratch::new());
+}
 
 /// Floor applied to every cost returned to the optimizer, so that downstream
 /// ratios/divisions stay finite even when a model extrapolates to ~0.  One shared
@@ -239,6 +248,11 @@ impl LearnedCostModel {
 
 impl LearnedCostModel {
     /// Run the full prediction stack for one candidate sweep (no cache).
+    ///
+    /// Feature rows are extracted straight into the thread-local scratch matrix
+    /// and every model evaluation reuses the scratch's buffers; the only
+    /// allocation left per sweep is the returned cost vector itself (which the
+    /// cache retains on a miss).
     fn predict_sweep(
         &self,
         signatures: &SignatureSet,
@@ -246,15 +260,15 @@ impl LearnedCostModel {
         partitions: &[usize],
         meta: &JobMeta,
     ) -> Vec<f64> {
-        let feature_rows: Vec<Vec<f64>> = partitions
-            .iter()
-            .map(|&p| extract_features(node, p, meta))
-            .collect();
-        self.predictor
-            .predict_batch_from_parts(signatures, &feature_rows)
-            .into_iter()
-            .map(|b| clamp_cost(b.combined))
-            .collect()
+        SWEEP_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.fill_features(node, partitions, meta);
+            self.predictor
+                .predict_scratch(signatures, scratch)
+                .iter()
+                .map(|b| clamp_cost(b.combined))
+                .collect()
+        })
     }
 
     /// Cost a candidate sweep through the cache (one lookup per sweep).

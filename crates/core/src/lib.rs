@@ -63,12 +63,17 @@ pub mod signature;
 pub mod trainer;
 
 pub use cardlearner::CardLearner;
-pub use features::{extract_features, feature_count, feature_names, normalized_weights};
+pub use features::{
+    extract_features, extract_features_into, feature_count, feature_name_strings, feature_names,
+    normalized_weights,
+};
 pub use feedback::{
     EpochReport, FeedbackConfig, FeedbackLoop, PublishDecision, RetrainOutcome, WindowEviction,
 };
 pub use integration::{CacheStats, LearnedCostModel};
-pub use models::{CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown};
+pub use models::{
+    CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictScratch, PredictionBreakdown,
+};
 pub use pipeline::{
     collect_samples, compare_runs, evaluate_cost_model, evaluate_predictor, run_jobs,
     run_jobs_shared, train_predictor, JobComparison, ModelEvaluation,

@@ -8,16 +8,17 @@
 //! coverage.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cleo_mlkit::elastic_net::ElasticNet;
 use cleo_mlkit::gbt::FastTreeRegressor;
 use cleo_mlkit::model::Regressor;
-use cleo_mlkit::Dataset;
+use cleo_mlkit::{Dataset, FeatureMatrix};
 
 use cleo_common::{CleoError, Result};
 use cleo_engine::physical::{JobMeta, PhysicalNode};
 
-use crate::features::{extract_features, feature_names};
+use crate::features::{extract_features, feature_count, feature_name_strings};
 use crate::signature::{signature_set, ModelFamily, SignatureSet};
 
 /// One training sample: an operator instance with its features and measured latency.
@@ -105,12 +106,18 @@ const PREDICTION_RANGE_HEADROOM: f64 = 3.0;
 
 /// Fit one specialised elastic net for a signature group.  Pure: the result
 /// depends only on the group's sample order, never on which thread runs it.
-fn fit_signature_model(names: &[String], group: &[&OperatorSample]) -> Result<StoredModel> {
-    let rows: Vec<Vec<f64>> = group.iter().map(|s| s.features.clone()).collect();
+/// The samples' feature rows are borrowed straight into the dataset's flat
+/// buffer (no per-row `Vec` clone of the telemetry window) and the name table
+/// is `Arc`-shared across every fit.
+fn fit_signature_model(names: &Arc<[String]>, group: &[&OperatorSample]) -> Result<StoredModel> {
     let targets: Vec<f64> = group.iter().map(|s| s.exclusive_seconds).collect();
     let max_target = targets.iter().cloned().fold(0.0f64, f64::max);
     let min_target = targets.iter().cloned().fold(f64::INFINITY, f64::min);
-    let data = Dataset::from_rows(names.to_vec(), rows, targets)?;
+    let data = Dataset::from_row_refs(
+        Arc::clone(names),
+        group.iter().map(|s| s.features.as_slice()),
+        targets,
+    )?;
     // The paper's hyper-parameters, with the regularisation strength rescaled
     // to this reproduction's target scale (log-seconds rather than the cost
     // units SCOPE uses); the structure (L1+L2, MSLE objective, automatic
@@ -167,7 +174,7 @@ impl ModelStore {
         min_samples: usize,
         threads: usize,
     ) -> Result<Vec<ModelStore>> {
-        let names = feature_names();
+        let names = feature_name_strings();
         let mut tasks: Vec<SignatureTask> = Vec::new();
         for (family_index, &family) in families.iter().enumerate() {
             for (signature, group) in group_by_signature(family, samples, min_samples) {
@@ -286,16 +293,34 @@ impl ModelStore {
     /// Predict many feature rows that share a signature, if a model covers it.
     ///
     /// One hash lookup for the whole batch; the rows then run through the
-    /// model's [`Regressor::predict_batch`].  This is the path stage-level
-    /// partition exploration uses (same operator, many candidate counts).
-    pub fn predict_batch(&self, signature: u64, rows: &[&[f64]]) -> Option<Vec<f64>> {
-        self.models.get(&signature).map(|m| {
-            m.model
-                .predict_batch(rows)
-                .into_iter()
-                .map(|p| p.clamp(m.floor, m.ceiling))
-                .collect()
-        })
+    /// model's [`Regressor::predict_batch`] over the flat matrix.  This is the
+    /// path stage-level partition exploration uses (same operator, many
+    /// candidate counts).
+    pub fn predict_batch(&self, signature: u64, rows: &FeatureMatrix) -> Option<Vec<f64>> {
+        let mut out = Vec::with_capacity(rows.n_rows());
+        self.predict_batch_into(signature, rows, &mut out)
+            .then_some(out)
+    }
+
+    /// Allocation-free batched prediction: append one clamped prediction per row
+    /// onto `out` and return `true` iff a model covers the signature.
+    pub fn predict_batch_into(
+        &self,
+        signature: u64,
+        rows: &FeatureMatrix,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        match self.models.get(&signature) {
+            Some(m) => {
+                let start = out.len();
+                m.model.predict_batch_into(rows, out);
+                for p in &mut out[start..] {
+                    *p = p.clamp(m.floor, m.ceiling);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// The raw feature weights of every model in the store (for Figures 5, 6, 16).
@@ -370,15 +395,26 @@ fn meta_feature_names() -> Vec<String> {
     ]
 }
 
+/// Number of meta-features fed to the combined model.
+const META_FEATURE_COUNT: usize = 14;
+
 /// Build the combined model's meta-feature vector from individual predictions and the
 /// extra cardinality/partition features of Section 4.3.
 fn meta_features(breakdown: &PredictionBreakdown, features: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; META_FEATURE_COUNT];
+    meta_features_into(breakdown, features, &mut out);
+    out
+}
+
+/// Write the meta-feature vector into a caller-provided slice (a row of the
+/// reused meta-feature scratch matrix) — same values as [`meta_features`].
+fn meta_features_into(breakdown: &PredictionBreakdown, features: &[f64], dst: &mut [f64]) {
     // Feature indices from `crate::features::FEATURE_NAMES`: I=0, B=1, C=2, P=4.
     let i = features[0];
     let b = features[1];
     let c = features[2];
     let p = features[4].max(1.0);
-    vec![
+    let values = [
         breakdown.op_subgraph.unwrap_or(0.0),
         breakdown.op_subgraph.is_some() as u8 as f64,
         breakdown.op_subgraph_approx.unwrap_or(0.0),
@@ -393,7 +429,8 @@ fn meta_features(breakdown: &PredictionBreakdown, features: &[f64]) -> Vec<f64> 
         b / p,
         c / p,
         p,
-    ]
+    ];
+    dst.copy_from_slice(&values);
 }
 
 /// The combined meta-model: FastTree regression over individual predictions,
@@ -485,29 +522,91 @@ impl CombinedModel {
     pub fn predict_batch(
         &self,
         breakdowns: &[PredictionBreakdown],
-        feature_rows: &[Vec<f64>],
+        feature_rows: &FeatureMatrix,
     ) -> Vec<f64> {
-        debug_assert_eq!(breakdowns.len(), feature_rows.len());
+        let mut meta_scratch = FeatureMatrix::new(META_FEATURE_COUNT);
+        let mut out = Vec::with_capacity(breakdowns.len());
+        self.predict_batch_into(breakdowns, feature_rows, &mut meta_scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free batched prediction: meta-features are written into the
+    /// reused `meta_scratch` matrix and one combined prediction per breakdown is
+    /// appended onto `out`.
+    pub fn predict_batch_into(
+        &self,
+        breakdowns: &[PredictionBreakdown],
+        feature_rows: &FeatureMatrix,
+        meta_scratch: &mut FeatureMatrix,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(breakdowns.len(), feature_rows.n_rows());
         match &self.model {
             Some(m) => {
-                let meta_rows: Vec<Vec<f64>> = breakdowns
-                    .iter()
-                    .zip(feature_rows)
-                    .map(|(b, f)| meta_features(b, f))
-                    .collect();
-                let refs: Vec<&[f64]> = meta_rows.iter().map(|r| r.as_slice()).collect();
-                m.predict_batch(&refs)
-                    .into_iter()
-                    .zip(breakdowns)
-                    .map(|(correction, b)| {
-                        cleo_mlkit::loss::expm1_clamped(combined_prior(b) + correction)
-                    })
-                    .collect()
+                meta_scratch.reset(META_FEATURE_COUNT);
+                for (b, f) in breakdowns.iter().zip(feature_rows.rows()) {
+                    meta_scratch.push_row_with(|dst| meta_features_into(b, f, dst));
+                }
+                let start = out.len();
+                m.predict_batch_into(meta_scratch, out);
+                for (correction, b) in out[start..].iter_mut().zip(breakdowns) {
+                    *correction = cleo_mlkit::loss::expm1_clamped(combined_prior(b) + *correction);
+                }
             }
-            None => breakdowns
-                .iter()
-                .map(|b| b.most_specialized().unwrap_or(0.0))
-                .collect(),
+            None => out.extend(
+                breakdowns
+                    .iter()
+                    .map(|b| b.most_specialized().unwrap_or(0.0)),
+            ),
+        }
+    }
+}
+
+/// Reused buffers for one batched prediction sweep (per-family predictions,
+/// meta-feature rows, breakdowns, and combined outputs).  Private to the
+/// predictor; exposed through [`PredictScratch`].
+#[derive(Debug, Default)]
+struct SweepBuffers {
+    family_preds: [Vec<f64>; 4],
+    family_covered: [bool; 4],
+    breakdowns: Vec<PredictionBreakdown>,
+    meta_rows: FeatureMatrix,
+    combined: Vec<f64>,
+}
+
+/// The reusable scratch space of the allocation-free inference path: one flat
+/// feature matrix for the candidate sweep plus every intermediate buffer the
+/// predictor needs.  Create one per thread (or borrow the cost model's
+/// thread-local one) and reuse it across sweeps — after the first few sweeps the
+/// buffers reach steady-state capacity and candidate costing stops touching the
+/// allocator entirely.
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    /// Candidate feature rows (`n_candidates × feature_count`), written in place
+    /// by [`PredictScratch::fill_features`].
+    pub features: FeatureMatrix,
+    bufs: SweepBuffers,
+}
+
+impl PredictScratch {
+    /// Create an empty scratch.
+    pub fn new() -> Self {
+        PredictScratch {
+            features: FeatureMatrix::new(feature_count()),
+            bufs: SweepBuffers::default(),
+        }
+    }
+
+    /// Reset the feature matrix and extract one feature row per candidate
+    /// partition count straight into it (no per-candidate allocations; the
+    /// input-name encoding is hashed once for the whole sweep).
+    pub fn fill_features(&mut self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) {
+        let encoding = crate::features::input_encoding(meta);
+        self.features.reset(feature_count());
+        for &p in partitions {
+            self.features.push_row_with(|dst| {
+                crate::features::extract_features_with_encoding(node, p, meta, encoding, dst)
+            });
         }
     }
 }
@@ -588,53 +687,112 @@ impl CleoPredictor {
     /// optimizer costs each stage operator at every candidate count.  Signatures
     /// do not depend on the partition count, so they are computed once, each
     /// family resolves its specialised model with a single lookup, and all
-    /// candidate rows run through [`Regressor::predict_batch`].
+    /// candidate rows run through [`Regressor::predict_batch`].  Allocating
+    /// convenience wrapper over [`CleoPredictor::predict_candidates_with`].
     pub fn predict_candidates(
         &self,
         node: &PhysicalNode,
         partitions: &[usize],
         meta: &JobMeta,
     ) -> Vec<PredictionBreakdown> {
+        let mut scratch = PredictScratch::new();
+        self.predict_candidates_with(node, partitions, meta, &mut scratch)
+            .to_vec()
+    }
+
+    /// Sweep all candidate partition counts for one operator through a reused
+    /// [`PredictScratch`]: feature rows are extracted straight into the scratch's
+    /// flat matrix, every per-family and meta prediction reuses the scratch's
+    /// buffers, and in steady state the whole sweep performs zero per-candidate
+    /// heap allocations.
+    pub fn predict_candidates_with<'a>(
+        &self,
+        node: &PhysicalNode,
+        partitions: &[usize],
+        meta: &JobMeta,
+        scratch: &'a mut PredictScratch,
+    ) -> &'a [PredictionBreakdown] {
         let signatures = signature_set(node, meta);
-        let feature_rows: Vec<Vec<f64>> = partitions
-            .iter()
-            .map(|&p| extract_features(node, p, meta))
-            .collect();
-        self.predict_batch_from_parts(&signatures, &feature_rows)
+        scratch.fill_features(node, partitions, meta);
+        self.predict_scratch(&signatures, scratch)
     }
 
     /// Batched prediction over feature rows that share one signature set.
+    /// Allocating convenience wrapper over [`CleoPredictor::predict_scratch`].
     pub fn predict_batch_from_parts(
         &self,
         signatures: &SignatureSet,
-        feature_rows: &[Vec<f64>],
+        feature_rows: &FeatureMatrix,
     ) -> Vec<PredictionBreakdown> {
-        if feature_rows.is_empty() {
-            return Vec::new();
+        let mut bufs = SweepBuffers::default();
+        self.predict_rows_into(signatures, feature_rows, &mut bufs);
+        bufs.breakdowns
+    }
+
+    /// Batched prediction over the feature rows already loaded into
+    /// `scratch.features` (see [`PredictScratch::fill_features`]); the resulting
+    /// breakdowns live in the scratch and are returned as a slice.
+    pub fn predict_scratch<'a>(
+        &self,
+        signatures: &SignatureSet,
+        scratch: &'a mut PredictScratch,
+    ) -> &'a [PredictionBreakdown] {
+        let PredictScratch { features, bufs } = scratch;
+        self.predict_rows_into(signatures, features, bufs);
+        &bufs.breakdowns
+    }
+
+    /// The shared batched-prediction core: one store lookup per family, one
+    /// strided batch prediction per covered family, one combined-model pass.
+    fn predict_rows_into(
+        &self,
+        signatures: &SignatureSet,
+        rows: &FeatureMatrix,
+        bufs: &mut SweepBuffers,
+    ) {
+        bufs.breakdowns.clear();
+        if rows.n_rows() == 0 {
+            return;
         }
-        let rows: Vec<&[f64]> = feature_rows.iter().map(|r| r.as_slice()).collect();
-        let by_family = |family: ModelFamily| -> Option<Vec<f64>> {
-            self.store(family)
-                .and_then(|s| s.predict_batch(signatures.for_family(family), &rows))
-        };
-        let op_subgraph = by_family(ModelFamily::OpSubgraph);
-        let op_subgraph_approx = by_family(ModelFamily::OpSubgraphApprox);
-        let op_input = by_family(ModelFamily::OpInput);
-        let operator = by_family(ModelFamily::Operator);
-        let mut breakdowns: Vec<PredictionBreakdown> = (0..feature_rows.len())
-            .map(|i| PredictionBreakdown {
-                op_subgraph: op_subgraph.as_ref().map(|v| v[i]),
-                op_subgraph_approx: op_subgraph_approx.as_ref().map(|v| v[i]),
-                op_input: op_input.as_ref().map(|v| v[i]),
-                operator: operator.as_ref().map(|v| v[i]),
-                combined: 0.0,
-            })
-            .collect();
-        let combined = self.combined.predict_batch(&breakdowns, feature_rows);
-        for (b, c) in breakdowns.iter_mut().zip(combined) {
+        let families = ModelFamily::all();
+        for (i, &family) in families.iter().enumerate() {
+            bufs.family_preds[i].clear();
+            bufs.family_covered[i] = self.store(family).is_some_and(|s| {
+                s.predict_batch_into(
+                    signatures.for_family(family),
+                    rows,
+                    &mut bufs.family_preds[i],
+                )
+            });
+        }
+        for i in 0..rows.n_rows() {
+            // Bind each buffer slot to its breakdown field through the family
+            // it was filled for, so reordering `ModelFamily::all()` can never
+            // silently cross-wire predictions.
+            let mut breakdown = PredictionBreakdown::default();
+            for (k, &family) in families.iter().enumerate() {
+                if bufs.family_covered[k] {
+                    let value = Some(bufs.family_preds[k][i]);
+                    match family {
+                        ModelFamily::OpSubgraph => breakdown.op_subgraph = value,
+                        ModelFamily::OpSubgraphApprox => breakdown.op_subgraph_approx = value,
+                        ModelFamily::OpInput => breakdown.op_input = value,
+                        ModelFamily::Operator => breakdown.operator = value,
+                    }
+                }
+            }
+            bufs.breakdowns.push(breakdown);
+        }
+        bufs.combined.clear();
+        self.combined.predict_batch_into(
+            &bufs.breakdowns,
+            rows,
+            &mut bufs.meta_rows,
+            &mut bufs.combined,
+        );
+        for (b, &c) in bufs.breakdowns.iter_mut().zip(&bufs.combined) {
             b.combined = c;
         }
-        breakdowns
     }
 
     /// Whether a family covers this operator instance.

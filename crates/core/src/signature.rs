@@ -12,8 +12,10 @@
 //! * **operator-input** — root physical operator + the normalised input templates;
 //! * **operator** — just the root physical operator.
 
-use cleo_common::hash::{combine_ordered, combine_unordered, hash_str, StableHasher};
-use cleo_engine::physical::{JobMeta, PhysicalNode};
+use std::sync::OnceLock;
+
+use cleo_common::hash::{hash_str, StableHasher};
+use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind};
 
 /// The four individual model families of the paper, ordered from most specialised to
 /// most general (Table 5).
@@ -78,59 +80,133 @@ impl SignatureSet {
 
 /// Exact subgraph signature: operator name + label, combined with children signatures
 /// in order (the recursive 64-bit hash of Section 5.1).
+///
+/// The value is **memoised on the node**: enumeration builds new parents over
+/// already-signed shared children, so in steady state each signature costs one
+/// cache read (for existing nodes) or one O(children) combine (for a freshly
+/// built parent) — never an O(subtree) recursion, and no intermediate string
+/// formatting.
 pub fn subgraph_signature(node: &PhysicalNode) -> u64 {
-    let children: Vec<u64> = node.children.iter().map(subgraph_signature).collect();
-    let mut h = StableHasher::new();
-    h.write_str(node.kind.name());
-    h.write_str(&node.label);
-    let label = format!("{:x}", h.finish());
-    combine_ordered(&label, &children)
+    node.memo_subgraph_signature(|n| {
+        let mut h = StableHasher::new();
+        h.write_str(n.kind.name());
+        h.write_str(&n.label);
+        for c in &n.children {
+            h.write_u64(subgraph_signature(c));
+        }
+        h.finish()
+    })
 }
 
-/// Normalised input template signature for a job: the sorted, deduplicated normalised
-/// input names.
+/// Normalised input template signature for a job: order- and
+/// duplicate-insensitive over the normalised input names.
+///
+/// Each name is hashed first and the *hashes* are sorted and deduplicated (the
+/// seed sorted the strings), which gives the same set-equality semantics —
+/// identical input sets hash identically, different sets differ — without
+/// materialising a `Vec<&str>`.  Jobs have a handful of inputs, so the common
+/// case runs entirely on a stack buffer: this function sits inside every
+/// costing call and must not touch the allocator.
 fn input_template_hash(meta: &JobMeta) -> u64 {
-    let mut inputs: Vec<&str> = meta.normalized_inputs.iter().map(|s| s.as_str()).collect();
-    inputs.sort_unstable();
-    inputs.dedup();
-    let hashes: Vec<u64> = inputs.iter().map(|s| hash_str(s)).collect();
-    combine_ordered("inputs", &hashes)
+    const STACK_INPUTS: usize = 16;
+    let inputs = &meta.normalized_inputs;
+    let mut stack = [0u64; STACK_INPUTS];
+    let mut heap: Vec<u64>;
+    let hashes: &mut [u64] = if inputs.len() <= STACK_INPUTS {
+        for (slot, name) in stack.iter_mut().zip(inputs) {
+            *slot = hash_str(name);
+        }
+        &mut stack[..inputs.len()]
+    } else {
+        heap = inputs.iter().map(|s| hash_str(s)).collect();
+        &mut heap
+    };
+    hashes.sort_unstable();
+    let mut h = StableHasher::new();
+    h.write_str("inputs");
+    let mut previous = None;
+    for &value in hashes.iter() {
+        if previous != Some(value) {
+            h.write_u64(value);
+            previous = Some(value);
+        }
+    }
+    h.finish()
+}
+
+/// The sorted multiset of per-logical-operator frequency hashes under `node`,
+/// memoised on the node (the `format!`-per-operator of the seed implementation
+/// is gone: each entry hashes the name and count directly, once per node ever).
+fn logical_freq_hashes(node: &PhysicalNode) -> &[u64] {
+    node.memo_logical_freq_hashes(|n| {
+        let mut hashes: Vec<u64> = n
+            .logical_frequency()
+            .iter()
+            .map(|(name, count)| {
+                let mut h = StableHasher::new();
+                h.write_str(name).write_u64(*count as u64);
+                h.finish()
+            })
+            .collect();
+        hashes.sort_unstable();
+        hashes.into_boxed_slice()
+    })
+}
+
+/// Root-operator + input-template hash shared by the approximate-subgraph and
+/// operator-input signatures.
+fn root_input_hash(node: &PhysicalNode, input_template: u64) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(node.kind.name());
+    h.write_u64(input_template);
+    h.finish()
+}
+
+fn approx_signature_from_parts(node: &PhysicalNode, input_template: u64) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(root_input_hash(node, input_template));
+    for &fh in logical_freq_hashes(node) {
+        h.write_u64(fh);
+    }
+    h.finish()
 }
 
 /// Approximate subgraph signature: root physical operator + input template + frequency
 /// of each logical operator underneath (unordered).
 pub fn subgraph_approx_signature(node: &PhysicalNode, meta: &JobMeta) -> u64 {
-    let freq_hashes: Vec<u64> = node
-        .logical_frequency()
-        .iter()
-        .map(|(name, count)| hash_str(&format!("{name}:{count}")))
-        .collect();
-    let mut h = StableHasher::new();
-    h.write_str(node.kind.name());
-    h.write_u64(input_template_hash(meta));
-    let label = format!("{:x}", h.finish());
-    combine_unordered(&label, &freq_hashes)
+    approx_signature_from_parts(node, input_template_hash(meta))
 }
 
 /// Operator-input signature: root physical operator + input template.
 pub fn op_input_signature(node: &PhysicalNode, meta: &JobMeta) -> u64 {
-    let mut h = StableHasher::new();
-    h.write_str(node.kind.name());
-    h.write_u64(input_template_hash(meta));
-    h.finish()
+    root_input_hash(node, input_template_hash(meta))
 }
 
-/// Per-operator signature: the physical operator name.
+/// Per-operator signature: the physical operator name (precomputed per kind,
+/// indexed by the enum discriminant — O(1) on the costing hot path).
 pub fn operator_signature(node: &PhysicalNode) -> u64 {
-    hash_str(node.kind.name())
+    static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let kinds = PhysicalOpKind::all();
+        let mut t = vec![0u64; kinds.len()];
+        for &k in kinds {
+            t[k as usize] = hash_str(k.name());
+        }
+        t
+    });
+    table[node.kind as usize]
 }
 
-/// Compute all four signatures in one pass.
+/// Compute all four signatures in one pass.  The input-template hash is computed
+/// once and shared by the two families that use it; the subtree-shaped parts come
+/// from the per-node memo, so repeated costing of the same operator never
+/// re-walks its subtree.
 pub fn signature_set(node: &PhysicalNode, meta: &JobMeta) -> SignatureSet {
+    let input_template = input_template_hash(meta);
     SignatureSet {
         op_subgraph: subgraph_signature(node),
-        op_subgraph_approx: subgraph_approx_signature(node, meta),
-        op_input: op_input_signature(node, meta),
+        op_subgraph_approx: approx_signature_from_parts(node, input_template),
+        op_input: root_input_hash(node, input_template),
         operator: operator_signature(node),
     }
 }

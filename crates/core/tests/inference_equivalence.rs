@@ -1,0 +1,153 @@
+//! Golden equivalence tests for the zero-allocation inference path.
+//!
+//! The flat-matrix refactor (contiguous `FeatureMatrix` sweeps, strided batch
+//! predictors, Arc-shared plan nodes, memoized signatures) must be a pure
+//! performance change: every prediction and every chosen plan has to be
+//! **bit-identical** to the straightforward row-major reference path.  These
+//! tests pin that down on a fixed deterministic workload.
+
+use std::sync::Arc;
+
+use cleo_core::models::PredictScratch;
+use cleo_core::{extract_features, pipeline, signature_set, LearnedCostModel, TrainerConfig};
+use cleo_engine::exec::{Simulator, SimulatorConfig};
+use cleo_engine::physical::{PhysicalNode, PhysicalPlan};
+use cleo_engine::telemetry::TelemetryLog;
+use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo_engine::ClusterId;
+use cleo_optimizer::{CostModel, HeuristicCostModel, Optimizer, OptimizerConfig};
+
+/// Deterministic telemetry: a fixed workload executed under the default model.
+fn telemetry() -> TelemetryLog {
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+    let model = HeuristicCostModel::default_model();
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let jobs: Vec<_> = workload.jobs.iter().take(50).collect();
+    pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap()
+}
+
+/// Rebuild a plan tree from scratch: fresh nodes, cold signature memos, no
+/// shared subtrees.  Structurally identical to the input.
+fn deep_rebuild(node: &PhysicalNode) -> PhysicalNode {
+    let children = node.children.iter().map(|c| deep_rebuild(c)).collect();
+    let mut fresh = PhysicalNode::new(node.kind, node.label.clone(), children);
+    fresh.id = node.id;
+    fresh.est = node.est;
+    fresh.act = node.act;
+    fresh.partition_count = node.partition_count;
+    fresh.partitioned_on = node.partitioned_on.clone();
+    fresh.sorted_on = node.sorted_on.clone();
+    fresh.udf_cost_factor = node.udf_cost_factor;
+    fresh
+}
+
+#[test]
+fn flat_matrix_sweep_is_bit_identical_to_scalar_reference() {
+    let log = telemetry();
+    let predictor = Arc::new(pipeline::train_predictor(&log, TrainerConfig::default()).unwrap());
+    let candidates: Vec<usize> = (0..64).map(|i| 1 + 4 * i).collect();
+    let mut scratch = PredictScratch::new();
+    let mut compared = 0usize;
+    for job in log.jobs().iter().take(10) {
+        for node in job.plan.operators() {
+            let meta = &job.plan.meta;
+            // Reference: the seed's row-major semantics — one allocated feature
+            // vector per candidate, scalar prediction per row.
+            let signatures = signature_set(node, meta);
+            let reference: Vec<f64> = candidates
+                .iter()
+                .map(|&p| {
+                    let features = extract_features(node, p, meta);
+                    predictor
+                        .predict_from_parts(&signatures, &features)
+                        .combined
+                })
+                .collect();
+            // Flat path: one reused matrix, strided batch prediction.
+            let batched = predictor.predict_candidates_with(node, &candidates, meta, &mut scratch);
+            assert_eq!(batched.len(), reference.len());
+            for (b, r) in batched.iter().zip(&reference) {
+                assert_eq!(
+                    b.combined.to_bits(),
+                    r.to_bits(),
+                    "flat-matrix prediction diverged from scalar reference"
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 1000, "compared only {compared} predictions");
+}
+
+#[test]
+fn cost_model_batch_scalar_and_cache_paths_agree_bitwise() {
+    let log = telemetry();
+    let predictor = Arc::new(pipeline::train_predictor(&log, TrainerConfig::default()).unwrap());
+    let cached = LearnedCostModel::new(Arc::clone(&predictor));
+    let uncached = LearnedCostModel::without_cache(Arc::clone(&predictor));
+    let candidates: Vec<usize> = (0..32).map(|i| 1 + 8 * i).collect();
+    for job in log.jobs().iter().take(8) {
+        for node in job.plan.operators() {
+            let meta = &job.plan.meta;
+            let batch = uncached.exclusive_cost_batch(node, &candidates, meta);
+            for (i, &p) in candidates.iter().enumerate() {
+                let scalar = uncached.exclusive_cost(node, p, meta);
+                assert_eq!(batch[i].to_bits(), scalar.to_bits());
+                let cold = cached.exclusive_cost(node, p, meta);
+                let warm = cached.exclusive_cost(node, p, meta);
+                assert_eq!(cold.to_bits(), scalar.to_bits());
+                assert_eq!(warm.to_bits(), scalar.to_bits());
+            }
+        }
+    }
+    assert!(cached.cache_stats().hits > 0);
+}
+
+#[test]
+fn arc_shared_enumeration_is_deterministic_and_shares_no_stale_state() {
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 1);
+    let model = HeuristicCostModel::default_model();
+    let jobs: Vec<_> = workload.jobs.iter().take(20).collect();
+
+    // Two independent optimizer runs must produce identical plans and costs.
+    let run = |cfg: OptimizerConfig| -> Vec<(PhysicalPlan, f64)> {
+        let optimizer = Optimizer::new(&model, cfg);
+        jobs.iter()
+            .map(|job| {
+                let o = optimizer.optimize(job).unwrap();
+                (o.plan, o.estimated_cost)
+            })
+            .collect()
+    };
+    for cfg in [
+        OptimizerConfig::default(),
+        OptimizerConfig::resource_aware(),
+    ] {
+        let a = run(cfg);
+        let b = run(cfg);
+        for ((plan_a, cost_a), (plan_b, cost_b)) in a.iter().zip(&b) {
+            assert_eq!(plan_a, plan_b, "plans diverged across identical runs");
+            assert_eq!(cost_a.to_bits(), cost_b.to_bits());
+        }
+
+        // Rebuilding every plan from scratch (fresh nodes, cold memos, no
+        // sharing) must reproduce the same signatures and exclusive costs:
+        // memoized/shared state never leaks into results.
+        for (plan, _) in &a {
+            let rebuilt = deep_rebuild(&plan.root);
+            let originals = plan.root.collect();
+            let fresh = rebuilt.collect();
+            assert_eq!(originals.len(), fresh.len());
+            for (o, f) in originals.iter().zip(&fresh) {
+                assert_eq!(
+                    signature_set(o, &plan.meta),
+                    signature_set(f, &plan.meta),
+                    "memoized signature differs from cold recomputation"
+                );
+                let co = model.exclusive_cost(o, o.partition_count, &plan.meta);
+                let cf = model.exclusive_cost(f, f.partition_count, &plan.meta);
+                assert_eq!(co.to_bits(), cf.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Proof that the steady-state candidate sweep is allocation-free.
+//!
+//! A counting global allocator wraps `System`; after a warm-up sweep has grown
+//! the scratch buffers to their steady-state capacity, further sweeps through
+//! [`PredictScratch`] must perform **zero** heap allocations — the acceptance
+//! bar of the flat-matrix inference refactor.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cleo_core::models::PredictScratch;
+use cleo_core::{pipeline, TrainerConfig};
+use cleo_engine::exec::{Simulator, SimulatorConfig};
+use cleo_engine::workload::generator::{generate_cluster_workload, ClusterConfig};
+use cleo_engine::ClusterId;
+use cleo_optimizer::{HeuristicCostModel, OptimizerConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_candidate_sweep_allocates_nothing() {
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+    let model = HeuristicCostModel::default_model();
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let jobs: Vec<_> = workload.jobs.iter().take(40).collect();
+    let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
+    let predictor = Arc::new(pipeline::train_predictor(&log, TrainerConfig::default()).unwrap());
+
+    let candidates: Vec<usize> = (0..64).map(|i| 1 + 4 * i).collect();
+    let mut scratch = PredictScratch::new();
+    let plans: Vec<_> = log.jobs().iter().take(10).collect();
+
+    // Warm-up: grows every scratch buffer to steady-state capacity.
+    let mut warm = 0.0;
+    for job in &plans {
+        for node in job.plan.operators() {
+            let b =
+                predictor.predict_candidates_with(node, &candidates, &job.plan.meta, &mut scratch);
+            warm += b.iter().map(|x| x.combined).sum::<f64>();
+        }
+    }
+    assert!(warm.is_finite());
+
+    // Steady state: re-sweep every operator; the scratch is reused across all
+    // candidates and all sweeps, so the allocator must not be touched.
+    let nodes: Vec<_> = plans
+        .iter()
+        .flat_map(|job| {
+            job.plan
+                .operators()
+                .into_iter()
+                .map(move |n| (n, &job.plan.meta))
+        })
+        .collect();
+    let mut total_candidates = 0usize;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0.0;
+    for &(node, meta) in &nodes {
+        let breakdowns = predictor.predict_candidates_with(node, &candidates, meta, &mut scratch);
+        acc += breakdowns.iter().map(|b| b.combined).sum::<f64>();
+        total_candidates += breakdowns.len();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(acc.is_finite());
+    assert!(
+        total_candidates > 1000,
+        "swept {total_candidates} candidates"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sweeps must not allocate (got {} allocations over {} candidates)",
+        after - before,
+        total_candidates
+    );
+}

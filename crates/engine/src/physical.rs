@@ -7,6 +7,8 @@
 //! partition count chosen for it, and the derived physical properties (partitioning
 //! and sort order) that Cascades tracks.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::types::{OpId, OpStats};
 
 /// Physical operator implementations, mirroring the SCOPE operators named in the paper
@@ -115,8 +117,52 @@ impl PhysicalOpKind {
     }
 }
 
+/// Structure-derived values cached per node so the optimizer's costing hot loop
+/// never re-walks a subtree it has already summarised.
+///
+/// `node_count`/`depth` are computed bottom-up at construction (children are
+/// already built, so each is O(children)).  The two memo slots are filled lazily
+/// on first use by `cleo-core`'s signature layer, which keeps the hashing scheme
+/// out of the engine crate.  All cached values depend **only** on the structural
+/// fields (`kind`, `label`, `children`); statistics, ids, partition counts, and
+/// physical properties may be mutated freely afterwards.  Callers that mutate
+/// `kind`/`label`/`children` after construction must do so *before* the first
+/// signature query (in practice only tests do this) or rebuild the node.
+#[derive(Debug, Default)]
+struct StructureCache {
+    node_count: usize,
+    depth: usize,
+    /// Memoised exact operator-subgraph signature.
+    subgraph_signature: OnceLock<u64>,
+    /// Memoised, pre-sorted logical-operator frequency hashes (the unordered
+    /// multiset the operator-subgraphApprox signature combines).
+    logical_freq_hashes: OnceLock<Box<[u64]>>,
+}
+
+impl Clone for StructureCache {
+    fn clone(&self) -> Self {
+        // Cloned nodes keep the structural counts (label/stat mutations cannot
+        // change them) but drop the memoised signatures: a clone is exactly what
+        // code mutates (directly, or through `Arc::make_mut` during plan
+        // rewrites), and a stale signature memo on a relabelled clone would be a
+        // correctness bug.  Refilling is cheap — the clone's children keep their
+        // own memos, so recomputation is O(children), not O(subtree).
+        StructureCache {
+            node_count: self.node_count,
+            depth: self.depth,
+            subgraph_signature: OnceLock::new(),
+            logical_freq_hashes: OnceLock::new(),
+        }
+    }
+}
+
 /// A node in the physical plan tree.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Children are held behind [`Arc`] so plan enumeration can *share* subtrees
+/// between candidate alternatives instead of deep-cloning them per alternative;
+/// mutation through a shared child goes through [`Arc::make_mut`] (copy on
+/// write), which [`PhysicalNode::visit_mut`] does transparently.
+#[derive(Debug, Clone)]
 pub struct PhysicalNode {
     /// Unique id within the plan (assigned by [`PhysicalPlan::assign_ids`]).
     pub id: OpId,
@@ -125,8 +171,8 @@ pub struct PhysicalNode {
     /// Operator detail: table name for Extract, predicate for Filter, UDF name for
     /// Process, join keys for joins, sink for Output.  Part of the subgraph signature.
     pub label: String,
-    /// Children (inputs).
-    pub children: Vec<PhysicalNode>,
+    /// Children (inputs), shared between plan alternatives.
+    pub children: Vec<Arc<PhysicalNode>>,
     /// Compile-time estimated statistics — the only statistics cost models may use.
     pub est: OpStats,
     /// Actual statistics — used by the simulator and by perfect-cardinality ablations.
@@ -141,6 +187,24 @@ pub struct PhysicalNode {
     /// cost model deliberately ignores this, mirroring the "custom user code as black
     /// box" problem of Section 2.4.
     pub udf_cost_factor: f64,
+    /// Cached structure-derived values (see [`StructureCache`]).
+    structure: StructureCache,
+}
+
+impl PartialEq for PhysicalNode {
+    fn eq(&self, other: &Self) -> bool {
+        // The structure cache is derived state and excluded from equality.
+        self.id == other.id
+            && self.kind == other.kind
+            && self.label == other.label
+            && self.est == other.est
+            && self.act == other.act
+            && self.partition_count == other.partition_count
+            && self.partitioned_on == other.partitioned_on
+            && self.sorted_on == other.sorted_on
+            && self.udf_cost_factor == other.udf_cost_factor
+            && self.children == other.children
+    }
 }
 
 impl PhysicalNode {
@@ -150,6 +214,22 @@ impl PhysicalNode {
         label: impl Into<String>,
         children: Vec<PhysicalNode>,
     ) -> Self {
+        Self::new_shared(kind, label, children.into_iter().map(Arc::new).collect())
+    }
+
+    /// Create a node over already-shared children — the enumeration path, where
+    /// one child subtree backs many candidate parents without being cloned.
+    pub fn new_shared(
+        kind: PhysicalOpKind,
+        label: impl Into<String>,
+        children: Vec<Arc<PhysicalNode>>,
+    ) -> Self {
+        let structure = StructureCache {
+            node_count: 1 + children.iter().map(|c| c.node_count()).sum::<usize>(),
+            depth: 1 + children.iter().map(|c| c.depth()).max().unwrap_or(0),
+            subgraph_signature: OnceLock::new(),
+            logical_freq_hashes: OnceLock::new(),
+        };
         PhysicalNode {
             id: OpId(0),
             kind,
@@ -161,17 +241,66 @@ impl PhysicalNode {
             partitioned_on: Vec::new(),
             sorted_on: Vec::new(),
             udf_cost_factor: 1.0,
+            structure,
         }
     }
 
-    /// Number of operators in the subtree rooted here.
+    /// Number of operators in the subtree rooted here (cached at construction;
+    /// debug builds recompute and panic if `children` was mutated in place).
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+        debug_assert_eq!(
+            self.structure.node_count,
+            1 + self.children.iter().map(|c| c.node_count()).sum::<usize>(),
+            "stale node_count cache: children were mutated in place after construction"
+        );
+        self.structure.node_count
     }
 
-    /// Depth of the subtree rooted here (single node = 1).
+    /// Depth of the subtree rooted here (single node = 1; cached at
+    /// construction, with the same debug staleness tripwire as `node_count`).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+        debug_assert_eq!(
+            self.structure.depth,
+            1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0),
+            "stale depth cache: children were mutated in place after construction"
+        );
+        self.structure.depth
+    }
+
+    /// The memoised exact-subgraph signature: computed once by `compute` on first
+    /// call, then returned from the cache.  The signature layer in `cleo-core`
+    /// supplies `compute`; it must be a pure function of the structural fields
+    /// (`kind`, `label`, `children`).  Debug builds recompute on every access
+    /// and panic on a mismatch, so a structural mutation after the first
+    /// signature query (the one way to invalidate the memo — clones reset it)
+    /// is caught in tests instead of silently serving a stale hash.
+    pub fn memo_subgraph_signature(&self, compute: impl Fn(&PhysicalNode) -> u64) -> u64 {
+        let cached = *self
+            .structure
+            .subgraph_signature
+            .get_or_init(|| compute(self));
+        debug_assert_eq!(
+            cached,
+            compute(self),
+            "stale subgraph-signature memo: kind/label/children were mutated in \
+             place after the first signature query (clone the node instead)"
+        );
+        cached
+    }
+
+    /// The memoised, sorted multiset of logical-operator frequency hashes under
+    /// (and including) this node; `compute` runs once on first call.  No
+    /// dedicated staleness tripwire: the frequency multiset is a function of
+    /// the subtree's kinds, which the subgraph-signature tripwire above already
+    /// covers (and recomputing here would allocate, breaking the zero-alloc
+    /// guarantee in debug test builds).
+    pub fn memo_logical_freq_hashes(
+        &self,
+        compute: impl FnOnce(&PhysicalNode) -> Box<[u64]>,
+    ) -> &[u64] {
+        self.structure
+            .logical_freq_hashes
+            .get_or_init(|| compute(self))
     }
 
     /// Visit every node (pre-order).
@@ -182,11 +311,13 @@ impl PhysicalNode {
         }
     }
 
-    /// Visit every node mutably (pre-order).
+    /// Visit every node mutably (pre-order).  Shared children are copied on
+    /// write ([`Arc::make_mut`]), so mutations never leak into other plans that
+    /// share the subtree.
     pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut PhysicalNode)) {
         f(self);
         for c in &mut self.children {
-            c.visit_mut(f);
+            Arc::make_mut(c).visit_mut(f);
         }
     }
 
@@ -282,6 +413,15 @@ impl PhysicalPlan {
         PhysicalPlan { meta, root }
     }
 
+    /// Create a plan from a shared enumeration root.  The root itself is
+    /// unwrapped (or cloned if other alternatives still hold it); subtrees stay
+    /// shared and are only copied if a later rewrite actually mutates them.
+    pub fn from_shared(meta: JobMeta, root: Arc<PhysicalNode>) -> Self {
+        // `Arc::unwrap_or_clone` needs Rust 1.76; stay on the 1.75 MSRV.
+        let root = Arc::try_unwrap(root).unwrap_or_else(|arc| (*arc).clone());
+        Self::new(meta, root)
+    }
+
     /// Re-assign sequential operator ids (after structural rewrites).
     pub fn assign_ids(&mut self) {
         let mut next = 0usize;
@@ -373,5 +513,58 @@ mod tests {
             }
         });
         assert_eq!(plan.root.base_cardinality_est(), 500.0);
+    }
+
+    #[test]
+    fn node_count_and_depth_are_cached_at_construction() {
+        let plan = small_plan();
+        assert_eq!(plan.root.node_count(), 5);
+        assert_eq!(plan.root.depth(), 5);
+        let leaf = PhysicalNode::new(PhysicalOpKind::Extract, "t", vec![]);
+        assert_eq!(leaf.node_count(), 1);
+        assert_eq!(leaf.depth(), 1);
+    }
+
+    #[test]
+    fn shared_subtrees_are_copied_on_write() {
+        // Two parents over one shared child: mutating through one parent must
+        // not leak into the other (Arc::make_mut copy-on-write).
+        let child = Arc::new(PhysicalNode::new(PhysicalOpKind::Extract, "shared", vec![]));
+        let mut a = PhysicalNode::new_shared(PhysicalOpKind::Filter, "a", vec![Arc::clone(&child)]);
+        let b = PhysicalNode::new_shared(PhysicalOpKind::Filter, "b", vec![Arc::clone(&child)]);
+        a.visit_mut(&mut |n| n.partition_count = 99);
+        assert_eq!(a.children[0].partition_count, 99);
+        assert_eq!(b.children[0].partition_count, 1, "b's shared child mutated");
+        assert_eq!(child.partition_count, 1);
+    }
+
+    #[test]
+    fn memo_slots_fill_once_and_reset_on_clone() {
+        // `compute` must be a pure function of the structural fields; the memo
+        // serves it from the cache afterwards.
+        let compute = |n: &PhysicalNode| n.label.len() as u64;
+        let node = PhysicalNode::new(PhysicalOpKind::Filter, "x", vec![]);
+        assert_eq!(node.memo_subgraph_signature(compute), 1);
+        assert_eq!(node.memo_subgraph_signature(compute), 1);
+        // A clone is what gets mutated (directly or via Arc::make_mut), so it
+        // drops the memo and recomputes against its own (new) structure.
+        let mut cloned = node.clone();
+        cloned.label = "longer".into();
+        assert_eq!(cloned.memo_subgraph_signature(compute), 6);
+        assert_eq!(cloned.node_count(), node.node_count());
+        assert_eq!(node.memo_subgraph_signature(compute), 1, "original intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale subgraph-signature memo")]
+    #[cfg(debug_assertions)]
+    fn debug_builds_catch_structural_mutation_after_signature_query() {
+        let compute = |n: &PhysicalNode| n.label.len() as u64;
+        let mut node = PhysicalNode::new(PhysicalOpKind::Filter, "x", vec![]);
+        assert_eq!(node.memo_subgraph_signature(compute), 1);
+        // Mutating a structural field in place after the first query is the
+        // one forbidden pattern; the debug tripwire must catch it.
+        node.label = "mutated".into();
+        let _ = node.memo_subgraph_signature(compute);
     }
 }

@@ -6,12 +6,18 @@
 //! samples), so a simple `Vec<f64>` row-major layout is both adequate and cache
 //! friendly.
 
+use std::sync::Arc;
+
 use cleo_common::{CleoError, Result};
 
 /// A dense dataset: `n_rows × n_cols` features plus one target per row.
+///
+/// Feature names are held behind an `Arc` so the thousands of per-signature
+/// training sets built from one telemetry window share a single name table
+/// instead of cloning 30-odd `String`s per fit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
-    feature_names: Vec<String>,
+    feature_names: Arc<[String]>,
     n_cols: usize,
     /// Row-major feature values, length `n_rows * n_cols`.
     values: Vec<f64>,
@@ -21,6 +27,12 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset with the given feature names.
     pub fn new(feature_names: Vec<String>) -> Self {
+        Self::with_shared_names(feature_names.into())
+    }
+
+    /// Create an empty dataset over an already-shared feature-name table
+    /// (the per-signature training path shares one table across every fit).
+    pub fn with_shared_names(feature_names: Arc<[String]>) -> Self {
         let n_cols = feature_names.len();
         Dataset {
             feature_names,
@@ -36,16 +48,38 @@ impl Dataset {
         rows: Vec<Vec<f64>>,
         targets: Vec<f64>,
     ) -> Result<Self> {
-        let mut ds = Dataset::new(feature_names);
-        if rows.len() != targets.len() {
+        Self::from_row_refs(
+            feature_names.into(),
+            rows.iter().map(|r| r.as_slice()),
+            targets,
+        )
+    }
+
+    /// Borrowing constructor: build a dataset by copying feature rows straight
+    /// out of their owners (e.g. the telemetry window's samples) into the flat
+    /// buffer — no intermediate `Vec<Vec<f64>>` materialisation and no per-fit
+    /// clone of the name table.
+    pub fn from_row_refs<'a>(
+        feature_names: Arc<[String]>,
+        rows: impl IntoIterator<Item = &'a [f64]>,
+        targets: Vec<f64>,
+    ) -> Result<Self> {
+        let mut ds = Dataset::with_shared_names(feature_names);
+        let mut rows = rows.into_iter();
+        let mut n_rows = 0usize;
+        // Targets lead the zip: when they run out no row has been consumed yet,
+        // so a surplus feature row is counted below instead of silently lost.
+        for (&t, row) in targets.iter().zip(rows.by_ref()) {
+            ds.push_row(row, t)?;
+            n_rows += 1;
+        }
+        let extra_rows = rows.count();
+        if n_rows != targets.len() || extra_rows > 0 {
             return Err(CleoError::InvalidTrainingData(format!(
                 "{} feature rows but {} targets",
-                rows.len(),
+                n_rows + extra_rows,
                 targets.len()
             )));
-        }
-        for (row, &t) in rows.iter().zip(targets.iter()) {
-            ds.push_row(row, t)?;
         }
         Ok(ds)
     }
@@ -89,6 +123,11 @@ impl Dataset {
         &self.feature_names
     }
 
+    /// A cheaply clonable handle to the shared feature-name table.
+    pub fn feature_names_shared(&self) -> Arc<[String]> {
+        Arc::clone(&self.feature_names)
+    }
+
     /// Feature row `i`.
     pub fn row(&self, i: usize) -> &[f64] {
         &self.values[i * self.n_cols..(i + 1) * self.n_cols]
@@ -112,7 +151,7 @@ impl Dataset {
     /// Return a new dataset containing the rows at `indices` (duplicates allowed,
     /// which is what bootstrap sampling needs).
     pub fn select_rows(&self, indices: &[usize]) -> Dataset {
-        let mut ds = Dataset::new(self.feature_names.clone());
+        let mut ds = Dataset::with_shared_names(Arc::clone(&self.feature_names));
         for &i in indices {
             ds.values.extend_from_slice(self.row(i));
             ds.targets.push(self.targets[i]);
@@ -131,7 +170,7 @@ impl Dataset {
             )));
         }
         Ok(Dataset {
-            feature_names: self.feature_names.clone(),
+            feature_names: Arc::clone(&self.feature_names),
             n_cols: self.n_cols,
             values: self.values.clone(),
             targets,
@@ -213,6 +252,41 @@ mod tests {
         assert!(err.is_err());
         let ok = Dataset::from_rows(names(1), vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]);
         assert_eq!(ok.unwrap().n_rows(), 2);
+        // One extra row must also be rejected (not silently dropped).
+        let extra = Dataset::from_rows(
+            names(1),
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![1.0, 2.0],
+        );
+        assert!(extra.is_err());
+    }
+
+    #[test]
+    fn from_row_refs_borrows_and_validates() {
+        let names: std::sync::Arc<[String]> = vec!["a".to_string()].into();
+        let rows = [vec![1.0], vec![2.0]];
+        let ds = Dataset::from_row_refs(
+            std::sync::Arc::clone(&names),
+            rows.iter().map(|r| r.as_slice()),
+            vec![10.0, 20.0],
+        )
+        .unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.targets(), &[10.0, 20.0]);
+        // Extra row and missing row are both errors.
+        let three = [vec![1.0], vec![2.0], vec![3.0]];
+        assert!(Dataset::from_row_refs(
+            std::sync::Arc::clone(&names),
+            three.iter().map(|r| r.as_slice()),
+            vec![1.0, 2.0],
+        )
+        .is_err());
+        assert!(Dataset::from_row_refs(
+            names,
+            rows.iter().map(|r| r.as_slice()).take(1),
+            vec![1.0, 2.0],
+        )
+        .is_err());
     }
 
     #[test]

@@ -56,11 +56,122 @@ enum Node {
     },
 }
 
+/// Maximum depth for which a fitted tree is additionally compiled into the
+/// complete-layout [`FlatEval`] table (2^8 = 256 leaves; the ensembles' depth
+/// 3–5 trees qualify, the standalone depth-15 paper tree keeps the node walk).
+const MAX_FLAT_DEPTH: usize = 8;
+
+/// `(depth, splits, leaves)` view of one compiled tree (see
+/// [`DecisionTreeRegressor::flat_parts`]).
+pub(crate) type FlatParts<'a> = (usize, &'a [(u32, f64)], &'a [f64]);
+
+/// A fitted tree compiled into a complete binary tree laid out in two flat
+/// arrays: level-order split records (1-indexed, `idx -> 2*idx + went_right`)
+/// and one leaf value per bottom slot.  Evaluation is `depth` comparisons with
+/// no pointer chasing and no enum dispatch; shallow leaves are padded downward
+/// (their value replicated across every bottom slot of the subtree), so the
+/// decision function — and therefore every prediction — is bit-identical to the
+/// node walk.
+#[derive(Debug, Clone)]
+struct FlatEval {
+    depth: usize,
+    /// `(feature, threshold)` per internal slot, length `1 << depth`.
+    splits: Vec<(u32, f64)>,
+    /// Leaf values, length `1 << depth`.
+    leaves: Vec<f64>,
+}
+
+impl FlatEval {
+    fn build(nodes: &[Node], depth: usize) -> FlatEval {
+        let width = 1usize << depth;
+        let mut flat = FlatEval {
+            depth,
+            splits: vec![(0, f64::INFINITY); width],
+            leaves: vec![0.0; width],
+        };
+        flat.fill(nodes, 0, 1, 0);
+        flat
+    }
+
+    /// Recursively place `node` at complete-tree slot `pos` on `level`,
+    /// padding shallow leaves down to the bottom.
+    fn fill(&mut self, nodes: &[Node], node: usize, pos: usize, level: usize) {
+        match &nodes[node] {
+            Node::Leaf { value } => {
+                if level == self.depth {
+                    self.leaves[pos - (1 << self.depth)] = *value;
+                } else {
+                    // Pad: the always-left sentinel split is already in place;
+                    // replicate the value across both subtrees so every path
+                    // through the padding lands on it.
+                    self.fill(nodes, node, 2 * pos, level + 1);
+                    self.fill(nodes, node, 2 * pos + 1, level + 1);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                self.splits[pos] = (*feature as u32, *threshold);
+                self.fill(nodes, *left, 2 * pos, level + 1);
+                self.fill(nodes, *right, 2 * pos + 1, level + 1);
+            }
+        }
+    }
+
+    // `!(x <= t)` is deliberate, not a readability slip: it must branch right
+    // exactly when the node walk's `x <= t` (go left) is false, including for
+    // NaN — `x > t` would send NaN rows the other way.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn eval(&self, row: &[f64]) -> f64 {
+        let mut idx = 1usize;
+        for _ in 0..self.depth {
+            let (feature, threshold) = self.splits[idx];
+            // Same predicate as the node walk (`<=` goes left), so NaN rows
+            // take the same branch in both representations.
+            idx = 2 * idx + usize::from(!(row[feature as usize] <= threshold));
+        }
+        self.leaves[idx - (1 << self.depth)]
+    }
+
+    /// Evaluate four rows through one tree with their (independent) descent
+    /// chains interleaved: a single descent is a chain of dependent loads, so
+    /// overlapping four of them hides most of the latency.  Each row takes
+    /// exactly the branches [`FlatEval::eval`] would take.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN parity; see `eval`
+    #[inline]
+    fn eval4(&self, r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64]) -> [f64; 4] {
+        let (mut i0, mut i1, mut i2, mut i3) = (1usize, 1usize, 1usize, 1usize);
+        for _ in 0..self.depth {
+            let (f0, t0) = self.splits[i0];
+            let (f1, t1) = self.splits[i1];
+            let (f2, t2) = self.splits[i2];
+            let (f3, t3) = self.splits[i3];
+            i0 = 2 * i0 + usize::from(!(r0[f0 as usize] <= t0));
+            i1 = 2 * i1 + usize::from(!(r1[f1 as usize] <= t1));
+            i2 = 2 * i2 + usize::from(!(r2[f2 as usize] <= t2));
+            i3 = 2 * i3 + usize::from(!(r3[f3 as usize] <= t3));
+        }
+        let off = 1usize << self.depth;
+        [
+            self.leaves[i0 - off],
+            self.leaves[i1 - off],
+            self.leaves[i2 - off],
+            self.leaves[i3 - off],
+        ]
+    }
+}
+
 /// A CART regression tree.
 #[derive(Debug, Clone)]
 pub struct DecisionTreeRegressor {
     config: DecisionTreeConfig,
     nodes: Vec<Node>,
+    /// Complete-layout evaluation table for shallow trees (see [`FlatEval`]).
+    flat: Option<FlatEval>,
     fitted: bool,
 }
 
@@ -70,6 +181,7 @@ impl DecisionTreeRegressor {
         DecisionTreeRegressor {
             config,
             nodes: Vec::new(),
+            flat: None,
             fitted: false,
         }
     }
@@ -126,6 +238,8 @@ impl DecisionTreeRegressor {
         let indices: Vec<usize> = (0..data.n_rows()).collect();
         let mut rng = DetRng::new(self.config.seed);
         self.build_node(data, targets, &indices, 0, &mut rng);
+        let depth = self.depth();
+        self.flat = (depth <= MAX_FLAT_DEPTH).then(|| FlatEval::build(&self.nodes, depth));
         self.fitted = true;
         Ok(())
     }
@@ -233,10 +347,38 @@ impl DecisionTreeRegressor {
         }
     }
 
+    /// The complete-layout tables of a shallow fitted tree:
+    /// `(depth, splits, leaves)` — both tables have length `1 << depth`.
+    /// `None` for trees deeper than the flat-eval cap.
+    pub(crate) fn flat_parts(&self) -> Option<FlatParts<'_>> {
+        self.flat
+            .as_ref()
+            .map(|f| (f.depth, f.splits.as_slice(), f.leaves.as_slice()))
+    }
+
+    /// Predict four rows in model space with interleaved descents (the batched
+    /// ensemble path); identical per-row results to [`Self::predict_raw`].
+    #[inline]
+    pub(crate) fn predict_raw4(&self, r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64]) -> [f64; 4] {
+        if let (Some(flat), false) = (&self.flat, self.nodes.is_empty()) {
+            flat.eval4(r0, r1, r2, r3)
+        } else {
+            [
+                self.predict_raw(r0),
+                self.predict_raw(r1),
+                self.predict_raw(r2),
+                self.predict_raw(r3),
+            ]
+        }
+    }
+
     /// Predict in model (possibly log) space.
     pub(crate) fn predict_raw(&self, row: &[f64]) -> f64 {
         if self.nodes.is_empty() {
             return 0.0;
+        }
+        if let Some(flat) = &self.flat {
+            return flat.eval(row);
         }
         let mut idx = 0;
         loop {
@@ -270,6 +412,19 @@ impl Regressor for DecisionTreeRegressor {
             return 0.0;
         }
         self.config.target_transform.inverse(self.predict_raw(row))
+    }
+
+    fn predict_batch_into(&self, rows: &crate::matrix::FeatureMatrix, out: &mut Vec<f64>) {
+        if !self.fitted {
+            out.extend(rows.rows().map(|_| 0.0));
+            return;
+        }
+        // Strided tree walks over the flat buffer: the node table is resolved once
+        // and each row's descent reads straight out of the contiguous matrix.
+        out.extend(
+            rows.rows()
+                .map(|row| self.config.target_transform.inverse(self.predict_raw(row))),
+        );
     }
 
     fn is_fitted(&self) -> bool {

@@ -204,6 +204,45 @@ impl Regressor for ElasticNet {
         self.config.target_transform.inverse(lin)
     }
 
+    fn predict_batch_into(&self, rows: &crate::matrix::FeatureMatrix, out: &mut Vec<f64>) {
+        if !self.fitted {
+            out.extend(rows.rows().map(|_| 0.0));
+            return;
+        }
+        // Strided dot products over the flat buffer, four rows interleaved so
+        // the four add chains overlap in flight (a single chain is latency
+        // bound).  Each row's own accumulation order is exactly that of
+        // `predict_row` — x[0]*w[0] + x[1]*w[1] + … — so every prediction is
+        // bit-identical to the row-by-row loop.
+        let w = &self.weights;
+        let n = rows.n_rows();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let (r0, r1, r2, r3) = (
+                rows.row(i),
+                rows.row(i + 1),
+                rows.row(i + 2),
+                rows.row(i + 3),
+            );
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for ((((&wj, &x0), &x1), &x2), &x3) in w.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+                s0 += x0 * wj;
+                s1 += x1 * wj;
+                s2 += x2 * wj;
+                s3 += x3 * wj;
+            }
+            let t = self.config.target_transform;
+            out.push(t.inverse(s0 + self.intercept));
+            out.push(t.inverse(s1 + self.intercept));
+            out.push(t.inverse(s2 + self.intercept));
+            out.push(t.inverse(s3 + self.intercept));
+            i += 4;
+        }
+        for k in i..n {
+            out.push(self.predict_row(rows.row(k)));
+        }
+    }
+
     fn is_fitted(&self) -> bool {
         self.fitted
     }

@@ -52,12 +52,204 @@ impl Default for FastTreeConfig {
     }
 }
 
+/// Maximum ensemble size the flat batched walk supports (a sanity bound; the
+/// paper's ensembles use 20–50 trees).
+const MAX_FLAT_TREES: usize = 4096;
+
+/// The compiled ensemble, specialised by complete-tree width so the inner walk
+/// indexes fixed-size rows (`slot & (W-1)` is provably in bounds — the
+/// hot loop carries no bounds checks).
+#[derive(Debug, Clone)]
+enum FlatEnsemble {
+    /// Depth ≤ 3 (the combined meta-model's shape).
+    W8(FlatTables<8>),
+    /// Depth ≤ 5 (the paper's per-family ensembles).
+    W32(FlatTables<32>),
+}
+
+/// Split and leaf tables at a fixed complete-tree width `W = 1 << depth`:
+/// one `[(feature, threshold); W]` row and one `[leaf; W]` row per tree.
+/// Shallow stages are padded (sentinel always-left splits, leaf values
+/// replicated across their subtree's bottom slots), so every stage walks
+/// exactly `depth` levels and takes the branches the node walk would take.
+#[derive(Debug, Clone)]
+struct FlatTables<const W: usize> {
+    splits: Vec<[(u32, f64); W]>,
+    leaves: Vec<[f64; W]>,
+}
+
+impl<const W: usize> FlatTables<W> {
+    fn build(parts: &[crate::decision_tree::FlatParts<'_>]) -> FlatTables<W> {
+        let depth = W.trailing_zeros() as usize;
+        let mut tables = FlatTables {
+            splits: Vec::with_capacity(parts.len()),
+            leaves: Vec::with_capacity(parts.len()),
+        };
+        for &(d, splits, leaves) in parts {
+            debug_assert!(d <= depth);
+            let mut srow = [(0u32, f64::INFINITY); W];
+            for (p, slot) in srow.iter_mut().enumerate().take(1 << d).skip(1) {
+                *slot = splits[p];
+            }
+            let mut lrow = [0.0f64; W];
+            for (j, slot) in lrow.iter_mut().enumerate() {
+                *slot = leaves[j >> (depth - d)];
+            }
+            tables.splits.push(srow);
+            tables.leaves.push(lrow);
+        }
+        tables
+    }
+
+    /// Add `lr * tree(row_k)` onto each accumulator in tree order (the exact
+    /// accumulation sequence of the scalar path).  Two trees × four rows run at
+    /// once with all eight descent cursors held in registers: each cursor's
+    /// chain of dependent loads is short (`depth` steps), the eight chains are
+    /// independent and overlap, and `slot & (W-1)` indexing into the fixed-size
+    /// rows carries no bounds checks.
+    // `!(x <= t)` is deliberate: it goes right exactly when the node walk's
+    // `x <= t` (go left) is false, including for NaN rows.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn accumulate4(&self, lr: f64, rows: [&[f64]; 4], acc: &mut [f64; 4]) {
+        let depth = W.trailing_zeros();
+        let n = self.splits.len();
+        let [r0, r1, r2, r3] = rows;
+        let mut t = 0usize;
+        while t + 2 <= n {
+            let sa = &self.splits[t];
+            let sb = &self.splits[t + 1];
+            let (mut a0, mut a1, mut a2, mut a3) = (1usize, 1usize, 1usize, 1usize);
+            let (mut b0, mut b1, mut b2, mut b3) = (1usize, 1usize, 1usize, 1usize);
+            for _ in 0..depth {
+                let (fa0, ta0) = sa[a0 & (W - 1)];
+                let (fa1, ta1) = sa[a1 & (W - 1)];
+                let (fa2, ta2) = sa[a2 & (W - 1)];
+                let (fa3, ta3) = sa[a3 & (W - 1)];
+                let (fb0, tb0) = sb[b0 & (W - 1)];
+                let (fb1, tb1) = sb[b1 & (W - 1)];
+                let (fb2, tb2) = sb[b2 & (W - 1)];
+                let (fb3, tb3) = sb[b3 & (W - 1)];
+                a0 = 2 * a0 + usize::from(!(r0[fa0 as usize] <= ta0));
+                a1 = 2 * a1 + usize::from(!(r1[fa1 as usize] <= ta1));
+                a2 = 2 * a2 + usize::from(!(r2[fa2 as usize] <= ta2));
+                a3 = 2 * a3 + usize::from(!(r3[fa3 as usize] <= ta3));
+                b0 = 2 * b0 + usize::from(!(r0[fb0 as usize] <= tb0));
+                b1 = 2 * b1 + usize::from(!(r1[fb1 as usize] <= tb1));
+                b2 = 2 * b2 + usize::from(!(r2[fb2 as usize] <= tb2));
+                b3 = 2 * b3 + usize::from(!(r3[fb3 as usize] <= tb3));
+            }
+            // Final heap slots are in [W, 2W); masking by W-1 yields the leaf
+            // index.  Per row, tree t is added before tree t+1 — the scalar
+            // path's order.
+            let la = &self.leaves[t];
+            let lb = &self.leaves[t + 1];
+            acc[0] += lr * la[a0 & (W - 1)];
+            acc[1] += lr * la[a1 & (W - 1)];
+            acc[2] += lr * la[a2 & (W - 1)];
+            acc[3] += lr * la[a3 & (W - 1)];
+            acc[0] += lr * lb[b0 & (W - 1)];
+            acc[1] += lr * lb[b1 & (W - 1)];
+            acc[2] += lr * lb[b2 & (W - 1)];
+            acc[3] += lr * lb[b3 & (W - 1)];
+            t += 2;
+        }
+        if t < n {
+            let s = &self.splits[t];
+            let (mut a0, mut a1, mut a2, mut a3) = (1usize, 1usize, 1usize, 1usize);
+            for _ in 0..depth {
+                let (f0, t0) = s[a0 & (W - 1)];
+                let (f1, t1) = s[a1 & (W - 1)];
+                let (f2, t2) = s[a2 & (W - 1)];
+                let (f3, t3) = s[a3 & (W - 1)];
+                a0 = 2 * a0 + usize::from(!(r0[f0 as usize] <= t0));
+                a1 = 2 * a1 + usize::from(!(r1[f1 as usize] <= t1));
+                a2 = 2 * a2 + usize::from(!(r2[f2 as usize] <= t2));
+                a3 = 2 * a3 + usize::from(!(r3[f3 as usize] <= t3));
+            }
+            let l = &self.leaves[t];
+            acc[0] += lr * l[a0 & (W - 1)];
+            acc[1] += lr * l[a1 & (W - 1)];
+            acc[2] += lr * l[a2 & (W - 1)];
+            acc[3] += lr * l[a3 & (W - 1)];
+        }
+    }
+}
+
+impl FlatTables<8> {
+    /// Depth-3 oblivious evaluation: all seven split comparisons of a tree are
+    /// computed unconditionally from *fixed* slots (no data-dependent load
+    /// chain), and arithmetic selection picks exactly the leaf the sequential
+    /// descent would reach — the padding sentinels make the extra comparisons
+    /// harmless and each comparison uses the descent's own `<=` predicate, so
+    /// the chosen leaf (and the prediction) is bit-identical.  The seven split
+    /// records are loaded once per tree and shared by all four rows.
+    #[inline]
+    fn accumulate4_oblivious(&self, lr: f64, rows: [&[f64]; 4], acc: &mut [f64; 4]) {
+        // `!(x <= t)` is deliberate: NaN parity with the sequential descent.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        #[inline(always)]
+        fn leaf_of(srow: &[(u32, f64); 8], row: &[f64]) -> usize {
+            let c1 = usize::from(!(row[srow[1].0 as usize] <= srow[1].1));
+            let c2 = usize::from(!(row[srow[2].0 as usize] <= srow[2].1));
+            let c3 = usize::from(!(row[srow[3].0 as usize] <= srow[3].1));
+            let c4 = usize::from(!(row[srow[4].0 as usize] <= srow[4].1));
+            let c5 = usize::from(!(row[srow[5].0 as usize] <= srow[5].1));
+            let c6 = usize::from(!(row[srow[6].0 as usize] <= srow[6].1));
+            let c7 = usize::from(!(row[srow[7].0 as usize] <= srow[7].1));
+            let n2 = 2 + c1; // node visited at level 1 (2 or 3)
+            let b2 = [c2, c3][c1];
+            let n3 = 2 * n2 + b2; // node visited at level 2 (4..=7)
+            let b3 = [c4, c5, c6, c7][n3 - 4];
+            2 * n3 + b3 - 8 // leaf slot (0..=7)
+        }
+        let [r0, r1, r2, r3] = rows;
+        for (srow, lrow) in self.splits.iter().zip(&self.leaves) {
+            let l0 = leaf_of(srow, r0);
+            let l1 = leaf_of(srow, r1);
+            let l2 = leaf_of(srow, r2);
+            let l3 = leaf_of(srow, r3);
+            acc[0] += lr * lrow[l0];
+            acc[1] += lr * lrow[l1];
+            acc[2] += lr * lrow[l2];
+            acc[3] += lr * lrow[l3];
+        }
+    }
+}
+
+impl FlatEnsemble {
+    fn build(trees: &[DecisionTreeRegressor]) -> Option<FlatEnsemble> {
+        if trees.is_empty() || trees.len() > MAX_FLAT_TREES {
+            return None;
+        }
+        let parts: Option<Vec<_>> = trees.iter().map(|t| t.flat_parts()).collect();
+        let parts = parts?;
+        let depth = parts.iter().map(|(d, _, _)| *d).max().unwrap_or(0);
+        match depth {
+            0..=3 => Some(FlatEnsemble::W8(FlatTables::build(&parts))),
+            4..=5 => Some(FlatEnsemble::W32(FlatTables::build(&parts))),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn accumulate4(&self, lr: f64, rows: [&[f64]; 4], acc: &mut [f64; 4]) {
+        match self {
+            FlatEnsemble::W8(t) => t.accumulate4_oblivious(lr, rows, acc),
+            FlatEnsemble::W32(t) => t.accumulate4(lr, rows, acc),
+        }
+    }
+}
+
 /// MART-style gradient-boosted tree ensemble.
 #[derive(Debug, Clone)]
 pub struct FastTreeRegressor {
     config: FastTreeConfig,
     base_prediction: f64,
     trees: Vec<DecisionTreeRegressor>,
+    /// Contiguous compiled form of `trees` (see [`FlatEnsemble`]); `None` when
+    /// any stage is too deep for the complete layout.
+    flat: Option<FlatEnsemble>,
     fitted: bool,
 }
 
@@ -68,6 +260,7 @@ impl FastTreeRegressor {
             config,
             base_prediction: 0.0,
             trees: Vec::new(),
+            flat: None,
             fitted: false,
         }
     }
@@ -141,6 +334,7 @@ impl Regressor for FastTreeRegressor {
             }
             self.trees.push(tree);
         }
+        self.flat = FlatEnsemble::build(&self.trees);
         self.fitted = true;
         Ok(())
     }
@@ -152,6 +346,54 @@ impl Regressor for FastTreeRegressor {
         self.config
             .target_transform
             .inverse(self.predict_transformed(row))
+    }
+
+    fn predict_batch_into(&self, rows: &crate::matrix::FeatureMatrix, out: &mut Vec<f64>) {
+        if !self.fitted {
+            out.extend(rows.rows().map(|_| 0.0));
+            return;
+        }
+        // Tree-outer traversal with four rows in flight: each tree's table
+        // stays hot in cache while the four independent descent chains overlap.
+        // Per row the additions still happen in tree order starting from the
+        // base prediction — the exact accumulation sequence of `predict_row` —
+        // so the results are bit-identical.
+        let start = out.len();
+        let n = rows.n_rows();
+        out.resize(start + n, self.base_prediction);
+        let lr = self.config.learning_rate;
+        let acc = &mut out[start..];
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let (r0, r1, r2, r3) = (
+                rows.row(i),
+                rows.row(i + 1),
+                rows.row(i + 2),
+                rows.row(i + 3),
+            );
+            if let Some(flat) = &self.flat {
+                let mut quad = [acc[i], acc[i + 1], acc[i + 2], acc[i + 3]];
+                flat.accumulate4(lr, [r0, r1, r2, r3], &mut quad);
+                acc[i..i + 4].copy_from_slice(&quad);
+            } else {
+                for tree in &self.trees {
+                    let v = tree.predict_raw4(r0, r1, r2, r3);
+                    acc[i] += lr * v[0];
+                    acc[i + 1] += lr * v[1];
+                    acc[i + 2] += lr * v[2];
+                    acc[i + 3] += lr * v[3];
+                }
+            }
+            i += 4;
+        }
+        for (a, k) in acc[i..].iter_mut().zip(i..n) {
+            for tree in &self.trees {
+                *a += lr * tree.predict_raw(rows.row(k));
+            }
+        }
+        for a in acc {
+            *a = self.config.target_transform.inverse(*a);
+        }
     }
 
     fn is_fitted(&self) -> bool {

@@ -27,6 +27,7 @@ pub mod elastic_net;
 pub mod gbt;
 pub mod linear_gd;
 pub mod loss;
+pub mod matrix;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
@@ -39,6 +40,7 @@ pub use decision_tree::DecisionTreeRegressor;
 pub use elastic_net::ElasticNet;
 pub use gbt::FastTreeRegressor;
 pub use loss::Loss;
+pub use matrix::FeatureMatrix;
 pub use metrics::RegressionReport;
 pub use mlp::MlpRegressor;
 pub use model::{Regressor, RegressorKind};

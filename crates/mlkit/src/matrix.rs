@@ -1,0 +1,172 @@
+//! Flat, reusable feature matrices for the inference hot path.
+//!
+//! The optimizer costs one operator at tens of candidate partition counts per
+//! sweep, and every sweep used to materialise a fresh `Vec<Vec<f64>>` (one heap
+//! allocation per candidate row, plus a `Vec<&[f64]>` of references to feed the
+//! batched predictors).  A [`FeatureMatrix`] is a single contiguous row-major
+//! `Vec<f64>` with a fixed stride: rows are written in place with
+//! [`FeatureMatrix::push_row_with`], the buffer is retained across
+//! [`FeatureMatrix::clear`] calls, and in steady state a sweep performs **zero**
+//! per-candidate heap allocations.
+
+/// A dense row-major matrix of feature rows: one flat buffer plus a stride.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    n_cols: usize,
+    values: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Create an empty matrix with `n_cols` columns per row.
+    pub fn new(n_cols: usize) -> Self {
+        FeatureMatrix {
+            n_cols,
+            values: Vec::new(),
+        }
+    }
+
+    /// Create an empty matrix with capacity reserved for `rows` rows.
+    pub fn with_capacity(n_cols: usize, rows: usize) -> Self {
+        FeatureMatrix {
+            n_cols,
+            values: Vec::with_capacity(n_cols * rows),
+        }
+    }
+
+    /// Build a matrix by copying a slice of owned rows (convenience for tests and
+    /// one-shot callers; the hot path uses [`FeatureMatrix::push_row_with`]).
+    ///
+    /// Panics if any row's length differs from the first row's.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_cols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut m = FeatureMatrix::with_capacity(n_cols, rows.len());
+        for row in rows {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// Number of rows currently stored.
+    pub fn n_rows(&self) -> usize {
+        self.values.len().checked_div(self.n_cols).unwrap_or(0)
+    }
+
+    /// Number of columns (the row stride).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Drop all rows, keeping the allocated buffer for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    /// Drop all rows and change the stride (keeps the buffer; used when one scratch
+    /// matrix serves feature spaces of different widths).
+    pub fn reset(&mut self, n_cols: usize) {
+        self.values.clear();
+        self.n_cols = n_cols;
+    }
+
+    /// Append one row by copying a slice.
+    ///
+    /// Panics if `row.len() != n_cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n_cols, "row width mismatch");
+        self.values.extend_from_slice(row);
+    }
+
+    /// Append one zero-initialised row and let `fill` write it in place — the
+    /// allocation-free way to extract features straight into the matrix.
+    pub fn push_row_with(&mut self, fill: impl FnOnce(&mut [f64])) {
+        let start = self.values.len();
+        self.values.resize(start + self.n_cols, 0.0);
+        fill(&mut self.values[start..]);
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Iterate over all rows as slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.values.chunks_exact(self.n_cols.max(1))
+    }
+
+    /// The flat row-major buffer.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut m = FeatureMatrix::new(3);
+        assert!(m.is_empty());
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row_with(|dst| {
+            dst[0] = 4.0;
+            dst[1] = 5.0;
+            dst[2] = 6.0;
+        });
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[4.0, 5.0, 6.0]);
+        assert_eq!(m.values().len(), 6);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_reset_changes_stride() {
+        let mut m = FeatureMatrix::with_capacity(2, 8);
+        for i in 0..8 {
+            m.push_row(&[i as f64, 0.0]);
+        }
+        let cap = m.values.capacity();
+        m.clear();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.values.capacity(), cap, "clear must keep the buffer");
+        m.reset(4);
+        assert_eq!(m.n_cols(), 4);
+        m.push_row(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.n_rows(), 1);
+    }
+
+    #[test]
+    fn push_row_with_zero_initialises() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row_with(|dst| {
+            assert_eq!(dst, &[0.0, 0.0]);
+            dst[1] = 9.0;
+        });
+        assert_eq!(m.row(0), &[0.0, 9.0]);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(FeatureMatrix::from_rows(&[]).n_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_rejects_wrong_width() {
+        let mut m = FeatureMatrix::new(3);
+        m.push_row(&[1.0]);
+    }
+}

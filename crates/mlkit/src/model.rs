@@ -8,6 +8,7 @@ use crate::dataset::Dataset;
 use crate::decision_tree::DecisionTreeRegressor;
 use crate::elastic_net::ElasticNet;
 use crate::gbt::FastTreeRegressor;
+use crate::matrix::FeatureMatrix;
 use crate::mlp::MlpRegressor;
 use crate::random_forest::RandomForestRegressor;
 use cleo_common::Result;
@@ -24,16 +25,26 @@ pub trait Regressor: Send + Sync {
     /// model has not been fitted; use [`Regressor::is_fitted`] to check.
     fn predict_row(&self, row: &[f64]) -> f64;
 
-    /// Predict a batch of feature rows in one call.
+    /// Predict a batch of feature rows in one call over a flat row-stride matrix.
     ///
     /// This is the API the optimizer's per-stage costing uses: one operator is
     /// evaluated at many candidate partition counts against the *same* model, so
     /// batching amortises the model lookup and keeps the per-candidate work tight.
-    /// The default implementation maps [`Regressor::predict_row`]; implementations
-    /// may override it with a genuinely vectorised path, but must return bitwise
-    /// the same values as the row-by-row loop.
-    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
-        rows.iter().map(|row| self.predict_row(row)).collect()
+    /// The rows come in as a contiguous [`FeatureMatrix`] (no per-row allocations,
+    /// no slice-of-slices indirection).  The default maps
+    /// [`Regressor::predict_row`]; implementations may override
+    /// [`Regressor::predict_batch_into`] with a genuinely strided path, but must
+    /// produce bitwise the same values as the row-by-row loop.
+    fn predict_batch(&self, rows: &FeatureMatrix) -> Vec<f64> {
+        let mut out = Vec::with_capacity(rows.n_rows());
+        self.predict_batch_into(rows, &mut out);
+        out
+    }
+
+    /// Allocation-free batched prediction: append one prediction per row of
+    /// `rows` onto `out` (which callers reuse across sweeps).
+    fn predict_batch_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.extend(rows.rows().map(|row| self.predict_row(row)));
     }
 
     /// Predict every row of a dataset.

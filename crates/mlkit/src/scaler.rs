@@ -35,19 +35,30 @@ impl StandardScaler {
 
     /// Standardise one feature row into a new vector.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
-        row.iter()
-            .enumerate()
-            .map(|(j, &v)| (v - self.means[j]) / self.stds[j])
-            .collect()
+        let mut out = vec![0.0; row.len()];
+        self.transform_row_into(row, &mut out);
+        out
     }
 
-    /// Standardise every row of a dataset, keeping targets unchanged.
+    /// Standardise one feature row into a caller-provided buffer.
+    pub fn transform_row_into(&self, row: &[f64], dst: &mut [f64]) {
+        for (j, (&v, slot)) in row.iter().zip(dst.iter_mut()).enumerate() {
+            *slot = (v - self.means[j]) / self.stds[j];
+        }
+    }
+
+    /// Standardise every row of a dataset, keeping targets unchanged.  Rows are
+    /// transformed through one reused buffer straight into the new dataset's
+    /// flat storage (no per-row `Vec` materialisation).
     pub fn transform(&self, data: &Dataset) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..data.n_rows())
-            .map(|i| self.transform_row(data.row(i)))
-            .collect();
-        Dataset::from_rows(data.feature_names().to_vec(), rows, data.targets().to_vec())
-            .expect("same shape as input dataset")
+        let mut out = Dataset::with_shared_names(data.feature_names_shared());
+        let mut buf = vec![0.0; data.n_cols()];
+        for i in 0..data.n_rows() {
+            self.transform_row_into(data.row(i), &mut buf);
+            out.push_row(&buf, data.target(i))
+                .expect("same shape as input dataset");
+        }
+        out
     }
 
     /// Convert a weight vector learned in standardised space back to raw-feature space,

@@ -75,7 +75,10 @@ fn batched_prediction_matches_row_by_row() {
         for kind in RegressorKind::all() {
             let mut model = kind.build(11);
             model.fit(&ds).unwrap();
-            let rows: Vec<&[f64]> = (0..ds.n_rows()).map(|i| ds.row(i)).collect();
+            let mut rows = cleo_mlkit::FeatureMatrix::new(ds.n_cols());
+            for i in 0..ds.n_rows() {
+                rows.push_row(ds.row(i));
+            }
             let batched = model.predict_batch(&rows);
             assert_eq!(batched.len(), ds.n_rows());
             for (i, b) in batched.iter().enumerate() {

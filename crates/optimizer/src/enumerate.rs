@@ -12,6 +12,8 @@
 //! the plan choices the paper's evaluation exercises (exchange elision, merge-join
 //! adoption, local aggregation, partition-count changes).
 
+use std::sync::Arc;
+
 use cleo_common::{CleoError, Result};
 use cleo_engine::catalog::Catalog;
 use cleo_engine::logical::{LogicalNode, LogicalOp};
@@ -38,10 +40,15 @@ pub fn default_partition_count(bytes: f64) -> usize {
 }
 
 /// One candidate physical subplan together with its accumulated cost.
+///
+/// The subplan root is `Arc`-shared: every parent alternative built over it
+/// holds a reference instead of a deep clone, so enumeration materialises each
+/// subtree once no matter how many candidate plans embed it (and cloning an
+/// `Alternative` is a pointer bump).
 #[derive(Debug, Clone)]
 pub struct Alternative {
-    /// Root of the candidate subplan (children embedded).
-    pub node: PhysicalNode,
+    /// Root of the candidate subplan (children embedded, shared).
+    pub node: Arc<PhysicalNode>,
     /// Total estimated cost of the subtree (sum of exclusive costs).
     pub cost: f64,
 }
@@ -206,7 +213,7 @@ impl<'a> Enumerator<'a> {
                     .map(|c| c.node.partition_count)
                     .max()
                     .unwrap_or(1);
-                let mut node = PhysicalNode::new(
+                let mut node = PhysicalNode::new_shared(
                     PhysicalOpKind::Project,
                     "union",
                     children_best.into_iter().map(|c| c.node).collect(),
@@ -228,7 +235,8 @@ impl<'a> Enumerator<'a> {
         Ok(prune(alts))
     }
 
-    /// Build a unary operator that keeps its child's partitioning and partition count.
+    /// Build a unary operator that keeps its child's partitioning and partition
+    /// count.  The child subtree is shared, not cloned.
     fn unary_passthrough(
         &self,
         kind: PhysicalOpKind,
@@ -238,7 +246,7 @@ impl<'a> Enumerator<'a> {
         act: OpStats,
         preserve_sort: bool,
     ) -> PhysicalNode {
-        let mut node = PhysicalNode::new(kind, label, vec![child.node.clone()]);
+        let mut node = PhysicalNode::new_shared(kind, label, vec![Arc::clone(&child.node)]);
         node.est = est;
         node.act = act;
         node.partition_count = child.node.partition_count;
@@ -251,7 +259,7 @@ impl<'a> Enumerator<'a> {
         node
     }
 
-    /// Build a Sort enforcer over a child.
+    /// Build a Sort enforcer over a child (subtree shared).
     fn sort_enforcer(
         &self,
         child: &Alternative,
@@ -260,10 +268,10 @@ impl<'a> Enumerator<'a> {
         _act: OpStats,
     ) -> PhysicalNode {
         // A sort does not change cardinalities: reuse the child's output stats.
-        let mut node = PhysicalNode::new(
+        let mut node = PhysicalNode::new_shared(
             PhysicalOpKind::Sort,
             keys.join(","),
-            vec![child.node.clone()],
+            vec![Arc::clone(&child.node)],
         );
         node.est = passthrough_stats(&child.node.est);
         node.act = passthrough_stats(&child.node.act);
@@ -276,13 +284,14 @@ impl<'a> Enumerator<'a> {
     /// Build an Exchange enforcer repartitioning a child onto `keys` with `partitions`.
     fn exchange_enforcer(
         &self,
-        child: PhysicalNode,
+        child: Arc<PhysicalNode>,
         keys: Vec<String>,
         partitions: usize,
     ) -> PhysicalNode {
         let est = passthrough_stats(&child.est);
         let act = passthrough_stats(&child.act);
-        let mut node = PhysicalNode::new(PhysicalOpKind::Exchange, keys.join(","), vec![child]);
+        let mut node =
+            PhysicalNode::new_shared(PhysicalOpKind::Exchange, keys.join(","), vec![child]);
         node.est = est;
         node.act = act;
         node.partition_count = partitions;
@@ -291,14 +300,14 @@ impl<'a> Enumerator<'a> {
         node
     }
 
-    /// Cost a freshly built node and wrap it into an [`Alternative`].
+    /// Cost a freshly built node and wrap it into a shared [`Alternative`].
     fn costed(&mut self, node: PhysicalNode, children_cost: f64) -> Alternative {
         self.stats.model_invocations += 1;
         let exclusive = self
             .cost_model
             .exclusive_cost(&node, node.partition_count, self.meta);
         Alternative {
-            node,
+            node: Arc::new(node),
             cost: children_cost + exclusive.max(0.0),
         }
     }
@@ -317,13 +326,15 @@ impl<'a> Enumerator<'a> {
             && child.node.partitioned_on == group_keys
             && !child.node.partitioned_on.is_empty();
 
-        // Candidate "pre-exchange" children: plain, and optionally locally pre-aggregated.
-        let mut pre_children: Vec<(PhysicalNode, f64)> = vec![(child.node.clone(), child.cost)];
+        // Candidate "pre-exchange" children: plain, and optionally locally
+        // pre-aggregated (both share the child subtree).
+        let mut pre_children: Vec<(Arc<PhysicalNode>, f64)> =
+            vec![(Arc::clone(&child.node), child.cost)];
         if self.enable_local_aggregation && !already_partitioned {
-            let mut local = PhysicalNode::new(
+            let mut local = PhysicalNode::new_shared(
                 PhysicalOpKind::LocalAggregate,
                 group_keys.join(","),
-                vec![child.node.clone()],
+                vec![Arc::clone(&child.node)],
             );
             let p = child.node.partition_count.max(1) as f64;
             local.est = local_agg_stats(&child.node.est, &est, p);
@@ -338,23 +349,24 @@ impl<'a> Enumerator<'a> {
             // Establish the partitioning requirement.
             let (partitioned, part_cost) =
                 if already_partitioned && pre.kind != PhysicalOpKind::LocalAggregate {
-                    (pre.clone(), pre_cost)
+                    (Arc::clone(&pre), pre_cost)
                 } else {
                     let partitions = if scalar {
                         1
                     } else {
                         default_partition_count(pre.est.output_bytes())
                     };
-                    let exch = self.exchange_enforcer(pre.clone(), group_keys.to_vec(), partitions);
+                    let exch =
+                        self.exchange_enforcer(Arc::clone(&pre), group_keys.to_vec(), partitions);
                     let exch_alt = self.costed(exch, pre_cost);
                     (exch_alt.node, exch_alt.cost)
                 };
 
             // Hash aggregation.
-            let mut hash = PhysicalNode::new(
+            let mut hash = PhysicalNode::new_shared(
                 PhysicalOpKind::HashAggregate,
                 group_keys.join(","),
-                vec![partitioned.clone()],
+                vec![Arc::clone(&partitioned)],
             );
             hash.est = est;
             hash.act = act;
@@ -364,12 +376,12 @@ impl<'a> Enumerator<'a> {
 
             // Sort + stream aggregation.
             let sort_child = Alternative {
-                node: partitioned.clone(),
+                node: Arc::clone(&partitioned),
                 cost: part_cost,
             };
             let sort = self.sort_enforcer(&sort_child, group_keys.to_vec(), est, act);
             let sort_alt = self.costed(sort, part_cost);
-            let mut stream = PhysicalNode::new(
+            let mut stream = PhysicalNode::new_shared(
                 PhysicalOpKind::StreamAggregate,
                 group_keys.join(","),
                 vec![sort_alt.node],
@@ -411,12 +423,13 @@ impl<'a> Enumerator<'a> {
             )
         };
 
-        // Prepare each side: exchange if not partitioned on the keys with that count.
-        let mut prep = |alt: &Alternative, ok: bool| -> (PhysicalNode, f64) {
+        // Prepare each side: exchange if not partitioned on the keys with that
+        // count (either way the input subtree is shared, never cloned).
+        let mut prep = |alt: &Alternative, ok: bool| -> (Arc<PhysicalNode>, f64) {
             if ok && alt.node.partition_count == partitions {
-                (alt.node.clone(), alt.cost)
+                (Arc::clone(&alt.node), alt.cost)
             } else {
-                let exch = self.exchange_enforcer(alt.node.clone(), keys.to_vec(), partitions);
+                let exch = self.exchange_enforcer(Arc::clone(&alt.node), keys.to_vec(), partitions);
                 let a = self.costed(exch, alt.cost);
                 (a.node, a.cost)
             }
@@ -425,10 +438,10 @@ impl<'a> Enumerator<'a> {
         let (r_part, r_cost) = prep(right, right_ok);
 
         // Hash join.
-        let mut hj = PhysicalNode::new(
+        let mut hj = PhysicalNode::new_shared(
             PhysicalOpKind::HashJoin,
             keys.join(","),
-            vec![l_part.clone(), r_part.clone()],
+            vec![Arc::clone(&l_part), Arc::clone(&r_part)],
         );
         hj.est = est;
         hj.act = act;
@@ -437,7 +450,7 @@ impl<'a> Enumerator<'a> {
         alts.push(self.costed(hj, l_cost + r_cost));
 
         // Merge join: both sides must additionally be sorted on the keys.
-        let mut sort_side = |node: PhysicalNode, cost: f64| -> (PhysicalNode, f64) {
+        let mut sort_side = |node: Arc<PhysicalNode>, cost: f64| -> (Arc<PhysicalNode>, f64) {
             if node.sorted_on == keys {
                 (node, cost)
             } else {
@@ -449,7 +462,7 @@ impl<'a> Enumerator<'a> {
         };
         let (l_sorted, l_scost) = sort_side(l_part, l_cost);
         let (r_sorted, r_scost) = sort_side(r_part, r_cost);
-        let mut mj = PhysicalNode::new(
+        let mut mj = PhysicalNode::new_shared(
             PhysicalOpKind::MergeJoin,
             keys.join(","),
             vec![l_sorted, r_sorted],
@@ -560,7 +573,9 @@ mod tests {
         let mut e = Enumerator::new(&model, &cat, &m, false, true);
         let mut alts = e.enumerate(plan).unwrap();
         alts.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
-        (alts.remove(0).node, e.stats)
+        let best = alts.remove(0).node;
+        let best = Arc::try_unwrap(best).unwrap_or_else(|arc| (*arc).clone());
+        (best, e.stats)
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl<'a> Optimizer<'a> {
             .next()
             .ok_or_else(|| CleoError::OptimizationError("no plan produced".into()))?;
 
-        let mut plan = PhysicalPlan::new(job.meta.clone(), best.node);
+        let mut plan = PhysicalPlan::from_shared(job.meta.clone(), best.node);
         let mut stats = OptimizationStats {
             model_invocations: enumerator.stats.model_invocations,
             alternatives_generated: enumerator.stats.alternatives_generated,
