@@ -1,0 +1,248 @@
+//! Micro-benchmark: the cross-cluster sharded serving tier.
+//!
+//! Measures the serving shapes of the fleet-scale tier and writes
+//! `BENCH_sharded_serving.json` at the workspace root (also in `--smoke` mode,
+//! with tiny sampling — CI asserts the file is emitted and well-formed):
+//!
+//! * **per-shard serving rate** — jobs/sec of each shard serving its own
+//!   cluster through the [`ClusterRouter`] (registry snapshot + routed costing
+//!   per job);
+//! * **fleet capacity scaling 1 → 4 shards** — shards share no locks, caches,
+//!   or windows, so fleet capacity is the sum of per-shard rates; each rate is
+//!   measured in isolation and the sum is reported alongside *measured*
+//!   concurrent wall-clock rates (`threads = shards`) and the machine's core
+//!   count, so a single-core builder shows linear capacity scaling honestly
+//!   while a multi-core one also shows it on the wall clock;
+//! * **sharded vs single shared registry** — the same 4-cluster stream through
+//!   one process-wide registry (the PR 2 shape), to price the router's routing
+//!   overhead;
+//! * **fallback-hit rates** — the routing mix on a half-cold fleet;
+//! * **per-shard epoch latency** — parallel per-cluster retrain epochs of the
+//!   [`ShardedFeedbackLoop`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cleo_bench::BenchGroup;
+use cleo_core::feedback::{FeedbackConfig, WindowEviction};
+use cleo_core::sharding::{
+    ClusterRouter, ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry,
+};
+use cleo_core::{HoldoutMetrics, ModelRegistry, RegistryCostModelProvider};
+use cleo_engine::exec::{Simulator, SimulatorConfig};
+use cleo_engine::workload::generator::WorkloadProfile;
+use cleo_engine::workload::JobSpec;
+use cleo_engine::ClusterId;
+use cleo_optimizer::{
+    CostModel, CostModelProvider, HeuristicCostModel, OptimizerConfig, SharedOptimizer,
+};
+
+fn metrics() -> HoldoutMetrics {
+    HoldoutMetrics {
+        correlation: 0.9,
+        median_error_pct: 10.0,
+        sample_count: 100,
+    }
+}
+
+fn rate(jobs: usize, median: Duration) -> f64 {
+    jobs as f64 / median.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
+    let per_cluster_jobs = if smoke { 8 } else { 40 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // One warm shard per cluster: each cluster's predictor published as v1 of
+    // its own registry shard.
+    let profiles: Vec<WorkloadProfile> = ctx
+        .clusters
+        .iter()
+        .map(|c| WorkloadProfile::of(&c.workload))
+        .collect();
+    let registry = Arc::new(ShardedRegistry::new((0u8..4).map(ClusterId)));
+    for (c, cluster) in ctx.clusters.iter().enumerate() {
+        registry.shard(ClusterId(c as u8)).unwrap().publish(
+            Arc::clone(&cluster.predictor),
+            1,
+            metrics(),
+        );
+    }
+    let fallback: Arc<dyn CostModel> = Arc::new(HeuristicCostModel::default_model());
+    let router = Arc::new(ClusterRouter::new(
+        Arc::clone(&registry),
+        Arc::clone(&fallback),
+        &profiles,
+    ));
+    let shared = SharedOptimizer::new(
+        Arc::clone(&router) as Arc<dyn CostModelProvider>,
+        OptimizerConfig::resource_aware(),
+    );
+
+    // The serving stream: each cluster's test-day jobs.
+    let test_day = cleo_engine::DayIndex(ctx.days.saturating_sub(1));
+    let cluster_jobs: Vec<Vec<&JobSpec>> = ctx
+        .clusters
+        .iter()
+        .map(|c| {
+            c.workload
+                .jobs
+                .iter()
+                .filter(|j| j.meta.day == test_day)
+                .take(per_cluster_jobs)
+                .collect()
+        })
+        .collect();
+    let jobs_per_shard = cluster_jobs[0].len();
+
+    let mut group = BenchGroup::new("sharded_serving");
+    group.sample_size(if smoke { 2 } else { 7 });
+
+    // (a) Per-shard serving rate, each shard in isolation (serial): the rate
+    // one cluster's serving loop sustains on its own hardware.
+    let mut per_shard_rate = Vec::new();
+    for (c, jobs) in cluster_jobs.iter().enumerate() {
+        let sample = group.bench_function(format!("serve_shard_{c}_serial"), || {
+            shared.optimize_all(jobs, 1).expect("serve")
+        });
+        per_shard_rate.push(rate(jobs.len(), sample.median));
+    }
+
+    // (b) Measured concurrent serving: first n clusters' jobs, n OS threads.
+    // On a machine with >= n cores this approaches the fleet-capacity sum; on
+    // fewer cores the threads timeslice and the wall clock shows it.
+    let mut concurrent_rate = Vec::new();
+    for n in [1usize, 2, 4] {
+        let jobs: Vec<&JobSpec> = cluster_jobs[..n].iter().flatten().copied().collect();
+        let sample = group.bench_function(format!("serve_{n}_shards_{n}_threads"), || {
+            shared.optimize_all(&jobs, n).expect("serve")
+        });
+        concurrent_rate.push((n, rate(jobs.len(), sample.median)));
+    }
+
+    // (c) The unsharded baseline: all four clusters through one process-wide
+    // registry (PR 2 shape, one model for every cluster).
+    let single_registry = Arc::new(ModelRegistry::new());
+    single_registry.publish(Arc::clone(&ctx.clusters[0].predictor), 1, metrics());
+    let single = SharedOptimizer::new(
+        Arc::new(RegistryCostModelProvider::new(single_registry, fallback))
+            as Arc<dyn CostModelProvider>,
+        OptimizerConfig::resource_aware(),
+    );
+    let all_jobs: Vec<&JobSpec> = cluster_jobs.iter().flatten().copied().collect();
+    let single_sample = group.bench_function("serve_4_clusters_single_registry", || {
+        single.optimize_all(&all_jobs, 1).expect("serve")
+    });
+    let single_registry_rate = rate(all_jobs.len(), single_sample.median);
+    let sharded_all_sample = group.bench_function("serve_4_clusters_sharded_serial", || {
+        shared.optimize_all(&all_jobs, 1).expect("serve")
+    });
+    let sharded_all_rate = rate(all_jobs.len(), sharded_all_sample.median);
+
+    // (d) Fallback-hit rates on a half-cold fleet (shards 0 and 2 warm).
+    let cold_registry = Arc::new(ShardedRegistry::new((0u8..4).map(ClusterId)));
+    for c in [0u8, 2] {
+        cold_registry.shard(ClusterId(c)).unwrap().publish(
+            Arc::clone(&ctx.clusters[c as usize].predictor),
+            1,
+            metrics(),
+        );
+    }
+    let cold_router = Arc::new(ClusterRouter::new(
+        cold_registry,
+        Arc::new(HeuristicCostModel::default_model()),
+        &profiles,
+    ));
+    let cold_shared = SharedOptimizer::new(
+        Arc::clone(&cold_router) as Arc<dyn CostModelProvider>,
+        OptimizerConfig::resource_aware(),
+    );
+    cold_shared.optimize_all(&all_jobs, 1).expect("serve");
+    let routing = cold_router.routing_stats();
+
+    // (e) Per-shard epoch latency of the parallel sharded feedback loop.
+    let epoch_registry = Arc::new(ShardedRegistry::new((0u8..4).map(ClusterId)));
+    let epoch_router = Arc::new(ClusterRouter::new(
+        epoch_registry,
+        Arc::new(HeuristicCostModel::default_model()),
+        &profiles,
+    ));
+    let mut fleet = ShardedFeedbackLoop::new(
+        ShardedFeedbackConfig {
+            shard: FeedbackConfig {
+                eviction: WindowEviction::JobCount(all_jobs.len().max(64) * 2),
+                ..FeedbackConfig::default()
+            },
+            ..ShardedFeedbackConfig::default()
+        },
+        Simulator::new(SimulatorConfig::default()),
+        epoch_router,
+    );
+    fleet.run_epoch(&all_jobs).expect("cold epoch");
+    let warm_epoch = fleet.run_epoch(&all_jobs).expect("warm epoch");
+    let shard_epoch_ms: Vec<f64> = warm_epoch
+        .shards
+        .iter()
+        .map(|s| s.retrain_micros as f64 / 1000.0)
+        .collect();
+    group.finish();
+
+    // Fleet capacity: shards share nothing, so capacity at n shards is the sum
+    // of the first n per-shard rates (each measured in isolation above).
+    let fleet_capacity: Vec<f64> = (1..=4).map(|n| per_shard_rate[..n].iter().sum()).collect();
+    let scaling_1_to_4 = fleet_capacity[3] / fleet_capacity[0].max(1e-12);
+    let routing_total = routing.total().max(1) as f64;
+
+    println!(
+        "\nper-shard jobs/sec: {per_shard_rate:?}\nfleet capacity 1->4 shards: \
+         {fleet_capacity:?} ({scaling_1_to_4:.2}x; measured concurrent on {cores} core(s): \
+         {concurrent_rate:?})\nsingle shared registry: {single_registry_rate:.1} jobs/sec vs \
+         sharded serial: {sharded_all_rate:.1}\nhalf-cold routing: {} own / {} donor / {} \
+         fallback\nper-shard epoch latency (ms): {shard_epoch_ms:?}",
+        routing.own_hits, routing.donor_hits, routing.fallback_hits
+    );
+
+    let fmt_list = |v: &[f64]| {
+        v.iter()
+            .map(|r| format!("{r:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let concurrent_json = concurrent_rate
+        .iter()
+        .map(|(n, r)| format!("\"{n}\": {r:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"sharded_serving\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
+         \"shards\": 4,\n  \"jobs_per_shard\": {jobs_per_shard},\n  \
+         \"per_shard_jobs_per_sec\": [{per_shard}],\n  \
+         \"fleet_capacity_jobs_per_sec_1_to_4_shards\": [{fleet}],\n  \
+         \"throughput_scaling_1_to_4\": {scaling_1_to_4:.3},\n  \
+         \"jobs_per_sec_measured_concurrent\": {{{concurrent_json}}},\n  \
+         \"jobs_per_sec_single_registry\": {single_registry_rate:.1},\n  \
+         \"jobs_per_sec_sharded_serial\": {sharded_all_rate:.1},\n  \
+         \"half_cold_routing\": {{\"own_hits\": {}, \"donor_hits\": {}, \"fallback_hits\": {}, \
+         \"own_rate\": {:.4}, \"donor_rate\": {:.4}, \"fallback_rate\": {:.4}}},\n  \
+         \"per_shard_epoch_latency_ms\": [{epoch_ms}]\n}}\n",
+        routing.own_hits,
+        routing.donor_hits,
+        routing.fallback_hits,
+        routing.own_hits as f64 / routing_total,
+        routing.donor_hits as f64 / routing_total,
+        routing.fallback_hits as f64 / routing_total,
+        per_shard = fmt_list(&per_shard_rate),
+        fleet = fmt_list(&fleet_capacity),
+        epoch_ms = fmt_list(&shard_epoch_ms),
+    );
+    // Anchor the result file at the workspace root regardless of the bench cwd.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sharded_serving.json");
+    std::fs::write(&path, &json).expect("write BENCH_sharded_serving.json");
+    println!("wrote {}", path.display());
+}

@@ -4,9 +4,20 @@
 //! workload executed under the default cost model (the telemetry Cleo trains on), and
 //! a trained predictor per cluster.  [`ExperimentContext`] builds them once and the
 //! individual experiment runners share them.
+//!
+//! Since the registry-aware port, all telemetry is collected through the
+//! **shared-serving path** ([`pipeline::serve_jobs`]): baseline runs serve the
+//! default model through a [`FixedCostModel`] provider, and each cluster's
+//! trained predictor is published into a per-cluster [`ModelRegistry`] whose
+//! [`RegistryCostModelProvider`] the learned-model experiments serve from — the
+//! same seam (and the same prediction cache) the feedback loop exercises.
+
+use std::sync::Arc;
 
 use cleo_core::trainer::TrainerConfig;
-use cleo_core::{pipeline, CleoPredictor};
+use cleo_core::{
+    pipeline, CleoPredictor, HoldoutMetrics, ModelRegistry, RegistryCostModelProvider,
+};
 use cleo_engine::exec::{Simulator, SimulatorConfig};
 use cleo_engine::telemetry::TelemetryLog;
 use cleo_engine::workload::generator::{
@@ -14,7 +25,9 @@ use cleo_engine::workload::generator::{
 };
 use cleo_engine::workload::JobSpec;
 use cleo_engine::{ClusterId, DayIndex};
-use cleo_optimizer::{HeuristicCostModel, OptimizerConfig};
+use cleo_optimizer::{
+    CostModel, CostModelProvider, FixedCostModel, HeuristicCostModel, OptimizerConfig,
+};
 
 use cleo_common::Result;
 
@@ -38,8 +51,14 @@ pub struct ClusterData {
     pub train_log: TelemetryLog,
     /// Telemetry restricted to the test day (day 2).
     pub test_log: TelemetryLog,
-    /// Predictor trained on the training window.
-    pub predictor: CleoPredictor,
+    /// Predictor trained on the training window (also published into
+    /// [`ClusterData::registry`] as version 1).
+    pub predictor: Arc<CleoPredictor>,
+    /// Registry holding the trained predictor as version 1 (shared by every
+    /// learned-model run of this cluster, so their prediction caches are too).
+    pub registry: Arc<ModelRegistry>,
+    /// Provider serving [`ClusterData::registry`] through the optimizer seam.
+    pub provider: Arc<RegistryCostModelProvider>,
 }
 
 /// The shared context for all experiments.
@@ -53,10 +72,13 @@ pub struct ExperimentContext {
 }
 
 impl ExperimentContext {
-    /// Build the context: generate, execute, and train for all four clusters.
+    /// Build the context: generate, execute (through the shared-serving path),
+    /// train, and publish for all four clusters.
     pub fn build(scale: Scale, days: u32) -> Result<ExperimentContext> {
         let simulator = Simulator::new(SimulatorConfig::default());
-        let default_model = HeuristicCostModel::default_model();
+        let default_provider: Arc<dyn CostModelProvider> = Arc::new(FixedCostModel::new(Arc::new(
+            HeuristicCostModel::default_model(),
+        )));
         let mut clusters = Vec::new();
         for c in 0u8..4 {
             let config = match scale {
@@ -65,24 +87,48 @@ impl ExperimentContext {
             };
             let workload = generate_cluster_workload(&config, days);
             let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
-            let telemetry = pipeline::run_jobs(
+            let telemetry = pipeline::serve_jobs(
                 &jobs,
-                &default_model,
+                Arc::clone(&default_provider),
                 OptimizerConfig::default(),
                 &simulator,
+                0,
             )?;
             let train_log = telemetry.slice_days(DayIndex(0), DayIndex(days.saturating_sub(2)));
             let test_log = telemetry.slice_days(
                 DayIndex(days.saturating_sub(1)),
                 DayIndex(days.saturating_sub(1)),
             );
-            let predictor = pipeline::train_predictor(&train_log, TrainerConfig::default())?;
+            let predictor = Arc::new(pipeline::train_predictor(
+                &train_log,
+                TrainerConfig::default(),
+            )?);
+            let registry = Arc::new(ModelRegistry::new());
+            let eval = pipeline::evaluate_predictor(&predictor, &train_log)
+                .into_iter()
+                .find(|e| e.name == "Combined")
+                .expect("combined model evaluation");
+            registry.publish(
+                Arc::clone(&predictor),
+                0,
+                HoldoutMetrics {
+                    correlation: eval.correlation,
+                    median_error_pct: eval.median_error_pct,
+                    sample_count: eval.pairs.len(),
+                },
+            );
+            let provider = Arc::new(RegistryCostModelProvider::new(
+                Arc::clone(&registry),
+                Arc::new(HeuristicCostModel::default_model()) as Arc<dyn CostModel>,
+            ));
             clusters.push(ClusterData {
                 workload,
                 telemetry,
                 train_log,
                 test_log,
                 predictor,
+                registry,
+                provider,
             });
         }
         Ok(ExperimentContext {
@@ -115,6 +161,8 @@ mod tests {
             assert!(!c.train_log.is_empty());
             assert!(!c.test_log.is_empty());
             assert!(c.predictor.model_count() > 0);
+            assert_eq!(c.registry.current_version(), 1);
+            assert_eq!(c.provider.current_version(), 1);
         }
     }
 }

@@ -1,4 +1,12 @@
 //! Accuracy experiments: Figures 1, 7, 11, 12, 13, 14, 15 and Tables 4, 5, 6, 7, 8.
+//!
+//! All job execution goes through the shared-serving path
+//! ([`pipeline::serve_jobs`]): hand-written models behind a
+//! [`FixedCostModel`] provider, learned models behind a registry provider — so
+//! every runner exercises the same serving seam (and prediction cache) as the
+//! deployment loop.
+
+use std::sync::Arc;
 
 use cleo_common::cdf::RatioCdf;
 use cleo_common::stats;
@@ -11,9 +19,14 @@ use cleo_engine::workload::JobSpec;
 use cleo_engine::DayIndex;
 use cleo_mlkit::cv::kfold_cross_validate;
 use cleo_mlkit::{Dataset, RegressorKind};
-use cleo_optimizer::{HeuristicCostModel, OptimizerConfig};
+use cleo_optimizer::{CostModelProvider, FixedCostModel, HeuristicCostModel, OptimizerConfig};
 
 use crate::context::ExperimentContext;
+
+/// Wrap a hand-written model in the trivial (version 0) serving provider.
+fn fixed_provider(model: HeuristicCostModel) -> Arc<dyn CostModelProvider> {
+    Arc::new(FixedCostModel::new(Arc::new(model)))
+}
 
 /// Render a CDF summary line for a set of (prediction, actual) pairs.
 fn cdf_row(name: &str, pairs: &[(f64, f64)]) -> Vec<String> {
@@ -68,7 +81,7 @@ pub fn fig1(ctx: &ExperimentContext) -> Result<String> {
             use_actual_cardinalities: perfect,
             ..OptimizerConfig::default()
         };
-        let log = pipeline::run_jobs(&jobs, model, cfg, simulator)?;
+        let log = pipeline::serve_jobs(&jobs, fixed_provider(model.clone()), cfg, simulator, 0)?;
         let eval = pipeline::evaluate_cost_model(model, &log);
         table.add_row(&cdf_row(name, &eval.pairs));
     }
@@ -439,11 +452,12 @@ pub fn fig14(ctx: &ExperimentContext) -> Result<String> {
     let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), days);
     let default_model = HeuristicCostModel::default_model();
     let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
-    let log = pipeline::run_jobs(
+    let log = pipeline::serve_jobs(
         &jobs,
-        &default_model,
+        fixed_provider(default_model.clone()),
         OptimizerConfig::default(),
         &ctx.simulator,
+        0,
     )?;
     let train = log.slice_days(DayIndex(0), DayIndex(1));
     let predictor = pipeline::train_predictor(&train, TrainerConfig::default())?;

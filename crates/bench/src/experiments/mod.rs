@@ -11,6 +11,7 @@ pub mod features;
 pub mod feedback;
 pub mod performance;
 pub mod resources;
+pub mod sharded;
 pub mod workload;
 
 use cleo_common::Result;
@@ -46,6 +47,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig20",
     "overheads",
     "feedback_loop",
+    "sharded_serving",
 ];
 
 /// Run one experiment by id.
@@ -78,6 +80,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Result<String> {
         "fig20" => performance::fig20(ctx),
         "overheads" => performance::overheads(ctx),
         "feedback_loop" => feedback::feedback_loop(ctx),
+        "sharded_serving" => sharded::sharded_serving(ctx),
         other => Err(cleo_common::CleoError::Config(format!(
             "unknown experiment id '{other}'"
         ))),

@@ -1,6 +1,13 @@
 //! End-to-end performance experiments: Figures 19 and 20 plus the overhead analysis
 //! of Section 6.6.3.
+//!
+//! The end-to-end runs go through the shared-serving path
+//! ([`pipeline::serve_jobs`]): baselines behind a [`FixedCostModel`] provider,
+//! learned models behind a [`RegistryCostModelProvider`] — exercising the
+//! registry's publish/load seam and the served model's prediction cache exactly
+//! as the deployment loop does.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cleo_common::stats;
@@ -8,23 +15,40 @@ use cleo_common::table::{fnum, TextTable};
 use cleo_common::Result;
 
 use cleo_core::trainer::TrainerConfig;
-use cleo_core::{pipeline, LearnedCostModel};
+use cleo_core::{
+    pipeline, HoldoutMetrics, LearnedCostModel, ModelRegistry, RegistryCostModelProvider,
+};
 use cleo_engine::workload::tpch::{all_queries, tpch_job, TpchParams};
 use cleo_engine::workload::JobSpec;
 use cleo_engine::{ClusterId, DayIndex};
-use cleo_optimizer::{HeuristicCostModel, Optimizer, OptimizerConfig};
+use cleo_optimizer::{
+    CostModel, CostModelProvider, FixedCostModel, HeuristicCostModel, Optimizer, OptimizerConfig,
+};
 
 use crate::context::ExperimentContext;
+
+/// Publish a freshly trained predictor as version 1 of a new registry and hand
+/// back its serving provider (fallback: the default hand-written model).
+fn registry_provider(
+    predictor: cleo_core::CleoPredictor,
+    holdout: HoldoutMetrics,
+) -> Arc<RegistryCostModelProvider> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(predictor, 0, holdout);
+    Arc::new(RegistryCostModelProvider::new(
+        registry,
+        Arc::new(HeuristicCostModel::default_model()) as Arc<dyn CostModel>,
+    ))
+}
 
 /// Figure 19: changed-plan production jobs — latency, total processing time, and
 /// optimization-time overhead under the learned cost models (cluster 4).
 pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
     let cluster = ctx.cluster(3);
     let default_model = HeuristicCostModel::default_model();
-    let predictor = pipeline::train_predictor(&cluster.train_log, TrainerConfig::default())?;
-    let learned = LearnedCostModel::new(predictor);
 
-    // Re-optimize the test-day jobs with the learned model + resource-aware planning.
+    // Re-optimize the test-day jobs against the cluster's published registry
+    // version (v1) with resource-aware planning.
     let test_day = DayIndex(ctx.days.saturating_sub(1));
     let jobs: Vec<&JobSpec> = cluster
         .workload
@@ -32,17 +56,19 @@ pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
         .iter()
         .filter(|j| j.meta.day == test_day)
         .collect();
-    let baseline = pipeline::run_jobs(
+    let baseline = pipeline::serve_jobs(
         &jobs,
-        &default_model,
+        Arc::new(FixedCostModel::new(Arc::new(default_model))),
         OptimizerConfig::default(),
         &ctx.simulator,
+        0,
     )?;
-    let learned_log = pipeline::run_jobs(
+    let learned_log = pipeline::serve_jobs(
         &jobs,
-        &learned,
+        Arc::clone(&cluster.provider) as Arc<dyn CostModelProvider>,
         OptimizerConfig::resource_aware(),
         &ctx.simulator,
+        0,
     )?;
 
     let comparisons = pipeline::compare_runs(&baseline, &learned_log);
@@ -89,6 +115,26 @@ pub fn fig19(ctx: &ExperimentContext) -> Result<String> {
         stats::mean(&lat_gains),
         stats::mean(&cpu_gains),
     ));
+    let stamped = learned_log
+        .jobs()
+        .iter()
+        .filter(|j| j.provenance.model_version == 1)
+        .count();
+    let cache = cluster
+        .registry
+        .current()
+        .expect("context publishes v1")
+        .cost_model()
+        .cache_stats();
+    out.push_str(&format!(
+        "served from registry v{}: {stamped}/{} plans stamped v1; prediction cache \
+         {} hits / {} misses ({:.1}% hit rate)\n",
+        cluster.registry.current_version(),
+        learned_log.len(),
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+    ));
     Ok(out)
 }
 
@@ -108,32 +154,49 @@ pub fn fig20(ctx: &ExperimentContext) -> Result<String> {
         }
     }
     let training_refs: Vec<&JobSpec> = training_jobs.iter().collect();
-    let train_log = pipeline::run_jobs(
+    let default_provider: Arc<dyn CostModelProvider> =
+        Arc::new(FixedCostModel::new(Arc::new(default_model.clone())));
+    let train_log = pipeline::serve_jobs(
         &training_refs,
-        &default_model,
+        Arc::clone(&default_provider),
         OptimizerConfig::default(),
         &ctx.simulator,
+        0,
     )?;
     let predictor = pipeline::train_predictor(&train_log, TrainerConfig::default())?;
-    let learned = LearnedCostModel::new(predictor);
+    let train_eval = pipeline::evaluate_predictor(&predictor, &train_log)
+        .into_iter()
+        .find(|e| e.name == "Combined")
+        .expect("combined evaluation");
+    let provider = registry_provider(
+        predictor,
+        HoldoutMetrics {
+            correlation: train_eval.correlation,
+            median_error_pct: train_eval.median_error_pct,
+            sample_count: train_eval.pairs.len(),
+        },
+    );
 
-    // Evaluation runs: reference parameters, default vs learned + resource-aware.
+    // Evaluation runs: reference parameters, default vs registry-served learned
+    // models + resource-aware planning.
     let eval_jobs: Vec<JobSpec> = all_queries()
         .into_iter()
         .map(|q| tpch_job(q, 100, scale_factor, &TpchParams::reference(), ClusterId(0)))
         .collect();
     let eval_refs: Vec<&JobSpec> = eval_jobs.iter().collect();
-    let baseline = pipeline::run_jobs(
+    let baseline = pipeline::serve_jobs(
         &eval_refs,
-        &default_model,
+        default_provider,
         OptimizerConfig::default(),
         &ctx.simulator,
+        0,
     )?;
-    let learned_log = pipeline::run_jobs(
+    let learned_log = pipeline::serve_jobs(
         &eval_refs,
-        &learned,
+        provider as Arc<dyn CostModelProvider>,
         OptimizerConfig::resource_aware(),
         &ctx.simulator,
+        0,
     )?;
     let comparisons = pipeline::compare_runs(&baseline, &learned_log);
 

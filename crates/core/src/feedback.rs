@@ -31,6 +31,7 @@ use cleo_optimizer::{
 };
 
 use crate::integration::LearnedCostModel;
+use crate::models::WarmStartStats;
 use crate::pipeline::evaluate_cost_model_jobs;
 use crate::registry::{HoldoutMetrics, ModelRegistry, RegistryCostModelProvider};
 use crate::trainer::{CleoTrainer, TrainerConfig};
@@ -67,6 +68,11 @@ pub struct FeedbackConfig {
     /// OS threads used to optimize an epoch's jobs (0 = all cores).  Serving is
     /// deterministic regardless: plans depend only on the model version.
     pub serving_threads: usize,
+    /// Dirty-signature warm start: skip refitting signatures whose window
+    /// sample set is unchanged since the incumbent version and seed changed
+    /// signatures' elastic-net fits from the incumbent's weights (see
+    /// [`crate::models::ModelStore::train_all_seeded`]).
+    pub warm_start: bool,
 }
 
 impl Default for FeedbackConfig {
@@ -80,6 +86,7 @@ impl Default for FeedbackConfig {
             error_tolerance_pct: 2.0,
             optimizer: OptimizerConfig::resource_aware(),
             serving_threads: 0,
+            warm_start: true,
         }
     }
 }
@@ -107,6 +114,10 @@ pub struct RetrainOutcome {
     pub candidate: Option<HoldoutMetrics>,
     /// Incumbent metrics over the same holdout (absent when training was skipped).
     pub incumbent: Option<HoldoutMetrics>,
+    /// Dirty-signature warm-start counters of the shipped stores (all zero when
+    /// training was skipped or [`FeedbackConfig::warm_start`] is off and no
+    /// fits ran; cold-only counts when warm start is disabled).
+    pub warm: WarmStartStats,
 }
 
 /// Report of one full feedback epoch.
@@ -214,7 +225,7 @@ impl FeedbackLoop {
     /// The holdout stride the publish guard uses: every `stride`-th window job
     /// (by stable window order) is held out from training and scored instead.
     pub fn holdout_stride(&self) -> usize {
-        (1.0 / self.config.holdout_fraction.clamp(0.05, 0.5)).round() as usize
+        holdout_stride(&self.config)
     }
 
     /// Epochs completed so far.
@@ -278,67 +289,106 @@ impl FeedbackLoop {
     /// [`FeedbackLoop::run_epoch`]; exposed for loops that ingest telemetry via
     /// [`FeedbackLoop::observe`] (e.g. replaying pre-executed logs).
     pub fn retrain(&mut self) -> Result<RetrainOutcome> {
-        if self.window.len() < self.config.min_training_jobs.max(2) {
-            return Ok(RetrainOutcome {
-                decision: PublishDecision::SkippedTooFewJobs,
-                candidate: None,
-                incumbent: None,
-            });
-        }
+        retrain_window(
+            &self.window,
+            &self.config,
+            self.epoch,
+            &self.registry,
+            self.provider.fallback(),
+        )
+    }
+}
 
-        // Deterministic holdout: every k-th window job (by stable window order).
-        // The split depends only on the window contents — never on thread count.
-        // Borrowed splits: nothing in the window is cloned on this path.
-        let stride = self.holdout_stride();
-        let (holdout, train): (Vec<_>, Vec<_>) = self
-            .window
-            .jobs()
-            .iter()
-            .enumerate()
-            .partition(|(i, _)| i % stride == 0);
-        let holdout: Vec<&JobTelemetry> = holdout.into_iter().map(|(_, j)| j).collect();
-        let train: Vec<&JobTelemetry> = train.into_iter().map(|(_, j)| j).collect();
-        if holdout.is_empty() || train.is_empty() {
-            return Ok(RetrainOutcome {
-                decision: PublishDecision::SkippedTooFewJobs,
-                candidate: None,
-                incumbent: None,
-            });
-        }
+/// The holdout stride implied by a config's holdout fraction.
+pub(crate) fn holdout_stride(config: &FeedbackConfig) -> usize {
+    (1.0 / config.holdout_fraction.clamp(0.05, 0.5)).round() as usize
+}
 
-        let trainer = CleoTrainer::new(self.config.trainer.for_epoch(self.epoch));
-        let samples = CleoTrainer::collect_samples_from(train.iter().copied());
-        let predictor = Arc::new(trainer.train_from_samples(samples)?);
+/// One guarded retrain round over a telemetry window, publishing into
+/// `registry` on success: the epoch core shared by [`FeedbackLoop`] and the
+/// per-cluster shard epochs of [`crate::sharding::ShardedFeedbackLoop`].  The
+/// incumbent is the registry's current version (or `fallback` while the
+/// registry is cold); with [`FeedbackConfig::warm_start`] the shipped stores
+/// reuse or warm-start from the incumbent's per-signature models.
+pub(crate) fn retrain_window(
+    window: &TelemetryLog,
+    config: &FeedbackConfig,
+    epoch: u32,
+    registry: &ModelRegistry,
+    fallback: &Arc<dyn CostModel>,
+) -> Result<RetrainOutcome> {
+    let skipped = RetrainOutcome {
+        decision: PublishDecision::SkippedTooFewJobs,
+        candidate: None,
+        incumbent: None,
+        warm: WarmStartStats::default(),
+    };
+    if window.len() < config.min_training_jobs.max(2) {
+        return Ok(skipped);
+    }
 
-        // Guard: candidate and incumbent are measured by the same instrument (the
-        // CostModel seam over the holdout jobs), so the comparison is apples to
-        // apples even when the incumbent is the hand-written fallback.
-        let candidate_model = LearnedCostModel::without_cache(Arc::clone(&predictor));
-        let candidate = holdout_metrics(&candidate_model, &holdout);
-        let (incumbent_model, _) = self.provider.snapshot();
-        let incumbent = holdout_metrics(incumbent_model.as_ref(), &holdout);
+    // Deterministic holdout: every k-th window job (by stable window order).
+    // The split depends only on the window contents — never on thread count.
+    // Borrowed splits: nothing in the window is cloned on this path.
+    let stride = holdout_stride(config);
+    let (holdout, train): (Vec<_>, Vec<_>) = window
+        .jobs()
+        .iter()
+        .enumerate()
+        .partition(|(i, _)| i % stride == 0);
+    let holdout: Vec<&JobTelemetry> = holdout.into_iter().map(|(_, j)| j).collect();
+    let train: Vec<&JobTelemetry> = train.into_iter().map(|(_, j)| j).collect();
+    if holdout.is_empty() || train.is_empty() {
+        return Ok(skipped);
+    }
 
-        if candidate.regresses_from(
-            &incumbent,
-            self.config.correlation_tolerance,
-            self.config.error_tolerance_pct,
-        ) {
-            return Ok(RetrainOutcome {
-                decision: PublishDecision::RejectedRegression,
-                candidate: Some(candidate),
-                incumbent: Some(incumbent),
-            });
-        }
+    // The incumbent serves two roles: its cost model is the guard's baseline,
+    // and (when warm start is on) its per-signature stores seed this round's
+    // fits.  Keeping the snapshot `Arc` alive pins both for the whole round.
+    let incumbent_snapshot = registry.current();
+    let incumbent_model: Arc<dyn CostModel> = match &incumbent_snapshot {
+        Some(s) => Arc::clone(s.cost_model()) as Arc<dyn CostModel>,
+        None => Arc::clone(fallback),
+    };
+    let seed_predictor = incumbent_snapshot
+        .as_ref()
+        .filter(|_| config.warm_start)
+        .map(|s| s.predictor());
 
-        let snapshot = self.registry.publish(predictor, self.epoch, candidate);
-        Ok(RetrainOutcome {
-            decision: PublishDecision::Published {
-                version: snapshot.version(),
-            },
+    let trainer = CleoTrainer::new(config.trainer.for_epoch(epoch));
+    let samples = CleoTrainer::collect_samples_from(train.iter().copied());
+    let (predictor, warm) = trainer.train_from_samples_seeded(samples, seed_predictor)?;
+    let predictor = Arc::new(predictor);
+
+    // Guard: candidate and incumbent are measured by the same instrument (the
+    // CostModel seam over the holdout jobs), so the comparison is apples to
+    // apples even when the incumbent is the hand-written fallback.
+    let candidate_model = LearnedCostModel::without_cache(Arc::clone(&predictor));
+    let candidate = holdout_metrics(&candidate_model, &holdout);
+    let incumbent = holdout_metrics(incumbent_model.as_ref(), &holdout);
+
+    if candidate.regresses_from(
+        &incumbent,
+        config.correlation_tolerance,
+        config.error_tolerance_pct,
+    ) {
+        return Ok(RetrainOutcome {
+            decision: PublishDecision::RejectedRegression,
             candidate: Some(candidate),
             incumbent: Some(incumbent),
-        })
+            warm,
+        });
     }
+
+    let snapshot = registry.publish(predictor, epoch, candidate);
+    Ok(RetrainOutcome {
+        decision: PublishDecision::Published {
+            version: snapshot.version(),
+        },
+        candidate: Some(candidate),
+        incumbent: Some(incumbent),
+        warm,
+    })
 }
 
 /// Evaluate a cost model over the borrowed holdout slice in the guard's
@@ -395,6 +445,42 @@ mod tests {
             .any(|j| j.provenance.model_version == 1 && j.provenance.epoch == 2));
         assert!(fl.epoch() == 2);
         assert!(fl.registry().version_count() >= 1);
+    }
+
+    #[test]
+    fn second_epoch_warm_starts_from_the_incumbent() {
+        let (mut fl, jobs) = loop_with_small_window();
+        let refs: Vec<&JobSpec> = jobs.iter().take(40).collect();
+
+        let first = fl.run_epoch(&refs).unwrap();
+        assert_eq!(
+            first.retrain.warm.reused + first.retrain.warm.warm_fits,
+            0,
+            "no incumbent exists at epoch 1"
+        );
+        assert!(first.retrain.warm.cold_fits > 0);
+
+        let second = fl.run_epoch(&refs).unwrap();
+        assert!(
+            second.retrain.warm.reused + second.retrain.warm.warm_fits > 0,
+            "epoch 2 should reuse or warm-start from v1: {:?}",
+            second.retrain.warm
+        );
+
+        // With warm start disabled every fit is cold, every epoch.
+        let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(1)), 2);
+        let config = FeedbackConfig {
+            eviction: WindowEviction::JobCount(64),
+            warm_start: false,
+            ..FeedbackConfig::default()
+        };
+        let mut cold_loop = FeedbackLoop::new(config, Simulator::new(SimulatorConfig::default()));
+        let cold_refs: Vec<&JobSpec> = workload.jobs.iter().take(40).collect();
+        cold_loop.run_epoch(&cold_refs).unwrap();
+        let report = cold_loop.run_epoch(&cold_refs).unwrap();
+        assert_eq!(report.retrain.warm.reused, 0);
+        assert_eq!(report.retrain.warm.warm_fits, 0);
+        assert!(report.retrain.warm.cold_fits > 0);
     }
 
     #[test]

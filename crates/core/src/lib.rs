@@ -20,7 +20,11 @@
 //!   behind an atomic publish/load seam, served to concurrent optimizations,
 //! * [`feedback`] — the continuous loop of Section 5.1: epoch-driven serving over a
 //!   bounded sliding telemetry window, parallel retraining, and holdout-guarded
-//!   version rollout.
+//!   version rollout,
+//! * [`sharding`] — the fleet-scale tier: per-cluster registry shards behind a
+//!   lock-free shard map, a routing [`cleo_optimizer::CostModelProvider`] with
+//!   deterministic cross-cluster fallback chains, and per-cluster feedback
+//!   epochs running in parallel with drift-aware window eviction.
 //!
 //! ## Quick start
 //!
@@ -59,6 +63,7 @@ pub mod integration;
 pub mod models;
 pub mod pipeline;
 pub mod registry;
+pub mod sharding;
 pub mod signature;
 pub mod trainer;
 
@@ -73,11 +78,16 @@ pub use feedback::{
 pub use integration::{CacheStats, LearnedCostModel};
 pub use models::{
     CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictScratch, PredictionBreakdown,
+    WarmStartStats,
 };
 pub use pipeline::{
     collect_samples, compare_runs, evaluate_cost_model, evaluate_predictor, run_jobs,
-    run_jobs_shared, train_predictor, JobComparison, ModelEvaluation,
+    run_jobs_shared, serve_jobs, train_predictor, JobComparison, ModelEvaluation,
 };
 pub use registry::{HoldoutMetrics, ModelRegistry, ModelSnapshot, RegistryCostModelProvider};
+pub use sharding::{
+    ClusterRouter, DriftPolicy, RegistryShard, RoutingSnapshot, ShardEpochReport,
+    ShardedEpochReport, ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry,
+};
 pub use signature::{signature_set, ModelFamily, SignatureSet};
 pub use trainer::{CleoTrainer, TrainerConfig};

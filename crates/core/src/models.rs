@@ -58,6 +58,11 @@ struct SignatureTask<'a> {
     family_index: usize,
     signature: u64,
     group: Vec<&'a OperatorSample>,
+    /// Order-independent fingerprint of `group`'s sample multiset.
+    fingerprint: u64,
+    /// The incumbent version's model for this signature, if any (drives the
+    /// reuse / warm-start / cold-start decision).
+    incumbent: Option<&'a StoredModel>,
 }
 
 /// Group `samples` by their `family` signature, keeping only signatures with at
@@ -83,11 +88,80 @@ fn group_by_signature(
     out
 }
 
+/// How one per-signature fit was produced during a seeded (warm-start) training
+/// round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FitKind {
+    /// The signature's window sample set was unchanged since the incumbent
+    /// version: the incumbent model was reused without refitting.
+    Reused,
+    /// The sample set changed: refit, seeded from the incumbent's weights.
+    Warm,
+    /// No incumbent model covered the signature: fresh fit from zero weights.
+    Cold,
+}
+
+/// Counters of a seeded training round (see [`ModelStore::train_all_seeded`]):
+/// how many per-signature fits were skipped, warm-started, or cold-started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStartStats {
+    /// Signatures whose sample set was unchanged: incumbent model reused, no fit.
+    pub reused: usize,
+    /// Signatures refit with the incumbent's weights as the descent seed.
+    pub warm_fits: usize,
+    /// Signatures fit from scratch (no incumbent coverage).
+    pub cold_fits: usize,
+}
+
+impl WarmStartStats {
+    /// Total signatures considered.
+    pub fn total(&self) -> usize {
+        self.reused + self.warm_fits + self.cold_fits
+    }
+
+    fn record(&mut self, kind: FitKind) {
+        match kind {
+            FitKind::Reused => self.reused += 1,
+            FitKind::Warm => self.warm_fits += 1,
+            FitKind::Cold => self.cold_fits += 1,
+        }
+    }
+}
+
+/// Order-independent fingerprint of one signature group's sample multiset.
+///
+/// Two windows that contain the same samples for a signature — regardless of
+/// the epoch shuffle order — produce the same fingerprint, which is what lets a
+/// feedback epoch skip refitting signatures whose window slice did not move.
+/// Per-sample hashes are combined with a wrapping sum (order-independent), then
+/// mixed with the group size.
+fn group_fingerprint(group: &[&OperatorSample]) -> u64 {
+    use cleo_common::hash::StableHasher;
+    let mut acc = 0u64;
+    for s in group {
+        let mut h = StableHasher::new();
+        h.write_u64(s.exclusive_seconds.to_bits());
+        h.write_u64(s.day as u64);
+        h.write_u64(s.recurring as u64);
+        for &f in &s.features {
+            h.write_u64(f.to_bits());
+        }
+        acc = acc.wrapping_add(h.finish());
+    }
+    let mut h = StableHasher::new();
+    h.write_u64(acc);
+    h.write_u64(group.len() as u64);
+    h.finish()
+}
+
 /// A trained per-signature model plus the latency ceiling derived from its
 /// training targets.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StoredModel {
     model: ElasticNet,
+    /// Fingerprint of the sample multiset the model was fitted on (carried
+    /// along when the model is reused unchanged across epochs).
+    fingerprint: u64,
     /// Lower clamp applied to predictions (see `ceiling`).
     floor: f64,
     /// Upper clamp applied to predictions.  A specialised model is trained on a
@@ -105,11 +179,16 @@ struct StoredModel {
 const PREDICTION_RANGE_HEADROOM: f64 = 3.0;
 
 /// Fit one specialised elastic net for a signature group.  Pure: the result
-/// depends only on the group's sample order, never on which thread runs it.
-/// The samples' feature rows are borrowed straight into the dataset's flat
-/// buffer (no per-row `Vec` clone of the telemetry window) and the name table
-/// is `Arc`-shared across every fit.
-fn fit_signature_model(names: &Arc<[String]>, group: &[&OperatorSample]) -> Result<StoredModel> {
+/// depends only on the group's sample order and the optional incumbent seed,
+/// never on which thread runs it.  The samples' feature rows are borrowed
+/// straight into the dataset's flat buffer (no per-row `Vec` clone of the
+/// telemetry window) and the name table is `Arc`-shared across every fit.
+fn fit_signature_model(
+    names: &Arc<[String]>,
+    group: &[&OperatorSample],
+    fingerprint: u64,
+    warm_seed: Option<&[f64]>,
+) -> Result<StoredModel> {
     let targets: Vec<f64> = group.iter().map(|s| s.exclusive_seconds).collect();
     let max_target = targets.iter().cloned().fold(0.0f64, f64::max);
     let min_target = targets.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -127,9 +206,13 @@ fn fit_signature_model(names: &Arc<[String]>, group: &[&OperatorSample]) -> Resu
         ..Default::default()
     };
     let mut model = ElasticNet::new(config);
+    if let Some(seed) = warm_seed {
+        model.set_warm_start(seed.to_vec());
+    }
     model.fit(&data)?;
     Ok(StoredModel {
         model,
+        fingerprint,
         floor: min_target / PREDICTION_RANGE_HEADROOM,
         ceiling: max_target * PREDICTION_RANGE_HEADROOM,
     })
@@ -174,53 +257,90 @@ impl ModelStore {
         min_samples: usize,
         threads: usize,
     ) -> Result<Vec<ModelStore>> {
+        let no_incumbents = vec![None; families.len()];
+        Ok(Self::train_all_seeded(families, samples, min_samples, threads, &no_incumbents)?.0)
+    }
+
+    /// [`ModelStore::train_all`] with per-family incumbent stores (the previous
+    /// published version) seeding this round:
+    ///
+    /// * a signature whose window sample multiset is **unchanged** since the
+    ///   incumbent fit (same fingerprint) reuses the incumbent model outright —
+    ///   no refit, bit-identical predictions;
+    /// * a signature whose samples **changed** refits with the incumbent's
+    ///   weights as the coordinate-descent seed (the objective is convex, so
+    ///   the seed only shortens the descent);
+    /// * a signature the incumbent does not cover fits cold, as before.
+    ///
+    /// Every decision is a pure function of (group, incumbent) — bit-identical
+    /// across thread counts, like the cold path.  Returns the stores plus the
+    /// reuse/warm/cold counters.
+    pub fn train_all_seeded(
+        families: &[ModelFamily],
+        samples: &[OperatorSample],
+        min_samples: usize,
+        threads: usize,
+        incumbents: &[Option<&ModelStore>],
+    ) -> Result<(Vec<ModelStore>, WarmStartStats)> {
+        debug_assert_eq!(families.len(), incumbents.len());
         let names = feature_name_strings();
         let mut tasks: Vec<SignatureTask> = Vec::new();
         for (family_index, &family) in families.iter().enumerate() {
+            let incumbent_store = incumbents.get(family_index).copied().flatten();
             for (signature, group) in group_by_signature(family, samples, min_samples) {
                 tasks.push(SignatureTask {
                     family_index,
                     signature,
+                    fingerprint: group_fingerprint(&group),
+                    incumbent: incumbent_store.and_then(|s| s.models.get(&signature)),
                     group,
                 });
             }
         }
 
+        // (family index, signature, how the fit was produced, the fit itself).
+        type FittedTask = (usize, u64, FitKind, Result<StoredModel>);
+        let run_task = |t: &SignatureTask| -> FittedTask {
+            let (kind, fitted) = match t.incumbent {
+                Some(prev) if prev.fingerprint == t.fingerprint => {
+                    (FitKind::Reused, Ok(prev.clone()))
+                }
+                Some(prev) => (
+                    FitKind::Warm,
+                    fit_signature_model(
+                        &names,
+                        &t.group,
+                        t.fingerprint,
+                        Some(prev.model.weights()),
+                    ),
+                ),
+                None => (
+                    FitKind::Cold,
+                    fit_signature_model(&names, &t.group, t.fingerprint, None),
+                ),
+            };
+            (t.family_index, t.signature, kind, fitted)
+        };
+
         let threads = threads.max(1).min(tasks.len().max(1));
-        let fitted: Vec<(usize, u64, Result<StoredModel>)> = if threads <= 1 {
-            tasks
-                .iter()
-                .map(|t| {
-                    (
-                        t.family_index,
-                        t.signature,
-                        fit_signature_model(&names, &t.group),
-                    )
-                })
-                .collect()
+        let fitted: Vec<FittedTask> = if threads <= 1 {
+            tasks.iter().map(run_task).collect()
         } else {
             // Stripe tasks across workers; each worker returns (stripe-local
             // order preserved) and stripes are re-merged in task order, so the
             // error reported on failure is also deterministic.
-            let mut results: Vec<Vec<(usize, u64, Result<StoredModel>)>> =
-                Vec::with_capacity(threads);
+            let mut results: Vec<Vec<FittedTask>> = Vec::with_capacity(threads);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
                 for worker in 0..threads {
-                    let names = &names;
                     let tasks = &tasks;
+                    let run_task = &run_task;
                     handles.push(scope.spawn(move || {
                         tasks
                             .iter()
                             .skip(worker)
                             .step_by(threads)
-                            .map(|t| {
-                                (
-                                    t.family_index,
-                                    t.signature,
-                                    fit_signature_model(names, &t.group),
-                                )
-                            })
+                            .map(run_task)
                             .collect::<Vec<_>>()
                     }));
                 }
@@ -238,11 +358,13 @@ impl ModelStore {
                 models: HashMap::new(),
             })
             .collect();
+        let mut stats = WarmStartStats::default();
         // Surface the first error in deterministic (signature-sorted) task order.
         let mut first_error: Option<(usize, cleo_common::CleoError)> = None;
-        for (family_index, signature, fitted_model) in fitted {
+        for (family_index, signature, kind, fitted_model) in fitted {
             match fitted_model {
                 Ok(model) => {
+                    stats.record(kind);
                     stores[family_index].models.insert(signature, model);
                 }
                 Err(e) => {
@@ -259,7 +381,7 @@ impl ModelStore {
         if let Some((_, e)) = first_error {
             return Err(e);
         }
-        Ok(stores)
+        Ok((stores, stats))
     }
 
     /// The family this store serves.
@@ -949,5 +1071,53 @@ mod tests {
     #[test]
     fn combined_training_rejects_bad_input() {
         assert!(CombinedModel::train(&[], &[], 0).is_err());
+    }
+
+    #[test]
+    fn seeded_training_reuses_unchanged_and_warm_starts_changed_signatures() {
+        let s = samples(30);
+        let families = [ModelFamily::OpSubgraph, ModelFamily::Operator];
+        let (v1, cold) = ModelStore::train_all_seeded(&families, &s, 5, 1, &[None, None]).unwrap();
+        assert_eq!(cold.reused, 0);
+        assert_eq!(cold.warm_fits, 0);
+        assert_eq!(cold.cold_fits, 2, "one signature per family in this corpus");
+
+        // Unchanged window: every signature is reused, predictions bit-identical.
+        let incumbents = [Some(&v1[0]), Some(&v1[1])];
+        let (v2, again) = ModelStore::train_all_seeded(&families, &s, 5, 1, &incumbents).unwrap();
+        assert_eq!(again.reused, 2);
+        assert_eq!(again.warm_fits + again.cold_fits, 0);
+        let sig = s[0].signatures.op_subgraph;
+        assert_eq!(
+            v1[0].predict(sig, &s[0].features).unwrap().to_bits(),
+            v2[0].predict(sig, &s[0].features).unwrap().to_bits()
+        );
+
+        // The reuse decision is order-independent: a shuffled window with the
+        // same sample multiset still reuses everything.
+        let mut shuffled = s.clone();
+        cleo_common::rng::DetRng::new(99).shuffle(&mut shuffled);
+        let (_, reordered) =
+            ModelStore::train_all_seeded(&families, &shuffled, 5, 1, &incumbents).unwrap();
+        assert_eq!(reordered.reused, 2);
+
+        // A grown window refits — seeded from the incumbent — and converges.
+        let grown = samples(36);
+        let (v3, warm) =
+            ModelStore::train_all_seeded(&families, &grown, 5, 1, &incumbents).unwrap();
+        assert_eq!(warm.warm_fits, 2);
+        assert_eq!(warm.reused + warm.cold_fits, 0);
+        let pred = v3[0].predict(sig, &grown[0].features).unwrap();
+        let err = (pred - grown[0].exclusive_seconds).abs() / grown[0].exclusive_seconds;
+        assert!(err < 0.5, "warm-started fit degraded: relative error {err}");
+
+        // Seeded training is bit-identical across thread counts, like cold.
+        let (v3_mt, warm_mt) =
+            ModelStore::train_all_seeded(&families, &grown, 5, 4, &incumbents).unwrap();
+        assert_eq!(warm_mt, warm);
+        assert_eq!(
+            v3[0].predict(sig, &grown[0].features).unwrap().to_bits(),
+            v3_mt[0].predict(sig, &grown[0].features).unwrap().to_bits()
+        );
     }
 }

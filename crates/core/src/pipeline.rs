@@ -13,7 +13,9 @@ use cleo_common::Result;
 use cleo_engine::exec::Simulator;
 use cleo_engine::telemetry::{JobTelemetry, ModelProvenance, TelemetryLog};
 use cleo_engine::workload::JobSpec;
-use cleo_optimizer::{CostModel, Optimizer, OptimizerConfig, SharedOptimizer};
+use std::sync::Arc;
+
+use cleo_optimizer::{CostModel, CostModelProvider, Optimizer, OptimizerConfig, SharedOptimizer};
 
 use crate::models::{CleoPredictor, OperatorSample};
 use crate::signature::ModelFamily;
@@ -64,10 +66,29 @@ pub fn run_jobs_shared(
             ModelProvenance {
                 epoch,
                 model_version: plan.stats.model_version,
+                model_cluster: plan.stats.model_cluster,
             },
         ));
     }
     Ok(log)
+}
+
+/// Optimize and simulate a set of jobs against a [`CostModelProvider`] — the
+/// shared-serving path, outside any feedback epoch (epoch 0).
+///
+/// This is how the experiment runners exercise the registry and the prediction
+/// cache: a provider backed by a [`crate::registry::ModelRegistry`] (or the
+/// sharded tier's [`crate::sharding::ClusterRouter`]) serves every job the same
+/// way the continuous loop does, instead of borrowing a model directly.
+pub fn serve_jobs(
+    jobs: &[&JobSpec],
+    provider: Arc<dyn CostModelProvider>,
+    optimizer_config: OptimizerConfig,
+    simulator: &Simulator,
+    threads: usize,
+) -> Result<TelemetryLog> {
+    let shared = SharedOptimizer::new(provider, optimizer_config);
+    run_jobs_shared(jobs, &shared, simulator, 0, threads)
 }
 
 /// Accuracy and coverage of one model (or model family) over an evaluation set,

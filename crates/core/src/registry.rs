@@ -249,6 +249,11 @@ impl RegistryCostModelProvider {
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
     }
+
+    /// The version-0 fallback model served until the first publish.
+    pub fn fallback(&self) -> &Arc<dyn CostModel> {
+        &self.fallback
+    }
 }
 
 impl CostModelProvider for RegistryCostModelProvider {

@@ -1,0 +1,829 @@
+//! The cross-cluster sharded serving tier.
+//!
+//! The paper's deployment serves ~25K learned models *per cluster* across many
+//! clusters (Section 5.1); one process-wide [`crate::registry::ModelRegistry`]
+//! silently averages heterogeneous clusters into a single model.  This module
+//! is the fleet-scale tier that fixes that:
+//!
+//! * [`ShardedRegistry`] — one registry shard per cluster behind a lock-free
+//!   lookup table (cluster id → shard index, fixed at construction).  Each
+//!   shard keeps its own atomic version stamp and publishes independently, so
+//!   a retrain on cluster 3 never contends with serving on cluster 0.
+//! * [`ClusterRouter`] — a [`CostModelProvider`] that resolves each job's
+//!   cluster to its shard and, when that shard is cold (nothing published
+//!   yet, or fully rolled back), walks a **deterministic cross-cluster
+//!   fallback chain**: donor shards ordered by workload similarity
+//!   ([`WorkloadProfile::distance`]), then the hand-written version-0 model.
+//!   Routing outcomes are counted in [`RoutingSnapshot`].
+//! * [`ShardedFeedbackLoop`] — the continuous loop at fleet scale: serve a
+//!   multi-cluster stream through the router, partition the telemetry by
+//!   cluster, and run one guarded retrain epoch **per shard in parallel**
+//!   (each reusing the PR 2 holdout guard and the dirty-signature warm start),
+//!   with optional drift-aware window eviction per cluster.  Every shard
+//!   publishes atomically into its own registry; readers never see a torn
+//!   fleet state because there is no cross-shard state to tear.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cleo_common::Result;
+use cleo_engine::exec::Simulator;
+use cleo_engine::physical::JobMeta;
+use cleo_engine::telemetry::{TelemetryLog, WindowMoments};
+use cleo_engine::types::ClusterId;
+use cleo_engine::workload::generator::WorkloadProfile;
+use cleo_engine::workload::JobSpec;
+use cleo_optimizer::{CostModel, CostModelProvider, ServedModel, SharedOptimizer};
+
+use crate::feedback::{retrain_window, FeedbackConfig, PublishDecision, RetrainOutcome};
+use crate::registry::ModelRegistry;
+
+/// One cluster's registry shard.
+#[derive(Debug)]
+pub struct RegistryShard {
+    cluster: ClusterId,
+    registry: Arc<ModelRegistry>,
+}
+
+impl RegistryShard {
+    /// The cluster this shard serves.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// The shard's registry (publish/rollback through it as usual).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+}
+
+/// Cluster-sharded model registries behind one lock-free lookup table.
+///
+/// The shard *map* is immutable after construction — looking up a cluster's
+/// shard is a plain array index, no lock, no atomics.  All mutability lives
+/// inside the per-shard [`ModelRegistry`]s, which were already built for
+/// concurrent publish/load; their `served_version` stamps remain readable
+/// without locks via [`ShardedRegistry::shard_version`].
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    /// Shards sorted by cluster id.
+    shards: Vec<RegistryShard>,
+    /// Cluster id → shard index (256 entries; `ClusterId` is a `u8`).
+    lookup: Vec<Option<usize>>,
+}
+
+impl ShardedRegistry {
+    /// Create one empty registry shard per (deduplicated) cluster.
+    pub fn new(clusters: impl IntoIterator<Item = ClusterId>) -> Self {
+        let mut ids: Vec<ClusterId> = clusters.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let shards: Vec<RegistryShard> = ids
+            .into_iter()
+            .map(|cluster| RegistryShard {
+                cluster,
+                registry: Arc::new(ModelRegistry::new()),
+            })
+            .collect();
+        let mut lookup = vec![None; 256];
+        for (i, shard) in shards.iter().enumerate() {
+            lookup[shard.cluster.0 as usize] = Some(i);
+        }
+        ShardedRegistry { shards, lookup }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, sorted by cluster id.
+    pub fn shards(&self) -> &[RegistryShard] {
+        &self.shards
+    }
+
+    /// Index of a cluster's shard (lock-free).
+    fn shard_index(&self, cluster: ClusterId) -> Option<usize> {
+        self.lookup[cluster.0 as usize]
+    }
+
+    /// A cluster's registry shard, if the cluster is mapped.
+    pub fn shard(&self, cluster: ClusterId) -> Option<&Arc<ModelRegistry>> {
+        self.shard_index(cluster).map(|i| &self.shards[i].registry)
+    }
+
+    /// Currently served version of a cluster's shard (0 = cold shard or
+    /// unmapped cluster), read from the shard's atomic stamp without locking.
+    pub fn shard_version(&self, cluster: ClusterId) -> u64 {
+        self.shard_index(cluster)
+            .map(|i| self.shards[i].registry.current_version())
+            .unwrap_or(0)
+    }
+
+    /// The mapped clusters, ascending.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.shards.iter().map(|s| s.cluster)
+    }
+
+    /// Versions ever published across all shards.
+    pub fn total_version_count(&self) -> usize {
+        self.shards.iter().map(|s| s.registry.version_count()).sum()
+    }
+}
+
+/// Cumulative routing counters of a [`ClusterRouter`].
+#[derive(Debug, Default)]
+struct RoutingStats {
+    own: AtomicU64,
+    donor: AtomicU64,
+    fallback: AtomicU64,
+}
+
+/// A point-in-time copy of a router's routing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingSnapshot {
+    /// Jobs served by their own cluster's shard.
+    pub own_hits: u64,
+    /// Jobs served by a donor cluster's shard (own shard cold).
+    pub donor_hits: u64,
+    /// Jobs served by the version-0 fallback model (entire chain cold).
+    pub fallback_hits: u64,
+}
+
+impl RoutingSnapshot {
+    /// Total routed jobs.
+    pub fn total(&self) -> u64 {
+        self.own_hits + self.donor_hits + self.fallback_hits
+    }
+
+    /// Fraction of jobs that left their own shard (donor or fallback).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.donor_hits + self.fallback_hits) as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference vs an earlier snapshot of the same router —
+    /// what happened *between* the two snapshots.
+    pub fn since(&self, earlier: &RoutingSnapshot) -> RoutingSnapshot {
+        RoutingSnapshot {
+            own_hits: self.own_hits.saturating_sub(earlier.own_hits),
+            donor_hits: self.donor_hits.saturating_sub(earlier.donor_hits),
+            fallback_hits: self.fallback_hits.saturating_sub(earlier.fallback_hits),
+        }
+    }
+}
+
+/// The routing front of the sharded tier: a [`CostModelProvider`] that resolves
+/// a job's cluster to its registry shard and walks a deterministic
+/// cross-cluster fallback chain on cold shards.
+///
+/// The chain per shard is fixed at construction (donors ordered by
+/// [`WorkloadProfile::distance`], ties broken by cluster id), so routing is a
+/// pure function of the shard *states* — two runs over the same registry states
+/// route identically regardless of thread count or schedule.
+pub struct ClusterRouter {
+    registry: Arc<ShardedRegistry>,
+    fallback: Arc<dyn CostModel>,
+    /// `chains[i]`: donor shard indices for shard `i`, most similar first.
+    chains: Vec<Vec<usize>>,
+    stats: RoutingStats,
+}
+
+impl ClusterRouter {
+    /// Route over `registry` with donor order derived from workload profiles.
+    /// Shards without a profile sort after profiled donors, by cluster id; an
+    /// empty `profiles` slice degenerates to pure cluster-id order (see
+    /// [`ClusterRouter::with_uniform_similarity`]).
+    pub fn new(
+        registry: Arc<ShardedRegistry>,
+        fallback: Arc<dyn CostModel>,
+        profiles: &[WorkloadProfile],
+    ) -> Self {
+        let profile_of =
+            |c: ClusterId| -> Option<&WorkloadProfile> { profiles.iter().find(|p| p.cluster == c) };
+        let shards = registry.shards();
+        let chains: Vec<Vec<usize>> = shards
+            .iter()
+            .map(|own| {
+                let own_profile = profile_of(own.cluster);
+                let mut donors: Vec<(bool, f64, ClusterId, usize)> = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.cluster != own.cluster)
+                    .map(|(j, d)| {
+                        let distance = match (own_profile, profile_of(d.cluster)) {
+                            (Some(a), Some(b)) => a.distance(b),
+                            // Unprofiled pairs sort after profiled ones (the
+                            // bool key), in cluster-id order.
+                            _ => 0.0,
+                        };
+                        let unprofiled = own_profile.is_none() || profile_of(d.cluster).is_none();
+                        (unprofiled, distance, d.cluster, j)
+                    })
+                    .collect();
+                donors.sort_by(|a, b| {
+                    (a.0, a.1, a.2)
+                        .partial_cmp(&(b.0, b.1, b.2))
+                        .expect("workload distances are finite")
+                });
+                donors.into_iter().map(|(_, _, _, j)| j).collect()
+            })
+            .collect();
+        ClusterRouter {
+            registry,
+            fallback,
+            chains,
+            stats: RoutingStats::default(),
+        }
+    }
+
+    /// Route with donor order by cluster id only (no similarity information).
+    pub fn with_uniform_similarity(
+        registry: Arc<ShardedRegistry>,
+        fallback: Arc<dyn CostModel>,
+    ) -> Self {
+        Self::new(registry, fallback, &[])
+    }
+
+    /// The sharded registry being routed over.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
+    }
+
+    /// The version-0 fallback model at the end of every chain.
+    pub fn fallback_model(&self) -> &Arc<dyn CostModel> {
+        &self.fallback
+    }
+
+    /// The donor clusters a cold shard borrows from, in walk order.
+    pub fn fallback_chain(&self, cluster: ClusterId) -> Vec<ClusterId> {
+        self.registry
+            .shard_index(cluster)
+            .map(|i| {
+                self.chains[i]
+                    .iter()
+                    .map(|&j| self.registry.shards()[j].cluster)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Cumulative routing counters.
+    pub fn routing_stats(&self) -> RoutingSnapshot {
+        RoutingSnapshot {
+            own_hits: self.stats.own.load(Ordering::Relaxed),
+            donor_hits: self.stats.donor.load(Ordering::Relaxed),
+            fallback_hits: self.stats.fallback.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the routing counters (e.g. between benchmark phases).
+    pub fn reset_routing_stats(&self) {
+        self.stats.own.store(0, Ordering::Relaxed);
+        self.stats.donor.store(0, Ordering::Relaxed);
+        self.stats.fallback.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CostModelProvider for ClusterRouter {
+    /// Job-agnostic callers (nothing to route on) get the fallback model; the
+    /// serving path always goes through [`CostModelProvider::snapshot_for`].
+    fn current(&self) -> Arc<dyn CostModel> {
+        Arc::clone(&self.fallback)
+    }
+
+    fn snapshot_for(&self, meta: &JobMeta) -> ServedModel {
+        let shards = self.registry.shards();
+        if let Some(i) = self.registry.shard_index(meta.cluster) {
+            // Own shard first.  `current()` hands back one consistent
+            // (model, version) snapshot, so a publish racing this read can
+            // never mislabel the plan's provenance.
+            if let Some(snapshot) = shards[i].registry.current() {
+                self.stats.own.fetch_add(1, Ordering::Relaxed);
+                return ServedModel {
+                    model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
+                    version: snapshot.version(),
+                    cluster: Some(shards[i].cluster),
+                };
+            }
+            // Cold shard: walk the similarity-ordered donor chain.
+            for &j in &self.chains[i] {
+                if let Some(snapshot) = shards[j].registry.current() {
+                    self.stats.donor.fetch_add(1, Ordering::Relaxed);
+                    return ServedModel {
+                        model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
+                        version: snapshot.version(),
+                        cluster: Some(shards[j].cluster),
+                    };
+                }
+            }
+        }
+        self.stats.fallback.fetch_add(1, Ordering::Relaxed);
+        ServedModel {
+            model: Arc::clone(&self.fallback),
+            version: 0,
+            cluster: None,
+        }
+    }
+}
+
+/// Drift-aware window eviction policy of the sharded loop (off by default).
+///
+/// When enabled, each shard compares its window's [`WindowMoments`] against the
+/// snapshot taken when the shard last published; a score above `threshold`
+/// (≈ one training-time standard deviation) drops the oldest half of the
+/// window, so the next retrain fits the post-shift distribution instead of
+/// averaging across the shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPolicy {
+    /// Whether drift-aware eviction runs at all.
+    pub enabled: bool,
+    /// Drift score above which the stale window tail is evicted.
+    pub threshold: f64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            enabled: false,
+            threshold: 1.0,
+        }
+    }
+}
+
+/// Configuration of the sharded feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardedFeedbackConfig {
+    /// Per-shard feedback configuration (eviction, trainer, guard, optimizer,
+    /// serving threads, warm start).  The trainer seed is re-derived per shard
+    /// *and* per epoch, so clusters never train on identical shuffles.
+    pub shard: FeedbackConfig,
+    /// Drift-aware per-cluster window eviction (default off).
+    pub drift: DriftPolicy,
+    /// OS threads running the per-cluster retrain epochs (0 = all cores).
+    /// Retraining is deterministic regardless: each shard's round is a pure
+    /// function of its window, the epoch, and its own incumbent.
+    pub shard_threads: usize,
+}
+
+/// Per-shard state of the sharded loop.
+struct ShardState {
+    cluster: ClusterId,
+    registry: Arc<ModelRegistry>,
+    window: TelemetryLog,
+    /// Window moments at the shard's last publish (the training-time snapshot
+    /// drift is measured against).
+    baseline: Option<WindowMoments>,
+}
+
+/// What one epoch did on one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardEpochReport {
+    /// The shard's cluster.
+    pub cluster: ClusterId,
+    /// Telemetry records ingested into this shard's window this epoch.
+    pub ingested_jobs: usize,
+    /// Window size after ingestion and eviction.
+    pub window_jobs: usize,
+    /// Jobs evicted by the standard window policy this epoch.
+    pub evicted_jobs: usize,
+    /// Drift score vs the shard's training-time snapshot (`None` when drift
+    /// eviction is disabled or no snapshot exists yet).
+    pub drift_score: Option<f64>,
+    /// Jobs evicted because the drift score crossed the threshold.
+    pub drift_evicted: usize,
+    /// The shard's guarded retrain outcome.
+    pub retrain: RetrainOutcome,
+    /// Version the shard serves after this epoch's publish decision.
+    pub served_version: u64,
+    /// Wall-clock microseconds of this shard's retrain round.
+    pub retrain_micros: u128,
+}
+
+/// Report of one fleet-wide epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedEpochReport {
+    /// Epoch number (1-based, global across shards).
+    pub epoch: u32,
+    /// Jobs served through the router this epoch.
+    pub jobs_run: usize,
+    /// Jobs whose cluster has no shard (served by the fallback, not windowed).
+    pub unrouted_jobs: usize,
+    /// Cumulative end-to-end latency of the epoch's jobs (seconds).
+    pub total_latency: f64,
+    /// Per-shard outcomes, sorted by cluster id.
+    pub shards: Vec<ShardEpochReport>,
+    /// Routing outcomes of *this epoch's* serving (like every other field
+    /// here; the router's cumulative counters stay available via
+    /// [`ClusterRouter::routing_stats`]).
+    pub routing: RoutingSnapshot,
+}
+
+impl ShardedEpochReport {
+    /// Shards that published a new version this epoch.
+    pub fn published_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.retrain.decision, PublishDecision::Published { .. }))
+            .count()
+    }
+}
+
+/// The fleet-scale feedback loop: serve a multi-cluster stream through the
+/// [`ClusterRouter`], partition telemetry by cluster, retrain every shard in
+/// parallel under its own holdout guard, publish shard-atomically.
+pub struct ShardedFeedbackLoop {
+    config: ShardedFeedbackConfig,
+    router: Arc<ClusterRouter>,
+    simulator: Simulator,
+    shards: Vec<ShardState>,
+    epoch: u32,
+}
+
+impl ShardedFeedbackLoop {
+    /// Create a loop over a router's shards.
+    pub fn new(
+        config: ShardedFeedbackConfig,
+        simulator: Simulator,
+        router: Arc<ClusterRouter>,
+    ) -> Self {
+        let shards = router
+            .registry()
+            .shards()
+            .iter()
+            .map(|s| ShardState {
+                cluster: s.cluster(),
+                registry: Arc::clone(s.registry()),
+                window: TelemetryLog::new(),
+                baseline: None,
+            })
+            .collect();
+        ShardedFeedbackLoop {
+            config,
+            router,
+            simulator,
+            shards,
+            epoch: 0,
+        }
+    }
+
+    /// The router the loop serves through (shared with external serving paths,
+    /// so per-shard publishes are immediately visible to them).
+    pub fn router(&self) -> &Arc<ClusterRouter> {
+        &self.router
+    }
+
+    /// The sharded registry the loop publishes into.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        self.router.registry()
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// One shard's current sliding window.
+    pub fn window(&self, cluster: ClusterId) -> Option<&TelemetryLog> {
+        self.shards
+            .iter()
+            .find(|s| s.cluster == cluster)
+            .map(|s| &s.window)
+    }
+
+    /// Run one fleet-wide epoch over a multi-cluster job stream: serve through
+    /// the router, partition telemetry by cluster, run every shard's guarded
+    /// retrain in parallel, publish shard-atomically.
+    pub fn run_epoch(&mut self, jobs: &[&JobSpec]) -> Result<ShardedEpochReport> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let routing_before = self.router.routing_stats();
+
+        // Serve.  All publishes of this epoch happen strictly after serving
+        // completes, so every job of the epoch routes against the same shard
+        // states — which is what makes serving bit-deterministic across
+        // serving thread counts.
+        let shared = SharedOptimizer::new(
+            Arc::clone(&self.router) as Arc<dyn CostModelProvider>,
+            self.config.shard.optimizer,
+        );
+        let served = crate::pipeline::run_jobs_shared(
+            jobs,
+            &shared,
+            &self.simulator,
+            epoch,
+            self.config.shard.serving_threads,
+        )?;
+        let jobs_run = served.len();
+        let total_latency = served.total_latency();
+
+        // Partition the epoch's telemetry by cluster and hand each shard its
+        // slice (jobs from unmapped clusters were served by the fallback but
+        // have no shard window to learn in).  Consuming: records move into the
+        // shard windows without cloning any plan.
+        let mut unrouted_jobs = 0usize;
+        let mut ingest: Vec<Option<TelemetryLog>> = (0..self.shards.len()).map(|_| None).collect();
+        for (cluster, log) in served.into_cluster_partitions() {
+            match self.router.registry().shard_index(cluster) {
+                Some(i) => ingest[i] = Some(log),
+                None => unrouted_jobs += log.len(),
+            }
+        }
+
+        // Per-cluster epochs, in parallel across shards.  Each shard's round is
+        // a pure function of (window, epoch, its own incumbent), so the thread
+        // assignment cannot change any outcome — only the wall clock.
+        let threads = if self.config.shard_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.shard_threads
+        }
+        .min(self.shards.len().max(1));
+        let config = self.config;
+        let fallback = Arc::clone(self.router.fallback_model());
+
+        let mut work: Vec<(&mut ShardState, Option<TelemetryLog>)> =
+            self.shards.iter_mut().zip(ingest).collect();
+        let mut reports: Vec<Result<ShardEpochReport>> = Vec::with_capacity(work.len());
+        if threads <= 1 {
+            for (state, log) in work.iter_mut() {
+                reports.push(run_shard_epoch(
+                    state,
+                    log.take(),
+                    &config,
+                    epoch,
+                    &fallback,
+                ));
+            }
+        } else {
+            let chunk_size = work.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .chunks_mut(chunk_size)
+                    .map(|chunk| {
+                        let fallback = &fallback;
+                        let config = &config;
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|(state, log)| {
+                                    run_shard_epoch(state, log.take(), config, epoch, fallback)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    reports.extend(handle.join().expect("shard epoch worker panicked"));
+                }
+            });
+        }
+        let shards = reports.into_iter().collect::<Result<Vec<_>>>()?;
+
+        Ok(ShardedEpochReport {
+            epoch,
+            jobs_run,
+            unrouted_jobs,
+            total_latency,
+            shards,
+            routing: self.router.routing_stats().since(&routing_before),
+        })
+    }
+}
+
+/// One shard's slice of an epoch: ingest, evict (standard then drift-aware),
+/// guarded retrain, shard-atomic publish.
+fn run_shard_epoch(
+    state: &mut ShardState,
+    ingest: Option<TelemetryLog>,
+    config: &ShardedFeedbackConfig,
+    epoch: u32,
+    fallback: &Arc<dyn CostModel>,
+) -> Result<ShardEpochReport> {
+    use crate::feedback::WindowEviction;
+
+    let ingested_jobs = ingest.as_ref().map_or(0, TelemetryLog::len);
+    if let Some(log) = ingest {
+        state.window.extend(log);
+    }
+    let evicted_jobs = match config.shard.eviction {
+        WindowEviction::JobCount(max_jobs) => state.window.drain_window(max_jobs).len(),
+        WindowEviction::RecentDays(days) => state.window.retain_recent_days(days).len(),
+    };
+
+    let mut drift_score = None;
+    let mut drift_evicted = 0;
+    if config.drift.enabled {
+        if let Some(baseline) = &state.baseline {
+            let score = state.window.feature_moments().drift_from(baseline);
+            drift_score = Some(score);
+            if score > config.drift.threshold {
+                // The pre-shift tail no longer describes what the shard serves:
+                // keep the newest half (but never starve the trainer) and take
+                // a fresh snapshot at the next publish.
+                let keep = (state.window.len() / 2).max(config.shard.min_training_jobs);
+                drift_evicted = state.window.drain_window(keep).len();
+                state.baseline = None;
+            }
+        }
+    }
+
+    // Re-derive the trainer seed per shard so no two clusters shuffle their
+    // windows identically (retrain_window re-derives per epoch on top).
+    let mut shard_config = config.shard;
+    shard_config.trainer.seed ^= (state.cluster.0 as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407);
+
+    let started = Instant::now();
+    let retrain = retrain_window(
+        &state.window,
+        &shard_config,
+        epoch,
+        &state.registry,
+        fallback,
+    )?;
+    let retrain_micros = started.elapsed().as_micros();
+    if matches!(retrain.decision, PublishDecision::Published { .. }) {
+        state.baseline = Some(state.window.feature_moments());
+    }
+
+    Ok(ShardEpochReport {
+        cluster: state.cluster,
+        ingested_jobs,
+        window_jobs: state.window.len(),
+        evicted_jobs,
+        drift_score,
+        drift_evicted,
+        retrain,
+        served_version: state.registry.current_version(),
+        retrain_micros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleo_engine::exec::SimulatorConfig;
+    use cleo_engine::workload::generator::{
+        generate_all_clusters, generate_cluster_workload, interleave_jobs, ClusterConfig,
+    };
+    use cleo_optimizer::HeuristicCostModel;
+
+    fn four_shard_router() -> Arc<ClusterRouter> {
+        let workloads = generate_all_clusters(1, false);
+        let profiles: Vec<WorkloadProfile> = workloads.iter().map(WorkloadProfile::of).collect();
+        let registry = Arc::new(ShardedRegistry::new(workloads.iter().map(|w| w.cluster)));
+        Arc::new(ClusterRouter::new(
+            registry,
+            Arc::new(HeuristicCostModel::default_model()),
+            &profiles,
+        ))
+    }
+
+    #[test]
+    fn shard_map_is_deduplicated_and_sorted() {
+        let registry =
+            ShardedRegistry::new([ClusterId(3), ClusterId(0), ClusterId(3), ClusterId(1)]);
+        assert_eq!(registry.shard_count(), 3);
+        let clusters: Vec<u8> = registry.clusters().map(|c| c.0).collect();
+        assert_eq!(clusters, vec![0, 1, 3]);
+        assert!(registry.shard(ClusterId(1)).is_some());
+        assert!(registry.shard(ClusterId(2)).is_none());
+        assert_eq!(registry.shard_version(ClusterId(0)), 0);
+        assert_eq!(registry.shard_version(ClusterId(200)), 0);
+        assert_eq!(registry.total_version_count(), 0);
+    }
+
+    #[test]
+    fn fallback_chains_are_similarity_ordered_and_deterministic() {
+        let router = four_shard_router();
+        for cluster in router.registry().clusters().collect::<Vec<_>>() {
+            let chain = router.fallback_chain(cluster);
+            assert_eq!(chain.len(), 3, "every other shard appears once");
+            assert!(!chain.contains(&cluster), "a shard never donates to itself");
+        }
+        // Rebuilding the router from the same inputs yields the same chains.
+        let router2 = four_shard_router();
+        for cluster in router.registry().clusters().collect::<Vec<_>>() {
+            assert_eq!(
+                router.fallback_chain(cluster),
+                router2.fallback_chain(cluster)
+            );
+        }
+        // Unknown clusters have no chain.
+        assert!(router.fallback_chain(ClusterId(99)).is_empty());
+    }
+
+    #[test]
+    fn sharded_loop_runs_per_cluster_epochs_and_publishes_per_shard() {
+        let workloads = generate_all_clusters(1, false);
+        let router = four_shard_router();
+        let mut fleet = ShardedFeedbackLoop::new(
+            ShardedFeedbackConfig {
+                shard: FeedbackConfig {
+                    serving_threads: 2,
+                    ..FeedbackConfig::default()
+                },
+                shard_threads: 2,
+                ..ShardedFeedbackConfig::default()
+            },
+            Simulator::new(SimulatorConfig::default()),
+            Arc::clone(&router),
+        );
+
+        let stream = interleave_jobs(&workloads);
+        let report = fleet.run_epoch(&stream).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.jobs_run, stream.len());
+        assert_eq!(report.unrouted_jobs, 0);
+        assert_eq!(report.shards.len(), 4);
+        // Every shard windowed its own cluster's telemetry and published v1.
+        for shard in &report.shards {
+            assert!(shard.ingested_jobs > 0, "{:?}", shard.cluster);
+            assert_eq!(shard.served_version, 1, "{:?}", shard.cluster);
+        }
+        assert_eq!(report.published_count(), 4);
+        assert_eq!(fleet.registry().total_version_count(), 4);
+        // Epoch 1 served everything from the fallback (all shards cold).
+        assert_eq!(report.routing.fallback_hits, stream.len() as u64);
+
+        // Epoch 2: every job is served by its own cluster's v1.
+        let report2 = fleet.run_epoch(&stream).unwrap();
+        assert_eq!(report2.routing.own_hits, stream.len() as u64);
+        assert_eq!(report2.routing.fallback_hits, 0);
+        // Telemetry carries per-shard provenance: version and serving cluster.
+        for shard in &report2.shards {
+            let window = fleet.window(shard.cluster).unwrap();
+            assert!(window.jobs().iter().any(|j| j.provenance.model_version == 1
+                && j.provenance.model_cluster == Some(shard.cluster)));
+        }
+    }
+
+    #[test]
+    fn drift_eviction_flags_and_shrinks_a_shifted_window() {
+        // One small cluster; drift checking on with a tight threshold.
+        let config = ClusterConfig::small(ClusterId(0));
+        let workload = generate_cluster_workload(&config, 1);
+        let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
+        let registry = Arc::new(ShardedRegistry::new([ClusterId(0)]));
+        let router = Arc::new(ClusterRouter::with_uniform_similarity(
+            registry,
+            Arc::new(HeuristicCostModel::default_model()),
+        ));
+        let mut fleet = ShardedFeedbackLoop::new(
+            ShardedFeedbackConfig {
+                shard: FeedbackConfig {
+                    // Bound the window to one epoch, so each epoch's drift
+                    // check compares this epoch's population against the
+                    // publish-time snapshot (no dilution by older epochs).
+                    eviction: crate::feedback::WindowEviction::JobCount(jobs.len()),
+                    ..FeedbackConfig::default()
+                },
+                drift: DriftPolicy {
+                    enabled: true,
+                    threshold: 0.35,
+                },
+                ..ShardedFeedbackConfig::default()
+            },
+            Simulator::new(SimulatorConfig::default()),
+            router,
+        );
+        let first = fleet.run_epoch(&jobs).unwrap();
+        assert_eq!(first.shards[0].drift_score, None, "no snapshot before v1");
+        assert_eq!(first.published_count(), 1);
+
+        // Re-serving the same distribution drifts ~nothing.
+        let second = fleet.run_epoch(&jobs).unwrap();
+        let same_score = second.shards[0].drift_score.expect("snapshot exists now");
+        assert!(same_score < 0.35, "same distribution scored {same_score}");
+        assert_eq!(second.shards[0].drift_evicted, 0);
+
+        // A future heavy-drift day (tables grown 64x) crosses the threshold.
+        let grown = generate_cluster_workload(
+            &ClusterConfig {
+                daily_growth: 64.0,
+                ..config
+            },
+            2,
+        );
+        let heavy: Vec<&JobSpec> = grown.jobs.iter().filter(|j| j.meta.day.0 == 1).collect();
+        let window_before = fleet.window(ClusterId(0)).unwrap().len();
+        let third = fleet.run_epoch(&heavy).unwrap();
+        let heavy_score = third.shards[0].drift_score.expect("snapshot exists");
+        assert!(
+            heavy_score > 0.35 && heavy_score > same_score,
+            "grown inputs scored only {heavy_score} (same-distribution: {same_score})"
+        );
+        assert!(third.shards[0].drift_evicted > 0);
+        assert!(fleet.window(ClusterId(0)).unwrap().len() < window_before + heavy.len());
+
+        // Default policy is off: no score, no eviction.
+        assert!(!ShardedFeedbackConfig::default().drift.enabled);
+    }
+}

@@ -11,7 +11,7 @@ use cleo_common::Result;
 use cleo_engine::telemetry::{JobTelemetry, TelemetryLog};
 
 use crate::models::{
-    CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown,
+    CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictionBreakdown, WarmStartStats,
 };
 use crate::signature::ModelFamily;
 
@@ -109,7 +109,23 @@ impl CleoTrainer {
     }
 
     /// Train from already-collected samples.
-    pub fn train_from_samples(&self, mut samples: Vec<OperatorSample>) -> Result<CleoPredictor> {
+    pub fn train_from_samples(&self, samples: Vec<OperatorSample>) -> Result<CleoPredictor> {
+        Ok(self.train_from_samples_seeded(samples, None)?.0)
+    }
+
+    /// Train from already-collected samples, optionally seeded by the incumbent
+    /// predictor of the previous published version: the shipped per-signature
+    /// stores skip refitting signatures whose sample multiset is unchanged and
+    /// warm-start the elastic-net descent from the incumbent's weights
+    /// otherwise (see [`ModelStore::train_all_seeded`]).  The interim stores
+    /// feeding the combined meta-model always train cold — they exist to
+    /// produce *out-of-sample* predictions over this round's split, and seeding
+    /// them from a model that saw the held-out jobs would leak.
+    pub fn train_from_samples_seeded(
+        &self,
+        mut samples: Vec<OperatorSample>,
+        incumbent: Option<&CleoPredictor>,
+    ) -> Result<(CleoPredictor, WarmStartStats)> {
         if samples.is_empty() {
             return Err(cleo_common::CleoError::InvalidTrainingData(
                 "no training samples".into(),
@@ -145,13 +161,19 @@ impl CleoTrainer {
         // paper's deployment trains on everything it has): holding out a quarter
         // of the samples would permanently drop specialised signatures below the
         // min-occurrence threshold and shrink coverage on future days.
-        let final_stores = ModelStore::train_all(
-            &ModelFamily::all(),
+        let families = ModelFamily::all();
+        let incumbent_stores: Vec<Option<&ModelStore>> = families
+            .iter()
+            .map(|&f| incumbent.and_then(|p| p.store(f)))
+            .collect();
+        let (final_stores, warm_stats) = ModelStore::train_all_seeded(
+            &families,
             &samples,
             self.config.min_samples_per_model,
             threads,
+            &incumbent_stores,
         )?;
-        Ok(CleoPredictor::new(final_stores, combined))
+        Ok((CleoPredictor::new(final_stores, combined), warm_stats))
     }
 
     /// Compute the meta-model's training inputs: each held-out sample's individual

@@ -8,7 +8,7 @@
 
 use crate::exec::JobRun;
 use crate::physical::{PhysicalNode, PhysicalPlan};
-use crate::types::{DayIndex, JobId, OpId, Seconds};
+use crate::types::{ClusterId, DayIndex, JobId, OpId, Seconds};
 
 /// Which feedback epoch and model version produced a telemetry record.
 ///
@@ -23,6 +23,11 @@ pub struct ModelProvenance {
     /// Registry version of the cost model that optimized the plan
     /// (0 = no learned model / the hand-written fallback).
     pub model_version: u64,
+    /// Cluster whose registry shard served the model.  Under cross-cluster
+    /// fallback routing this can differ from the job's own cluster (a cold
+    /// shard borrows a donor cluster's model); `None` means the model came from
+    /// an unsharded provider or the version-0 fallback.
+    pub model_cluster: Option<ClusterId>,
 }
 
 /// The record of one executed job: its plan and its measured runtimes.
@@ -62,6 +67,11 @@ impl JobTelemetry {
     /// Day the job ran.
     pub fn day(&self) -> DayIndex {
         self.plan.meta.day
+    }
+
+    /// Cluster the job ran on.
+    pub fn cluster(&self) -> ClusterId {
+        self.plan.meta.cluster
     }
 
     /// True when the job was recurring.
@@ -259,6 +269,73 @@ impl TelemetryLog {
         }
     }
 
+    /// Split the log into per-cluster logs, sorted by cluster id.
+    ///
+    /// Each partition preserves the original submission order (a subsequence of
+    /// a day-sorted log is day-sorted, so the binary-search window slicing
+    /// stays available on every shard's partition).  Borrowing variant of
+    /// [`TelemetryLog::into_cluster_partitions`] — clones every record; the
+    /// sharded tier's epoch loop uses the consuming variant instead.
+    pub fn partition_by_cluster(&self) -> Vec<(ClusterId, TelemetryLog)> {
+        self.clone().into_cluster_partitions()
+    }
+
+    /// Consume the log into per-cluster logs, sorted by cluster id — the
+    /// telemetry fan-out of the sharded serving tier: one multi-cluster serving
+    /// stream in, one training window per registry shard out, every record
+    /// *moved* (no plan clones, no re-derivation of the plans' memoized
+    /// signature slots).
+    pub fn into_cluster_partitions(self) -> Vec<(ClusterId, TelemetryLog)> {
+        let mut parts: Vec<(ClusterId, TelemetryLog)> = Vec::new();
+        for job in self.jobs {
+            let cluster = job.cluster();
+            let log = match parts.iter_mut().find(|(c, _)| *c == cluster) {
+                Some((_, log)) => log,
+                None => {
+                    parts.push((cluster, TelemetryLog::new()));
+                    &mut parts.last_mut().expect("just pushed").1
+                }
+            };
+            log.push(job);
+        }
+        parts.sort_by_key(|(c, _)| *c);
+        parts
+    }
+
+    /// First and second moments of the window's operator population (see
+    /// [`WindowMoments`]): the training-time distribution snapshot the
+    /// drift-aware eviction policy compares later windows against.
+    pub fn feature_moments(&self) -> WindowMoments {
+        let mut count = 0usize;
+        let mut sum = [0.0f64; DRIFT_DIMS];
+        let mut sum_sq = [0.0f64; DRIFT_DIMS];
+        let mut dims = [0.0f64; DRIFT_DIMS];
+        for job in &self.jobs {
+            for (node, latency) in job.operator_samples() {
+                drift_dims_into(node, latency, &mut dims);
+                for (d, &v) in dims.iter().enumerate() {
+                    sum[d] += v;
+                    sum_sq[d] += v * v;
+                }
+                count += 1;
+            }
+        }
+        let mut mean = [0.0f64; DRIFT_DIMS];
+        let mut variance = [0.0f64; DRIFT_DIMS];
+        if count > 0 {
+            let n = count as f64;
+            for d in 0..DRIFT_DIMS {
+                mean[d] = sum[d] / n;
+                variance[d] = (sum_sq[d] / n - mean[d] * mean[d]).max(0.0);
+            }
+        }
+        WindowMoments {
+            samples: count,
+            mean,
+            variance,
+        }
+    }
+
     /// Keep only recurring (or only ad-hoc) jobs.
     pub fn filter_recurring(&self, recurring: bool) -> TelemetryLog {
         TelemetryLog {
@@ -281,6 +358,68 @@ impl TelemetryLog {
     /// Cumulative end-to-end latency across all jobs.
     pub fn total_latency(&self) -> Seconds {
         self.jobs.iter().map(|j| j.run.job_latency).sum()
+    }
+}
+
+/// Number of summary dimensions tracked by [`WindowMoments`].
+pub const DRIFT_DIMS: usize = 4;
+
+/// The per-operator summary dimensions a drift check compares: log-space
+/// estimated input, base, and output cardinality plus row width.  Log space
+/// because cardinalities span many orders of magnitude — a linear mean would be
+/// dominated by the single largest job in the window.  Deliberately limited to
+/// the *data-driven* estimated statistics: plan-dependent quantities (partition
+/// counts, measured latencies) shift whenever a newly published model picks
+/// different plans, and a drift statistic over them would flag every model
+/// improvement as workload drift.
+fn drift_dims_into(node: &PhysicalNode, _latency: Seconds, dst: &mut [f64; DRIFT_DIMS]) {
+    let est = &node.est;
+    dst[0] = (1.0 + est.input_cardinality.max(0.0)).ln();
+    dst[1] = (1.0 + est.base_cardinality.max(0.0)).ln();
+    dst[2] = (1.0 + est.output_cardinality.max(0.0)).ln();
+    dst[3] = (1.0 + est.avg_row_bytes.max(0.0)).ln();
+}
+
+/// Per-dimension mean/variance snapshot of a telemetry window's operator
+/// population ([`DRIFT_DIMS`] log-space dimensions: estimated input, base, and
+/// output cardinality plus row width).
+///
+/// A feedback loop records the snapshot at training time; on later windows,
+/// [`WindowMoments::drift_from`] quantifies how far the population has moved —
+/// separating "the workload changed" (retrain on fresh data, evict the stale
+/// tail) from "the window merely grew".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowMoments {
+    /// Number of operator samples summarised.
+    pub samples: usize,
+    /// Per-dimension means.
+    pub mean: [f64; DRIFT_DIMS],
+    /// Per-dimension (population) variances.
+    pub variance: [f64; DRIFT_DIMS],
+}
+
+impl WindowMoments {
+    /// Distribution-shift score of `self` (the current window) against
+    /// `baseline` (the training-time snapshot): the mean over dimensions of the
+    /// standardised mean shift `|μ − μ₀| / √(σ₀² + ε)` plus half the absolute
+    /// log variance ratio.  0 = identical distributions; ~1 = the population
+    /// moved by about one training-time standard deviation.  Either side being
+    /// empty scores 0 (no evidence of drift).
+    pub fn drift_from(&self, baseline: &WindowMoments) -> f64 {
+        if self.samples == 0 || baseline.samples == 0 {
+            return 0.0;
+        }
+        const EPS: f64 = 1e-6;
+        let mut score = 0.0;
+        for d in 0..DRIFT_DIMS {
+            let sigma0 = (baseline.variance[d] + EPS).sqrt();
+            let mean_shift = (self.mean[d] - baseline.mean[d]).abs() / sigma0;
+            let var_ratio = ((self.variance[d] + EPS) / (baseline.variance[d] + EPS))
+                .ln()
+                .abs();
+            score += mean_shift + 0.5 * var_ratio;
+        }
+        score / DRIFT_DIMS as f64
     }
 }
 
@@ -367,10 +506,65 @@ mod tests {
             ModelProvenance {
                 epoch: 3,
                 model_version: 7,
+                model_cluster: Some(ClusterId(2)),
             },
         );
         assert_eq!(stamped.provenance.epoch, 3);
         assert_eq!(stamped.provenance.model_version, 7);
+        assert_eq!(stamped.provenance.model_cluster, Some(ClusterId(2)));
+    }
+
+    #[test]
+    fn partition_by_cluster_splits_and_preserves_order() {
+        let mut log = TelemetryLog::new();
+        for (job, day, cluster) in [(1u64, 0u32, 2u8), (2, 0, 0), (3, 1, 2), (4, 2, 1)] {
+            let mut t = telemetry(job, day, true);
+            t.plan.meta.cluster = ClusterId(cluster);
+            log.push(t);
+        }
+        let parts = log.partition_by_cluster();
+        let clusters: Vec<u8> = parts.iter().map(|(c, _)| c.0).collect();
+        assert_eq!(clusters, vec![0, 1, 2]);
+        let c2 = &parts[2].1;
+        assert_eq!(c2.len(), 2);
+        assert_eq!(
+            c2.jobs().iter().map(|j| j.job_id().0).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        // Partitions of a day-sorted log stay day-sorted.
+        assert!(parts.iter().all(|(_, p)| p.is_day_sorted()));
+        assert_eq!(parts.iter().map(|(_, p)| p.len()).sum::<usize>(), log.len());
+    }
+
+    #[test]
+    fn window_moments_detect_distribution_shift() {
+        let mut small = TelemetryLog::new();
+        let mut large = TelemetryLog::new();
+        for i in 0..8u64 {
+            small.push(telemetry(i, 0, true));
+            // Same structure, very different scale: rebuild with 100x the rows.
+            let mut plan = simple_plan(100 + i, 0, true);
+            plan.root.visit_mut(&mut |node| {
+                node.act.input_cardinality *= 100.0;
+                node.act.base_cardinality *= 100.0;
+                node.act.output_cardinality *= 100.0;
+                node.est = node.act;
+            });
+            let run = Simulator::new(SimulatorConfig::noiseless(1)).run(&plan);
+            large.push(JobTelemetry::new(plan, run));
+        }
+        let base = small.feature_moments();
+        assert_eq!(base.samples, 16);
+        // Identical windows do not drift; shifted windows do.
+        assert!(base.drift_from(&base) < 1e-9);
+        let shifted = large.feature_moments();
+        assert!(
+            shifted.drift_from(&base) > 1.0,
+            "score {}",
+            shifted.drift_from(&base)
+        );
+        // Empty windows never report drift.
+        assert_eq!(TelemetryLog::new().feature_moments().drift_from(&base), 0.0);
     }
 
     #[test]

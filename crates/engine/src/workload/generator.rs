@@ -252,6 +252,83 @@ pub fn generate_cluster_workload(config: &ClusterConfig, days: u32) -> Generated
     }
 }
 
+/// Summary statistics of one cluster's workload, used by the sharded serving
+/// tier to order cross-cluster fallback donors: a cold shard borrows models
+/// from the cluster whose workload looks most like its own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// The profiled cluster.
+    pub cluster: ClusterId,
+    /// Mean jobs submitted per day.
+    pub jobs_per_day: f64,
+    /// Mean physical operators per job plan.
+    pub mean_operators_per_job: f64,
+    /// Fraction of jobs that are ad-hoc.
+    pub adhoc_fraction: f64,
+    /// Mean `ln(1 + base table rows)` over the jobs' primary inputs.
+    pub mean_log_input_rows: f64,
+}
+
+impl WorkloadProfile {
+    /// Profile a generated workload.
+    pub fn of(workload: &GeneratedWorkload) -> WorkloadProfile {
+        let jobs = &workload.jobs;
+        let n = jobs.len().max(1) as f64;
+        let days = jobs
+            .iter()
+            .map(|j| j.meta.day.0)
+            .max()
+            .map(|d| d as f64 + 1.0)
+            .unwrap_or(1.0);
+        let ops: usize = jobs.iter().map(|j| j.plan.node_count()).sum();
+        let adhoc = jobs.iter().filter(|j| !j.meta.recurring).count();
+        let log_rows: f64 = jobs
+            .iter()
+            .map(|j| {
+                j.meta
+                    .normalized_inputs
+                    .first()
+                    .and_then(|t| j.catalog.table(t).ok())
+                    .map(|t| (1.0 + t.row_count).ln())
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        WorkloadProfile {
+            cluster: workload.cluster,
+            jobs_per_day: jobs.len() as f64 / days,
+            mean_operators_per_job: ops as f64 / n,
+            adhoc_fraction: adhoc as f64 / n,
+            mean_log_input_rows: log_rows / n,
+        }
+    }
+
+    /// Scale-free workload distance: relative (log-ratio) differences for the
+    /// positive magnitudes plus the absolute ad-hoc-fraction gap.  Symmetric
+    /// and deterministic, so fallback chains derived from it are too.
+    pub fn distance(&self, other: &WorkloadProfile) -> f64 {
+        // `|ln(a+1) − ln(b+1)|` rather than `|ln((a+1)/(b+1))|`: algebraically
+        // the same, but bit-exactly symmetric in its arguments.
+        let log_ratio = |a: f64, b: f64| ((a + 1.0).ln() - (b + 1.0).ln()).abs();
+        log_ratio(self.jobs_per_day, other.jobs_per_day)
+            + log_ratio(self.mean_operators_per_job, other.mean_operators_per_job)
+            + log_ratio(self.mean_log_input_rows, other.mean_log_input_rows)
+            + (self.adhoc_fraction - other.adhoc_fraction).abs()
+    }
+}
+
+/// Interleave several clusters' workloads into one serving stream, ordered by
+/// day, then cluster, then job id — the shape one sharded serving tier sees
+/// when every cluster submits against it.  The order is a pure function of the
+/// inputs (no thread-count or iteration-order dependence), which the
+/// cross-shard determinism tests rely on.
+pub fn interleave_jobs<'a>(
+    workloads: impl IntoIterator<Item = &'a GeneratedWorkload>,
+) -> Vec<&'a JobSpec> {
+    let mut jobs: Vec<&JobSpec> = workloads.into_iter().flat_map(|w| w.jobs.iter()).collect();
+    jobs.sort_by_key(|j| (j.meta.day, j.meta.cluster, j.meta.id));
+    jobs
+}
+
 /// Generate the four-cluster, multi-day workload used by the headline experiments.
 pub fn generate_all_clusters(days: u32, paper_like: bool) -> Vec<GeneratedWorkload> {
     (0u8..4)
@@ -341,6 +418,44 @@ mod tests {
             })
             .collect();
         assert!(fracs[3] > fracs[0], "{fracs:?}");
+    }
+
+    #[test]
+    fn interleave_orders_by_day_then_cluster() {
+        let all = generate_all_clusters(2, false);
+        let stream = interleave_jobs(&all);
+        assert_eq!(
+            stream.len(),
+            all.iter().map(|w| w.jobs.len()).sum::<usize>()
+        );
+        for pair in stream.windows(2) {
+            let a = (pair[0].meta.day, pair[0].meta.cluster, pair[0].meta.id);
+            let b = (pair[1].meta.day, pair[1].meta.cluster, pair[1].meta.id);
+            assert!(a <= b, "stream out of order: {a:?} then {b:?}");
+        }
+        // Every cluster appears on day 0.
+        use std::collections::HashSet;
+        let day0: HashSet<u8> = stream
+            .iter()
+            .filter(|j| j.meta.day == DayIndex(0))
+            .map(|j| j.meta.cluster.0)
+            .collect();
+        assert_eq!(day0.len(), 4);
+    }
+
+    #[test]
+    fn profiles_separate_heterogeneous_clusters() {
+        let all = generate_all_clusters(1, true);
+        let profiles: Vec<WorkloadProfile> = all.iter().map(WorkloadProfile::of).collect();
+        // Cluster 1 (largest) is further from cluster 4 (smallest) than from
+        // cluster 2 (the next largest): similarity ordering is meaningful.
+        let d12 = profiles[0].distance(&profiles[1]);
+        let d14 = profiles[0].distance(&profiles[3]);
+        assert!(d14 > d12, "d14 {d14} vs d12 {d12}");
+        // Distance is symmetric and zero on itself.
+        assert_eq!(d12, profiles[1].distance(&profiles[0]));
+        assert_eq!(profiles[0].distance(&profiles[0]), 0.0);
+        assert!(profiles.iter().all(|p| p.jobs_per_day > 0.0));
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub struct ElasticNet {
     weights: Vec<f64>,
     intercept: f64,
     fitted: bool,
+    /// Optional raw-space weight vector seeding the next [`ElasticNet::fit`]
+    /// (warm start), consumed by that fit.  The objective is convex, so the
+    /// seed changes where the descent *starts*, not where it converges — a good
+    /// seed (e.g. the incumbent model of a feedback epoch refitting a drifted
+    /// signature) just reaches the tolerance in fewer sweeps.
+    warm_start: Option<Vec<f64>>,
 }
 
 impl ElasticNet {
@@ -63,6 +69,7 @@ impl ElasticNet {
             weights: Vec::new(),
             intercept: 0.0,
             fitted: false,
+            warm_start: None,
         }
     }
 
@@ -96,6 +103,15 @@ impl ElasticNet {
     /// Number of non-zero weights — the "selected" features.
     pub fn n_selected(&self) -> usize {
         self.weights.iter().filter(|w| w.abs() > 1e-12).count()
+    }
+
+    /// Seed the next [`ElasticNet::fit`] from a raw-feature-space weight vector
+    /// (typically the incumbent model's [`ElasticNet::weights`]).  The seed is
+    /// consumed by that fit — a later refit starts cold again unless re-seeded —
+    /// and is ignored when its length does not match the training data's
+    /// column count.
+    pub fn set_warm_start(&mut self, raw_weights: Vec<f64>) {
+        self.warm_start = Some(raw_weights);
     }
 
     fn soft_threshold(z: f64, gamma: f64) -> f64 {
@@ -148,8 +164,27 @@ impl Regressor for ElasticNet {
         let nf = n as f64;
 
         let mut w = vec![0.0; d];
-        // residual r = yc - X w  (starts at yc because w = 0)
-        let mut residual = yc.clone();
+        // `take()`: the seed applies to exactly this fit, so a later refit of
+        // the same instance stays a pure function of (config, dataset).
+        if let Some(seed) = self.warm_start.take().filter(|s| s.len() == d) {
+            // Seed in standardised space (the space the descent runs in).
+            w = scaler.scale_weights(&seed);
+            for (j, wj) in w.iter_mut().enumerate() {
+                // Constant columns are never visited by the descent; a stale
+                // seed weight there would survive into the final model.
+                if col_sq[j] < 1e-12 {
+                    *wj = 0.0;
+                }
+            }
+        }
+        // residual r = yc - X w  (equal to yc for the cold start's w = 0)
+        let mut residual = yc;
+        if w.iter().any(|&wj| wj != 0.0) {
+            for (i, r) in residual.iter_mut().enumerate() {
+                let row = std_data.row(i);
+                *r -= row.iter().zip(&w).map(|(x, wj)| x * wj).sum::<f64>();
+            }
+        }
 
         for _ in 0..self.config.max_iter {
             let mut max_update = 0.0f64;
@@ -395,6 +430,50 @@ mod tests {
         model.fit(&ds).unwrap();
         let pred = model.predict_row(&[7.0, 2.5]);
         assert!((pred - 5.0).abs() < 0.5, "pred {pred}");
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_cold_optimum() {
+        let ds = linear_dataset(120, 0.1, 11);
+        let mut cold = ElasticNet::paper_default();
+        cold.fit(&ds).unwrap();
+
+        // Seeding with the converged weights leaves the optimum unchanged.
+        let mut rewarm = ElasticNet::paper_default();
+        rewarm.set_warm_start(cold.weights().to_vec());
+        rewarm.fit(&ds).unwrap();
+        for (a, b) in cold.weights().iter().zip(rewarm.weights()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!((cold.intercept() - rewarm.intercept()).abs() < 1e-6);
+
+        // Seeding from a *near-miss* model (a slightly perturbed incumbent, the
+        // feedback-epoch shape) also lands on the same optimum.
+        let perturbed: Vec<f64> = cold.weights().iter().map(|w| w * 1.1 + 0.01).collect();
+        let mut warm = ElasticNet::paper_default();
+        warm.set_warm_start(perturbed);
+        warm.fit(&ds).unwrap();
+        for (a, b) in cold.weights().iter().zip(warm.weights()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+
+        // A seed of the wrong width is ignored, not mis-applied.
+        let mut bad = ElasticNet::paper_default();
+        bad.set_warm_start(vec![1.0; 99]);
+        bad.fit(&ds).unwrap();
+        for (a, b) in cold.weights().iter().zip(bad.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wrong-width seed must be a no-op");
+        }
+
+        // The seed is consumed by its fit: refitting the same instance starts
+        // cold again, bit-identical to a never-seeded fit.
+        let mut reused = ElasticNet::paper_default();
+        reused.set_warm_start(vec![123.0; 3]);
+        reused.fit(&ds).unwrap();
+        reused.fit(&ds).unwrap();
+        for (a, b) in cold.weights().iter().zip(reused.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "stale seed leaked into a refit");
+        }
     }
 
     #[test]

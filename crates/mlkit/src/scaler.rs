@@ -61,6 +61,19 @@ impl StandardScaler {
         out
     }
 
+    /// Convert a raw-feature-space weight vector into standardised space — the
+    /// inverse of the weight part of [`StandardScaler::unscale_weights`]:
+    /// `w_std[j] = w_raw[j] · σ[j]`.  Used to seed a warm-started coordinate
+    /// descent (which runs in standardised space) from a model whose weights
+    /// are stored in raw space.
+    pub fn scale_weights(&self, raw_weights: &[f64]) -> Vec<f64> {
+        raw_weights
+            .iter()
+            .zip(&self.stds)
+            .map(|(w, s)| w * s)
+            .collect()
+    }
+
     /// Convert a weight vector learned in standardised space back to raw-feature space,
     /// returning `(weights, intercept_adjustment)`.
     ///

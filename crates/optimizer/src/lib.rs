@@ -23,7 +23,7 @@ pub mod resource;
 pub use cost::{CostModel, DefaultCostModel, HeuristicCostModel};
 pub use enumerate::{default_partition_count, Alternative, EnumerationStats, MAX_PARTITIONS};
 pub use optimizer::{OptimizationStats, OptimizedPlan, Optimizer, OptimizerConfig};
-pub use provider::{CostModelProvider, FixedCostModel, SharedOptimizer};
+pub use provider::{CostModelProvider, FixedCostModel, ServedModel, SharedOptimizer};
 pub use resource::{
     analytical_lookup_count, candidate_counts, explore_stage_analytical, explore_stage_sampling,
     geometric_lookup_count, ExplorationOutcome, PartitionExploration, ResourceContext,

@@ -67,6 +67,11 @@ pub struct OptimizationStats {
     /// Registry version of the cost model that produced the plan (0 = unversioned;
     /// stamped by [`crate::provider::SharedOptimizer`]).
     pub model_version: u64,
+    /// Cluster whose registry shard served the cost model (`None` for unsharded
+    /// providers or the version-0 fallback; stamped by
+    /// [`crate::provider::SharedOptimizer`]).  Under cross-cluster fallback
+    /// routing this can be a *donor* cluster, not the job's own.
+    pub model_cluster: Option<cleo_engine::types::ClusterId>,
 }
 
 /// The result of optimizing one job.

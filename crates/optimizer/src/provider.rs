@@ -15,15 +15,31 @@
 use std::sync::Arc;
 
 use cleo_common::Result;
+use cleo_engine::physical::JobMeta;
+use cleo_engine::types::ClusterId;
 use cleo_engine::workload::JobSpec;
 
 use crate::cost::CostModel;
 use crate::optimizer::{OptimizedPlan, Optimizer, OptimizerConfig};
 
+/// One served model snapshot together with its provenance: the version stamp
+/// and (for sharded providers) the cluster whose registry shard it came from.
+pub struct ServedModel {
+    /// The cost model to optimize against.
+    pub model: Arc<dyn CostModel>,
+    /// Monotone version of the model (0 = unversioned / fallback).
+    pub version: u64,
+    /// Cluster whose shard served the model: the job's own cluster, a donor
+    /// cluster under cross-cluster fallback, or `None` for unsharded providers
+    /// and the version-0 fallback model.
+    pub cluster: Option<ClusterId>,
+}
+
 /// A source of cost-model snapshots for concurrent serving.
 ///
 /// Implementations must be cheap to call (an atomic pointer read / short critical
-/// section): [`SharedOptimizer`] calls [`CostModelProvider::current`] once per job.
+/// section): [`SharedOptimizer`] calls [`CostModelProvider::snapshot_for`] once
+/// per job.
 pub trait CostModelProvider: Send + Sync {
     /// Snapshot the model to use for a job starting now.  The returned [`Arc`] keeps
     /// the snapshot alive for the whole optimization even if a newer version is
@@ -42,6 +58,21 @@ pub trait CostModelProvider: Send + Sync {
     /// between the two reads cannot mislabel a plan's provenance.
     fn snapshot(&self) -> (Arc<dyn CostModel>, u64) {
         (self.current(), self.current_version())
+    }
+
+    /// Route-aware snapshot for one specific job: the seam sharded providers
+    /// override to resolve the job's cluster to a registry shard (and walk a
+    /// fallback chain when that shard is cold).  The default ignores the job
+    /// and serves [`CostModelProvider::snapshot`], so unsharded providers need
+    /// not care that routing exists.
+    fn snapshot_for(&self, meta: &JobMeta) -> ServedModel {
+        let _ = meta;
+        let (model, version) = self.snapshot();
+        ServedModel {
+            model,
+            version,
+            cluster: None,
+        }
     }
 }
 
@@ -92,12 +123,14 @@ impl SharedOptimizer {
         &self.provider
     }
 
-    /// Optimize one job against the current model snapshot, stamping the snapshot's
-    /// version into the plan's stats.
+    /// Optimize one job against the model snapshot routed for it, stamping the
+    /// snapshot's version (and serving cluster, for sharded providers) into the
+    /// plan's stats.
     pub fn optimize(&self, job: &JobSpec) -> Result<OptimizedPlan> {
-        let (model, version) = self.provider.snapshot();
-        let mut optimized = Optimizer::new(model.as_ref(), self.config).optimize(job)?;
-        optimized.stats.model_version = version;
+        let served = self.provider.snapshot_for(&job.meta);
+        let mut optimized = Optimizer::new(served.model.as_ref(), self.config).optimize(job)?;
+        optimized.stats.model_version = served.version;
+        optimized.stats.model_cluster = served.cluster;
         Ok(optimized)
     }
 
@@ -190,6 +223,10 @@ mod tests {
         let shared = SharedOptimizer::new(provider, OptimizerConfig::default());
         let plan = shared.optimize(&job(1)).unwrap();
         assert_eq!(plan.stats.model_version, 0);
+        assert_eq!(
+            plan.stats.model_cluster, None,
+            "unsharded providers route nowhere"
+        );
         assert!(plan.estimated_cost > 0.0);
     }
 
