@@ -191,18 +191,25 @@ fn main() {
         .collect();
     group.finish();
 
-    // Fleet capacity: shards share nothing, so capacity at n shards is the sum
-    // of the first n per-shard rates (each measured in isolation above).
-    let fleet_capacity: Vec<f64> = (1..=4).map(|n| per_shard_rate[..n].iter().sum()).collect();
-    let scaling_1_to_4 = fleet_capacity[3] / fleet_capacity[0].max(1e-12);
+    // Headline fleet capacity: the measured concurrent wall-clock rate with
+    // one OS thread per shard.  Summed per-shard isolation rates overstate
+    // capacity on CI-class machines with fewer cores than shards, so the sum
+    // is recorded as the contention-free upper bound, not the headline.
+    let measured_1 = concurrent_rate[0].1;
+    let measured_4 = concurrent_rate[2].1;
+    let measured_scaling_1_to_4 = measured_4 / measured_1.max(1e-12);
+    let summed_capacity: Vec<f64> = (1..=4).map(|n| per_shard_rate[..n].iter().sum()).collect();
+    let summed_scaling_1_to_4 = summed_capacity[3] / summed_capacity[0].max(1e-12);
     let routing_total = routing.total().max(1) as f64;
 
     println!(
-        "\nper-shard jobs/sec: {per_shard_rate:?}\nfleet capacity 1->4 shards: \
-         {fleet_capacity:?} ({scaling_1_to_4:.2}x; measured concurrent on {cores} core(s): \
-         {concurrent_rate:?})\nsingle shared registry: {single_registry_rate:.1} jobs/sec vs \
-         sharded serial: {sharded_all_rate:.1}\nhalf-cold routing: {} own / {} donor / {} \
-         fallback\nper-shard epoch latency (ms): {shard_epoch_ms:?}",
+        "\nfleet capacity (measured concurrent wall clock, {cores} core(s)): \
+         {measured_4:.1} jobs/sec at 4 shards/4 threads ({measured_scaling_1_to_4:.2}x vs 1 \
+         thread; all points: {concurrent_rate:?})\nper-shard jobs/sec in isolation: \
+         {per_shard_rate:?} (summed upper bound 1->4 shards: {summed_capacity:?}, \
+         {summed_scaling_1_to_4:.2}x)\nsingle shared registry: {single_registry_rate:.1} \
+         jobs/sec vs sharded serial: {sharded_all_rate:.1}\nhalf-cold routing: {} own / {} \
+         donor / {} fallback\nper-shard epoch latency (ms): {shard_epoch_ms:?}",
         routing.own_hits, routing.donor_hits, routing.fallback_hits
     );
 
@@ -220,10 +227,12 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"sharded_serving\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
          \"shards\": 4,\n  \"jobs_per_shard\": {jobs_per_shard},\n  \
-         \"per_shard_jobs_per_sec\": [{per_shard}],\n  \
-         \"fleet_capacity_jobs_per_sec_1_to_4_shards\": [{fleet}],\n  \
-         \"throughput_scaling_1_to_4\": {scaling_1_to_4:.3},\n  \
+         \"fleet_jobs_per_sec\": {measured_4:.1},\n  \
+         \"throughput_scaling_1_to_4\": {measured_scaling_1_to_4:.3},\n  \
          \"jobs_per_sec_measured_concurrent\": {{{concurrent_json}}},\n  \
+         \"per_shard_jobs_per_sec\": [{per_shard}],\n  \
+         \"fleet_capacity_summed_isolated_1_to_4_shards\": [{fleet}],\n  \
+         \"throughput_scaling_summed_isolated_1_to_4\": {summed_scaling_1_to_4:.3},\n  \
          \"jobs_per_sec_single_registry\": {single_registry_rate:.1},\n  \
          \"jobs_per_sec_sharded_serial\": {sharded_all_rate:.1},\n  \
          \"half_cold_routing\": {{\"own_hits\": {}, \"donor_hits\": {}, \"fallback_hits\": {}, \
@@ -236,7 +245,7 @@ fn main() {
         routing.donor_hits as f64 / routing_total,
         routing.fallback_hits as f64 / routing_total,
         per_shard = fmt_list(&per_shard_rate),
-        fleet = fmt_list(&fleet_capacity),
+        fleet = fmt_list(&summed_capacity),
         epoch_ms = fmt_list(&shard_epoch_ms),
     );
     // Anchor the result file at the workspace root regardless of the bench cwd.

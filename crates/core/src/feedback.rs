@@ -73,6 +73,12 @@ pub struct FeedbackConfig {
     /// signatures' elastic-net fits from the incumbent's weights (see
     /// [`crate::models::ModelStore::train_all_seeded`]).
     pub warm_start: bool,
+    /// Hot-signature threshold of sub-epoch delta rounds: a dirty signature is
+    /// refit (and shipped in the delta) only when at least this fraction of
+    /// its window samples is new since its serving fit; below it, the refit is
+    /// deferred to the next full epoch ([`crate::models::ModelStore::train_dirty`]).
+    /// 0.0 ships every dirty signature.  Full epochs ignore this.
+    pub delta_min_dirty_share: f64,
 }
 
 impl Default for FeedbackConfig {
@@ -87,8 +93,84 @@ impl Default for FeedbackConfig {
             optimizer: OptimizerConfig::resource_aware(),
             serving_threads: 0,
             warm_start: true,
+            delta_min_dirty_share: 0.1,
         }
     }
+}
+
+/// What a sub-epoch delta round decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaDecision {
+    /// The delta was applied copy-on-write over the incumbent and published.
+    Published {
+        /// The delta-published registry version.
+        version: u64,
+        /// The incumbent version the delta was applied over.
+        base_version: u64,
+        /// Per-signature models the delta shipped (after the guard).
+        changed_signatures: usize,
+    },
+    /// The registry is cold (or fully rolled back): deltas apply over an
+    /// incumbent, so there is nothing to delta against yet.
+    SkippedNoBase,
+    /// No signature's window sample multiset moved since the incumbent (or
+    /// every dirty refit regressed and was dropped): nothing to publish.
+    SkippedNothingDirty,
+    /// The window held too few jobs to retrain anything.
+    SkippedTooFewJobs,
+}
+
+/// Outcome of one sub-epoch delta round: the dirty-set accounting and the
+/// publish decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaOutcome {
+    /// The decision taken.
+    pub decision: DeltaDecision,
+    /// Signatures whose window sample multiset was unchanged (skipped —
+    /// neither refit nor shipped).
+    pub unchanged_signatures: usize,
+    /// Signatures found dirty and refit this round (before the guard).
+    pub dirty_signatures: usize,
+    /// Dirty signatures whose new-evidence share fell below the hot-signature
+    /// threshold ([`FeedbackConfig::delta_min_dirty_share`]): not refit, the
+    /// incumbent keeps serving them until the next full epoch.
+    pub deferred_signatures: usize,
+    /// Dirty refits that regressed on their per-signature holdout slice and
+    /// were dropped from the delta (the incumbent model keeps serving them).
+    pub dropped_regressions: usize,
+    /// Holdout metrics of the merged (incumbent ⊕ delta) candidate, when a
+    /// delta was published.
+    pub candidate: Option<HoldoutMetrics>,
+}
+
+impl DeltaOutcome {
+    fn skipped(decision: DeltaDecision) -> Self {
+        DeltaOutcome {
+            decision,
+            unchanged_signatures: 0,
+            dirty_signatures: 0,
+            deferred_signatures: 0,
+            dropped_regressions: 0,
+            candidate: None,
+        }
+    }
+}
+
+/// Report of one sub-epoch delta round driven by [`FeedbackLoop::run_delta_round`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRoundReport {
+    /// Registry version that served this round's jobs (0 = fallback model).
+    pub served_version: u64,
+    /// Jobs optimized and executed this round.
+    pub jobs_run: usize,
+    /// Cumulative end-to-end latency of the round's jobs (seconds).
+    pub total_latency: f64,
+    /// Window size after ingesting this round (jobs).
+    pub window_jobs: usize,
+    /// Jobs evicted from the window this round.
+    pub evicted_jobs: usize,
+    /// The delta round's outcome.
+    pub outcome: DeltaOutcome,
 }
 
 /// What happened to the candidate model of one epoch.
@@ -297,6 +379,49 @@ impl FeedbackLoop {
             self.provider.fallback(),
         )
     }
+
+    /// Run one **sub-epoch delta round** over `jobs`: serve and ingest exactly
+    /// like an epoch, but instead of a full retrain, refit only the signatures
+    /// whose window sample multiset moved since the incumbent version and
+    /// publish them as a copy-on-write [`crate::registry::ModelDelta`] — the
+    /// staleness window of a hot signature shrinks from the epoch cadence to
+    /// the delta cadence, without paying for a full retrain or perturbing what
+    /// the next full epoch will compute (delta-equivalence).  Does not advance
+    /// the epoch counter.
+    pub fn run_delta_round(&mut self, jobs: &[&JobSpec]) -> Result<DeltaRoundReport> {
+        let served_version = self.registry.current_version();
+        let shared = SharedOptimizer::new(
+            Arc::clone(&self.provider) as Arc<dyn CostModelProvider>,
+            self.config.optimizer,
+        );
+        let served = crate::pipeline::run_jobs_shared(
+            jobs,
+            &shared,
+            &self.simulator,
+            self.epoch,
+            self.config.serving_threads,
+        )?;
+        let jobs_run = served.len();
+        let total_latency = served.total_latency();
+        let evicted_jobs = self.observe(served);
+        let outcome = self.publish_dirty()?;
+        Ok(DeltaRoundReport {
+            served_version,
+            jobs_run,
+            total_latency,
+            window_jobs: self.window.len(),
+            evicted_jobs,
+            outcome,
+        })
+    }
+
+    /// Retrain **only the dirty signatures** of the current window and publish
+    /// them as a sub-epoch delta (the guarded-retrain core of
+    /// [`FeedbackLoop::run_delta_round`]; exposed for loops that ingest
+    /// telemetry via [`FeedbackLoop::observe`]).
+    pub fn publish_dirty(&mut self) -> Result<DeltaOutcome> {
+        delta_round_window(&self.window, &self.config, self.epoch, &self.registry)
+    }
 }
 
 /// The holdout stride implied by a config's holdout fraction.
@@ -342,22 +467,31 @@ pub(crate) fn retrain_window(
         return Ok(skipped);
     }
 
-    // The incumbent serves two roles: its cost model is the guard's baseline,
-    // and (when warm start is on) its per-signature stores seed this round's
-    // fits.  Keeping the snapshot `Arc` alive pins both for the whole round.
+    // The incumbent (serving chain) is the guard's baseline and the reuse
+    // source; the warm-start *seed* comes from the last full-epoch basis, so a
+    // full epoch's fits are bit-independent of any sub-epoch deltas published
+    // since that basis (the delta-equivalence property).  With no deltas the
+    // basis IS the incumbent.  Keeping the snapshot `Arc`s alive pins all of
+    // it for the whole round.
     let incumbent_snapshot = registry.current();
+    let basis_snapshot = registry.current_full_basis();
     let incumbent_model: Arc<dyn CostModel> = match &incumbent_snapshot {
         Some(s) => Arc::clone(s.cost_model()) as Arc<dyn CostModel>,
         None => Arc::clone(fallback),
     };
-    let seed_predictor = incumbent_snapshot
+    let chain_predictor = incumbent_snapshot
+        .as_ref()
+        .filter(|_| config.warm_start)
+        .map(|s| s.predictor());
+    let basis_predictor = basis_snapshot
         .as_ref()
         .filter(|_| config.warm_start)
         .map(|s| s.predictor());
 
     let trainer = CleoTrainer::new(config.trainer.for_epoch(epoch));
     let samples = CleoTrainer::collect_samples_from(train.iter().copied());
-    let (predictor, warm) = trainer.train_from_samples_seeded(samples, seed_predictor)?;
+    let (predictor, warm) =
+        trainer.train_from_samples_seeded(samples, chain_predictor, basis_predictor)?;
     let predictor = Arc::new(predictor);
 
     // Guard: candidate and incumbent are measured by the same instrument (the
@@ -389,6 +523,233 @@ pub(crate) fn retrain_window(
         incumbent: Some(incumbent),
         warm,
     })
+}
+
+/// One sub-epoch delta round over a telemetry window, publishing a
+/// copy-on-write delta into `registry`: the core shared by
+/// [`FeedbackLoop::publish_dirty`] and the per-shard delta rounds of
+/// [`crate::sharding::ShardedFeedbackLoop::run_delta_round`].
+///
+/// The round refits only signatures whose window sample multiset moved since
+/// the incumbent ([`ModelStore::train_dirty`]'s dirty predicate), seeds every
+/// refit from the last **full-epoch basis** (so the next full epoch is
+/// bit-independent of this delta), guards each refit with the existing
+/// per-signature holdout predicate — a regressing signature is dropped from
+/// the delta rather than vetoing it wholesale — and publishes the survivors
+/// via [`ModelRegistry::publish_delta`].
+pub(crate) fn delta_round_window(
+    window: &TelemetryLog,
+    config: &FeedbackConfig,
+    epoch: u32,
+    registry: &ModelRegistry,
+) -> Result<DeltaOutcome> {
+    use crate::models::{ModelStore, OperatorSample};
+    use crate::registry::ModelDelta;
+    use crate::signature::ModelFamily;
+
+    // Deltas apply over an incumbent; a cold registry has nothing to patch.
+    let Some(incumbent) = registry.current() else {
+        return Ok(DeltaOutcome::skipped(DeltaDecision::SkippedNoBase));
+    };
+    if window.len() < config.min_training_jobs.max(2) {
+        return Ok(DeltaOutcome::skipped(DeltaDecision::SkippedTooFewJobs));
+    }
+
+    // The same deterministic holdout split as the full epoch, so the guard
+    // judges candidates on jobs their fits never saw.
+    let stride = holdout_stride(config);
+    let (holdout, train): (Vec<_>, Vec<_>) = window
+        .jobs()
+        .iter()
+        .enumerate()
+        .partition(|(i, _)| i % stride == 0);
+    let holdout: Vec<&JobTelemetry> = holdout.into_iter().map(|(_, j)| j).collect();
+    let train: Vec<&JobTelemetry> = train.into_iter().map(|(_, j)| j).collect();
+    if holdout.is_empty() || train.is_empty() {
+        return Ok(DeltaOutcome::skipped(DeltaDecision::SkippedTooFewJobs));
+    }
+
+    let basis = registry
+        .current_full_basis()
+        .expect("an incumbent implies a full basis on its lineage");
+    let families = ModelFamily::all();
+    let chain_stores: Vec<Option<&ModelStore>> = families
+        .iter()
+        .map(|&f| incumbent.predictor().store(f))
+        .collect();
+    let basis_stores: Vec<Option<&ModelStore>> = families
+        .iter()
+        .map(|&f| {
+            if config.warm_start {
+                basis.predictor().store(f)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // Refit the dirty set only.  No shuffle, no meta retrain: groups are
+    // canonically ordered, so each fit is the bit-exact model the next full
+    // epoch would produce for the same group.
+    let samples = CleoTrainer::collect_samples_from(train.iter().copied());
+    let (mut payload, stats) = ModelStore::train_dirty(
+        &families,
+        &samples,
+        config.trainer.min_samples_per_model,
+        config.trainer.effective_threads(),
+        &chain_stores,
+        &basis_stores,
+        config.delta_min_dirty_share,
+    )?;
+    let dirty_signatures = stats.warm_fits + stats.cold_fits;
+    if dirty_signatures == 0 {
+        return Ok(DeltaOutcome {
+            decision: DeltaDecision::SkippedNothingDirty,
+            unchanged_signatures: stats.reused,
+            dirty_signatures: 0,
+            deferred_signatures: stats.deferred,
+            dropped_regressions: 0,
+            candidate: None,
+        });
+    }
+
+    // Per-signature guard: judge every refit against the incumbent's model for
+    // the same signature on the signature's own holdout samples, with the same
+    // regression predicate the epoch-level guard uses.  A regressing signature
+    // is dropped from the delta; the rest still ship.  Holdout samples are
+    // grouped by family signature once (not rescanned per dirty signature),
+    // and the surviving refits' holdout pairs double as the published
+    // snapshot's metrics — a delta's holdout record describes what changed.
+    let holdout_samples: Vec<OperatorSample> =
+        CleoTrainer::collect_samples_from(holdout.iter().copied());
+    let mut holdout_by_sig: Vec<std::collections::HashMap<u64, Vec<&OperatorSample>>> =
+        families.iter().map(|_| Default::default()).collect();
+    for s in &holdout_samples {
+        for (family_index, &family) in families.iter().enumerate() {
+            holdout_by_sig[family_index]
+                .entry(s.signatures.for_family(family))
+                .or_default()
+                .push(s);
+        }
+    }
+    let mut dropped = 0usize;
+    let mut candidate_pairs: Vec<(f64, f64)> = Vec::new();
+    for (family_index, _) in families.iter().enumerate() {
+        let candidate_store = &payload[family_index];
+        let chain = chain_stores[family_index];
+        let mut regressing: Vec<u64> = Vec::new();
+        for signature in candidate_store.signatures() {
+            let slice = match holdout_by_sig[family_index].get(&signature) {
+                Some(slice) if !slice.is_empty() => slice.as_slice(),
+                _ => continue, // no holdout evidence: keep the fresher fit
+            };
+            let candidate = signature_holdout_metrics(candidate_store, signature, slice);
+            // A signature the incumbent does not cover has nothing to regress
+            // from; covered ones are judged with the epoch guard's predicate.
+            if let Some(chain) = chain.filter(|c| c.covers(signature)) {
+                let incumbent_metrics = signature_holdout_metrics(chain, signature, slice);
+                if candidate.regresses_from(
+                    &incumbent_metrics,
+                    config.correlation_tolerance,
+                    config.error_tolerance_pct,
+                ) {
+                    regressing.push(signature);
+                    continue;
+                }
+            }
+            for s in slice {
+                if let Some(p) = candidate_store.predict(signature, &s.features) {
+                    candidate_pairs.push((p, s.exclusive_seconds));
+                }
+            }
+        }
+        if !regressing.is_empty() {
+            dropped += regressing.len();
+            payload[family_index].retain(|sig| !regressing.contains(&sig));
+        }
+    }
+
+    let mut changed: Vec<(ModelFamily, u64, u64)> = Vec::new();
+    for (family_index, &family) in families.iter().enumerate() {
+        for signature in payload[family_index].signatures() {
+            let fingerprint = payload[family_index]
+                .fingerprint_of(signature)
+                .expect("signature enumerated from this store");
+            changed.push((family, signature, fingerprint));
+        }
+    }
+    if changed.is_empty() {
+        return Ok(DeltaOutcome {
+            decision: DeltaDecision::SkippedNothingDirty,
+            unchanged_signatures: stats.reused,
+            dirty_signatures,
+            deferred_signatures: stats.deferred,
+            dropped_regressions: dropped,
+            candidate: None,
+        });
+    }
+
+    let delta = ModelDelta {
+        base_version: incumbent.version(),
+        epoch,
+        payload,
+        changed,
+        dropped_regressions: dropped,
+    };
+    // The published snapshot's holdout metrics describe the delta's changed
+    // signatures over their holdout slice (unchanged signatures are exactly
+    // the incumbent's, whose metrics its own snapshot already records).  With
+    // no holdout evidence for any survivor, the incumbent's record carries
+    // over unchanged.
+    let candidate = if candidate_pairs.is_empty() {
+        *incumbent.holdout()
+    } else {
+        use cleo_common::stats;
+        let preds: Vec<f64> = candidate_pairs.iter().map(|p| p.0).collect();
+        let actuals: Vec<f64> = candidate_pairs.iter().map(|p| p.1).collect();
+        HoldoutMetrics {
+            correlation: stats::pearson(&preds, &actuals),
+            median_error_pct: stats::median_error_pct(&preds, &actuals),
+            sample_count: preds.len(),
+        }
+    };
+    let changed_signatures = delta.changed_signatures();
+    let snapshot = registry.publish_delta(&delta, candidate)?;
+    Ok(DeltaOutcome {
+        decision: DeltaDecision::Published {
+            version: snapshot.version(),
+            base_version: delta.base_version,
+            changed_signatures,
+        },
+        unchanged_signatures: stats.reused,
+        dirty_signatures,
+        deferred_signatures: stats.deferred,
+        dropped_regressions: dropped,
+        candidate: Some(candidate),
+    })
+}
+
+/// [`HoldoutMetrics`] of one family store's model for one signature over that
+/// signature's holdout samples (the per-signature guard's instrument).
+fn signature_holdout_metrics(
+    store: &crate::models::ModelStore,
+    signature: u64,
+    samples: &[&crate::models::OperatorSample],
+) -> HoldoutMetrics {
+    use cleo_common::stats;
+    let mut preds = Vec::with_capacity(samples.len());
+    let mut actuals = Vec::with_capacity(samples.len());
+    for s in samples {
+        if let Some(p) = store.predict(signature, &s.features) {
+            preds.push(p);
+            actuals.push(s.exclusive_seconds);
+        }
+    }
+    HoldoutMetrics {
+        correlation: stats::pearson(&preds, &actuals),
+        median_error_pct: stats::median_error_pct(&preds, &actuals),
+        sample_count: preds.len(),
+    }
 }
 
 /// Evaluate a cost model over the borrowed holdout slice in the guard's

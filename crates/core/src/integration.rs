@@ -149,15 +149,22 @@ impl PredictionCache {
     }
 }
 
-/// Stable cache key over everything the feature rows of one candidate sweep
-/// depend on (see [`PredictionCache`]).
+/// Stable cache key over everything one candidate sweep's cached costs depend
+/// on (see [`PredictionCache`]): the feature-row inputs *plus* `model_salt`,
+/// the identity hash of the per-signature models serving this signature set
+/// ([`CleoPredictor::signature_salt`]).  The salt is what makes the cache safe
+/// to share across delta publishes: a delta that refits a signature changes its
+/// salt, so the successor model misses and recomputes, while unchanged
+/// signatures keep hitting the incumbent's warm entries.
 fn cache_key(
+    model_salt: u64,
     signatures: &SignatureSet,
     node: &PhysicalNode,
     meta: &JobMeta,
     partitions: &[usize],
 ) -> u64 {
     let mut h = StableHasher::new();
+    h.write_u64(model_salt);
     h.write_u64(signatures.op_subgraph)
         .write_u64(signatures.op_subgraph_approx)
         .write_u64(signatures.op_input)
@@ -187,7 +194,10 @@ pub struct LearnedCostModel {
     /// Number of model invocations performed (reported in the overhead analysis).
     invocations: AtomicUsize,
     /// Signature-keyed memo of combined predictions (`None` = caching disabled).
-    cache: Option<PredictionCache>,
+    /// Behind an [`Arc`] so a delta-published successor model can keep serving
+    /// the incumbent's warm entries (keys are salted with per-signature model
+    /// identity, so sharing is safe — see [`cache_key`]).
+    cache: Option<Arc<PredictionCache>>,
 }
 
 impl LearnedCostModel {
@@ -203,7 +213,7 @@ impl LearnedCostModel {
         LearnedCostModel {
             predictor: predictor.into(),
             invocations: AtomicUsize::new(0),
-            cache: (capacity > 0).then(|| PredictionCache::new(capacity)),
+            cache: (capacity > 0).then(|| Arc::new(PredictionCache::new(capacity))),
         }
     }
 
@@ -211,6 +221,29 @@ impl LearnedCostModel {
     /// cache microbenchmarks).
     pub fn without_cache(predictor: impl Into<Arc<CleoPredictor>>) -> Self {
         Self::with_cache_capacity(predictor, 0)
+    }
+
+    /// The cost model of a delta-published successor version: wraps the merged
+    /// predictor while **sharing this model's prediction cache**.  Unchanged
+    /// signatures resolve to the same salted keys and keep hitting the warm
+    /// entries; refit signatures change their salt and miss, so a delta can
+    /// never serve a stale cached cost (pinned by the delta cache regression
+    /// test).  Invocation counters start fresh.
+    pub fn delta_successor(&self, predictor: impl Into<Arc<CleoPredictor>>) -> LearnedCostModel {
+        LearnedCostModel {
+            predictor: predictor.into(),
+            invocations: AtomicUsize::new(0),
+            cache: self.cache.clone(),
+        }
+    }
+
+    /// True when `other` serves predictions through the same shared cache
+    /// allocation (deltas share; full publishes do not).
+    pub fn shares_cache_with(&self, other: &LearnedCostModel) -> bool {
+        match (&self.cache, &other.cache) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// The wrapped predictor.
@@ -277,7 +310,8 @@ impl LearnedCostModel {
         let Some(cache) = &self.cache else {
             return self.predict_sweep(&signatures, node, partitions, meta);
         };
-        let key = cache_key(&signatures, node, meta, partitions);
+        let salt = self.predictor.signature_salt(&signatures);
+        let key = cache_key(salt, &signatures, node, meta, partitions);
         if let Some(costs) = cache.get(key) {
             return costs;
         }

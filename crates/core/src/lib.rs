@@ -73,7 +73,8 @@ pub use features::{
     normalized_weights,
 };
 pub use feedback::{
-    EpochReport, FeedbackConfig, FeedbackLoop, PublishDecision, RetrainOutcome, WindowEviction,
+    DeltaDecision, DeltaOutcome, DeltaRoundReport, EpochReport, FeedbackConfig, FeedbackLoop,
+    PublishDecision, RetrainOutcome, WindowEviction,
 };
 pub use integration::{CacheStats, LearnedCostModel};
 pub use models::{
@@ -84,10 +85,14 @@ pub use pipeline::{
     collect_samples, compare_runs, evaluate_cost_model, evaluate_predictor, run_jobs,
     run_jobs_shared, serve_jobs, train_predictor, JobComparison, ModelEvaluation,
 };
-pub use registry::{HoldoutMetrics, ModelRegistry, ModelSnapshot, RegistryCostModelProvider};
+pub use registry::{
+    HoldoutMetrics, ModelDelta, ModelRegistry, ModelSnapshot, RegistryCostModelProvider,
+    SnapshotLineage,
+};
 pub use sharding::{
-    ClusterRouter, DriftPolicy, RegistryShard, RoutingSnapshot, ShardEpochReport,
-    ShardedEpochReport, ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry,
+    ClusterRouter, DriftPolicy, RegistryShard, RoutingSnapshot, ShardDeltaReport, ShardEpochReport,
+    ShardedDeltaReport, ShardedEpochReport, ShardedFeedbackConfig, ShardedFeedbackLoop,
+    ShardedRegistry,
 };
 pub use signature::{signature_set, ModelFamily, SignatureSet};
 pub use trainer::{CleoTrainer, TrainerConfig};

@@ -52,37 +52,58 @@ impl OperatorSample {
     }
 }
 
+/// One sample of a signature group, carrying its content hash so the sort key,
+/// fingerprint, dirty-share diff, and stored hash list all reuse one
+/// [`sample_hash`] computation.
+type HashedSample<'a> = (u64, &'a OperatorSample);
+
 /// One per-signature training task: the unit of work the parallel trainer
 /// distributes across threads.
 struct SignatureTask<'a> {
     family_index: usize,
     signature: u64,
-    group: Vec<&'a OperatorSample>,
+    /// Canonically ordered (hash-sorted) group samples with their hashes.
+    group: Vec<HashedSample<'a>>,
     /// Order-independent fingerprint of `group`'s sample multiset.
     fingerprint: u64,
-    /// The incumbent version's model for this signature, if any (drives the
-    /// reuse / warm-start / cold-start decision).
-    incumbent: Option<&'a StoredModel>,
+    /// The *serving chain* model for this signature (the currently served
+    /// version, which may be delta-published): drives the reuse decision.
+    chain: Option<&'a Arc<StoredModel>>,
+    /// The *seed basis* model for this signature (the last full-epoch
+    /// version): drives warm-start seeding.  Keeping the seed a pure function
+    /// of (signature, last full version) — never of the delta chain — is what
+    /// makes delta-then-epoch training bit-identical to epoch-only training.
+    basis: Option<&'a Arc<StoredModel>>,
 }
 
 /// Group `samples` by their `family` signature, keeping only signatures with at
 /// least `min_samples` occurrences.  The result is sorted by signature so task
-/// lists (and therefore thread assignment) are deterministic.
+/// lists (and therefore thread assignment) are deterministic, and each group's
+/// samples are sorted into a **canonical order** (by per-sample content hash):
+/// a fit's result then depends only on the group's sample *multiset*, never on
+/// window or shuffle order — the property that lets a sub-epoch delta fit and a
+/// later full-epoch fit of the same group produce bit-identical models.
 fn group_by_signature(
     family: ModelFamily,
     samples: &[OperatorSample],
     min_samples: usize,
-) -> Vec<(u64, Vec<&OperatorSample>)> {
-    let mut grouped: HashMap<u64, Vec<&OperatorSample>> = HashMap::new();
+) -> Vec<(u64, Vec<HashedSample<'_>>)> {
+    let mut grouped: HashMap<u64, Vec<HashedSample<'_>>> = HashMap::new();
     for s in samples {
         grouped
             .entry(s.signatures.for_family(family))
             .or_default()
-            .push(s);
+            .push((sample_hash(s), s));
     }
-    let mut out: Vec<(u64, Vec<&OperatorSample>)> = grouped
+    let mut out: Vec<(u64, Vec<HashedSample<'_>>)> = grouped
         .into_iter()
         .filter(|(_, g)| g.len() >= min_samples.max(1))
+        .map(|(sig, mut g)| {
+            // Stable sort: equal hashes (identical samples, interchangeable for
+            // fitting) keep their relative window order.
+            g.sort_by_key(|(h, _)| *h);
+            (sig, g)
+        })
         .collect();
     out.sort_unstable_by_key(|(sig, _)| *sig);
     out
@@ -99,6 +120,10 @@ enum FitKind {
     Warm,
     /// No incumbent model covered the signature: fresh fit from zero weights.
     Cold,
+    /// Dirty-only rounds: the sample set moved, but the new evidence is below
+    /// the hot-signature threshold — the refit is deferred to the next full
+    /// epoch and the incumbent keeps serving.
+    Deferred,
 }
 
 /// Counters of a seeded training round (see [`ModelStore::train_all_seeded`]):
@@ -111,12 +136,16 @@ pub struct WarmStartStats {
     pub warm_fits: usize,
     /// Signatures fit from scratch (no incumbent coverage).
     pub cold_fits: usize,
+    /// Dirty signatures a delta round deferred to the next full epoch because
+    /// their new-evidence share was below the hot-signature threshold (always
+    /// zero in full training rounds).
+    pub deferred: usize,
 }
 
 impl WarmStartStats {
     /// Total signatures considered.
     pub fn total(&self) -> usize {
-        self.reused + self.warm_fits + self.cold_fits
+        self.reused + self.warm_fits + self.cold_fits + self.deferred
     }
 
     fn record(&mut self, kind: FitKind) {
@@ -124,34 +153,66 @@ impl WarmStartStats {
             FitKind::Reused => self.reused += 1,
             FitKind::Warm => self.warm_fits += 1,
             FitKind::Cold => self.cold_fits += 1,
+            FitKind::Deferred => self.deferred += 1,
         }
     }
+}
+
+/// Stable content hash of one training sample (features, target, day,
+/// recurrence) — the sort key of the canonical group order and the unit the
+/// group fingerprint is built from.
+fn sample_hash(s: &OperatorSample) -> u64 {
+    use cleo_common::hash::StableHasher;
+    let mut h = StableHasher::new();
+    h.write_u64(s.exclusive_seconds.to_bits());
+    h.write_u64(s.day as u64);
+    h.write_u64(s.recurring as u64);
+    for &f in &s.features {
+        h.write_u64(f.to_bits());
+    }
+    h.finish()
 }
 
 /// Order-independent fingerprint of one signature group's sample multiset.
 ///
 /// Two windows that contain the same samples for a signature — regardless of
 /// the epoch shuffle order — produce the same fingerprint, which is what lets a
-/// feedback epoch skip refitting signatures whose window slice did not move.
+/// feedback epoch skip refitting signatures whose window slice did not move
+/// (and what a sub-epoch delta round uses as its dirty-set predicate).
 /// Per-sample hashes are combined with a wrapping sum (order-independent), then
 /// mixed with the group size.
-fn group_fingerprint(group: &[&OperatorSample]) -> u64 {
+fn group_fingerprint(group: &[HashedSample<'_>]) -> u64 {
     use cleo_common::hash::StableHasher;
     let mut acc = 0u64;
-    for s in group {
-        let mut h = StableHasher::new();
-        h.write_u64(s.exclusive_seconds.to_bits());
-        h.write_u64(s.day as u64);
-        h.write_u64(s.recurring as u64);
-        for &f in &s.features {
-            h.write_u64(f.to_bits());
-        }
-        acc = acc.wrapping_add(h.finish());
+    for (h, _) in group {
+        acc = acc.wrapping_add(*h);
     }
     let mut h = StableHasher::new();
     h.write_u64(acc);
     h.write_u64(group.len() as u64);
     h.finish()
+}
+
+/// Fraction of a dirty signature's window samples that are new (not in the
+/// multiset its serving model was fitted on).  Both the group and the fitted
+/// hash list are sorted, so this is one two-pointer multiset-difference walk.
+fn new_evidence_share(group: &[HashedSample<'_>], fitted_hashes: &[u64]) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
+    let mut new = 0usize;
+    let mut i = 0usize;
+    for (h, _) in group {
+        while i < fitted_hashes.len() && fitted_hashes[i] < *h {
+            i += 1;
+        }
+        if i < fitted_hashes.len() && fitted_hashes[i] == *h {
+            i += 1; // one fitted occurrence consumed per matching sample
+        } else {
+            new += 1;
+        }
+    }
+    new as f64 / group.len() as f64
 }
 
 /// A trained per-signature model plus the latency ceiling derived from its
@@ -162,6 +223,10 @@ struct StoredModel {
     /// Fingerprint of the sample multiset the model was fitted on (carried
     /// along when the model is reused unchanged across epochs).
     fingerprint: u64,
+    /// Sorted per-sample hashes of the fitted multiset: what a delta round
+    /// diffs the current window group against to measure how much of a dirty
+    /// signature's evidence is actually new ([`new_evidence_share`]).
+    sample_hashes: Vec<u64>,
     /// Lower clamp applied to predictions (see `ceiling`).
     floor: f64,
     /// Upper clamp applied to predictions.  A specialised model is trained on a
@@ -185,16 +250,16 @@ const PREDICTION_RANGE_HEADROOM: f64 = 3.0;
 /// telemetry window) and the name table is `Arc`-shared across every fit.
 fn fit_signature_model(
     names: &Arc<[String]>,
-    group: &[&OperatorSample],
+    group: &[HashedSample<'_>],
     fingerprint: u64,
     warm_seed: Option<&[f64]>,
 ) -> Result<StoredModel> {
-    let targets: Vec<f64> = group.iter().map(|s| s.exclusive_seconds).collect();
+    let targets: Vec<f64> = group.iter().map(|(_, s)| s.exclusive_seconds).collect();
     let max_target = targets.iter().cloned().fold(0.0f64, f64::max);
     let min_target = targets.iter().cloned().fold(f64::INFINITY, f64::min);
     let data = Dataset::from_row_refs(
         Arc::clone(names),
-        group.iter().map(|s| s.features.as_slice()),
+        group.iter().map(|(_, s)| s.features.as_slice()),
         targets,
     )?;
     // The paper's hyper-parameters, with the regularisation strength rescaled
@@ -210,19 +275,28 @@ fn fit_signature_model(
         model.set_warm_start(seed.to_vec());
     }
     model.fit(&data)?;
+    // The group arrives in canonical (hash-sorted) order, so this list is
+    // already sorted for the delta rounds' two-pointer diff.
+    let sample_hashes: Vec<u64> = group.iter().map(|(h, _)| *h).collect();
+    debug_assert!(sample_hashes.windows(2).all(|w| w[0] <= w[1]));
     Ok(StoredModel {
         model,
         fingerprint,
+        sample_hashes,
         floor: min_target / PREDICTION_RANGE_HEADROOM,
         ceiling: max_target * PREDICTION_RANGE_HEADROOM,
     })
 }
 
 /// A store of specialised models for one family, keyed by signature.
-#[derive(Debug, Default)]
+///
+/// Models are held behind [`Arc`]s, so cloning a store — the copy-on-write step
+/// of delta publishing — shares every unchanged model bit-identically instead of
+/// duplicating its weights.
+#[derive(Debug, Clone, Default)]
 pub struct ModelStore {
     family: Option<ModelFamily>,
-    models: HashMap<u64, StoredModel>,
+    models: HashMap<u64, Arc<StoredModel>>,
 }
 
 impl ModelStore {
@@ -257,66 +331,164 @@ impl ModelStore {
         min_samples: usize,
         threads: usize,
     ) -> Result<Vec<ModelStore>> {
-        let no_incumbents = vec![None; families.len()];
-        Ok(Self::train_all_seeded(families, samples, min_samples, threads, &no_incumbents)?.0)
+        let none = vec![None; families.len()];
+        Ok(Self::train_all_seeded(families, samples, min_samples, threads, &none, &none)?.0)
     }
 
-    /// [`ModelStore::train_all`] with per-family incumbent stores (the previous
-    /// published version) seeding this round:
+    /// [`ModelStore::train_all`] with per-family incumbent stores seeding this
+    /// round.  Two incumbent roles are distinguished:
     ///
-    /// * a signature whose window sample multiset is **unchanged** since the
-    ///   incumbent fit (same fingerprint) reuses the incumbent model outright —
-    ///   no refit, bit-identical predictions;
-    /// * a signature whose samples **changed** refits with the incumbent's
-    ///   weights as the coordinate-descent seed (the objective is convex, so
-    ///   the seed only shortens the descent);
-    /// * a signature the incumbent does not cover fits cold, as before.
+    /// * `incumbents` — the **serving chain** (the currently served version,
+    ///   which may be delta-published): a signature whose window sample
+    ///   multiset matches a chain or basis fit (same fingerprint) reuses that
+    ///   model outright — no refit, the `Arc` is shared bit-identically;
+    /// * `seed_basis` — the **last full-epoch** version: a signature whose
+    ///   samples changed refits with the *basis* weights as the
+    ///   coordinate-descent seed (cold when the basis does not cover it).
     ///
-    /// Every decision is a pure function of (group, incumbent) — bit-identical
-    /// across thread counts, like the cold path.  Returns the stores plus the
-    /// reuse/warm/cold counters.
+    /// Seeding from the basis rather than the chain makes every fit a pure
+    /// function of `(group multiset, last full version)` — so training after N
+    /// sub-epoch deltas is bit-identical to training with no deltas at all
+    /// (the delta-equivalence property the determinism suite pins).  Callers
+    /// without a delta chain pass the same store for both roles.
+    ///
+    /// Every decision is a pure function of (group, chain, basis) —
+    /// bit-identical across thread counts, like the cold path.  Returns the
+    /// stores plus the reuse/warm/cold counters.
     pub fn train_all_seeded(
         families: &[ModelFamily],
         samples: &[OperatorSample],
         min_samples: usize,
         threads: usize,
         incumbents: &[Option<&ModelStore>],
+        seed_basis: &[Option<&ModelStore>],
     ) -> Result<(Vec<ModelStore>, WarmStartStats)> {
+        Self::run_signature_fits(
+            families,
+            samples,
+            min_samples,
+            threads,
+            incumbents,
+            seed_basis,
+            None,
+        )
+    }
+
+    /// Train **only the dirty signatures**: the sub-epoch delta-publishing
+    /// path.  A signature is dirty when its window sample multiset matches
+    /// neither the serving chain's fit nor the basis fit; each dirty signature
+    /// is refit seeded from `seed_basis` exactly as a full epoch would
+    /// ([`ModelStore::train_all_seeded`]'s rules), so a delta fit and the next
+    /// full epoch's fit of the same group are bit-identical.
+    ///
+    /// `min_dirty_share` is the **hot-signature threshold**: a dirty signature
+    /// is refit only when at least this fraction of its window samples is new
+    /// relative to the multiset its serving model was fitted on (`0.0` refits
+    /// every dirty signature).  A large stable group that gained a trickle of
+    /// fresh samples is not meaningfully stale — deferring it to the next full
+    /// epoch keeps delta latency proportional to what actually shifted, and
+    /// cannot perturb the epoch (full epochs never depend on delta contents).
+    ///
+    /// Returns **partial** stores (aligned with `families`) holding the dirty
+    /// fits only, plus counters where `reused` counts the unchanged
+    /// signatures that were *skipped* rather than cloned and `deferred` the
+    /// dirty ones below the threshold.
+    pub fn train_dirty(
+        families: &[ModelFamily],
+        samples: &[OperatorSample],
+        min_samples: usize,
+        threads: usize,
+        incumbents: &[Option<&ModelStore>],
+        seed_basis: &[Option<&ModelStore>],
+        min_dirty_share: f64,
+    ) -> Result<(Vec<ModelStore>, WarmStartStats)> {
+        Self::run_signature_fits(
+            families,
+            samples,
+            min_samples,
+            threads,
+            incumbents,
+            seed_basis,
+            Some(min_dirty_share),
+        )
+    }
+
+    /// The shared per-signature fit driver behind [`ModelStore::train_all_seeded`]
+    /// (`dirty_share = None`) and [`ModelStore::train_dirty`] (`dirty_share =
+    /// Some(threshold)`: unchanged and deferred signatures are skipped from
+    /// the output stores).
+    fn run_signature_fits(
+        families: &[ModelFamily],
+        samples: &[OperatorSample],
+        min_samples: usize,
+        threads: usize,
+        incumbents: &[Option<&ModelStore>],
+        seed_basis: &[Option<&ModelStore>],
+        dirty_share: Option<f64>,
+    ) -> Result<(Vec<ModelStore>, WarmStartStats)> {
+        let dirty_only = dirty_share.is_some();
+        let min_dirty_share = dirty_share.unwrap_or(0.0);
         debug_assert_eq!(families.len(), incumbents.len());
+        debug_assert_eq!(families.len(), seed_basis.len());
         let names = feature_name_strings();
         let mut tasks: Vec<SignatureTask> = Vec::new();
         for (family_index, &family) in families.iter().enumerate() {
-            let incumbent_store = incumbents.get(family_index).copied().flatten();
+            let chain_store = incumbents.get(family_index).copied().flatten();
+            let basis_store = seed_basis.get(family_index).copied().flatten();
             for (signature, group) in group_by_signature(family, samples, min_samples) {
                 tasks.push(SignatureTask {
                     family_index,
                     signature,
                     fingerprint: group_fingerprint(&group),
-                    incumbent: incumbent_store.and_then(|s| s.models.get(&signature)),
+                    chain: chain_store.and_then(|s| s.models.get(&signature)),
+                    basis: basis_store.and_then(|s| s.models.get(&signature)),
                     group,
                 });
             }
         }
 
         // (family index, signature, how the fit was produced, the fit itself).
-        type FittedTask = (usize, u64, FitKind, Result<StoredModel>);
+        type FittedTask = (usize, u64, FitKind, Result<Arc<StoredModel>>);
         let run_task = |t: &SignatureTask| -> FittedTask {
-            let (kind, fitted) = match t.incumbent {
-                Some(prev) if prev.fingerprint == t.fingerprint => {
-                    (FitKind::Reused, Ok(prev.clone()))
+            // Reuse order (basis first, then chain) matches the seeding rule:
+            // a group unchanged since the last full epoch must resolve to the
+            // basis fit whether or not a delta also touched it in between.
+            let reusable = match (t.basis, t.chain) {
+                (Some(b), _) if b.fingerprint == t.fingerprint => Some(b),
+                (_, Some(c)) if c.fingerprint == t.fingerprint => Some(c),
+                _ => None,
+            };
+            // Hot-signature gate (dirty-only rounds): a dirty signature whose
+            // new-evidence share is below the threshold keeps its serving
+            // model until the next full epoch.  Pure function of
+            // (group, chain), like every other decision here.
+            if reusable.is_none() && min_dirty_share > 0.0 {
+                if let Some(chain) = t.chain {
+                    if new_evidence_share(&t.group, &chain.sample_hashes) < min_dirty_share {
+                        return (
+                            t.family_index,
+                            t.signature,
+                            FitKind::Deferred,
+                            Ok(Arc::clone(chain)),
+                        );
+                    }
                 }
-                Some(prev) => (
+            }
+            let (kind, fitted) = match (reusable, t.basis) {
+                (Some(prev), _) => (FitKind::Reused, Ok(Arc::clone(prev))),
+                (None, Some(basis)) => (
                     FitKind::Warm,
                     fit_signature_model(
                         &names,
                         &t.group,
                         t.fingerprint,
-                        Some(prev.model.weights()),
-                    ),
+                        Some(basis.model.weights()),
+                    )
+                    .map(Arc::new),
                 ),
-                None => (
+                (None, None) => (
                     FitKind::Cold,
-                    fit_signature_model(&names, &t.group, t.fingerprint, None),
+                    fit_signature_model(&names, &t.group, t.fingerprint, None).map(Arc::new),
                 ),
             };
             (t.family_index, t.signature, kind, fitted)
@@ -365,7 +537,9 @@ impl ModelStore {
             match fitted_model {
                 Ok(model) => {
                     stats.record(kind);
-                    stores[family_index].models.insert(signature, model);
+                    if !(dirty_only && matches!(kind, FitKind::Reused | FitKind::Deferred)) {
+                        stores[family_index].models.insert(signature, model);
+                    }
                 }
                 Err(e) => {
                     let rank = tasks
@@ -458,6 +632,50 @@ impl ModelStore {
         self.models
             .get(&signature)
             .and_then(|m| m.model.feature_weights())
+    }
+
+    /// Fingerprint of the sample multiset the model covering `signature` was
+    /// fitted on, if covered.  This doubles as the model's *identity*: two
+    /// stored models with the same fingerprint (under this crate's seeding
+    /// rules) are bit-identical fits, which is what lets the prediction cache
+    /// key on it across delta publishes.
+    pub fn fingerprint_of(&self, signature: u64) -> Option<u64> {
+        self.models.get(&signature).map(|m| m.fingerprint)
+    }
+
+    /// The signatures covered by this store, in ascending order.
+    pub fn signatures(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.models.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Keep only the signatures `keep` approves (used by the delta guard to
+    /// drop a regressing signature from a delta payload without vetoing the
+    /// rest of the delta).
+    pub fn retain(&mut self, mut keep: impl FnMut(u64) -> bool) {
+        self.models.retain(|&sig, _| keep(sig));
+    }
+
+    /// True when the model covering `signature` is the same `Arc` in both
+    /// stores (bit-identical sharing, not just equal values).
+    pub fn shares_model(&self, other: &ModelStore, signature: u64) -> bool {
+        match (self.models.get(&signature), other.models.get(&signature)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Copy-on-write merge: a clone of `self` where every signature covered by
+    /// `delta` is overwritten with the delta's model (`Arc`s shared both ways —
+    /// unchanged models stay the incumbent's allocations bit for bit).
+    pub fn merged_with(&self, delta: &ModelStore) -> ModelStore {
+        debug_assert_eq!(self.family, delta.family);
+        let mut merged = self.clone();
+        for (&sig, model) in &delta.models {
+            merged.models.insert(sig, Arc::clone(model));
+        }
+        merged
     }
 }
 
@@ -734,22 +952,58 @@ impl PredictScratch {
 }
 
 /// The full Cleo predictor: all four individual stores plus the combined meta-model.
+///
+/// The combined meta-model sits behind an [`Arc`]: a delta-published predictor
+/// shares the incumbent's combined model (deltas retrain per-signature models
+/// only; the meta-model is refreshed by full epochs), so applying a delta never
+/// copies the FastTree ensemble.
 #[derive(Debug, Default)]
 pub struct CleoPredictor {
     stores: Vec<ModelStore>,
-    combined: CombinedModel,
+    combined: Arc<CombinedModel>,
 }
 
 impl CleoPredictor {
     /// Assemble a predictor from trained components.
-    pub fn new(stores: Vec<ModelStore>, combined: CombinedModel) -> Self {
-        CleoPredictor { stores, combined }
+    pub fn new(stores: Vec<ModelStore>, combined: impl Into<Arc<CombinedModel>>) -> Self {
+        CleoPredictor {
+            stores,
+            combined: combined.into(),
+        }
     }
 
     /// Split the predictor back into its parts (used by the trainer when swapping in a
     /// newly trained combined model).
-    pub fn into_parts(self) -> (Vec<ModelStore>, CombinedModel) {
+    pub fn into_parts(self) -> (Vec<ModelStore>, Arc<CombinedModel>) {
         (self.stores, self.combined)
+    }
+
+    /// Copy-on-write delta application: a new predictor where every signature
+    /// covered by a `payload` store is overwritten with the payload's model
+    /// and everything else — unchanged per-signature models *and* the combined
+    /// meta-model — shares this predictor's `Arc`s bit-identically.  Payload
+    /// stores are matched to this predictor's stores by family; a payload
+    /// family this predictor lacks becomes a new store.
+    pub fn apply_delta(&self, payload: &[ModelStore]) -> CleoPredictor {
+        let mut stores: Vec<ModelStore> = self
+            .stores
+            .iter()
+            .map(
+                |own| match payload.iter().find(|p| p.family() == own.family()) {
+                    Some(delta) => own.merged_with(delta),
+                    None => own.clone(),
+                },
+            )
+            .collect();
+        for extra in payload {
+            if !stores.iter().any(|s| s.family() == extra.family()) && !extra.is_empty() {
+                stores.push(extra.clone());
+            }
+        }
+        CleoPredictor {
+            stores,
+            combined: Arc::clone(&self.combined),
+        }
     }
 
     /// Look up the store for a family.
@@ -762,9 +1016,34 @@ impl CleoPredictor {
         self.stores.iter().map(|s| s.len()).sum()
     }
 
+    /// Identity hash of the per-signature models a signature set resolves to:
+    /// the four families' stored-model fingerprints folded together.  Two
+    /// predictor versions produce the same salt for a signature set iff every
+    /// family serves it with a bit-identical model — the prediction cache mixes
+    /// this into its keys so a delta publish can share the incumbent's cache
+    /// yet never serve a stale cost for a refit signature.
+    pub fn signature_salt(&self, signatures: &SignatureSet) -> u64 {
+        use cleo_common::hash::StableHasher;
+        let mut h = StableHasher::new();
+        for family in ModelFamily::all() {
+            let fp = self
+                .store(family)
+                .and_then(|s| s.fingerprint_of(signatures.for_family(family)))
+                .unwrap_or(0);
+            h.write_u64(fp);
+        }
+        h.finish()
+    }
+
     /// The combined meta-model.
     pub fn combined(&self) -> &CombinedModel {
         &self.combined
+    }
+
+    /// The shared handle to the combined meta-model (what delta application
+    /// clones instead of the ensemble itself).
+    pub fn shared_combined(&self) -> Arc<CombinedModel> {
+        Arc::clone(&self.combined)
     }
 
     /// Per-family + combined predictions for an operator at a candidate partition
@@ -1077,14 +1356,17 @@ mod tests {
     fn seeded_training_reuses_unchanged_and_warm_starts_changed_signatures() {
         let s = samples(30);
         let families = [ModelFamily::OpSubgraph, ModelFamily::Operator];
-        let (v1, cold) = ModelStore::train_all_seeded(&families, &s, 5, 1, &[None, None]).unwrap();
+        let (v1, cold) =
+            ModelStore::train_all_seeded(&families, &s, 5, 1, &[None, None], &[None, None])
+                .unwrap();
         assert_eq!(cold.reused, 0);
         assert_eq!(cold.warm_fits, 0);
         assert_eq!(cold.cold_fits, 2, "one signature per family in this corpus");
 
         // Unchanged window: every signature is reused, predictions bit-identical.
         let incumbents = [Some(&v1[0]), Some(&v1[1])];
-        let (v2, again) = ModelStore::train_all_seeded(&families, &s, 5, 1, &incumbents).unwrap();
+        let (v2, again) =
+            ModelStore::train_all_seeded(&families, &s, 5, 1, &incumbents, &incumbents).unwrap();
         assert_eq!(again.reused, 2);
         assert_eq!(again.warm_fits + again.cold_fits, 0);
         let sig = s[0].signatures.op_subgraph;
@@ -1098,13 +1380,15 @@ mod tests {
         let mut shuffled = s.clone();
         cleo_common::rng::DetRng::new(99).shuffle(&mut shuffled);
         let (_, reordered) =
-            ModelStore::train_all_seeded(&families, &shuffled, 5, 1, &incumbents).unwrap();
+            ModelStore::train_all_seeded(&families, &shuffled, 5, 1, &incumbents, &incumbents)
+                .unwrap();
         assert_eq!(reordered.reused, 2);
 
         // A grown window refits — seeded from the incumbent — and converges.
         let grown = samples(36);
         let (v3, warm) =
-            ModelStore::train_all_seeded(&families, &grown, 5, 1, &incumbents).unwrap();
+            ModelStore::train_all_seeded(&families, &grown, 5, 1, &incumbents, &incumbents)
+                .unwrap();
         assert_eq!(warm.warm_fits, 2);
         assert_eq!(warm.reused + warm.cold_fits, 0);
         let pred = v3[0].predict(sig, &grown[0].features).unwrap();
@@ -1113,7 +1397,8 @@ mod tests {
 
         // Seeded training is bit-identical across thread counts, like cold.
         let (v3_mt, warm_mt) =
-            ModelStore::train_all_seeded(&families, &grown, 5, 4, &incumbents).unwrap();
+            ModelStore::train_all_seeded(&families, &grown, 5, 4, &incumbents, &incumbents)
+                .unwrap();
         assert_eq!(warm_mt, warm);
         assert_eq!(
             v3[0].predict(sig, &grown[0].features).unwrap().to_bits(),

@@ -67,6 +67,7 @@ pub fn run_jobs_shared(
                 epoch,
                 model_version: plan.stats.model_version,
                 model_cluster: plan.stats.model_cluster,
+                delta_base: plan.stats.model_delta_base,
             },
         ));
     }

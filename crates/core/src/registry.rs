@@ -16,10 +16,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use cleo_optimizer::{CostModel, CostModelProvider};
+use cleo_common::{CleoError, Result};
+use cleo_optimizer::{CostModel, CostModelProvider, ServedModel};
 
 use crate::integration::LearnedCostModel;
-use crate::models::CleoPredictor;
+use crate::models::{CleoPredictor, ModelStore};
+use crate::signature::ModelFamily;
 
 /// Accuracy of a model version over its publish-time holdout slice, in the
 /// vocabulary of Tables 5/7/8 (correlation + median relative error).
@@ -49,6 +51,67 @@ impl HoldoutMetrics {
     }
 }
 
+/// How a published snapshot came to be: a full-epoch retrain, or a sub-epoch
+/// delta applied copy-on-write over an incumbent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotLineage {
+    /// A full retrain over the telemetry window (every signature refit or
+    /// reused against the seed basis).
+    FullEpoch,
+    /// A sub-epoch delta: only `changed_signatures` per-signature models were
+    /// refit; everything else shares the incumbent `base_version`'s `Arc`s
+    /// bit-identically.
+    Delta {
+        /// The incumbent version the delta was applied over.
+        base_version: u64,
+        /// Number of per-signature models the delta replaced.
+        changed_signatures: usize,
+    },
+}
+
+impl SnapshotLineage {
+    /// The delta's base version, if this snapshot is delta-published.
+    pub fn delta_base(&self) -> Option<u64> {
+        match self {
+            SnapshotLineage::FullEpoch => None,
+            SnapshotLineage::Delta { base_version, .. } => Some(*base_version),
+        }
+    }
+}
+
+/// A sub-epoch model delta: the dirty signatures' freshly fit models plus the
+/// provenance needed to apply it safely over the incumbent it was computed
+/// against.
+#[derive(Debug)]
+pub struct ModelDelta {
+    /// The serving-chain version the dirty set was computed against; the delta
+    /// applies only while this is still the current version (CAS semantics).
+    pub base_version: u64,
+    /// The feedback epoch the delta round ran under (the last *full* epoch —
+    /// deltas do not advance the epoch counter).
+    pub epoch: u32,
+    /// Partial per-family stores holding only the dirty signatures' new models.
+    pub payload: Vec<ModelStore>,
+    /// The dirty-fingerprint set: for every changed signature, its family, the
+    /// signature, and the fingerprint of the sample multiset it was refit on.
+    pub changed: Vec<(ModelFamily, u64, u64)>,
+    /// Dirty signatures whose refit regressed on the per-signature holdout and
+    /// were dropped from the payload (the incumbent model keeps serving them).
+    pub dropped_regressions: usize,
+}
+
+impl ModelDelta {
+    /// Number of per-signature models this delta ships.
+    pub fn changed_signatures(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// True when the delta carries no model changes (nothing to publish).
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
 /// One immutable published model version.
 #[derive(Debug)]
 pub struct ModelSnapshot {
@@ -56,6 +119,13 @@ pub struct ModelSnapshot {
     epoch: u32,
     model: Arc<LearnedCostModel>,
     holdout: HoldoutMetrics,
+    /// Full-epoch or delta provenance of this version.
+    lineage: SnapshotLineage,
+    /// Version of the last full-epoch snapshot on this snapshot's lineage (its
+    /// own version for full snapshots).  This is the warm-start **seed basis**
+    /// of subsequent retrains: seeding from the basis rather than the delta
+    /// chain keeps full epochs bit-independent of any deltas in between.
+    base_full_version: u64,
 }
 
 impl ModelSnapshot {
@@ -83,20 +153,73 @@ impl ModelSnapshot {
     pub fn holdout(&self) -> &HoldoutMetrics {
         &self.holdout
     }
+
+    /// Full-epoch or delta lineage of this version.
+    pub fn lineage(&self) -> SnapshotLineage {
+        self.lineage
+    }
+
+    /// Version of the last full-epoch snapshot on this version's lineage.
+    pub fn base_full_version(&self) -> u64 {
+        self.base_full_version
+    }
 }
+
+/// Number of most-recent published versions retained in history beyond the
+/// serving lineage.  Sub-epoch delta publishing produces versions at a much
+/// higher cadence than full epochs, and every snapshot carries its own
+/// signature maps — without a cap, history (and with it registry memory)
+/// would grow linearly for the process lifetime.  Versions on the serving
+/// stack are always retained regardless of age (rollback and the full-basis
+/// lookup depend on them).
+const HISTORY_RETENTION: usize = 64;
 
 /// Published snapshots plus the serving lineage (under one lock so publish and
 /// rollback see a consistent view of both).
 #[derive(Debug, Default)]
 struct RegistryHistory {
-    /// Every published snapshot, in version order (versions are never reused,
-    /// so a rollback leaves history intact).
+    /// Published snapshots, in version order (versions are never reused, so a
+    /// rollback leaves history intact; snapshots older than
+    /// [`HISTORY_RETENTION`] versions and off the serving lineage are pruned).
     published: Vec<Arc<ModelSnapshot>>,
     /// Stack of versions on the serving lineage: publish pushes, rollback pops.
     /// A rolled-back (bad) version leaves the stack for good, so a later
     /// rollback returns to what was actually serving — never to a version that
     /// was itself rolled back earlier.
     serving_stack: Vec<u64>,
+}
+
+impl RegistryHistory {
+    /// Drop snapshots older than the retention window (readers holding their
+    /// own `Arc`s are unaffected — pruning only makes old versions
+    /// unaddressable by version lookup).  The serving lineage is bounded by
+    /// the same window: rollback reaches at most [`HISTORY_RETENTION`]
+    /// versions back, except that the current chain's **full basis** is always
+    /// retained regardless of age (the warm-start seed of subsequent retrains
+    /// and the final rollback stop of a long delta chain).
+    fn prune(&mut self) {
+        if self.published.len() <= HISTORY_RETENTION {
+            return;
+        }
+        let basis = self
+            .serving_stack
+            .last()
+            .and_then(|&top| self.published.iter().find(|s| s.version == top))
+            .map(|s| s.base_full_version);
+        if self.serving_stack.len() > HISTORY_RETENTION {
+            let cut = self.serving_stack.len() - HISTORY_RETENTION;
+            self.serving_stack.drain(..cut);
+            if let Some(basis) = basis {
+                if !self.serving_stack.contains(&basis) {
+                    self.serving_stack.insert(0, basis);
+                }
+            }
+        }
+        let cutoff = self.published[self.published.len() - HISTORY_RETENTION].version;
+        let serving: Vec<u64> = self.serving_stack.clone();
+        self.published
+            .retain(|s| s.version >= cutoff || serving.contains(&s.version));
+    }
 }
 
 /// The versioned model registry.
@@ -148,18 +271,90 @@ impl ModelRegistry {
         // and break rollback's predecessor scan.
         let mut history = self.history.lock().expect("registry history poisoned");
         let mut current = self.current.write().expect("registry pointer poisoned");
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let snapshot = Arc::new(ModelSnapshot {
-            version: self.next_version.fetch_add(1, Ordering::Relaxed),
+            version,
             epoch,
             model,
             holdout,
+            lineage: SnapshotLineage::FullEpoch,
+            base_full_version: version,
         });
         history.published.push(Arc::clone(&snapshot));
         history.serving_stack.push(snapshot.version);
+        history.prune();
         *current = Some(Arc::clone(&snapshot));
         self.served_version
             .store(snapshot.version, Ordering::Release);
         snapshot
+    }
+
+    /// Publish a sub-epoch delta as the new current version: the incumbent's
+    /// per-signature map is copied on write ([`CleoPredictor::apply_delta`]),
+    /// unchanged signatures and the combined meta-model share the incumbent's
+    /// `Arc`s bit-identically, and the successor model keeps serving the
+    /// incumbent's prediction cache (identity-salted keys make that safe).
+    ///
+    /// The delta carries the version it was computed against; if the registry
+    /// has moved on (or rolled back) since, the delta no longer describes the
+    /// incumbent's dirty set and is rejected rather than applied blindly.
+    pub fn publish_delta(
+        &self,
+        delta: &ModelDelta,
+        holdout: HoldoutMetrics,
+    ) -> Result<Arc<ModelSnapshot>> {
+        let mut history = self.history.lock().expect("registry history poisoned");
+        let mut current = self.current.write().expect("registry pointer poisoned");
+        let incumbent = match current.as_ref() {
+            Some(s) if s.version == delta.base_version => Arc::clone(s),
+            Some(s) => {
+                return Err(CleoError::Config(format!(
+                    "delta computed against version {} but version {} is serving",
+                    delta.base_version, s.version
+                )))
+            }
+            None => {
+                return Err(CleoError::Config(
+                    "delta publish requires an incumbent version (registry is cold)".into(),
+                ))
+            }
+        };
+
+        let merged = incumbent.predictor().apply_delta(&delta.payload);
+        let model = Arc::new(incumbent.model.delta_successor(merged));
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let snapshot = Arc::new(ModelSnapshot {
+            version,
+            epoch: delta.epoch,
+            model,
+            holdout,
+            lineage: SnapshotLineage::Delta {
+                base_version: delta.base_version,
+                changed_signatures: delta.changed_signatures(),
+            },
+            base_full_version: incumbent.base_full_version,
+        });
+        history.published.push(Arc::clone(&snapshot));
+        history.serving_stack.push(snapshot.version);
+        history.prune();
+        *current = Some(Arc::clone(&snapshot));
+        self.served_version
+            .store(snapshot.version, Ordering::Release);
+        Ok(snapshot)
+    }
+
+    /// The warm-start seed basis of the current serving lineage: the last
+    /// **full-epoch** snapshot at or below the current version (`None` while
+    /// the registry is cold).  Retrains seed their fits from this basis — not
+    /// from the delta chain — so a full epoch's result is bit-independent of
+    /// how many deltas were published since the basis.
+    pub fn current_full_basis(&self) -> Option<Arc<ModelSnapshot>> {
+        let current = self.current()?;
+        if current.lineage == SnapshotLineage::FullEpoch {
+            return Some(current);
+        }
+        let basis = current.base_full_version;
+        self.version(basis)
     }
 
     /// The currently served snapshot, if any.
@@ -186,7 +381,8 @@ impl ModelRegistry {
             .cloned()
     }
 
-    /// Every published snapshot, oldest first (including rolled-back versions).
+    /// Retained published snapshots, oldest first (including rolled-back
+    /// versions still inside the retention window).
     pub fn versions(&self) -> Vec<Arc<ModelSnapshot>> {
         self.history
             .lock()
@@ -195,7 +391,8 @@ impl ModelRegistry {
             .clone()
     }
 
-    /// Number of versions ever published.
+    /// Number of retained published versions (equals versions-ever-published
+    /// until the retention window is exceeded).
     pub fn version_count(&self) -> usize {
         self.history
             .lock()
@@ -269,6 +466,23 @@ impl CostModelProvider for RegistryCostModelProvider {
         match self.registry.current() {
             Some(s) => (Arc::clone(s.cost_model()) as Arc<dyn CostModel>, s.version),
             None => (Arc::clone(&self.fallback), 0),
+        }
+    }
+
+    fn snapshot_for(&self, _meta: &cleo_engine::physical::JobMeta) -> ServedModel {
+        match self.registry.current() {
+            Some(s) => ServedModel {
+                model: Arc::clone(s.cost_model()) as Arc<dyn CostModel>,
+                version: s.version,
+                cluster: None,
+                delta_base: s.lineage.delta_base(),
+            },
+            None => ServedModel {
+                model: Arc::clone(&self.fallback),
+                version: 0,
+                cluster: None,
+                delta_base: None,
+            },
         }
     }
 }
@@ -429,6 +643,37 @@ mod tests {
         assert!(metrics(0.90, 25.0).regresses_from(&incumbent, 0.01, 0.5));
         // Strict improvement never regresses.
         assert!(!metrics(0.95, 5.0).regresses_from(&incumbent, 0.0, 0.0));
+    }
+
+    #[test]
+    fn history_stays_bounded_at_delta_cadence() {
+        let registry = ModelRegistry::new();
+        registry.publish(tiny_predictor(1.0), 1, metrics(0.9, 10.0));
+        // A long chain of sub-epoch deltas with no rollback: the scenario that
+        // would previously retain every snapshot forever via the serving stack.
+        for _ in 0..300 {
+            let delta = ModelDelta {
+                base_version: registry.current_version(),
+                epoch: 1,
+                payload: vec![],
+                changed: vec![],
+                dropped_regressions: 0,
+            };
+            registry.publish_delta(&delta, metrics(0.9, 10.0)).unwrap();
+        }
+        assert_eq!(registry.current_version(), 301);
+        assert!(
+            registry.version_count() <= 2 * 64 + 1,
+            "history must stay bounded, got {} snapshots",
+            registry.version_count()
+        );
+        // The chain's full basis (v1) outlives the retention window: it seeds
+        // the next full epoch and remains addressable.
+        assert_eq!(registry.current_full_basis().unwrap().version(), 1);
+        // Rollback still walks the retained lineage.
+        assert_eq!(registry.rollback().unwrap().version(), 300);
+        // Versions outside the window (and off the lineage) are pruned.
+        assert!(registry.version(2).is_none());
     }
 
     #[test]

@@ -36,7 +36,10 @@ use cleo_engine::workload::generator::WorkloadProfile;
 use cleo_engine::workload::JobSpec;
 use cleo_optimizer::{CostModel, CostModelProvider, ServedModel, SharedOptimizer};
 
-use crate::feedback::{retrain_window, FeedbackConfig, PublishDecision, RetrainOutcome};
+use crate::feedback::{
+    delta_round_window, retrain_window, DeltaOutcome, FeedbackConfig, PublishDecision,
+    RetrainOutcome,
+};
 use crate::registry::ModelRegistry;
 
 /// One cluster's registry shard.
@@ -309,6 +312,7 @@ impl CostModelProvider for ClusterRouter {
                     model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
                     version: snapshot.version(),
                     cluster: Some(shards[i].cluster),
+                    delta_base: snapshot.lineage().delta_base(),
                 };
             }
             // Cold shard: walk the similarity-ordered donor chain.
@@ -319,6 +323,7 @@ impl CostModelProvider for ClusterRouter {
                         model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
                         version: snapshot.version(),
                         cluster: Some(shards[j].cluster),
+                        delta_base: snapshot.lineage().delta_base(),
                     };
                 }
             }
@@ -328,6 +333,7 @@ impl CostModelProvider for ClusterRouter {
             model: Arc::clone(&self.fallback),
             version: 0,
             cluster: None,
+            delta_base: None,
         }
     }
 }
@@ -369,6 +375,16 @@ pub struct ShardedFeedbackConfig {
     /// Retraining is deterministic regardless: each shard's round is a pure
     /// function of its window, the epoch, and its own incumbent.
     pub shard_threads: usize,
+}
+
+/// One round's served stream, partitioned by shard (the output of
+/// [`ShardedFeedbackLoop::serve_and_partition`]).
+struct ServedPartition {
+    jobs_run: usize,
+    total_latency: f64,
+    unrouted_jobs: usize,
+    /// Per-shard telemetry slices, aligned with the loop's shard list.
+    ingest: Vec<Option<TelemetryLog>>,
 }
 
 /// Per-shard state of the sharded loop.
@@ -430,6 +446,55 @@ impl ShardedEpochReport {
         self.shards
             .iter()
             .filter(|s| matches!(s.retrain.decision, PublishDecision::Published { .. }))
+            .count()
+    }
+}
+
+/// What one sub-epoch delta round did on one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardDeltaReport {
+    /// The shard's cluster.
+    pub cluster: ClusterId,
+    /// Telemetry records ingested into this shard's window this round.
+    pub ingested_jobs: usize,
+    /// Window size after ingestion and eviction.
+    pub window_jobs: usize,
+    /// Jobs evicted by the standard window policy this round.
+    pub evicted_jobs: usize,
+    /// The shard's delta-round outcome.
+    pub outcome: DeltaOutcome,
+    /// Version the shard serves after this round's publish decision.
+    pub served_version: u64,
+    /// Wall-clock microseconds of this shard's dirty retrain + publish.
+    pub round_micros: u128,
+}
+
+/// Report of one fleet-wide sub-epoch delta round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedDeltaReport {
+    /// Jobs served through the router this round.
+    pub jobs_run: usize,
+    /// Jobs whose cluster has no shard (served by the fallback, not windowed).
+    pub unrouted_jobs: usize,
+    /// Cumulative end-to-end latency of the round's jobs (seconds).
+    pub total_latency: f64,
+    /// Per-shard outcomes, sorted by cluster id.
+    pub shards: Vec<ShardDeltaReport>,
+    /// Routing outcomes of this round's serving.
+    pub routing: RoutingSnapshot,
+}
+
+impl ShardedDeltaReport {
+    /// Shards that delta-published a new version this round.
+    pub fn published_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.outcome.decision,
+                    crate::feedback::DeltaDecision::Published { .. }
+                )
+            })
             .count()
     }
 }
@@ -503,11 +568,62 @@ impl ShardedFeedbackLoop {
         self.epoch += 1;
         let epoch = self.epoch;
         let routing_before = self.router.routing_stats();
+        let served = self.serve_and_partition(jobs, epoch)?;
 
-        // Serve.  All publishes of this epoch happen strictly after serving
-        // completes, so every job of the epoch routes against the same shard
-        // states — which is what makes serving bit-deterministic across
-        // serving thread counts.
+        // Per-cluster epochs, in parallel across shards.  Each shard's round is
+        // a pure function of (window, epoch, its own incumbent), so the thread
+        // assignment cannot change any outcome — only the wall clock.
+        let config = self.config;
+        let fallback = Arc::clone(self.router.fallback_model());
+        let shards = self.run_shard_rounds(served.ingest, |state, log| {
+            run_shard_epoch(state, log, &config, epoch, &fallback)
+        })?;
+
+        Ok(ShardedEpochReport {
+            epoch,
+            jobs_run: served.jobs_run,
+            unrouted_jobs: served.unrouted_jobs,
+            total_latency: served.total_latency,
+            shards,
+            routing: self.router.routing_stats().since(&routing_before),
+        })
+    }
+
+    /// Run one fleet-wide **sub-epoch delta round**: serve through the router,
+    /// partition telemetry by cluster, and refit only each shard's dirty
+    /// signatures in parallel, publishing per-shard copy-on-write deltas (see
+    /// [`crate::feedback::FeedbackLoop::run_delta_round`]).  Shards whose
+    /// registry is still cold skip (deltas apply over an incumbent); the epoch
+    /// counter does not advance, and the next full epoch's training is
+    /// bit-independent of any deltas published here.
+    pub fn run_delta_round(&mut self, jobs: &[&JobSpec]) -> Result<ShardedDeltaReport> {
+        let epoch = self.epoch;
+        let routing_before = self.router.routing_stats();
+        let served = self.serve_and_partition(jobs, epoch)?;
+
+        let config = self.config;
+        let shards = self.run_shard_rounds(served.ingest, |state, log| {
+            run_shard_delta(state, log, &config, epoch)
+        })?;
+
+        Ok(ShardedDeltaReport {
+            jobs_run: served.jobs_run,
+            unrouted_jobs: served.unrouted_jobs,
+            total_latency: served.total_latency,
+            shards,
+            routing: self.router.routing_stats().since(&routing_before),
+        })
+    }
+
+    /// Serve a job stream through the router and partition the telemetry by
+    /// shard: the common prologue of full epochs and delta rounds.  All
+    /// publishes of a round happen strictly after serving completes, so every
+    /// job routes against the same shard states — which is what makes serving
+    /// bit-deterministic across serving thread counts.  Jobs from unmapped
+    /// clusters were served by the fallback but have no shard window to learn
+    /// in; partitioning is consuming, so records move into the shard windows
+    /// without cloning any plan.
+    fn serve_and_partition(&self, jobs: &[&JobSpec], epoch: u32) -> Result<ServedPartition> {
         let shared = SharedOptimizer::new(
             Arc::clone(&self.router) as Arc<dyn CostModelProvider>,
             self.config.shard.optimizer,
@@ -522,10 +638,6 @@ impl ShardedFeedbackLoop {
         let jobs_run = served.len();
         let total_latency = served.total_latency();
 
-        // Partition the epoch's telemetry by cluster and hand each shard its
-        // slice (jobs from unmapped clusters were served by the fallback but
-        // have no shard window to learn in).  Consuming: records move into the
-        // shard windows without cloning any plan.
         let mut unrouted_jobs = 0usize;
         let mut ingest: Vec<Option<TelemetryLog>> = (0..self.shards.len()).map(|_| None).collect();
         for (cluster, log) in served.into_cluster_partitions() {
@@ -534,10 +646,23 @@ impl ShardedFeedbackLoop {
                 None => unrouted_jobs += log.len(),
             }
         }
+        Ok(ServedPartition {
+            jobs_run,
+            total_latency,
+            unrouted_jobs,
+            ingest,
+        })
+    }
 
-        // Per-cluster epochs, in parallel across shards.  Each shard's round is
-        // a pure function of (window, epoch, its own incumbent), so the thread
-        // assignment cannot change any outcome — only the wall clock.
+    /// Run one round function over every shard (with its ingest slice), spread
+    /// across [`ShardedFeedbackConfig::shard_threads`] OS threads.  Each
+    /// shard's round is a pure function of its own state, so the thread
+    /// assignment cannot change any outcome — only the wall clock.
+    fn run_shard_rounds<R: Send>(
+        &mut self,
+        ingest: Vec<Option<TelemetryLog>>,
+        round: impl Fn(&mut ShardState, Option<TelemetryLog>) -> Result<R> + Sync,
+    ) -> Result<Vec<R>> {
         let threads = if self.config.shard_threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -546,21 +671,13 @@ impl ShardedFeedbackLoop {
             self.config.shard_threads
         }
         .min(self.shards.len().max(1));
-        let config = self.config;
-        let fallback = Arc::clone(self.router.fallback_model());
 
         let mut work: Vec<(&mut ShardState, Option<TelemetryLog>)> =
             self.shards.iter_mut().zip(ingest).collect();
-        let mut reports: Vec<Result<ShardEpochReport>> = Vec::with_capacity(work.len());
+        let mut reports: Vec<Result<R>> = Vec::with_capacity(work.len());
         if threads <= 1 {
             for (state, log) in work.iter_mut() {
-                reports.push(run_shard_epoch(
-                    state,
-                    log.take(),
-                    &config,
-                    epoch,
-                    &fallback,
-                ));
+                reports.push(round(state, log.take()));
             }
         } else {
             let chunk_size = work.len().div_ceil(threads);
@@ -568,34 +685,57 @@ impl ShardedFeedbackLoop {
                 let handles: Vec<_> = work
                     .chunks_mut(chunk_size)
                     .map(|chunk| {
-                        let fallback = &fallback;
-                        let config = &config;
+                        let round = &round;
                         scope.spawn(move || {
                             chunk
                                 .iter_mut()
-                                .map(|(state, log)| {
-                                    run_shard_epoch(state, log.take(), config, epoch, fallback)
-                                })
+                                .map(|(state, log)| round(state, log.take()))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 for handle in handles {
-                    reports.extend(handle.join().expect("shard epoch worker panicked"));
+                    reports.extend(handle.join().expect("shard round worker panicked"));
                 }
             });
         }
-        let shards = reports.into_iter().collect::<Result<Vec<_>>>()?;
-
-        Ok(ShardedEpochReport {
-            epoch,
-            jobs_run,
-            unrouted_jobs,
-            total_latency,
-            shards,
-            routing: self.router.routing_stats().since(&routing_before),
-        })
+        reports.into_iter().collect()
     }
+}
+
+/// One shard's slice of a sub-epoch delta round: ingest, evict (standard
+/// policy only — drift baselines belong to full publishes), dirty-only guarded
+/// retrain, per-shard copy-on-write delta publish.
+fn run_shard_delta(
+    state: &mut ShardState,
+    ingest: Option<TelemetryLog>,
+    config: &ShardedFeedbackConfig,
+    epoch: u32,
+) -> Result<ShardDeltaReport> {
+    use crate::feedback::WindowEviction;
+
+    let ingested_jobs = ingest.as_ref().map_or(0, TelemetryLog::len);
+    if let Some(log) = ingest {
+        state.window.extend(log);
+    }
+    let evicted_jobs = match config.shard.eviction {
+        WindowEviction::JobCount(max_jobs) => state.window.drain_window(max_jobs).len(),
+        WindowEviction::RecentDays(days) => state.window.retain_recent_days(days).len(),
+    };
+
+    let started = Instant::now();
+    let outcome = delta_round_window(&state.window, &config.shard, epoch, &state.registry)?;
+    let round_micros = started.elapsed().as_micros();
+
+    Ok(ShardDeltaReport {
+        cluster: state.cluster,
+        ingested_jobs,
+        window_jobs: state.window.len(),
+        evicted_jobs,
+        outcome,
+        served_version: state.registry.current_version(),
+        round_micros,
+    })
 }
 
 /// One shard's slice of an epoch: ingest, evict (standard then drift-aware),

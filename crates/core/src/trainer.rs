@@ -110,21 +110,26 @@ impl CleoTrainer {
 
     /// Train from already-collected samples.
     pub fn train_from_samples(&self, samples: Vec<OperatorSample>) -> Result<CleoPredictor> {
-        Ok(self.train_from_samples_seeded(samples, None)?.0)
+        Ok(self.train_from_samples_seeded(samples, None, None)?.0)
     }
 
     /// Train from already-collected samples, optionally seeded by the incumbent
     /// predictor of the previous published version: the shipped per-signature
     /// stores skip refitting signatures whose sample multiset is unchanged and
-    /// warm-start the elastic-net descent from the incumbent's weights
-    /// otherwise (see [`ModelStore::train_all_seeded`]).  The interim stores
-    /// feeding the combined meta-model always train cold — they exist to
-    /// produce *out-of-sample* predictions over this round's split, and seeding
-    /// them from a model that saw the held-out jobs would leak.
+    /// warm-start the elastic-net descent from the **seed basis** — the last
+    /// full-epoch predictor — otherwise (see [`ModelStore::train_all_seeded`]).
+    /// `incumbent` is the serving-chain predictor (possibly delta-published,
+    /// consulted for reuse); `seed_basis` is the last full version (consulted
+    /// for warm-start seeds); callers without a delta chain pass the same
+    /// predictor for both.  The interim stores feeding the combined meta-model
+    /// always train cold — they exist to produce *out-of-sample* predictions
+    /// over this round's split, and seeding them from a model that saw the
+    /// held-out jobs would leak.
     pub fn train_from_samples_seeded(
         &self,
         mut samples: Vec<OperatorSample>,
         incumbent: Option<&CleoPredictor>,
+        seed_basis: Option<&CleoPredictor>,
     ) -> Result<(CleoPredictor, WarmStartStats)> {
         if samples.is_empty() {
             return Err(cleo_common::CleoError::InvalidTrainingData(
@@ -166,12 +171,17 @@ impl CleoTrainer {
             .iter()
             .map(|&f| incumbent.and_then(|p| p.store(f)))
             .collect();
+        let basis_stores: Vec<Option<&ModelStore>> = families
+            .iter()
+            .map(|&f| seed_basis.and_then(|p| p.store(f)))
+            .collect();
         let (final_stores, warm_stats) = ModelStore::train_all_seeded(
             &families,
             &samples,
             self.config.min_samples_per_model,
             threads,
             &incumbent_stores,
+            &basis_stores,
         )?;
         Ok((CleoPredictor::new(final_stores, combined), warm_stats))
     }

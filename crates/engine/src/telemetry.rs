@@ -28,6 +28,12 @@ pub struct ModelProvenance {
     /// shard borrows a donor cluster's model); `None` means the model came from
     /// an unsharded provider or the version-0 fallback.
     pub model_cluster: Option<ClusterId>,
+    /// Sub-epoch delta lineage: when the serving model version was published
+    /// as a single-signature delta, the incumbent version it was applied over
+    /// (`None` for full-epoch versions and the fallback).  Lets later analyses
+    /// attribute an observation to "v4 = v3 + delta" rather than a full
+    /// retrain.
+    pub delta_base: Option<u64>,
 }
 
 /// The record of one executed job: its plan and its measured runtimes.
@@ -507,11 +513,13 @@ mod tests {
                 epoch: 3,
                 model_version: 7,
                 model_cluster: Some(ClusterId(2)),
+                delta_base: Some(6),
             },
         );
         assert_eq!(stamped.provenance.epoch, 3);
         assert_eq!(stamped.provenance.model_version, 7);
         assert_eq!(stamped.provenance.model_cluster, Some(ClusterId(2)));
+        assert_eq!(stamped.provenance.delta_base, Some(6));
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub struct OptimizationStats {
     /// [`crate::provider::SharedOptimizer`]).  Under cross-cluster fallback
     /// routing this can be a *donor* cluster, not the job's own.
     pub model_cluster: Option<cleo_engine::types::ClusterId>,
+    /// When the serving model version was published as a sub-epoch delta, the
+    /// incumbent version the delta was applied over (`None` for full-epoch
+    /// versions and the fallback model; stamped by
+    /// [`crate::provider::SharedOptimizer`]).
+    pub model_delta_base: Option<u64>,
 }
 
 /// The result of optimizing one job.

@@ -33,6 +33,11 @@ pub struct ServedModel {
     /// cluster under cross-cluster fallback, or `None` for unsharded providers
     /// and the version-0 fallback model.
     pub cluster: Option<ClusterId>,
+    /// When the served version was published as a sub-epoch delta, the
+    /// incumbent version the delta was applied over; `None` for full-epoch
+    /// versions and the fallback model.  Flows into
+    /// [`OptimizationStats::model_delta_base`] and from there into telemetry.
+    pub delta_base: Option<u64>,
 }
 
 /// A source of cost-model snapshots for concurrent serving.
@@ -72,6 +77,7 @@ pub trait CostModelProvider: Send + Sync {
             model,
             version,
             cluster: None,
+            delta_base: None,
         }
     }
 }
@@ -131,6 +137,7 @@ impl SharedOptimizer {
         let mut optimized = Optimizer::new(served.model.as_ref(), self.config).optimize(job)?;
         optimized.stats.model_version = served.version;
         optimized.stats.model_cluster = served.cluster;
+        optimized.stats.model_delta_base = served.delta_base;
         Ok(optimized)
     }
 
