@@ -188,8 +188,13 @@ fn main() {
         staleness_reduction * 100.0,
     );
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let degraded = cores < 4;
     let json = format!(
         "{{\n  \"bench\": \"delta_publish\",\n  \"smoke\": {smoke},\n  \
+         \"cores\": {cores},\n  \"degraded\": {degraded},\n  \
          \"window_jobs\": {window_jobs},\n  \
          \"dirty_signatures\": {moved},\n  \"refit_signatures\": {},\n  \
          \"deferred_signatures\": {},\n  \"unchanged_signatures\": {},\n  \

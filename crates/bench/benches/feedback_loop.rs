@@ -82,8 +82,13 @@ fn main() {
         hit_rate * 100.0
     );
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let degraded = cores < 4;
     let json = format!(
-        "{{\n  \"bench\": \"feedback_loop\",\n  \"epochs_per_sec\": {epochs_per_sec:.4},\n  \
+        "{{\n  \"bench\": \"feedback_loop\",\n  \"cores\": {cores},\n  \
+         \"degraded\": {degraded},\n  \"epochs_per_sec\": {epochs_per_sec:.4},\n  \
          \"epoch_jobs\": {},\n  \"predictions_per_run\": {predictions_per_run},\n  \
          \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
          \"predictions_per_sec_cached\": {cached_preds_per_sec:.1},\n  \

@@ -116,8 +116,13 @@ fn main() {
         println!("smoke mode: skipping BENCH_inference.json");
         return;
     }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let degraded = cores < 4;
     let json = format!(
-        "{{\n  \"bench\": \"inference_path\",\n  \
+        "{{\n  \"bench\": \"inference_path\",\n  \"cores\": {cores},\n  \
+         \"degraded\": {degraded},\n  \
          \"predictions_per_run\": {predictions_per_run},\n  \
          \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
          \"baseline_predictions_per_sec_uncached\": {baseline_uncached_preds_per_sec:.1},\n  \

@@ -1,0 +1,197 @@
+//! Macro-benchmark: the async serving front end under open-loop arrivals.
+//!
+//! Replays a deterministic open-loop arrival schedule (exponential
+//! inter-arrivals from a seeded [`open_loop_arrivals`] draw — the schedule does
+//! not depend on service times, so a slow server builds real queueing delay)
+//! against the [`FrontDoor`] → [`ServingPool`] serving stack: bounded
+//! admission per shard, cross-job batch coalescing, and shard-pinned
+//! work-stealing workers.  Writes `BENCH_open_loop.json` at the workspace root
+//! (also in `--smoke` mode with a small request count — CI asserts the file is
+//! emitted and well-formed) with:
+//!
+//! * the **offered load** (rate, request count, schedule seed),
+//! * the **achieved throughput** (completed requests over the serving wall
+//!   clock, drain included),
+//! * the **admission mix** (admitted / delayed / shed counts, shed rate, and
+//!   how many coalesced batches the front door formed),
+//! * **latency percentiles** (p50/p95/p99/max, request arrival to batch
+//!   completion),
+//! * the honest `cores` count and a `degraded` flag when the machine has
+//!   fewer cores than the 4-shard / 4-worker serving tier assumes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cleo_common::stats::quantile;
+use cleo_core::serving::{open_loop_arrivals, FrontDoor, FrontDoorConfig, OverloadPolicy};
+use cleo_core::sharding::{ClusterRouter, ServingPool, ShardedRegistry};
+use cleo_core::HoldoutMetrics;
+use cleo_engine::workload::generator::WorkloadProfile;
+use cleo_engine::workload::JobSpec;
+use cleo_engine::ClusterId;
+use cleo_optimizer::{
+    CostModel, CostModelProvider, HeuristicCostModel, OptimizerConfig, SharedOptimizer,
+};
+
+const SHARDS: usize = 4;
+const WORKERS: usize = 4;
+const SCHEDULE_SEED: u64 = 42;
+
+fn metrics() -> HoldoutMetrics {
+    HoldoutMetrics {
+        correlation: 0.9,
+        median_error_pct: 10.0,
+        sample_count: 100,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = cleo_bench::ExperimentContext::quick().expect("context");
+    let n_requests = if smoke { 40 } else { 400 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let degraded = cores < SHARDS;
+
+    // One warm shard per cluster (the sharded_serving fleet shape).
+    let profiles: Vec<WorkloadProfile> = ctx
+        .clusters
+        .iter()
+        .map(|c| WorkloadProfile::of(&c.workload))
+        .collect();
+    let registry = Arc::new(ShardedRegistry::new((0u8..4).map(ClusterId)));
+    for (c, cluster) in ctx.clusters.iter().enumerate() {
+        registry.shard(ClusterId(c as u8)).unwrap().publish(
+            Arc::clone(&cluster.predictor),
+            1,
+            metrics(),
+        );
+    }
+    let fallback: Arc<dyn CostModel> = Arc::new(HeuristicCostModel::default_model());
+    let router = Arc::new(ClusterRouter::new(registry, fallback, &profiles));
+    let shared = || {
+        SharedOptimizer::new(
+            Arc::clone(&router) as Arc<dyn CostModelProvider>,
+            OptimizerConfig::resource_aware(),
+        )
+    };
+
+    // The request stream: test-day jobs, round-robin across the four clusters
+    // so every shard sees load.
+    let test_day = cleo_engine::DayIndex(ctx.days.saturating_sub(1));
+    let per_cluster: Vec<Vec<Arc<JobSpec>>> = ctx
+        .clusters
+        .iter()
+        .map(|c| {
+            c.workload
+                .jobs
+                .iter()
+                .filter(|j| j.meta.day == test_day)
+                .map(|j| Arc::new(j.clone()))
+                .collect()
+        })
+        .collect();
+    let requests: Vec<Arc<JobSpec>> = (0..n_requests)
+        .map(|i| {
+            let cluster = &per_cluster[i % per_cluster.len()];
+            Arc::clone(&cluster[(i / per_cluster.len()) % cluster.len()])
+        })
+        .collect();
+
+    // Calibrate the offered rate from measured serial capacity (second pass,
+    // so caches are warm): offer at 70% of the serial rate scaled by the
+    // usable parallelism, i.e. near — but nominally under — pool capacity.
+    let calib: Vec<&JobSpec> = requests.iter().map(|a| a.as_ref()).collect();
+    let serial = shared();
+    serial.optimize_all(&calib, 1).expect("calibration warmup");
+    let t0 = Instant::now();
+    serial.optimize_all(&calib, 1).expect("calibration");
+    let serial_rate = calib.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let offered_rate = (serial_rate * cores.min(WORKERS) as f64 * 0.7).max(1.0);
+
+    // Replay the deterministic schedule against the wall clock.
+    let arrivals = open_loop_arrivals(SCHEDULE_SEED, offered_rate, n_requests);
+    let pool = Arc::new(ServingPool::new(shared(), SHARDS, WORKERS));
+    let config = FrontDoorConfig {
+        max_queue_depth: 64,
+        policy: OverloadPolicy::Shed,
+        coalesce_max: 8,
+    };
+    let coalesce_max = config.coalesce_max;
+    let mut door = FrontDoor::new(Arc::clone(&pool), config);
+    let start = Instant::now();
+    let mut arrival_at: Vec<Instant> = Vec::with_capacity(n_requests);
+    for (job, offset) in requests.iter().zip(&arrivals) {
+        let due = start + Duration::from_secs_f64(*offset);
+        loop {
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            std::thread::sleep(due - now);
+        }
+        arrival_at.push(Instant::now());
+        door.offer(Arc::clone(job));
+    }
+    let stats = door.stats();
+    let completed = door.drain();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let achieved_rate = completed.len() as f64 / elapsed;
+    let latencies_ms: Vec<f64> = completed
+        .iter()
+        .map(|c| {
+            c.result.as_ref().expect("serve");
+            c.completed_at
+                .saturating_duration_since(arrival_at[c.request])
+                .as_secs_f64()
+                * 1000.0
+        })
+        .collect();
+    let p50 = quantile(&latencies_ms, 0.50);
+    let p95 = quantile(&latencies_ms, 0.95);
+    let p99 = quantile(&latencies_ms, 0.99);
+    let max_ms = latencies_ms.iter().cloned().fold(0.0f64, f64::max);
+    let shed_rate = stats.shed_rate();
+
+    println!(
+        "\n== open_loop ==\noffered {offered_rate:.1} req/sec ({n_requests} requests, seed \
+         {SCHEDULE_SEED}) over {SHARDS} shards / {WORKERS} workers on {cores} core(s) \
+         (degraded={degraded})\nachieved {achieved_rate:.1} jobs/sec ({} completed in \
+         {elapsed:.2}s; serial capacity {serial_rate:.1})\nadmission: {} admitted / {} delayed \
+         / {} shed (shed rate {shed_rate:.4}) in {} coalesced batches\nlatency ms: p50 \
+         {p50:.2}  p95 {p95:.2}  p99 {p99:.2}  max {max_ms:.2}",
+        completed.len(),
+        stats.admitted,
+        stats.delayed,
+        stats.shed,
+        stats.batches,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"open_loop\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
+         \"degraded\": {degraded},\n  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
+         \"coalesce_max\": {coalesce_max},\n  \
+         \"offered\": {{\"rate_per_sec\": {offered_rate:.1}, \"requests\": {n_requests}, \
+         \"schedule_seed\": {SCHEDULE_SEED}}},\n  \
+         \"serial_jobs_per_sec\": {serial_rate:.1},\n  \
+         \"achieved_jobs_per_sec\": {achieved_rate:.1},\n  \
+         \"completed\": {},\n  \
+         \"admission\": {{\"admitted\": {}, \"delayed\": {}, \"shed\": {}, \
+         \"shed_rate\": {shed_rate:.4}, \"batches\": {}}},\n  \
+         \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}, \
+         \"max\": {max_ms:.3}}}\n}}\n",
+        completed.len(),
+        stats.admitted,
+        stats.delayed,
+        stats.shed,
+        stats.batches,
+    );
+    // Anchor the result file at the workspace root regardless of the bench cwd.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_open_loop.json");
+    std::fs::write(&path, &json).expect("write BENCH_open_loop.json");
+    println!("wrote {}", path.display());
+}

@@ -11,11 +11,13 @@
 //!   figures (Figures 1, 11, 12, 13, 15),
 //! * [`hash`] — stable 64-bit hashing used for operator/subgraph signatures
 //!   (Section 5.1 of the paper),
+//! * [`concurrency`] — cacheline-striped counters for the serving hot path,
 //! * [`table`] — plain-text table rendering for the experiment runners,
 //! * [`csvout`] — tiny CSV writer so experiment output can be post-processed,
 //! * [`error`] — the shared error type.
 
 pub mod cdf;
+pub mod concurrency;
 pub mod csvout;
 pub mod error;
 pub mod hash;

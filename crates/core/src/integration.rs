@@ -14,13 +14,13 @@
 //! FastTree ensemble walk.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use cleo_common::concurrency::StripedCounter;
 use cleo_common::hash::StableHasher;
 use cleo_engine::physical::{JobMeta, PhysicalNode};
-use cleo_optimizer::CostModel;
+use cleo_optimizer::{CostModel, SweepSpec};
 
 use crate::models::{CleoPredictor, PredictScratch};
 use crate::signature::{signature_set, SignatureSet};
@@ -46,9 +46,19 @@ fn clamp_cost(cost: f64) -> f64 {
     cost.max(COST_FLOOR_SECONDS)
 }
 
-/// Number of independently locked cache shards (a power of two; selected by the
-/// top bits of the key so concurrent optimizer threads rarely contend).
-const CACHE_SHARDS: usize = 16;
+/// Number of independently locked cache shards: derived from the machine's
+/// available parallelism (8 lock stripes per core, clamped to a power of two
+/// in `[16, 256]`), so the shard count scales with the number of optimizer
+/// threads that can actually contend instead of being fixed at build time.
+fn cache_shard_count() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores * 8).next_power_of_two().clamp(16, 256)
+    })
+}
 
 /// Default total cache capacity (entries across all shards).
 const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
@@ -89,29 +99,37 @@ impl CacheStats {
 /// bookkeeping on the serving path.
 #[derive(Debug)]
 struct PredictionCache {
-    shards: Vec<Mutex<HashMap<u64, Vec<f64>>>>,
+    /// Entries are shared slices: a hit clones one `Arc` inside the critical
+    /// section instead of allocating and copying a `Vec` under the lock, so
+    /// the per-shard mutexes are held for nanoseconds even on hot sweeps.
+    shards: Vec<Mutex<HashMap<u64, Arc<[f64]>>>>,
     per_shard_capacity: usize,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    hits: StripedCounter,
+    misses: StripedCounter,
 }
 
 impl PredictionCache {
     fn new(capacity: usize) -> Self {
+        let shard_count = cache_shard_count();
         PredictionCache {
-            shards: (0..CACHE_SHARDS)
+            shards: (0..shard_count)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
-            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            per_shard_capacity: capacity.div_ceil(shard_count).max(1),
+            hits: StripedCounter::new(),
+            misses: StripedCounter::new(),
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Vec<f64>>> {
-        &self.shards[(key >> 60) as usize % CACHE_SHARDS]
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<[f64]>>> {
+        // Multiplicative mix so every key bit influences the shard pick (the
+        // shard count is a power of two, so a plain mask would only ever read
+        // the low bits).
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize & (self.shards.len() - 1)]
     }
 
-    fn get(&self, key: u64) -> Option<Vec<f64>> {
+    fn get(&self, key: u64) -> Option<Arc<[f64]>> {
         let found = self
             .shard(key)
             .lock()
@@ -119,13 +137,13 @@ impl PredictionCache {
             .get(&key)
             .cloned();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.add(1),
+            None => self.misses.add(1),
         };
         found
     }
 
-    fn insert(&self, key: u64, costs: Vec<f64>) {
+    fn insert(&self, key: u64, costs: Arc<[f64]>) {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         if shard.len() >= self.per_shard_capacity {
             shard.clear();
@@ -135,8 +153,8 @@ impl PredictionCache {
 
     fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.sum() as usize,
+            misses: self.misses.sum() as usize,
         }
     }
 
@@ -144,8 +162,8 @@ impl PredictionCache {
         for shard in &self.shards {
             shard.lock().expect("cache shard poisoned").clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
     }
 }
 
@@ -191,8 +209,12 @@ fn cache_key(
 #[derive(Debug)]
 pub struct LearnedCostModel {
     predictor: Arc<CleoPredictor>,
-    /// Number of model invocations performed (reported in the overhead analysis).
-    invocations: AtomicUsize,
+    /// Number of model invocations performed (reported in the overhead
+    /// analysis).  Striped: the count is bumped on *every* cost evaluation, so
+    /// a single shared atomic would be the hottest cacheline in a concurrent
+    /// serve — each thread increments its own stripe instead and totals are
+    /// summed on read.
+    invocations: StripedCounter,
     /// Signature-keyed memo of combined predictions (`None` = caching disabled).
     /// Behind an [`Arc`] so a delta-published successor model can keep serving
     /// the incumbent's warm entries (keys are salted with per-signature model
@@ -212,7 +234,7 @@ impl LearnedCostModel {
     pub fn with_cache_capacity(predictor: impl Into<Arc<CleoPredictor>>, capacity: usize) -> Self {
         LearnedCostModel {
             predictor: predictor.into(),
-            invocations: AtomicUsize::new(0),
+            invocations: StripedCounter::new(),
             cache: (capacity > 0).then(|| Arc::new(PredictionCache::new(capacity))),
         }
     }
@@ -232,7 +254,7 @@ impl LearnedCostModel {
     pub fn delta_successor(&self, predictor: impl Into<Arc<CleoPredictor>>) -> LearnedCostModel {
         LearnedCostModel {
             predictor: predictor.into(),
-            invocations: AtomicUsize::new(0),
+            invocations: StripedCounter::new(),
             cache: self.cache.clone(),
         }
     }
@@ -256,14 +278,15 @@ impl LearnedCostModel {
         Arc::clone(&self.predictor)
     }
 
-    /// Number of cost-model invocations so far.
+    /// Number of cost-model invocations so far.  Exact once the threads doing
+    /// the costing have quiesced (the only time anyone reads it).
     pub fn invocation_count(&self) -> usize {
-        self.invocations.load(Ordering::Relaxed)
+        self.invocations.sum() as usize
     }
 
     /// Reset the invocation counter.
     pub fn reset_invocation_count(&self) {
-        self.invocations.store(0, Ordering::Relaxed);
+        self.invocations.reset();
     }
 
     /// Hit/miss counters of the prediction cache (zeros when caching is disabled).
@@ -305,25 +328,29 @@ impl LearnedCostModel {
     }
 
     /// Cost a candidate sweep through the cache (one lookup per sweep).
-    fn cost_sweep(&self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) -> Vec<f64> {
+    fn cost_sweep(&self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) -> Arc<[f64]> {
         let signatures = signature_set(node, meta);
         let Some(cache) = &self.cache else {
-            return self.predict_sweep(&signatures, node, partitions, meta);
+            return self
+                .predict_sweep(&signatures, node, partitions, meta)
+                .into();
         };
         let salt = self.predictor.signature_salt(&signatures);
         let key = cache_key(salt, &signatures, node, meta, partitions);
         if let Some(costs) = cache.get(key) {
             return costs;
         }
-        let costs = self.predict_sweep(&signatures, node, partitions, meta);
-        cache.insert(key, costs.clone());
+        let costs: Arc<[f64]> = self
+            .predict_sweep(&signatures, node, partitions, meta)
+            .into();
+        cache.insert(key, Arc::clone(&costs));
         costs
     }
 }
 
 impl CostModel for LearnedCostModel {
     fn exclusive_cost(&self, node: &PhysicalNode, partitions: usize, meta: &JobMeta) -> f64 {
-        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.invocations.add(1);
         self.cost_sweep(node, &[partitions], meta)[0]
     }
 
@@ -336,9 +363,70 @@ impl CostModel for LearnedCostModel {
         // One signature computation + one model lookup per family for the whole
         // candidate set (the batched invocation path of resource-aware planning),
         // and on a repeat sweep of a recurring operator a single cache lookup.
-        self.invocations
-            .fetch_add(partitions.len(), Ordering::Relaxed);
-        self.cost_sweep(node, partitions, meta)
+        self.invocations.add(partitions.len() as u64);
+        self.cost_sweep(node, partitions, meta).to_vec()
+    }
+
+    fn exclusive_cost_sweeps(&self, sweeps: &[SweepSpec]) -> Vec<Vec<f64>> {
+        // The coalescing seam: sweeps from many concurrent jobs arrive in one
+        // call.  Cache hits resolve individually; the misses are grouped by
+        // signature set and each group's feature rows are extracted into ONE
+        // shared matrix and pushed through the predictor in a single pass, so a
+        // batch of J jobs sweeping the same recurring operator pays one model
+        // resolution instead of J.  Bit-identity with the per-sweep path holds
+        // because prediction is row-independent (pinned by the inference
+        // equivalence tests) and each sweep's rows stay contiguous in order.
+        let total: usize = sweeps.iter().map(|s| s.partitions.len()).sum();
+        self.invocations.add(total as u64);
+
+        let mut results: Vec<Option<Vec<f64>>> = (0..sweeps.len()).map(|_| None).collect();
+        // Misses grouped by signature set; BTreeMap for deterministic group
+        // order.  Values are sweep indices (rows are appended in index order).
+        let mut groups: BTreeMap<SignatureSet, Vec<usize>> = BTreeMap::new();
+        let mut keys: Vec<u64> = vec![0; sweeps.len()];
+
+        for (i, sweep) in sweeps.iter().enumerate() {
+            let signatures = signature_set(sweep.node, sweep.meta);
+            if let Some(cache) = &self.cache {
+                let salt = self.predictor.signature_salt(&signatures);
+                let key = cache_key(salt, &signatures, sweep.node, sweep.meta, sweep.partitions);
+                keys[i] = key;
+                if let Some(costs) = cache.get(key) {
+                    results[i] = Some(costs.to_vec());
+                    continue;
+                }
+            }
+            groups.entry(signatures).or_default().push(i);
+        }
+
+        for (signatures, members) in &groups {
+            SWEEP_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                scratch.reset_features();
+                for &i in members {
+                    scratch.append_features(sweeps[i].node, sweeps[i].partitions, sweeps[i].meta);
+                }
+                let breakdowns = self.predictor.predict_scratch(signatures, scratch);
+                let mut offset = 0;
+                for &i in members {
+                    let n = sweeps[i].partitions.len();
+                    let costs: Vec<f64> = breakdowns[offset..offset + n]
+                        .iter()
+                        .map(|b| clamp_cost(b.combined))
+                        .collect();
+                    offset += n;
+                    if let Some(cache) = &self.cache {
+                        cache.insert(keys[i], costs.clone().into());
+                    }
+                    results[i] = Some(costs);
+                }
+            });
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every sweep costed"))
+            .collect()
     }
 
     fn partition_coefficients(&self, node: &PhysicalNode, meta: &JobMeta) -> Option<(f64, f64)> {
@@ -488,6 +576,65 @@ mod tests {
         }
         let stats = model.cache_stats();
         assert_eq!(stats.hits + stats.misses, 400);
+    }
+
+    #[test]
+    fn coalesced_sweeps_are_bit_identical_to_per_sweep_batches() {
+        let predictor = std::sync::Arc::new(u_shape_predictor());
+        let coalesced = LearnedCostModel::new(std::sync::Arc::clone(&predictor));
+        let reference = LearnedCostModel::without_cache(std::sync::Arc::clone(&predictor));
+        let m = meta();
+
+        // Several sweeps over distinct nodes (distinct statistics → several
+        // rows per merged matrix) plus a repeated sweep (cache-hit path inside
+        // the coalesced call).
+        let nodes: Vec<PhysicalNode> = (0..5)
+            .map(|i| exchange_node(1e5 * (i + 1) as f64, 8))
+            .collect();
+        let candidates: Vec<Vec<usize>> = (0..5).map(|i| vec![1 + i, 8, 64 + i]).collect();
+        let build = |dup: bool| {
+            let mut sweeps: Vec<SweepSpec> = nodes
+                .iter()
+                .zip(&candidates)
+                .map(|(node, partitions)| SweepSpec {
+                    node,
+                    partitions,
+                    meta: &m,
+                })
+                .collect();
+            if dup {
+                sweeps.push(SweepSpec {
+                    node: &nodes[0],
+                    partitions: &candidates[0],
+                    meta: &m,
+                });
+            }
+            sweeps
+        };
+
+        // Cold pass (every sweep misses → merged matrix) and a warm pass with
+        // a duplicate (hits + a recompute) must both match the per-sweep path.
+        for dup in [false, true] {
+            let sweeps = build(dup);
+            let merged = coalesced.exclusive_cost_sweeps(&sweeps);
+            let individual = reference.exclusive_cost_sweeps(&sweeps);
+            assert_eq!(merged.len(), individual.len());
+            for (sweep, (a, b)) in sweeps.iter().zip(merged.iter().zip(&individual)) {
+                assert_eq!(a.len(), sweep.partitions.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "node {:?}", sweep.node.kind);
+                }
+            }
+        }
+        // Invocation accounting matches the per-candidate convention.
+        let total: usize = candidates.iter().map(Vec::len).sum();
+        assert_eq!(
+            coalesced.invocation_count(),
+            2 * total + candidates[0].len()
+        );
+        let stats = coalesced.cache_stats();
+        assert!(stats.misses >= 5, "cold sweeps must miss: {stats:?}");
+        assert!(stats.hits >= 5, "warm sweeps must hit: {stats:?}");
     }
 
     #[test]

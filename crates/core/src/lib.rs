@@ -23,8 +23,12 @@
 //!   version rollout,
 //! * [`sharding`] — the fleet-scale tier: per-cluster registry shards behind a
 //!   lock-free shard map, a routing [`cleo_optimizer::CostModelProvider`] with
-//!   deterministic cross-cluster fallback chains, and per-cluster feedback
-//!   epochs running in parallel with drift-aware window eviction.
+//!   deterministic cross-cluster fallback chains, per-cluster feedback
+//!   epochs running in parallel with drift-aware window eviction, and the
+//!   [`sharding::ServingPool`] of shard-pinned, work-stealing worker threads,
+//! * [`serving`] — the async serving front end: open-loop arrivals, bounded
+//!   admission with shed/delay backpressure, and cross-job batch coalescing
+//!   into single merged feature-matrix costing passes.
 //!
 //! ## Quick start
 //!
@@ -63,6 +67,7 @@ pub mod integration;
 pub mod models;
 pub mod pipeline;
 pub mod registry;
+pub mod serving;
 pub mod sharding;
 pub mod signature;
 pub mod trainer;
@@ -89,10 +94,14 @@ pub use registry::{
     HoldoutMetrics, ModelDelta, ModelRegistry, ModelSnapshot, RegistryCostModelProvider,
     SnapshotLineage,
 };
+pub use serving::{
+    open_loop_arrivals, serve_batch, Admission, CompletedRequest, FrontDoor, FrontDoorConfig,
+    FrontDoorStats, OverloadPolicy,
+};
 pub use sharding::{
-    ClusterRouter, DriftPolicy, RegistryShard, RoutingSnapshot, ShardDeltaReport, ShardEpochReport,
-    ShardedDeltaReport, ShardedEpochReport, ShardedFeedbackConfig, ShardedFeedbackLoop,
-    ShardedRegistry,
+    BatchResult, ClusterRouter, DriftPolicy, RegistryShard, RoutingSnapshot, ServingPool,
+    ShardDeltaReport, ShardEpochReport, ShardedDeltaReport, ShardedEpochReport,
+    ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry, Ticket,
 };
 pub use signature::{signature_set, ModelFamily, SignatureSet};
 pub use trainer::{CleoTrainer, TrainerConfig};

@@ -941,8 +941,24 @@ impl PredictScratch {
     /// partition count straight into it (no per-candidate allocations; the
     /// input-name encoding is hashed once for the whole sweep).
     pub fn fill_features(&mut self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) {
-        let encoding = crate::features::input_encoding(meta);
+        self.reset_features();
+        self.append_features(node, partitions, meta);
+    }
+
+    /// Clear the feature matrix without shrinking its backing storage, ready
+    /// for [`PredictScratch::append_features`] calls to build a coalesced batch.
+    pub fn reset_features(&mut self) {
         self.features.reset(feature_count());
+    }
+
+    /// Append one feature row per candidate partition count for one sweep,
+    /// without resetting the matrix first.  Coalesced costing appends several
+    /// sweeps — possibly from different jobs — into one matrix and runs the
+    /// predictor once over all of them; rows are extracted exactly as
+    /// [`PredictScratch::fill_features`] would, so each sweep's slice of the
+    /// batched output is bit-identical to costing it alone.
+    pub fn append_features(&mut self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) {
+        let encoding = crate::features::input_encoding(meta);
         for &p in partitions {
             self.features.push_row_with(|dst| {
                 crate::features::extract_features_with_encoding(node, p, meta, encoding, dst)

@@ -469,6 +469,14 @@ impl CostModelProvider for RegistryCostModelProvider {
         }
     }
 
+    fn route_stamp(&self, _meta: &cleo_engine::physical::JobMeta) -> u64 {
+        // Routing depends only on the served version (every job gets the
+        // current snapshot), so the lock-free version stamp is the route stamp:
+        // worker-local snapshot caches revalidate with one atomic load per job
+        // and skip the `RwLock` + `Arc` clone until a publish changes it.
+        self.registry.current_version()
+    }
+
     fn snapshot_for(&self, _meta: &cleo_engine::physical::JobMeta) -> ServedModel {
         match self.registry.current() {
             Some(s) => ServedModel {

@@ -1,0 +1,400 @@
+//! The async serving front end: admission, backpressure, and cross-job batch
+//! coalescing in front of the shard worker pools.
+//!
+//! The sharded tier of [`crate::sharding`] made *where* a job is served
+//! contention-free; this module makes *how* requests reach the workers
+//! realistic.  An open-loop arrival process (requests arrive on their own
+//! schedule, whether or not the system keeps up — see [`open_loop_arrivals`])
+//! feeds a [`FrontDoor`]: each request is admitted against a bounded per-shard
+//! queue ([`FrontDoorConfig::max_queue_depth`]), shed or flagged as delayed
+//! past the bound ([`OverloadPolicy`]), and staged for **cross-job batch
+//! coalescing** — concurrent requests routed to the same shard are merged into
+//! one batch and executed by [`serve_batch`], which runs every job's deferred
+//! final costing as a *single* merged [`cleo_optimizer::SweepSpec`] pass per
+//! served model, so a burst of J concurrent jobs sweeping the same recurring
+//! operators pays one feature-matrix pass instead of J.
+//!
+//! Everything stays bit-deterministic: batches produce results identical to
+//! optimizing each job alone (pinned by the serving tests), and the arrival
+//! schedule is a pure function of its seed.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cleo_common::rng::DetRng;
+use cleo_common::Result;
+use cleo_engine::workload::JobSpec;
+use cleo_optimizer::{
+    CostModel, OptimizedPlan, Optimizer, SharedOptimizer, SnapshotCache, SweepSpec,
+};
+
+use crate::sharding::{ServingPool, Ticket};
+
+/// Optimize a batch of jobs against one [`SharedOptimizer`], coalescing the
+/// deferred final plan costing of all jobs that were served by the **same
+/// model snapshot** into one merged [`CostModel::exclusive_cost_sweeps`] call.
+///
+/// Per job this runs enumeration + partition optimization exactly as
+/// [`SharedOptimizer::optimize`] would (through the worker-local `cache`, so
+/// an unchanged route takes no registry lock); what is coalesced is the final
+/// whole-plan costing pass, which [`Optimizer::optimize_deferred`] leaves
+/// pending.  Results are returned in job order and are bit-identical to
+/// optimizing each job alone: sweeps are appended in each plan's operator
+/// order and summed per plan in that same order, and prediction itself is
+/// row-independent.
+pub fn serve_batch(
+    shared: &SharedOptimizer,
+    jobs: &[Arc<JobSpec>],
+    cache: &mut SnapshotCache,
+) -> Vec<Result<OptimizedPlan>> {
+    struct Staged {
+        optimized: OptimizedPlan,
+        final_cost_pending: bool,
+        model: Arc<dyn CostModel>,
+    }
+
+    let config = *shared.config();
+    let provider = shared.provider();
+    let mut staged: Vec<Result<Staged>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let served = cache.get(provider.as_ref(), &job.meta).clone();
+        let result = Optimizer::new(served.model.as_ref(), config)
+            .optimize_deferred(job)
+            .map(|(mut optimized, final_cost_pending)| {
+                optimized.stats.model_version = served.version;
+                optimized.stats.model_cluster = served.cluster;
+                optimized.stats.model_delta_base = served.delta_base;
+                Staged {
+                    optimized,
+                    final_cost_pending,
+                    model: served.model,
+                }
+            });
+        staged.push(result);
+    }
+
+    // Group the plans still awaiting their final costing by served-model
+    // identity (same `Arc` allocation = same snapshot), in first-seen order so
+    // the grouping is a pure function of the job order.
+    let mut groups: Vec<(*const (), Vec<usize>)> = Vec::new();
+    for (i, s) in staged.iter().enumerate() {
+        if let Ok(s) = s {
+            if s.final_cost_pending {
+                let ptr = Arc::as_ptr(&s.model) as *const ();
+                match groups.iter_mut().find(|(p, _)| *p == ptr) {
+                    Some((_, members)) => members.push(i),
+                    None => groups.push((ptr, vec![i])),
+                }
+            }
+        }
+    }
+
+    for (_, members) in &groups {
+        let model = match &staged[members[0]] {
+            Ok(s) => Arc::clone(&s.model),
+            Err(_) => unreachable!("groups only hold Ok entries"),
+        };
+        // Arena of candidate partition counts: every sweep is the plan
+        // operator at its chosen count, and the slices must outlive the merged
+        // call below.
+        let mut arena: Vec<usize> = Vec::new();
+        for &i in members.iter() {
+            if let Ok(s) = &staged[i] {
+                for op in s.optimized.plan.operators() {
+                    arena.push(op.partition_count);
+                }
+            }
+        }
+        let mut sweeps: Vec<SweepSpec> = Vec::with_capacity(arena.len());
+        let mut k = 0;
+        for &i in members.iter() {
+            if let Ok(s) = &staged[i] {
+                for op in s.optimized.plan.operators() {
+                    sweeps.push(SweepSpec {
+                        node: op,
+                        partitions: &arena[k..k + 1],
+                        meta: &s.optimized.plan.meta,
+                    });
+                    k += 1;
+                }
+            }
+        }
+        let costs = model.exclusive_cost_sweeps(&sweeps);
+        drop(sweeps);
+
+        // Scatter: each plan's estimated cost is the sum of its operators'
+        // costs in operator order — the exact fold `total_plan_cost` performs.
+        let mut offset = 0;
+        for &i in members.iter() {
+            if let Ok(s) = staged[i].as_mut() {
+                let ops = s.optimized.plan.op_count();
+                s.optimized.estimated_cost = costs[offset..offset + ops].iter().map(|c| c[0]).sum();
+                s.optimized.stats.model_invocations += ops;
+                s.final_cost_pending = false;
+                offset += ops;
+            }
+        }
+    }
+
+    staged.into_iter().map(|r| r.map(|s| s.optimized)).collect()
+}
+
+/// What the front door does with a request that arrives past the admission
+/// bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Drop the request (counted in [`FrontDoorStats::shed`]); the caller gets
+    /// [`Admission::Shed`] and no result.
+    Shed,
+    /// Queue the request anyway, flagging it as delayed (counted in
+    /// [`FrontDoorStats::delayed`]) — latency absorbs the backlog.
+    Delay,
+}
+
+/// Admission and coalescing knobs of a [`FrontDoor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontDoorConfig {
+    /// Per-shard admission bound: jobs queued at the pool plus jobs staged for
+    /// coalescing.  A request arriving at a shard at or past this depth is
+    /// shed or delayed per `policy`.
+    pub max_queue_depth: usize,
+    /// What to do past the bound.
+    pub policy: OverloadPolicy,
+    /// Coalescing flush threshold: a shard's staged batch is submitted to the
+    /// pool once it reaches this many jobs (1 = no coalescing).
+    pub coalesce_max: usize,
+}
+
+impl Default for FrontDoorConfig {
+    fn default() -> Self {
+        FrontDoorConfig {
+            max_queue_depth: 64,
+            policy: OverloadPolicy::Shed,
+            coalesce_max: 8,
+        }
+    }
+}
+
+/// The front door's verdict on one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued below the bound.
+    Admitted,
+    /// Queued past the bound under [`OverloadPolicy::Delay`].
+    Delayed,
+    /// Dropped past the bound under [`OverloadPolicy::Shed`].
+    Shed,
+}
+
+/// Cumulative admission counters of a [`FrontDoor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontDoorStats {
+    /// Requests queued below the admission bound.
+    pub admitted: u64,
+    /// Requests queued past the bound (delay policy).
+    pub delayed: u64,
+    /// Requests dropped past the bound (shed policy).
+    pub shed: u64,
+    /// Coalesced batches submitted to the pool.
+    pub batches: u64,
+}
+
+impl FrontDoorStats {
+    /// Requests offered in total.
+    pub fn offered(&self) -> u64 {
+        self.admitted + self.delayed + self.shed
+    }
+
+    /// Fraction of offered requests dropped (0.0 when none were offered).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+}
+
+/// One request's outcome after [`FrontDoor::drain`].
+pub struct CompletedRequest {
+    /// The request's arrival sequence number (assigned by offer order).
+    pub request: usize,
+    /// When the request's batch finished executing.
+    pub completed_at: Instant,
+    /// The optimized plan (or the per-job optimization error).
+    pub result: Result<OptimizedPlan>,
+}
+
+/// The single-driver serving front end: an open-loop request loop calls
+/// [`FrontDoor::offer`] per arriving request; the front door admits against
+/// bounded per-shard queues, coalesces same-shard requests into batches, and
+/// submits them to the [`ServingPool`].  `&mut self` throughout — one driver
+/// thread owns admission (matching an event-loop front end), while all
+/// optimization work happens on the pool's workers.
+pub struct FrontDoor {
+    pool: Arc<ServingPool>,
+    config: FrontDoorConfig,
+    /// Per-shard staged requests awaiting a coalesced flush.
+    staging: Vec<Vec<(usize, Arc<JobSpec>)>>,
+    /// In-flight batches: the pool ticket plus the request seq of each job in
+    /// batch order.
+    in_flight: Vec<(Ticket, Vec<usize>)>,
+    next_request: usize,
+    stats: FrontDoorStats,
+}
+
+impl FrontDoor {
+    /// A front door over a pool.
+    pub fn new(pool: Arc<ServingPool>, config: FrontDoorConfig) -> Self {
+        let shards = pool.shard_count();
+        FrontDoor {
+            pool,
+            config,
+            staging: (0..shards).map(|_| Vec::new()).collect(),
+            in_flight: Vec::new(),
+            next_request: 0,
+            stats: FrontDoorStats::default(),
+        }
+    }
+
+    /// The pool shard a job is admitted to (its cluster id, wrapped onto the
+    /// pool's shards — the same pinning the pool's workers use).
+    fn shard_of(&self, job: &JobSpec) -> usize {
+        job.meta.cluster.0 as usize % self.staging.len().max(1)
+    }
+
+    /// Offer one arriving request.  Returns what happened to it; shed requests
+    /// never produce a [`CompletedRequest`].
+    pub fn offer(&mut self, job: Arc<JobSpec>) -> Admission {
+        let shard = self.shard_of(&job);
+        let request = self.next_request;
+        self.next_request += 1;
+
+        let depth = self.pool.pending_jobs(shard) + self.staging[shard].len();
+        let over = depth >= self.config.max_queue_depth;
+        if over && self.config.policy == OverloadPolicy::Shed {
+            self.stats.shed += 1;
+            return Admission::Shed;
+        }
+        self.staging[shard].push((request, job));
+        if self.staging[shard].len() >= self.config.coalesce_max.max(1) {
+            self.flush_shard(shard);
+        }
+        if over {
+            self.stats.delayed += 1;
+            Admission::Delayed
+        } else {
+            self.stats.admitted += 1;
+            Admission::Admitted
+        }
+    }
+
+    /// Submit one shard's staged batch to the pool (no-op when empty).
+    fn flush_shard(&mut self, shard: usize) {
+        if self.staging[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.staging[shard]);
+        let (requests, jobs): (Vec<usize>, Vec<Arc<JobSpec>>) = batch.into_iter().unzip();
+        let ticket = self.pool.submit(shard, jobs);
+        self.in_flight.push((ticket, requests));
+        self.stats.batches += 1;
+    }
+
+    /// Flush every shard's staged batch (end of the arrival stream, or a
+    /// latency-bound tick).
+    pub fn flush(&mut self) {
+        for shard in 0..self.staging.len() {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Admission counters so far.
+    pub fn stats(&self) -> FrontDoorStats {
+        self.stats
+    }
+
+    /// Requests staged or in flight (i.e. offered, not shed, not yet waited).
+    pub fn outstanding(&self) -> usize {
+        self.staging.iter().map(Vec::len).sum::<usize>()
+            + self.in_flight.iter().map(|(_, r)| r.len()).sum::<usize>()
+    }
+
+    /// Flush everything still staged, wait for every in-flight batch, and
+    /// return all completed requests sorted by arrival sequence.
+    pub fn drain(mut self) -> Vec<CompletedRequest> {
+        self.flush();
+        let mut completed: Vec<CompletedRequest> = Vec::new();
+        for (ticket, requests) in self.in_flight.drain(..) {
+            let batch = ticket.wait();
+            debug_assert_eq!(batch.results.len(), requests.len());
+            for (request, result) in requests.into_iter().zip(batch.results) {
+                completed.push(CompletedRequest {
+                    request,
+                    completed_at: batch.completed_at,
+                    result,
+                });
+            }
+        }
+        completed.sort_by_key(|c| c.request);
+        completed
+    }
+}
+
+/// Deterministic open-loop arrival schedule: `n` absolute arrival offsets (in
+/// seconds from the stream start) with exponentially distributed
+/// inter-arrival times at `rate_per_sec` — a Poisson arrival process, the
+/// standard open-loop load model.  A pure function of the seed, so two bench
+/// runs (or two machines) replay the identical schedule.
+pub fn open_loop_arrivals(seed: u64, rate_per_sec: f64, n: usize) -> Vec<f64> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let mut rng = DetRng::new(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // 1 - unit() is in (0, 1]: ln never sees zero.
+            t += -(1.0 - rng.unit()).ln() / rate_per_sec;
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_increasing_and_rate_scaled() {
+        let a = open_loop_arrivals(7, 100.0, 500);
+        let b = open_loop_arrivals(7, 100.0, 500);
+        assert_eq!(a.len(), 500);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "same seed, same schedule");
+        }
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        // Mean inter-arrival ≈ 1/rate: the 500-sample mean should land within
+        // a loose factor-of-2 band.
+        let mean = a.last().unwrap() / 500.0;
+        assert!(
+            (0.005..0.02).contains(&mean),
+            "mean inter-arrival {mean} at rate 100"
+        );
+        // A different seed produces a different schedule.
+        let c = open_loop_arrivals(8, 100.0, 500);
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn front_door_stats_rates() {
+        let stats = FrontDoorStats {
+            admitted: 6,
+            delayed: 2,
+            shed: 2,
+            batches: 3,
+        };
+        assert_eq!(stats.offered(), 10);
+        assert!((stats.shed_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(FrontDoorStats::default().shed_rate(), 0.0);
+    }
+}

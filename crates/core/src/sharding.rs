@@ -23,10 +23,13 @@
 //!   publishes atomically into its own registry; readers never see a torn
 //!   fleet state because there is no cross-shard state to tear.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use cleo_common::concurrency::StripedCounter;
 use cleo_common::Result;
 use cleo_engine::exec::Simulator;
 use cleo_engine::physical::JobMeta;
@@ -34,7 +37,9 @@ use cleo_engine::telemetry::{TelemetryLog, WindowMoments};
 use cleo_engine::types::ClusterId;
 use cleo_engine::workload::generator::WorkloadProfile;
 use cleo_engine::workload::JobSpec;
-use cleo_optimizer::{CostModel, CostModelProvider, ServedModel, SharedOptimizer};
+use cleo_optimizer::{
+    CostModel, CostModelProvider, OptimizedPlan, ServedModel, SharedOptimizer, SnapshotCache,
+};
 
 use crate::feedback::{
     delta_round_window, retrain_window, DeltaOutcome, FeedbackConfig, PublishDecision,
@@ -135,12 +140,15 @@ impl ShardedRegistry {
     }
 }
 
-/// Cumulative routing counters of a [`ClusterRouter`].
+/// Cumulative routing counters of a [`ClusterRouter`].  Striped: every served
+/// job bumps exactly one of these, so shared atomics would put one hot
+/// cacheline between all serving threads; stripes keep the increments local
+/// and the totals exact once serving quiesces (the only time they are read).
 #[derive(Debug, Default)]
 struct RoutingStats {
-    own: AtomicU64,
-    donor: AtomicU64,
-    fallback: AtomicU64,
+    own: StripedCounter,
+    donor: StripedCounter,
+    fallback: StripedCounter,
 }
 
 /// A point-in-time copy of a router's routing counters.
@@ -279,25 +287,66 @@ impl ClusterRouter {
     /// Cumulative routing counters.
     pub fn routing_stats(&self) -> RoutingSnapshot {
         RoutingSnapshot {
-            own_hits: self.stats.own.load(Ordering::Relaxed),
-            donor_hits: self.stats.donor.load(Ordering::Relaxed),
-            fallback_hits: self.stats.fallback.load(Ordering::Relaxed),
+            own_hits: self.stats.own.sum(),
+            donor_hits: self.stats.donor.sum(),
+            fallback_hits: self.stats.fallback.sum(),
         }
     }
 
     /// Reset the routing counters (e.g. between benchmark phases).
     pub fn reset_routing_stats(&self) {
-        self.stats.own.store(0, Ordering::Relaxed);
-        self.stats.donor.store(0, Ordering::Relaxed);
-        self.stats.fallback.store(0, Ordering::Relaxed);
+        self.stats.own.reset();
+        self.stats.donor.reset();
+        self.stats.fallback.reset();
     }
 }
+
+/// Route-stamp tags of [`ClusterRouter::route_stamp`] (top two bits).
+const STAMP_OWN: u64 = 1 << 62;
+const STAMP_DONOR: u64 = 2 << 62;
+const STAMP_FALLBACK: u64 = 3 << 62;
 
 impl CostModelProvider for ClusterRouter {
     /// Job-agnostic callers (nothing to route on) get the fallback model; the
     /// serving path always goes through [`CostModelProvider::snapshot_for`].
     fn current(&self) -> Arc<dyn CostModel> {
         Arc::clone(&self.fallback)
+    }
+
+    /// The routing outcome fingerprint, computed from the shards' lock-free
+    /// version stamps alone: `STAMP_OWN | version` for a warm own shard,
+    /// `STAMP_DONOR | chain_position << 32 | version` for the first warm donor,
+    /// `STAMP_FALLBACK` when the whole chain is cold.  Any event that would
+    /// change where [`CostModelProvider::snapshot_for`] routes this job — a
+    /// publish or rollback on the own shard, an earlier donor warming up, the
+    /// serving donor republishing — changes the stamp, so worker-local snapshot
+    /// caches revalidate with a few atomic loads and no registry lock.
+    fn route_stamp(&self, meta: &JobMeta) -> u64 {
+        let Some(i) = self.registry.shard_index(meta.cluster) else {
+            return STAMP_FALLBACK;
+        };
+        let shards = self.registry.shards();
+        let own = shards[i].registry.current_version();
+        if own != 0 {
+            return STAMP_OWN | own;
+        }
+        for (pos, &j) in self.chains[i].iter().enumerate() {
+            let version = shards[j].registry.current_version();
+            if version != 0 {
+                return STAMP_DONOR | ((pos as u64) << 32) | (version & 0xFFFF_FFFF);
+            }
+        }
+        STAMP_FALLBACK
+    }
+
+    /// A cached route reuse still counts as a routed job; classify the cached
+    /// outcome from the served model's provenance so the counters stay exact.
+    fn note_cached_route(&self, meta: &JobMeta, served: &ServedModel) {
+        match served.cluster {
+            Some(c) if c == meta.cluster => self.stats.own.add(1),
+            Some(_) => self.stats.donor.add(1),
+            None => self.stats.fallback.add(1),
+        }
     }
 
     fn snapshot_for(&self, meta: &JobMeta) -> ServedModel {
@@ -307,7 +356,7 @@ impl CostModelProvider for ClusterRouter {
             // (model, version) snapshot, so a publish racing this read can
             // never mislabel the plan's provenance.
             if let Some(snapshot) = shards[i].registry.current() {
-                self.stats.own.fetch_add(1, Ordering::Relaxed);
+                self.stats.own.add(1);
                 return ServedModel {
                     model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
                     version: snapshot.version(),
@@ -318,7 +367,7 @@ impl CostModelProvider for ClusterRouter {
             // Cold shard: walk the similarity-ordered donor chain.
             for &j in &self.chains[i] {
                 if let Some(snapshot) = shards[j].registry.current() {
-                    self.stats.donor.fetch_add(1, Ordering::Relaxed);
+                    self.stats.donor.add(1);
                     return ServedModel {
                         model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
                         version: snapshot.version(),
@@ -328,12 +377,276 @@ impl CostModelProvider for ClusterRouter {
                 }
             }
         }
-        self.stats.fallback.fetch_add(1, Ordering::Relaxed);
+        self.stats.fallback.add(1);
         ServedModel {
             model: Arc::clone(&self.fallback),
             version: 0,
             cluster: None,
             delta_base: None,
+        }
+    }
+}
+
+/// One queued batch: the jobs plus the ticket its results are delivered on.
+struct PoolTask {
+    jobs: Vec<Arc<cleo_engine::workload::JobSpec>>,
+    ticket: Arc<TicketState>,
+}
+
+/// One shard's admission queue.
+struct ShardQueue {
+    queue: Mutex<VecDeque<PoolTask>>,
+    /// Jobs queued and not yet claimed by a worker — the shard's admission
+    /// depth, readable without the queue lock.
+    pending: AtomicUsize,
+}
+
+/// Everything the pool's worker threads share.
+struct PoolShared {
+    shared: SharedOptimizer,
+    shards: Vec<ShardQueue>,
+    /// Wake generation: bumped (under the mutex) by every submit / resume /
+    /// shutdown so sleeping workers never miss a wakeup.
+    sleep: Mutex<u64>,
+    wake: Condvar,
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    /// Claim the oldest batch from `home`, stealing FIFO from the other
+    /// shards (scanning `home+1, home+2, …`) when the home queue is empty.
+    fn claim(&self, home: usize) -> Option<PoolTask> {
+        let n = self.shards.len();
+        for k in 0..n {
+            let shard = &self.shards[(home + k) % n];
+            let task = shard.queue.lock().expect("pool queue poisoned").pop_front();
+            if let Some(task) = task {
+                shard.pending.fetch_sub(task.jobs.len(), Ordering::Release);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Bump the wake generation and wake every sleeping worker.
+    fn wake_all(&self) {
+        let mut generation = self.sleep.lock().expect("pool sleep lock poisoned");
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.wake.notify_all();
+    }
+}
+
+/// Completed results of one submitted batch.
+pub struct BatchResult {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<Result<OptimizedPlan>>,
+    /// When the executing worker finished the batch.
+    pub completed_at: Instant,
+}
+
+/// Internal completion slot of a [`Ticket`].
+struct TicketState {
+    done: Mutex<Option<BatchResult>>,
+    cv: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Self {
+        TicketState {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, results: Vec<Result<OptimizedPlan>>) {
+        let mut slot = self.done.lock().expect("ticket poisoned");
+        *slot = Some(BatchResult {
+            results,
+            completed_at: Instant::now(),
+        });
+        drop(slot);
+        self.cv.notify_all();
+    }
+}
+
+/// A handle to one submitted batch's eventual results.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the batch has executed and take its results.
+    pub fn wait(self) -> BatchResult {
+        let mut slot = self.state.done.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.cv.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Take the results if the batch has already executed.
+    pub fn try_take(&self) -> Option<BatchResult> {
+        self.state.done.lock().expect("ticket poisoned").take()
+    }
+}
+
+/// The shard worker pool: long-lived worker threads, each pinned to a home
+/// shard (worker `w` → shard `w % shard_count`), executing coalesced job
+/// batches through [`crate::serving::serve_batch`] and stealing FIFO from
+/// other shards when their own queue runs dry.
+///
+/// Each worker owns one [`SnapshotCache`], so steady-state serving takes no
+/// registry lock and clones no `Arc` on an unchanged route — the worker-local
+/// structure the contention audit called for.  Determinism: a batch's results
+/// are a pure function of its jobs and the registry state, and they are
+/// delivered on the batch's own [`Ticket`], so results are identical and
+/// identically ordered for 1 worker or N (pinned by the serving tests).
+pub struct ServingPool {
+    inner: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServingPool {
+    /// Spawn a pool of `workers` threads over `shard_count` admission queues
+    /// (both floored at 1), serving through `shared`.
+    pub fn new(shared: SharedOptimizer, shard_count: usize, workers: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let inner = Arc::new(PoolShared {
+            shared,
+            shards: (0..shard_count)
+                .map(|_| ShardQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                    pending: AtomicUsize::new(0),
+                })
+                .collect(),
+            sleep: Mutex::new(0),
+            wake: Condvar::new(),
+            paused: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cleo-serve-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        ServingPool { inner, workers }
+    }
+
+    /// Number of shard queues.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The serving optimizer the workers execute through.
+    pub fn shared(&self) -> &SharedOptimizer {
+        &self.inner.shared
+    }
+
+    /// Jobs queued (not yet claimed) at one shard — the admission depth the
+    /// front door bounds.
+    pub fn pending_jobs(&self, shard: usize) -> usize {
+        self.inner.shards[shard % self.inner.shards.len()]
+            .pending
+            .load(Ordering::Acquire)
+    }
+
+    /// Jobs queued across all shards.
+    pub fn total_pending(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.pending.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Submit one batch to a shard's queue; the returned [`Ticket`] resolves
+    /// once a worker has executed it.  `shard` wraps onto the shard count.
+    pub fn submit(&self, shard: usize, jobs: Vec<Arc<cleo_engine::workload::JobSpec>>) -> Ticket {
+        let state = Arc::new(TicketState::new());
+        let shard = &self.inner.shards[shard % self.inner.shards.len()];
+        shard.pending.fetch_add(jobs.len(), Ordering::Release);
+        shard
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(PoolTask {
+                jobs,
+                ticket: Arc::clone(&state),
+            });
+        self.inner.wake_all();
+        Ticket { state }
+    }
+
+    /// Stop claiming new batches (already-claimed batches finish).  Queues
+    /// keep accumulating, which is what makes over-capacity admission tests
+    /// deterministic: pause, offer a burst, assert exact queue/shed counts.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::Release);
+    }
+
+    /// Resume claiming batches.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::Release);
+        self.inner.wake_all();
+    }
+}
+
+impl Drop for ServingPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wake_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One worker's serve loop: claim from the home shard (stealing when dry),
+/// execute through the worker-local snapshot cache, deliver on the ticket;
+/// park on the wake condvar when there is nothing runnable.
+fn worker_loop(inner: &PoolShared, worker: usize) {
+    let mut cache = SnapshotCache::new();
+    let home = worker % inner.shards.len();
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !inner.paused.load(Ordering::Acquire) {
+            if let Some(task) = inner.claim(home) {
+                let results = crate::serving::serve_batch(&inner.shared, &task.jobs, &mut cache);
+                task.ticket.complete(results);
+                continue;
+            }
+        }
+        let generation = inner.sleep.lock().expect("pool sleep lock poisoned");
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let runnable = !inner.paused.load(Ordering::Acquire)
+            && inner
+                .shards
+                .iter()
+                .any(|s| s.pending.load(Ordering::Acquire) > 0);
+        if !runnable {
+            // Timed wait purely as a backstop; every submit/resume/shutdown
+            // bumps the generation under this mutex, so wakeups can't be lost.
+            let _ = inner
+                .wake
+                .wait_timeout(generation, Duration::from_millis(50))
+                .expect("pool sleep lock poisoned");
         }
     }
 }

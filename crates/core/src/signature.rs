@@ -53,8 +53,9 @@ impl ModelFamily {
     }
 }
 
-/// The four signatures of one operator instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The four signatures of one operator instance.  `Ord` so coalesced costing
+/// can group sweeps in a deterministic (key-sorted) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SignatureSet {
     /// Exact subgraph signature.
     pub op_subgraph: u64,

@@ -17,6 +17,20 @@
 
 use cleo_engine::physical::{JobMeta, PhysicalNode, PhysicalOpKind};
 
+/// One candidate sweep of a coalesced costing pass: an operator, the candidate
+/// partition counts to cost it at, and the job context the sweep belongs to.
+/// Batches of these — possibly spanning *different jobs* served by the same
+/// model snapshot — are costed together through
+/// [`CostModel::exclusive_cost_sweeps`].
+pub struct SweepSpec<'a> {
+    /// The operator being costed (`node.est` carries its statistics).
+    pub node: &'a PhysicalNode,
+    /// Candidate partition counts for this operator.
+    pub partitions: &'a [usize],
+    /// The job the operator belongs to.
+    pub meta: &'a JobMeta,
+}
+
 /// A cost model invoked by the optimizer's Optimize-Inputs task.
 pub trait CostModel: Send + Sync {
     /// Exclusive cost (estimated seconds) of running `node` with `partitions`
@@ -40,6 +54,22 @@ pub trait CostModel: Send + Sync {
         partitions
             .iter()
             .map(|&p| self.exclusive_cost(node, p, meta))
+            .collect()
+    }
+
+    /// Cost many candidate sweeps — typically one per operator, gathered across
+    /// a whole batch of concurrent jobs served by the same model snapshot — in
+    /// one call, returning one cost vector per sweep in input order.
+    ///
+    /// This is the coalescing seam of the serving front end: learned models
+    /// override it to merge every sweep's feature rows into one
+    /// `FeatureMatrix` pass per signature group before scattering results
+    /// back.  Overrides must return values bit-identical to costing each
+    /// sweep alone through [`CostModel::exclusive_cost_batch`].
+    fn exclusive_cost_sweeps(&self, sweeps: &[SweepSpec]) -> Vec<Vec<f64>> {
+        sweeps
+            .iter()
+            .map(|s| self.exclusive_cost_batch(s.node, s.partitions, s.meta))
             .collect()
     }
 
@@ -255,6 +285,32 @@ mod tests {
         assert!(t.exclusive_cost(&n, 10, &meta()) > d.exclusive_cost(&n, 10, &meta()));
         assert_eq!(d.name(), "Default");
         assert_eq!(t.name(), "Manually-tuned");
+    }
+
+    #[test]
+    fn default_sweeps_match_per_sweep_batches() {
+        let m = HeuristicCostModel::default_model();
+        let meta = meta();
+        let n1 = node(PhysicalOpKind::Filter, 1e6, 1.0);
+        let n2 = node(PhysicalOpKind::HashJoin, 1e7, 1.0);
+        let p1 = [1usize, 8, 64];
+        let p2 = [4usize, 32];
+        let sweeps = [
+            SweepSpec {
+                node: &n1,
+                partitions: &p1,
+                meta: &meta,
+            },
+            SweepSpec {
+                node: &n2,
+                partitions: &p2,
+                meta: &meta,
+            },
+        ];
+        let merged = m.exclusive_cost_sweeps(&sweeps);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], m.exclusive_cost_batch(&n1, &p1, &meta));
+        assert_eq!(merged[1], m.exclusive_cost_batch(&n2, &p2, &meta));
     }
 
     #[test]

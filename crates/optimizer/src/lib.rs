@@ -20,10 +20,13 @@ pub mod optimizer;
 pub mod provider;
 pub mod resource;
 
-pub use cost::{CostModel, DefaultCostModel, HeuristicCostModel};
+pub use cost::{CostModel, DefaultCostModel, HeuristicCostModel, SweepSpec};
 pub use enumerate::{default_partition_count, Alternative, EnumerationStats, MAX_PARTITIONS};
 pub use optimizer::{OptimizationStats, OptimizedPlan, Optimizer, OptimizerConfig};
-pub use provider::{CostModelProvider, FixedCostModel, ServedModel, SharedOptimizer};
+pub use provider::{
+    CostModelProvider, FixedCostModel, ServedModel, SharedOptimizer, SnapshotCache,
+    ROUTE_UNCACHEABLE,
+};
 pub use resource::{
     analytical_lookup_count, candidate_counts, explore_stage_analytical, explore_stage_sampling,
     geometric_lookup_count, ExplorationOutcome, PartitionExploration, ResourceContext,

@@ -110,6 +110,26 @@ impl<'a> Optimizer<'a> {
     /// Optimize one job into a physical plan.
     pub fn optimize(&self, job: &JobSpec) -> Result<OptimizedPlan> {
         let start = Instant::now();
+        let (mut optimized, final_cost_pending) = self.optimize_deferred(job)?;
+        if final_cost_pending {
+            optimized.estimated_cost = self.total_plan_cost(&optimized.plan);
+            optimized.stats.model_invocations += optimized.plan.op_count();
+        }
+        optimized.stats.optimization_micros = start.elapsed().as_micros();
+        Ok(optimized)
+    }
+
+    /// Like [`Optimizer::optimize`], but when resource planning rewrote
+    /// partition counts the final whole-plan costing is left to the caller:
+    /// the returned flag is `true` and `estimated_cost` still holds the
+    /// enumeration-time cost of the chosen alternative.  The serving front
+    /// end uses this to coalesce the final costing of a whole batch of jobs
+    /// into one merged sweep pass
+    /// ([`crate::cost::CostModel::exclusive_cost_sweeps`]); a caller that
+    /// completes the deferred pass itself must add `plan.op_count()` to
+    /// `stats.model_invocations`, matching what [`Optimizer::optimize`] does.
+    pub fn optimize_deferred(&self, job: &JobSpec) -> Result<(OptimizedPlan, bool)> {
+        let start = Instant::now();
         let mut enumerator = Enumerator::new(
             self.cost_model,
             &job.catalog,
@@ -134,23 +154,26 @@ impl<'a> Optimizer<'a> {
             alternatives_generated: enumerator.stats.alternatives_generated,
             ..OptimizationStats::default()
         };
-        let mut estimated_cost = best.cost;
+        let estimated_cost = best.cost;
 
+        let mut final_cost_pending = false;
         if self.config.resource_planning
             && self.config.partition_exploration != PartitionExploration::None
         {
             let invocations = self.optimize_partitions(&mut plan)?;
             stats.model_invocations += invocations;
-            estimated_cost = self.total_plan_cost(&plan);
-            stats.model_invocations += plan.op_count();
+            final_cost_pending = true;
         }
 
         stats.optimization_micros = start.elapsed().as_micros();
-        Ok(OptimizedPlan {
-            plan,
-            estimated_cost,
-            stats,
-        })
+        Ok((
+            OptimizedPlan {
+                plan,
+                estimated_cost,
+                stats,
+            },
+            final_cost_pending,
+        ))
     }
 
     /// Sum of exclusive costs over every operator of the plan.

@@ -24,6 +24,7 @@ use crate::optimizer::{OptimizedPlan, Optimizer, OptimizerConfig};
 
 /// One served model snapshot together with its provenance: the version stamp
 /// and (for sharded providers) the cluster whose registry shard it came from.
+#[derive(Clone)]
 pub struct ServedModel {
     /// The cost model to optimize against.
     pub model: Arc<dyn CostModel>,
@@ -80,6 +81,97 @@ pub trait CostModelProvider: Send + Sync {
             delta_base: None,
         }
     }
+
+    /// A cheap, lock-free stamp that changes whenever the model
+    /// [`CostModelProvider::snapshot_for`] would return for `meta` may have
+    /// changed.  [`SnapshotCache`] keys worker-local snapshot reuse on it, so
+    /// the per-job registry lock traffic and `Arc` refcount ping-pong of the
+    /// snapshot-load path collapse to one atomic load per job on an unchanged
+    /// route.  Return [`ROUTE_UNCACHEABLE`] (the default) when no such stamp
+    /// exists; the cache then falls back to a fresh snapshot per job.
+    fn route_stamp(&self, meta: &JobMeta) -> u64 {
+        let _ = meta;
+        ROUTE_UNCACHEABLE
+    }
+
+    /// Invoked by [`SnapshotCache`] when it serves a job from a cached
+    /// snapshot instead of calling [`CostModelProvider::snapshot_for`], so
+    /// providers that count routing outcomes per job stay exact.  The default
+    /// does nothing.
+    fn note_cached_route(&self, meta: &JobMeta, served: &ServedModel) {
+        let _ = (meta, served);
+    }
+}
+
+/// Sentinel [`CostModelProvider::route_stamp`] value: "no stamp available,
+/// never cache" — every job takes a fresh snapshot.
+pub const ROUTE_UNCACHEABLE: u64 = u64::MAX;
+
+/// A worker-local memo of [`CostModelProvider::snapshot_for`] results, keyed
+/// by the job's cluster and invalidated by the provider's
+/// [`CostModelProvider::route_stamp`].
+///
+/// Owning one `Arc` snapshot per job is correct but contended: at fleet
+/// throughput the registry's reader lock and the snapshot's refcount become
+/// shared cachelines that every serving thread bounces.  Each serving worker
+/// instead keeps one `SnapshotCache`; while a shard's stamp is unchanged the
+/// worker re-borrows its cached [`ServedModel`] — no lock, no refcount
+/// traffic — and a publish (stamp change) refreshes the entry on the next job.
+/// Routing counters stay exact: cached reuse is reported back through
+/// [`CostModelProvider::note_cached_route`].
+#[derive(Default)]
+pub struct SnapshotCache {
+    /// Cluster id → (stamp, snapshot).  `ClusterId` is a `u8`, so 256 slots.
+    entries: Vec<Option<(u64, ServedModel)>>,
+    /// Holding slot for uncacheable routes (so `get` can always hand out a
+    /// reference with the cache's lifetime).
+    transient: Option<ServedModel>,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SnapshotCache {
+            entries: Vec::new(),
+            transient: None,
+        }
+    }
+
+    /// The snapshot to serve `meta` with, reusing the cached one while the
+    /// provider's route stamp is unchanged.
+    pub fn get<'a>(
+        &'a mut self,
+        provider: &dyn CostModelProvider,
+        meta: &JobMeta,
+    ) -> &'a ServedModel {
+        let stamp = provider.route_stamp(meta);
+        if stamp == ROUTE_UNCACHEABLE {
+            self.transient = Some(provider.snapshot_for(meta));
+            return self.transient.as_ref().expect("just stored");
+        }
+        if self.entries.is_empty() {
+            self.entries = vec![None; 256];
+        }
+        let slot = meta.cluster.0 as usize;
+        match &self.entries[slot] {
+            Some((cached_stamp, served)) if *cached_stamp == stamp => {
+                provider.note_cached_route(meta, served);
+            }
+            _ => {
+                let served = provider.snapshot_for(meta);
+                // Re-read the stamp after fetching: if a publish (or rollback)
+                // landed in between, the snapshot may not belong to either
+                // stamp, so serve it once without caching rather than pin a
+                // mismatched (stamp, snapshot) pair.
+                if provider.route_stamp(meta) != stamp {
+                    self.transient = Some(served);
+                    return self.transient.as_ref().expect("just stored");
+                }
+                self.entries[slot] = Some((stamp, served));
+            }
+        }
+        &self.entries[slot].as_ref().expect("just checked").1
+    }
 }
 
 /// The trivial provider: always serves the same model (version 0).
@@ -101,6 +193,11 @@ impl FixedCostModel {
 impl CostModelProvider for FixedCostModel {
     fn current(&self) -> Arc<dyn CostModel> {
         Arc::clone(&self.model)
+    }
+
+    /// The served model never changes, so any constant stamp is valid.
+    fn route_stamp(&self, _meta: &JobMeta) -> u64 {
+        0
     }
 }
 
@@ -141,6 +238,22 @@ impl SharedOptimizer {
         Ok(optimized)
     }
 
+    /// [`SharedOptimizer::optimize`] through a worker-local [`SnapshotCache`]:
+    /// an unchanged route re-borrows the worker's cached snapshot instead of
+    /// taking registry locks and `Arc` clones per job.
+    pub fn optimize_cached(
+        &self,
+        job: &JobSpec,
+        cache: &mut SnapshotCache,
+    ) -> Result<OptimizedPlan> {
+        let served = cache.get(self.provider.as_ref(), &job.meta);
+        let mut optimized = Optimizer::new(served.model.as_ref(), self.config).optimize(job)?;
+        optimized.stats.model_version = served.version;
+        optimized.stats.model_cluster = served.cluster;
+        optimized.stats.model_delta_base = served.delta_base;
+        Ok(optimized)
+    }
+
     /// Optimize a batch of jobs, spreading them across `threads` OS threads
     /// (`0` = all available cores).  Results are returned in job order regardless
     /// of the thread schedule; each job snapshots the provider independently, so a
@@ -156,7 +269,11 @@ impl SharedOptimizer {
         .min(jobs.len().max(1));
 
         if threads <= 1 {
-            return jobs.iter().map(|job| self.optimize(job)).collect();
+            let mut cache = SnapshotCache::new();
+            return jobs
+                .iter()
+                .map(|job| self.optimize_cached(job, &mut cache))
+                .collect();
         }
 
         let chunk_size = jobs.len().div_ceil(threads);
@@ -166,9 +283,10 @@ impl SharedOptimizer {
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
+                        let mut cache = SnapshotCache::new();
                         chunk
                             .iter()
-                            .map(|job| self.optimize(job))
+                            .map(|job| self.optimize_cached(job, &mut cache))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -235,6 +353,97 @@ mod tests {
             "unsharded providers route nowhere"
         );
         assert!(plan.estimated_cost > 0.0);
+    }
+
+    #[test]
+    fn snapshot_cache_reuses_until_the_stamp_changes() {
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+        /// Provider with a controllable stamp, counting snapshot loads and
+        /// cached-route notifications.
+        struct Stamped {
+            model: Arc<dyn CostModel>,
+            stamp: AtomicU64,
+            loads: AtomicUsize,
+            cached_notes: AtomicUsize,
+        }
+        impl CostModelProvider for Stamped {
+            fn current(&self) -> Arc<dyn CostModel> {
+                Arc::clone(&self.model)
+            }
+            fn current_version(&self) -> u64 {
+                self.stamp.load(Ordering::Relaxed)
+            }
+            fn snapshot_for(&self, meta: &JobMeta) -> ServedModel {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                let _ = meta;
+                ServedModel {
+                    model: Arc::clone(&self.model),
+                    version: self.stamp.load(Ordering::Relaxed),
+                    cluster: None,
+                    delta_base: None,
+                }
+            }
+            fn route_stamp(&self, _meta: &JobMeta) -> u64 {
+                self.stamp.load(Ordering::Relaxed)
+            }
+            fn note_cached_route(&self, _meta: &JobMeta, _served: &ServedModel) {
+                self.cached_notes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let provider = Stamped {
+            model: Arc::new(HeuristicCostModel::default_model()),
+            stamp: AtomicU64::new(1),
+            loads: AtomicUsize::new(0),
+            cached_notes: AtomicUsize::new(0),
+        };
+        let meta = job(1).meta;
+        let mut cache = SnapshotCache::new();
+
+        // First get loads; the next two reuse (and are reported back).
+        assert_eq!(cache.get(&provider, &meta).version, 1);
+        assert_eq!(cache.get(&provider, &meta).version, 1);
+        assert_eq!(cache.get(&provider, &meta).version, 1);
+        assert_eq!(provider.loads.load(Ordering::Relaxed), 1);
+        assert_eq!(provider.cached_notes.load(Ordering::Relaxed), 2);
+
+        // A publish (stamp change) invalidates exactly once.
+        provider.stamp.store(2, Ordering::Relaxed);
+        assert_eq!(cache.get(&provider, &meta).version, 2);
+        assert_eq!(cache.get(&provider, &meta).version, 2);
+        assert_eq!(provider.loads.load(Ordering::Relaxed), 2);
+        assert_eq!(provider.cached_notes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn uncacheable_routes_take_a_fresh_snapshot_per_job() {
+        /// The default `route_stamp` returns `ROUTE_UNCACHEABLE`.
+        struct Plain {
+            model: Arc<dyn CostModel>,
+            loads: std::sync::atomic::AtomicUsize,
+        }
+        impl CostModelProvider for Plain {
+            fn current(&self) -> Arc<dyn CostModel> {
+                self.loads
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Arc::clone(&self.model)
+            }
+        }
+        let provider = Plain {
+            model: Arc::new(HeuristicCostModel::default_model()),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        };
+        assert_eq!(provider.route_stamp(&job(1).meta), ROUTE_UNCACHEABLE);
+        let mut cache = SnapshotCache::new();
+        let meta = job(1).meta;
+        cache.get(&provider, &meta);
+        cache.get(&provider, &meta);
+        assert_eq!(
+            provider.loads.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "no stamp, no reuse"
+        );
     }
 
     #[test]
