@@ -86,9 +86,13 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let degraded = cores < 4;
+    // Which SIMD arm the runtime dispatcher actually picked on this machine —
+    // numbers from different ISAs are not comparable.
+    let simd = cleo_mlkit::simd::isa_name();
     let json = format!(
         "{{\n  \"bench\": \"feedback_loop\",\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \"epochs_per_sec\": {epochs_per_sec:.4},\n  \
+         \"degraded\": {degraded},\n  \"simd\": \"{simd}\",\n  \
+         \"epochs_per_sec\": {epochs_per_sec:.4},\n  \
          \"epoch_jobs\": {},\n  \"predictions_per_run\": {predictions_per_run},\n  \
          \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
          \"predictions_per_sec_cached\": {cached_preds_per_sec:.1},\n  \

@@ -103,12 +103,18 @@ fn main() {
         alternatives_per_run as f64 / enum_sample.median.as_secs_f64().max(1e-12);
     group.finish();
 
-    // The pre-refactor reference measured by BENCH_feedback_loop.json at PR 2.
+    // The pre-refactor reference measured by BENCH_feedback_loop.json at PR 2,
+    // and the scalar pre-SIMD reference this file recorded before the
+    // lane-blocked kernels landed.
     let baseline_uncached_preds_per_sec = 1_737_539.5_f64;
+    let presimd_uncached_preds_per_sec = 3_827_168.3_f64;
     let speedup = uncached_preds_per_sec / baseline_uncached_preds_per_sec;
+    let simd_speedup = uncached_preds_per_sec / presimd_uncached_preds_per_sec;
+    let simd = cleo_mlkit::simd::isa_name();
     println!(
         "\nuncached predictions/sec: {uncached_preds_per_sec:.0} ({speedup:.2}x vs the \
-         1.74M/s pre-refactor baseline)  ns/candidate (64-cand sweep): {ns_per_candidate:.0}  \
+         1.74M/s pre-refactor baseline, {simd_speedup:.2}x vs the 3.83M/s pre-SIMD \
+         baseline, {simd} kernels)  ns/candidate (64-cand sweep): {ns_per_candidate:.0}  \
          enumeration alternatives/sec: {alternatives_per_sec:.0}"
     );
 
@@ -122,11 +128,13 @@ fn main() {
     let degraded = cores < 4;
     let json = format!(
         "{{\n  \"bench\": \"inference_path\",\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \
+         \"degraded\": {degraded},\n  \"simd\": \"{simd}\",\n  \
          \"predictions_per_run\": {predictions_per_run},\n  \
          \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
          \"baseline_predictions_per_sec_uncached\": {baseline_uncached_preds_per_sec:.1},\n  \
          \"uncached_speedup_vs_baseline\": {speedup:.3},\n  \
+         \"presimd_predictions_per_sec_uncached\": {presimd_uncached_preds_per_sec:.1},\n  \
+         \"simd_speedup_vs_presimd\": {simd_speedup:.3},\n  \
          \"ns_per_candidate_64cand_sweep\": {ns_per_candidate:.1},\n  \
          \"enumeration_alternatives_per_sec\": {alternatives_per_sec:.1}\n}}\n"
     );

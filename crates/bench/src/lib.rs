@@ -14,4 +14,4 @@ pub mod microbench;
 
 pub use context::{ClusterData, ExperimentContext, Scale};
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
-pub use microbench::BenchGroup;
+pub use microbench::{BenchGroup, Sample};

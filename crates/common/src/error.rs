@@ -27,6 +27,15 @@ pub enum CleoError {
     Config(String),
     /// An I/O error while writing experiment output.
     Io(String),
+    /// A telemetry record failed to parse.  `line` is 1-based; `start..end` is
+    /// the byte span of the offending token *within* that line, so tooling can
+    /// point at the exact corrupt bytes of a firehose dump.
+    Parse {
+        line: usize,
+        start: usize,
+        end: usize,
+        msg: String,
+    },
 }
 
 impl fmt::Display for CleoError {
@@ -39,6 +48,12 @@ impl fmt::Display for CleoError {
             CleoError::OptimizationError(m) => write!(f, "optimization error: {m}"),
             CleoError::Config(m) => write!(f, "configuration error: {m}"),
             CleoError::Io(m) => write!(f, "io error: {m}"),
+            CleoError::Parse {
+                line,
+                start,
+                end,
+                msg,
+            } => write!(f, "parse error at line {line}, bytes {start}..{end}: {msg}"),
         }
     }
 }

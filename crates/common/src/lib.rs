@@ -12,6 +12,8 @@
 //! * [`hash`] — stable 64-bit hashing used for operator/subgraph signatures
 //!   (Section 5.1 of the paper),
 //! * [`concurrency`] — cacheline-striped counters for the serving hot path,
+//! * [`scan`] — SWAR byte scanning and span-exact number parsing for the
+//!   streaming telemetry readers,
 //! * [`table`] — plain-text table rendering for the experiment runners,
 //! * [`csvout`] — tiny CSV writer so experiment output can be post-processed,
 //! * [`error`] — the shared error type.
@@ -22,6 +24,7 @@ pub mod csvout;
 pub mod error;
 pub mod hash;
 pub mod rng;
+pub mod scan;
 pub mod stats;
 pub mod table;
 

@@ -196,6 +196,51 @@ pub fn extract_features_with_encoding(
     dst.copy_from_slice(&values);
 }
 
+/// Sweep-hoisted feature extraction: within one candidate sweep only the
+/// partition count varies, so every cardinality-derived value — including the
+/// six transcendentals — is computed once into a template row and each
+/// candidate just rewrites the nine `P`-dependent slots.
+///
+/// The template is extracted at `P = 1`, which makes the `…/P` slots hold
+/// exactly their numerators (`x / 1.0 == x` bitwise), so the per-candidate
+/// rewrite `template[idx] / p` reproduces the full extractor's `x / p` bit for
+/// bit.  [`SweepFeatures::write_row`] is therefore bit-identical to
+/// [`extract_features_with_encoding`] for every partition count.
+#[derive(Debug, Clone)]
+pub struct SweepFeatures {
+    template: [f64; feature_count()],
+}
+
+/// Feature slot holding the raw partition count `P`.
+const P_SLOT: usize = 4;
+/// The contiguous run of `…/P` feature slots.
+const PER_PARTITION_SLOTS: std::ops::RangeInclusive<usize> = 22..=29;
+
+impl SweepFeatures {
+    /// Hoist the sweep-invariant features of one operator (`encoding` from
+    /// [`input_encoding`]).
+    pub fn new(node: &PhysicalNode, meta: &JobMeta, encoding: f64) -> SweepFeatures {
+        debug_assert_eq!(FEATURE_NAMES[P_SLOT], "P");
+        debug_assert!(PER_PARTITION_SLOTS
+            .map(|idx| FEATURE_NAMES[idx])
+            .all(|n| n.contains("/P")));
+        let mut template = [0.0; feature_count()];
+        extract_features_with_encoding(node, 1, meta, encoding, &mut template);
+        SweepFeatures { template }
+    }
+
+    /// Write one candidate's feature row: copy the template, then fill `P` and
+    /// the eight per-partition slots.
+    pub fn write_row(&self, partitions: usize, dst: &mut [f64]) {
+        dst.copy_from_slice(&self.template);
+        let p = partitions.max(1) as f64;
+        dst[P_SLOT] = p;
+        for idx in PER_PARTITION_SLOTS {
+            dst[idx] = self.template[idx] / p;
+        }
+    }
+}
+
 /// Indices of the features that involve the partition count `P` in a `1/P` term
 /// (used by the analytical partition-coefficient extraction).
 pub fn inverse_partition_feature_indices() -> Vec<usize> {

@@ -63,6 +63,7 @@
 pub mod cardlearner;
 pub mod features;
 pub mod feedback;
+pub mod ingest;
 pub mod integration;
 pub mod models;
 pub mod pipeline;
@@ -81,6 +82,7 @@ pub use feedback::{
     DeltaDecision, DeltaOutcome, DeltaRoundReport, EpochReport, FeedbackConfig, FeedbackLoop,
     PublishDecision, RetrainOutcome, WindowEviction,
 };
+pub use ingest::{ingest_firehose, parse_telemetry, IngestReport, WireFormat};
 pub use integration::{CacheStats, LearnedCostModel};
 pub use models::{
     CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictScratch, PredictionBreakdown,
@@ -99,8 +101,8 @@ pub use serving::{
     FrontDoorStats, OverloadPolicy,
 };
 pub use sharding::{
-    BatchResult, ClusterRouter, DriftPolicy, RegistryShard, RoutingSnapshot, ServingPool,
-    ShardDeltaReport, ShardEpochReport, ShardedDeltaReport, ShardedEpochReport,
+    BatchResult, ClusterRouter, DriftPolicy, ObserveReport, RegistryShard, RoutingSnapshot,
+    ServingPool, ShardDeltaReport, ShardEpochReport, ShardedDeltaReport, ShardedEpochReport,
     ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry, Ticket,
 };
 pub use signature::{signature_set, ModelFamily, SignatureSet};

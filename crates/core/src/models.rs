@@ -546,7 +546,7 @@ impl ModelStore {
                         .iter()
                         .position(|t| t.family_index == family_index && t.signature == signature)
                         .unwrap_or(usize::MAX);
-                    if first_error.as_ref().map_or(true, |(r, _)| rank < *r) {
+                    if first_error.as_ref().is_none_or(|(r, _)| rank < *r) {
                         first_error = Some((rank, e));
                     }
                 }
@@ -608,11 +608,10 @@ impl ModelStore {
     ) -> bool {
         match self.models.get(&signature) {
             Some(m) => {
-                let start = out.len();
-                m.model.predict_batch_into(rows, out);
-                for p in &mut out[start..] {
-                    *p = p.clamp(m.floor, m.ceiling);
-                }
+                // Inverse target transform and range clamp fused into a single
+                // epilogue pass over the fresh predictions.
+                m.model
+                    .predict_batch_clamped_into(rows, out, m.floor, m.ceiling);
                 true
             }
             None => false,
@@ -959,10 +958,12 @@ impl PredictScratch {
     /// batched output is bit-identical to costing it alone.
     pub fn append_features(&mut self, node: &PhysicalNode, partitions: &[usize], meta: &JobMeta) {
         let encoding = crate::features::input_encoding(meta);
+        // Hoist the sweep-invariant features (cardinalities, transcendentals,
+        // metadata) once; per candidate only `P` and the `…/P` slots are
+        // rewritten — bit-identical to full per-row extraction.
+        let sweep = crate::features::SweepFeatures::new(node, meta, encoding);
         for &p in partitions {
-            self.features.push_row_with(|dst| {
-                crate::features::extract_features_with_encoding(node, p, meta, encoding, dst)
-            });
+            self.features.push_row_with(|dst| sweep.write_row(p, dst));
         }
     }
 }

@@ -700,6 +700,17 @@ struct ServedPartition {
     ingest: Vec<Option<TelemetryLog>>,
 }
 
+/// What [`ShardedFeedbackLoop::observe`] did with an externally-ingested log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObserveReport {
+    /// Records accepted into some shard's window.
+    pub accepted_jobs: usize,
+    /// Records whose cluster has no registry shard (dropped).
+    pub unrouted_jobs: usize,
+    /// Records evicted by the standard window policy during this observe.
+    pub evicted_jobs: usize,
+}
+
 /// Per-shard state of the sharded loop.
 struct ShardState {
     cluster: ClusterId,
@@ -872,6 +883,50 @@ impl ShardedFeedbackLoop {
             .iter()
             .find(|s| s.cluster == cluster)
             .map(|s| &s.window)
+    }
+
+    /// Feed externally-ingested telemetry (a parsed firehose dump — see
+    /// `cleo_engine::telemetry_io` and `crate::ingest`) into the per-cluster
+    /// shard windows, applying each shard's standard eviction policy.
+    ///
+    /// This is the offline complement of [`ShardedFeedbackLoop::run_epoch`]'s
+    /// serve-then-ingest path: records are partitioned by cluster (moved, not
+    /// cloned), extended onto their shard's window, and the window bound is
+    /// re-applied — in parallel across shards via the same
+    /// [`std::thread::scope`] pool the retrain rounds use.  Records whose
+    /// cluster has no shard are dropped and counted (the fallback model serves
+    /// those clusters; nothing learns from them).  No training or publishing
+    /// happens here; the next epoch or delta round trains on the fattened
+    /// windows.
+    pub fn observe(&mut self, log: TelemetryLog) -> Result<ObserveReport> {
+        let mut ingest: Vec<Option<TelemetryLog>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut accepted_jobs = 0usize;
+        let mut unrouted_jobs = 0usize;
+        for (cluster, part) in log.into_cluster_partitions() {
+            match self.router.registry().shard_index(cluster) {
+                Some(i) => {
+                    accepted_jobs += part.len();
+                    ingest[i] = Some(part);
+                }
+                None => unrouted_jobs += part.len(),
+            }
+        }
+        let config = self.config;
+        let evictions = self.run_shard_rounds(ingest, |state, log| {
+            use crate::feedback::WindowEviction;
+            if let Some(log) = log {
+                state.window.extend(log);
+            }
+            Ok(match config.shard.eviction {
+                WindowEviction::JobCount(max_jobs) => state.window.drain_window(max_jobs).len(),
+                WindowEviction::RecentDays(days) => state.window.retain_recent_days(days).len(),
+            })
+        })?;
+        Ok(ObserveReport {
+            accepted_jobs,
+            unrouted_jobs,
+            evicted_jobs: evictions.iter().sum(),
+        })
     }
 
     /// Run one fleet-wide epoch over a multi-cluster job stream: serve through

@@ -94,3 +94,116 @@ fn steady_state_candidate_sweep_allocates_nothing() {
         total_candidates
     );
 }
+
+/// The lane-blocked SIMD sweep stays allocation-free for ragged candidate
+/// counts: 67 candidates is 8 full 8-row lane blocks plus a 3-row scalar
+/// remainder, so both the vector arm and the tail arm run in the timed region.
+/// The warm-up grows the lane-major transposed scratch to its high-water mark;
+/// after that, neither arm may touch the allocator.
+#[test]
+fn ragged_simd_sweep_allocates_nothing() {
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+    let model = HeuristicCostModel::default_model();
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let jobs: Vec<_> = workload.jobs.iter().take(30).collect();
+    let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
+    let predictor = Arc::new(pipeline::train_predictor(&log, TrainerConfig::default()).unwrap());
+
+    // Descending ragged sizes: the biggest first so the warm-up reaches the
+    // high-water mark, then smaller sweeps reuse (never regrow) the scratch.
+    let sizes = [67usize, 64, 9, 8, 7, 1];
+    let candidate_sets: Vec<Vec<usize>> = sizes
+        .iter()
+        .map(|&n| (0..n).map(|i| 1 + 3 * i).collect())
+        .collect();
+    let mut scratch = PredictScratch::new();
+    let plans: Vec<_> = log.jobs().iter().take(8).collect();
+
+    let mut warm = 0.0;
+    for job in &plans {
+        for node in job.plan.operators() {
+            let b = predictor.predict_candidates_with(
+                node,
+                &candidate_sets[0],
+                &job.plan.meta,
+                &mut scratch,
+            );
+            warm += b.iter().map(|x| x.combined).sum::<f64>();
+        }
+    }
+    assert!(warm.is_finite());
+
+    // Pre-collect the (node, meta) pairs: `operators()` materialises a Vec,
+    // which must stay outside the timed region.
+    let nodes: Vec<_> = plans
+        .iter()
+        .flat_map(|job| {
+            job.plan
+                .operators()
+                .into_iter()
+                .map(move |n| (n, &job.plan.meta))
+        })
+        .collect();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0.0;
+    let mut total_candidates = 0usize;
+    for candidates in &candidate_sets {
+        for &(node, meta) in &nodes {
+            let b = predictor.predict_candidates_with(node, candidates, meta, &mut scratch);
+            acc += b.iter().map(|x| x.combined).sum::<f64>();
+            total_candidates += b.len();
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(acc.is_finite());
+    assert!(
+        total_candidates > 500,
+        "swept {total_candidates} candidates"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "ragged SIMD sweeps must not allocate (got {} allocations over {} candidates)",
+        after - before,
+        total_candidates
+    );
+}
+
+/// The steady-state ingest validation loop is allocation-free: a firehose
+/// receiver re-scanning arriving NDJSON buffers ([`scan_ndjson`]) must never
+/// touch the allocator — the scan validates structure, UTF-8, field order, and
+/// day monotonicity through borrowed byte slices only.
+#[test]
+fn steady_state_ndjson_scan_allocates_nothing() {
+    use cleo_engine::telemetry_io::{scan_ndjson, write_ndjson};
+
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+    let model = HeuristicCostModel::default_model();
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let jobs: Vec<_> = workload.jobs.iter().take(40).collect();
+    let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
+    let text = write_ndjson(&log);
+    let buf = text.as_bytes();
+
+    // Warm-up (also pins the expected totals the timed loop must reproduce).
+    let expected = scan_ndjson(buf).expect("scan");
+    assert_eq!(expected.jobs, log.len());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut jobs_seen = 0usize;
+    let mut operators_seen = 0usize;
+    for _ in 0..50 {
+        let summary = scan_ndjson(buf).expect("scan");
+        jobs_seen += summary.jobs;
+        operators_seen += summary.operators;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(jobs_seen, expected.jobs * 50);
+    assert_eq!(operators_seen, expected.operators * 50);
+    assert_eq!(
+        after - before,
+        0,
+        "the NDJSON validation scan must not allocate (got {} allocations over 50 scans)",
+        after - before
+    );
+}

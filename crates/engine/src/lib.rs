@@ -13,6 +13,8 @@
 //! * [`exec`] — the execution simulator whose ground-truth runtime model generates
 //!   the telemetry Cleo learns from,
 //! * [`telemetry`] — executed-job records (plan + per-operator exclusive latencies),
+//! * [`telemetry_io`] — the telemetry firehose wire formats (NDJSON + compact
+//!   binary) with span-exact parse errors and an allocation-free validation scan,
 //! * [`workload`] — synthetic production-like recurring/ad-hoc workloads and TPC-H.
 
 pub mod catalog;
@@ -21,6 +23,7 @@ pub mod logical;
 pub mod physical;
 pub mod stage;
 pub mod telemetry;
+pub mod telemetry_io;
 pub mod types;
 pub mod workload;
 

@@ -128,6 +128,13 @@ impl Dataset {
         Arc::clone(&self.feature_names)
     }
 
+    /// Mutable access to the flat row-major feature buffer (length
+    /// `n_rows * n_cols`) — what the scaler's whole-dataset sweep rewrites in
+    /// place.
+    pub(crate) fn feature_values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// Feature row `i`.
     pub fn row(&self, i: usize) -> &[f64] {
         &self.values[i * self.n_cols..(i + 1) * self.n_cols]

@@ -336,7 +336,7 @@ impl DecisionTreeRegressor {
                 let right_sq = total_sq - left_sq;
                 let sse =
                     (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
-                if best.map_or(true, |(_, _, b)| sse < b) {
+                if best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((f, 0.5 * (cur_val + next_val), sse));
                 }
             }

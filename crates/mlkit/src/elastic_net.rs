@@ -123,6 +123,57 @@ impl ElasticNet {
             0.0
         }
     }
+
+    /// Append the raw linear term (`Σ x[j]·w[j]`, no intercept, no transform)
+    /// of every row onto `out`.  Full 8-row blocks run through the lane-blocked
+    /// SIMD dot kernel; the ragged tail falls back to the scalar loop.  Each
+    /// row's accumulation order is exactly `predict_row`'s
+    /// (`x[0]*w[0] + x[1]*w[1] + …`), so both paths are bit-identical.
+    fn linear_batch_into(&self, rows: &crate::matrix::FeatureMatrix, out: &mut Vec<f64>) {
+        let w = &self.weights;
+        let n = rows.n_rows();
+        let mut i = 0usize;
+        if n >= crate::simd::LANES {
+            crate::simd::with_lane_block(|block| {
+                while i + crate::simd::LANES <= n {
+                    crate::simd::transpose_block(
+                        rows.rows_flat(i, crate::simd::LANES),
+                        rows.n_cols(),
+                        block,
+                    );
+                    out.extend_from_slice(&crate::simd::dot8(block, w));
+                    i += crate::simd::LANES;
+                }
+            });
+        }
+        for k in i..n {
+            out.push(rows.row(k).iter().zip(w).map(|(x, wj)| x * wj).sum::<f64>());
+        }
+    }
+
+    /// Batched prediction with the inverse target transform and the
+    /// floor/ceiling clamp **fused into one pass** over the output slice: the
+    /// separate clamp sweep the model store used to run is folded into the
+    /// epilogue that already walks the fresh predictions.  Produces bitwise
+    /// `predict_row(row).clamp(floor, ceiling)` for every row.
+    pub fn predict_batch_clamped_into(
+        &self,
+        rows: &crate::matrix::FeatureMatrix,
+        out: &mut Vec<f64>,
+        floor: f64,
+        ceiling: f64,
+    ) {
+        let start = out.len();
+        if !self.fitted {
+            out.extend(rows.rows().map(|_| 0.0f64.clamp(floor, ceiling)));
+            return;
+        }
+        self.linear_batch_into(rows, out);
+        let t = self.config.target_transform;
+        for p in &mut out[start..] {
+            *p = t.inverse(*p + self.intercept).clamp(floor, ceiling);
+        }
+    }
 }
 
 impl Regressor for ElasticNet {
@@ -244,37 +295,16 @@ impl Regressor for ElasticNet {
             out.extend(rows.rows().map(|_| 0.0));
             return;
         }
-        // Strided dot products over the flat buffer, four rows interleaved so
-        // the four add chains overlap in flight (a single chain is latency
-        // bound).  Each row's own accumulation order is exactly that of
+        // Lane-blocked strided dot products over the flat buffer (8 rows per
+        // SIMD block, ragged tail scalar), then the inverse-transform epilogue
+        // in one pass.  Each row's own accumulation order is exactly that of
         // `predict_row` — x[0]*w[0] + x[1]*w[1] + … — so every prediction is
         // bit-identical to the row-by-row loop.
-        let w = &self.weights;
-        let n = rows.n_rows();
-        let mut i = 0usize;
-        while i + 4 <= n {
-            let (r0, r1, r2, r3) = (
-                rows.row(i),
-                rows.row(i + 1),
-                rows.row(i + 2),
-                rows.row(i + 3),
-            );
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-            for ((((&wj, &x0), &x1), &x2), &x3) in w.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
-                s0 += x0 * wj;
-                s1 += x1 * wj;
-                s2 += x2 * wj;
-                s3 += x3 * wj;
-            }
-            let t = self.config.target_transform;
-            out.push(t.inverse(s0 + self.intercept));
-            out.push(t.inverse(s1 + self.intercept));
-            out.push(t.inverse(s2 + self.intercept));
-            out.push(t.inverse(s3 + self.intercept));
-            i += 4;
-        }
-        for k in i..n {
-            out.push(self.predict_row(rows.row(k)));
+        let start = out.len();
+        self.linear_batch_into(rows, out);
+        let t = self.config.target_transform;
+        for p in &mut out[start..] {
+            *p = t.inverse(*p + self.intercept);
         }
     }
 

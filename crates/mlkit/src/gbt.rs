@@ -364,6 +364,34 @@ impl Regressor for FastTreeRegressor {
         let lr = self.config.learning_rate;
         let acc = &mut out[start..];
         let mut i = 0usize;
+        // Depth-3 ensembles take 8 rows per step through the lane-blocked
+        // oblivious kernel (runtime-dispatched SIMD, see `crate::simd`): the
+        // row block is transposed once per 8 rows and every tree evaluates all
+        // seven splits across the block at once.
+        if let Some(FlatEnsemble::W8(tables)) = &self.flat {
+            if n >= crate::simd::LANES {
+                crate::simd::with_lane_block(|block| {
+                    while i + crate::simd::LANES <= n {
+                        crate::simd::transpose_block(
+                            rows.rows_flat(i, crate::simd::LANES),
+                            rows.n_cols(),
+                            block,
+                        );
+                        let mut lanes = [0.0f64; crate::simd::LANES];
+                        lanes.copy_from_slice(&acc[i..i + crate::simd::LANES]);
+                        crate::simd::tree8_depth3_accumulate(
+                            &tables.splits,
+                            &tables.leaves,
+                            lr,
+                            block,
+                            &mut lanes,
+                        );
+                        acc[i..i + crate::simd::LANES].copy_from_slice(&lanes);
+                        i += crate::simd::LANES;
+                    }
+                });
+            }
+        }
         while i + 4 <= n {
             let (r0, r1, r2, r3) = (
                 rows.row(i),

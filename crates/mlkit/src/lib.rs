@@ -34,6 +34,7 @@ pub mod model;
 pub mod poisson;
 pub mod random_forest;
 pub mod scaler;
+pub mod simd;
 
 pub use dataset::Dataset;
 pub use decision_tree::DecisionTreeRegressor;

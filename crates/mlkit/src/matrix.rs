@@ -94,6 +94,12 @@ impl FeatureMatrix {
         &self.values[i * self.n_cols..(i + 1) * self.n_cols]
     }
 
+    /// `count` consecutive rows starting at `i` as one contiguous row-major
+    /// slice (stride `n_cols`) — what the SIMD lane-block transpose consumes.
+    pub fn rows_flat(&self, i: usize, count: usize) -> &[f64] {
+        &self.values[i * self.n_cols..(i + count) * self.n_cols]
+    }
+
     /// Iterate over all rows as slices.
     pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> {
         self.values.chunks_exact(self.n_cols.max(1))

@@ -47,17 +47,14 @@ impl StandardScaler {
         }
     }
 
-    /// Standardise every row of a dataset, keeping targets unchanged.  Rows are
-    /// transformed through one reused buffer straight into the new dataset's
-    /// flat storage (no per-row `Vec` materialisation).
+    /// Standardise every row of a dataset, keeping targets unchanged.  The
+    /// whole feature buffer is copied once and swept in place by the
+    /// lane-blocked scale/shift kernel (runtime SIMD dispatch; element-wise
+    /// subtract/divide, so the result is bit-identical to the per-row
+    /// transform on every arm).
     pub fn transform(&self, data: &Dataset) -> Dataset {
-        let mut out = Dataset::with_shared_names(data.feature_names_shared());
-        let mut buf = vec![0.0; data.n_cols()];
-        for i in 0..data.n_rows() {
-            self.transform_row_into(data.row(i), &mut buf);
-            out.push_row(&buf, data.target(i))
-                .expect("same shape as input dataset");
-        }
+        let mut out = data.clone();
+        crate::simd::scale_shift_rows(out.feature_values_mut(), &self.means, &self.stds);
         out
     }
 
