@@ -117,6 +117,7 @@ fn main() {
         max_queue_depth: 64,
         policy: OverloadPolicy::Shed,
         coalesce_max: 8,
+        ..FrontDoorConfig::default()
     };
     let coalesce_max = config.coalesce_max;
     let mut door = FrontDoor::new(Arc::clone(&pool), config);
@@ -184,6 +185,7 @@ fn main() {
                     max_queue_depth: depth,
                     policy: OverloadPolicy::Shed,
                     coalesce_max: coalesce,
+                    ..FrontDoorConfig::default()
                 },
             );
             let start = Instant::now();

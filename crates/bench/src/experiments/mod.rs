@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod accuracy;
+pub mod chaos;
 pub mod features;
 pub mod feedback;
 pub mod performance;
@@ -48,6 +49,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "overheads",
     "feedback_loop",
     "sharded_serving",
+    "chaos",
 ];
 
 /// Run one experiment by id.
@@ -81,6 +83,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Result<String> {
         "overheads" => performance::overheads(ctx),
         "feedback_loop" => feedback::feedback_loop(ctx),
         "sharded_serving" => sharded::sharded_serving(ctx),
+        "chaos" => chaos::chaos(ctx),
         other => Err(cleo_common::CleoError::Config(format!(
             "unknown experiment id '{other}'"
         ))),

@@ -50,6 +50,7 @@ pub fn sharded_serving(ctx: &ExperimentContext) -> Result<String> {
                 threshold: 1.0,
             },
             shard_threads: 0,
+            ..ShardedFeedbackConfig::default()
         },
         Simulator::new(SimulatorConfig::default()),
         Arc::clone(&router),

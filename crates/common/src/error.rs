@@ -27,6 +27,10 @@ pub enum CleoError {
     Config(String),
     /// An I/O error while writing experiment output.
     Io(String),
+    /// A serving component was unavailable: the worker executing a request
+    /// died, a request's deadline expired, or a shard round was lost to an
+    /// isolated failure.  The request did not complete; it may be retried.
+    Unavailable(String),
     /// A telemetry record failed to parse.  `line` is 1-based; `start..end` is
     /// the byte span of the offending token *within* that line, so tooling can
     /// point at the exact corrupt bytes of a firehose dump.
@@ -48,6 +52,7 @@ impl fmt::Display for CleoError {
             CleoError::OptimizationError(m) => write!(f, "optimization error: {m}"),
             CleoError::Config(m) => write!(f, "configuration error: {m}"),
             CleoError::Io(m) => write!(f, "io error: {m}"),
+            CleoError::Unavailable(m) => write!(f, "unavailable: {m}"),
             CleoError::Parse {
                 line,
                 start,

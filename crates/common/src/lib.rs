@@ -12,6 +12,7 @@
 //! * [`hash`] — stable 64-bit hashing used for operator/subgraph signatures
 //!   (Section 5.1 of the paper),
 //! * [`concurrency`] — cacheline-striped counters for the serving hot path,
+//! * [`fault`] — seeded, deterministic fault injection for chaos testing,
 //! * [`scan`] — SWAR byte scanning and span-exact number parsing for the
 //!   streaming telemetry readers,
 //! * [`table`] — plain-text table rendering for the experiment runners,
@@ -22,6 +23,7 @@ pub mod cdf;
 pub mod concurrency;
 pub mod csvout;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod rng;
 pub mod scan;
@@ -29,3 +31,4 @@ pub mod stats;
 pub mod table;
 
 pub use error::{CleoError, Result};
+pub use fault::{FaultPlan, FaultSite};

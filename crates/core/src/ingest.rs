@@ -19,8 +19,9 @@
 //! [`ShardedFeedbackLoop::observe`] — partition by cluster and window on the
 //! loop's shard thread pool.
 
-use cleo_common::scan::split_at_newline;
-use cleo_common::Result;
+use cleo_common::fault::{FaultPlan, FaultSite};
+use cleo_common::scan::{split_at_newline, Lines};
+use cleo_common::{CleoError, Result};
 use cleo_engine::telemetry::TelemetryLog;
 use cleo_engine::telemetry_io::{
     binary_record_payloads, decode_binary_record, ndjson_line_day, read_binary, read_ndjson,
@@ -234,6 +235,9 @@ pub struct IngestReport {
     pub unrouted_jobs: usize,
     /// Records evicted by the standard window policy during the observe.
     pub evicted_jobs: usize,
+    /// Shards whose observe round was lost to an isolated failure (always 0
+    /// on the strict path, which propagates shard errors instead).
+    pub failed_shards: usize,
     /// Parse worker threads requested.
     pub threads: usize,
 }
@@ -254,8 +258,316 @@ pub fn ingest_firehose(
         accepted_jobs: observed.accepted_jobs,
         unrouted_jobs: observed.unrouted_jobs,
         evicted_jobs: observed.evicted_jobs,
+        failed_shards: observed.failed_shards,
         threads,
     })
+}
+
+/// How the resilient parse handles bad records.
+///
+/// The strict path ([`parse_telemetry`]) aborts on the first malformed record
+/// — correct for trusted dumps, wrong for a live firehose where one poisoned
+/// record would starve every healthy shard of training data.  The resilient
+/// path quarantines bad records instead, up to an error budget beyond which
+/// the feed itself is presumed broken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantinePolicy {
+    /// Quarantined record details kept for inspection (older entries beyond
+    /// this are counted but dropped — the log stays bounded no matter how bad
+    /// the feed gets).
+    pub max_kept: usize,
+    /// Abort the whole parse when more than this fraction of records
+    /// quarantine: a feed that corrupt is a pipeline bug, not line noise.
+    pub error_budget: f64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            max_kept: 64,
+            error_budget: 0.05,
+        }
+    }
+}
+
+/// One record the resilient parse refused, with enough context to find it in
+/// the original buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// 1-based record number (NDJSON line / binary record index) — the same
+    /// numbering the strict path's [`CleoError::Parse`] uses.
+    pub record: usize,
+    /// Byte span of the offending token within the record, `(0, 0)` when no
+    /// span applies (injected poison, out-of-order day caught at merge).
+    pub span: (usize, usize),
+    /// Why the record was refused.
+    pub msg: String,
+}
+
+/// The quarantine side of a resilient parse: what was refused and why.
+///
+/// Bit-identical for any worker thread count under the same input and
+/// [`FaultPlan`]: per-record decisions are pure functions of the record, and
+/// the day-order fence runs on the serial byte-order merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineLog {
+    /// Refused records in record order, truncated to the policy's `max_kept`.
+    pub kept: Vec<QuarantinedRecord>,
+    /// Total records refused (including any beyond `max_kept`).
+    pub total: usize,
+}
+
+impl QuarantineLog {
+    /// True when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+fn quarantine_from_error(record: usize, err: CleoError) -> QuarantinedRecord {
+    match err {
+        CleoError::Parse {
+            line,
+            start,
+            end,
+            msg,
+        } => QuarantinedRecord {
+            record: line,
+            span: (start, end),
+            msg,
+        },
+        other => QuarantinedRecord {
+            record,
+            span: (0, 0),
+            msg: other.to_string(),
+        },
+    }
+}
+
+/// Parse one NDJSON chunk record-by-record, quarantining instead of aborting.
+/// Pure in the chunk bytes, absolute line numbers, and the fault plan — so the
+/// parallel merge is bit-identical to the serial pass.
+fn quarantine_ndjson_chunk(
+    chunk: &[u8],
+    first_line: usize,
+    faults: Option<&FaultPlan>,
+) -> (
+    Vec<(usize, cleo_engine::telemetry::JobTelemetry)>,
+    Vec<QuarantinedRecord>,
+) {
+    let mut parsed = Vec::new();
+    let mut quarantined = Vec::new();
+    for (local, _, line) in Lines::new(chunk) {
+        if line.is_empty() {
+            continue;
+        }
+        let record = first_line + local - 1;
+        if faults.is_some_and(|f| f.fires(FaultSite::PoisonRecord, record as u64)) {
+            quarantined.push(QuarantinedRecord {
+                record,
+                span: (0, 0),
+                msg: "injected fault: poisoned telemetry record".into(),
+            });
+            continue;
+        }
+        // One line at a time: a malformed record quarantines itself without
+        // taking its neighbors down, and day order is deferred to the merge.
+        match read_ndjson_at(line, record) {
+            Ok(log) => parsed.extend(log.into_jobs().into_iter().map(|j| (record, j))),
+            Err(e) => quarantined.push(quarantine_from_error(record, e)),
+        }
+    }
+    (parsed, quarantined)
+}
+
+/// Decode one binary payload range record-by-record, quarantining decode
+/// failures.  Framing errors don't reach here — without trustworthy length
+/// prefixes there is no record boundary to resynchronize on.
+fn quarantine_binary_chunk(
+    range: &[&[u8]],
+    base: usize,
+    faults: Option<&FaultPlan>,
+) -> (
+    Vec<(usize, cleo_engine::telemetry::JobTelemetry)>,
+    Vec<QuarantinedRecord>,
+) {
+    let mut parsed = Vec::new();
+    let mut quarantined = Vec::new();
+    for (k, payload) in range.iter().enumerate() {
+        let record = base + k + 1;
+        if faults.is_some_and(|f| f.fires(FaultSite::PoisonRecord, record as u64)) {
+            quarantined.push(QuarantinedRecord {
+                record,
+                span: (0, 0),
+                msg: "injected fault: poisoned telemetry record".into(),
+            });
+            continue;
+        }
+        match decode_binary_record(record, payload) {
+            Ok(job) => parsed.push((record, job)),
+            Err(e) => quarantined.push(quarantine_from_error(record, e)),
+        }
+    }
+    (parsed, quarantined)
+}
+
+type ChunkOutcome = (
+    Vec<(usize, cleo_engine::telemetry::JobTelemetry)>,
+    Vec<QuarantinedRecord>,
+);
+
+/// Parse a telemetry buffer with per-record quarantine instead of first-error
+/// abort.
+///
+/// Malformed records (and records the [`FaultPlan`] poisons) land in the
+/// returned [`QuarantineLog`]; day-order regressions are fenced at the serial
+/// merge, quarantining the regressing record rather than failing the parse.
+/// The kept log and the quarantine set are **bit-identical for any `threads`**
+/// under the same buffer, policy, and fault plan.  The only hard failures
+/// left are unrecoverable ones: broken binary framing (no boundary to resync
+/// on) and a blown error budget.
+pub fn parse_telemetry_quarantine(
+    buf: &[u8],
+    format: WireFormat,
+    threads: usize,
+    policy: &QuarantinePolicy,
+    faults: Option<&FaultPlan>,
+) -> Result<(TelemetryLog, QuarantineLog)> {
+    let outcomes: Vec<ChunkOutcome> = match format {
+        WireFormat::Ndjson => {
+            let threads = threads
+                .max(1)
+                .min(buf.len() / MIN_CHUNK_BYTES.max(1))
+                .max(1);
+            if threads <= 1 {
+                vec![quarantine_ndjson_chunk(buf, 1, faults)]
+            } else {
+                let mut bounds = vec![0usize];
+                for t in 1..threads {
+                    let target = buf.len() * t / threads;
+                    let cut = split_at_newline(buf, target).max(*bounds.last().expect("non-empty"));
+                    if cut > *bounds.last().expect("non-empty") {
+                        bounds.push(cut);
+                    }
+                }
+                bounds.push(buf.len());
+                let chunks: Vec<(usize, &[u8])> = {
+                    let mut first_line = 1usize;
+                    bounds
+                        .windows(2)
+                        .map(|w| {
+                            let chunk = &buf[w[0]..w[1]];
+                            let entry = (first_line, chunk);
+                            first_line += chunk.iter().filter(|&&b| b == b'\n').count();
+                            entry
+                        })
+                        .collect()
+                };
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .map(|&(first_line, chunk)| {
+                            scope.spawn(move || quarantine_ndjson_chunk(chunk, first_line, faults))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("ingest parse worker panicked"))
+                        .collect()
+                })
+            }
+        }
+        WireFormat::Binary => {
+            let payloads = binary_record_payloads(buf)?;
+            let threads = threads.max(1).min(payloads.len().max(1));
+            let per = payloads.len().div_ceil(threads).max(1);
+            if threads <= 1 {
+                vec![quarantine_binary_chunk(&payloads, 0, faults)]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = payloads
+                        .chunks(per)
+                        .enumerate()
+                        .map(|(i, range)| {
+                            scope.spawn(move || quarantine_binary_chunk(range, i * per, faults))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("ingest parse worker panicked"))
+                        .collect()
+                })
+            }
+        }
+    };
+
+    // Serial byte-order merge with the day-order fence: a record whose day
+    // regresses below the high-water mark quarantines instead of aborting.
+    let mut kept = Vec::new();
+    let mut quarantined = Vec::new();
+    let mut high_water: Option<u32> = None;
+    for (records, chunk_quarantined) in outcomes {
+        quarantined.extend(chunk_quarantined);
+        for (record, job) in records {
+            let day = job.day().0;
+            match high_water {
+                Some(prev) if day < prev => quarantined.push(QuarantinedRecord {
+                    record,
+                    span: (0, 0),
+                    msg: format!(
+                        "out-of-order day {day}: an earlier record already reached day {prev}"
+                    ),
+                }),
+                _ => {
+                    high_water = Some(day);
+                    kept.push(job);
+                }
+            }
+        }
+    }
+    quarantined.sort_by_key(|q| q.record);
+
+    let total_records = kept.len() + quarantined.len();
+    let total_quarantined = quarantined.len();
+    if total_records > 0 && total_quarantined as f64 > policy.error_budget * total_records as f64 {
+        return Err(CleoError::Config(format!(
+            "telemetry error budget exceeded: {total_quarantined} of {total_records} records \
+             quarantined (budget {:.1}%) — refusing the whole feed",
+            policy.error_budget * 100.0
+        )));
+    }
+    let mut log = QuarantineLog {
+        kept: quarantined,
+        total: total_quarantined,
+    };
+    log.kept.truncate(policy.max_kept);
+    Ok((TelemetryLog::from_jobs(kept), log))
+}
+
+/// The firehose path with quarantine: resilient parse, then observe, with
+/// per-shard failures reported rather than propagated.
+pub fn ingest_firehose_resilient(
+    fleet: &mut ShardedFeedbackLoop,
+    buf: &[u8],
+    format: WireFormat,
+    threads: usize,
+    policy: &QuarantinePolicy,
+    faults: Option<&FaultPlan>,
+) -> Result<(IngestReport, QuarantineLog)> {
+    let (log, quarantine) = parse_telemetry_quarantine(buf, format, threads, policy, faults)?;
+    let parsed_jobs = log.len();
+    let observed = fleet.observe(log)?;
+    Ok((
+        IngestReport {
+            parsed_jobs,
+            accepted_jobs: observed.accepted_jobs,
+            unrouted_jobs: observed.unrouted_jobs,
+            evicted_jobs: observed.evicted_jobs,
+            failed_shards: observed.failed_shards,
+            threads,
+        },
+        quarantine,
+    ))
 }
 
 #[cfg(test)]

@@ -82,7 +82,10 @@ pub use feedback::{
     DeltaDecision, DeltaOutcome, DeltaRoundReport, EpochReport, FeedbackConfig, FeedbackLoop,
     PublishDecision, RetrainOutcome, WindowEviction,
 };
-pub use ingest::{ingest_firehose, parse_telemetry, IngestReport, WireFormat};
+pub use ingest::{
+    ingest_firehose, ingest_firehose_resilient, parse_telemetry, parse_telemetry_quarantine,
+    IngestReport, QuarantineLog, QuarantinePolicy, QuarantinedRecord, WireFormat,
+};
 pub use integration::{CacheStats, LearnedCostModel};
 pub use models::{
     CleoPredictor, CombinedModel, ModelStore, OperatorSample, PredictScratch, PredictionBreakdown,
@@ -97,13 +100,14 @@ pub use registry::{
     SnapshotLineage,
 };
 pub use serving::{
-    open_loop_arrivals, serve_batch, Admission, CompletedRequest, FrontDoor, FrontDoorConfig,
-    FrontDoorStats, OverloadPolicy,
+    open_loop_arrivals, serve_batch, Admission, CompletedRequest, DrainReport, FrontDoor,
+    FrontDoorConfig, FrontDoorStats, OverloadPolicy,
 };
 pub use sharding::{
-    BatchResult, ClusterRouter, DriftPolicy, ObserveReport, RegistryShard, RoutingSnapshot,
-    ServingPool, ShardDeltaReport, ShardEpochReport, ShardedDeltaReport, ShardedEpochReport,
-    ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry, Ticket,
+    BatchResult, BreakerPolicy, BreakerState, BreakerTransition, ClusterRouter, DriftPolicy,
+    ObserveReport, RegistryShard, RoutingSnapshot, ServingPool, ShardDeltaReport, ShardEpochReport,
+    ShardFailure, ShardedDeltaReport, ShardedEpochReport, ShardedFeedbackConfig,
+    ShardedFeedbackLoop, ShardedRegistry, Ticket, WatchdogPolicy, WatchdogVerdict,
 };
 pub use signature::{signature_set, ModelFamily, SignatureSet};
 pub use trainer::{CleoTrainer, TrainerConfig};

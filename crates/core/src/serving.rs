@@ -18,11 +18,12 @@
 //! optimizing each job alone (pinned by the serving tests), and the arrival
 //! schedule is a pure function of its seed.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cleo_common::rng::DetRng;
-use cleo_common::Result;
+use cleo_common::{CleoError, Result};
 use cleo_engine::workload::JobSpec;
 use cleo_optimizer::{
     CostModel, OptimizedPlan, Optimizer, SharedOptimizer, SnapshotCache, SweepSpec,
@@ -163,6 +164,19 @@ pub struct FrontDoorConfig {
     /// Coalescing flush threshold: a shard's staged batch is submitted to the
     /// pool once it reaches this many jobs (1 = no coalescing).
     pub coalesce_max: usize,
+    /// Per-request deadline, measured from the request's offer.  A request
+    /// whose batch has not completed by its deadline resolves as expired
+    /// ([`FrontDoorStats::expired`]) instead of blocking [`FrontDoor::drain`]
+    /// forever.  `None` (the default) waits indefinitely — bit-identical to
+    /// the pre-deadline front door.
+    pub deadline: Option<Duration>,
+    /// Bounded retries for requests whose job came back with an error: the
+    /// request is resubmitted as a fresh single-job batch up to this many
+    /// times (within its deadline), then resolves with the error
+    /// ([`FrontDoorStats::errored`]).  0 (the default) never retries.
+    pub max_retries: u32,
+    /// Backoff slept before retry `k` (scaled linearly: `k * retry_backoff`).
+    pub retry_backoff: Duration,
 }
 
 impl Default for FrontDoorConfig {
@@ -171,6 +185,9 @@ impl Default for FrontDoorConfig {
             max_queue_depth: 64,
             policy: OverloadPolicy::Shed,
             coalesce_max: 8,
+            deadline: None,
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
         }
     }
 }
@@ -195,8 +212,15 @@ pub struct FrontDoorStats {
     pub delayed: u64,
     /// Requests dropped past the bound (shed policy).
     pub shed: u64,
-    /// Coalesced batches submitted to the pool.
+    /// Coalesced batches submitted to the pool (including retry resubmits).
     pub batches: u64,
+    /// Retry resubmits of errored requests (events, not terminal outcomes —
+    /// a retried request still ends completed, expired, or errored).
+    pub retried: u64,
+    /// Requests that expired at their deadline before their batch completed.
+    pub expired: u64,
+    /// Requests that resolved with a job error after exhausting retries.
+    pub errored: u64,
 }
 
 impl FrontDoorStats {
@@ -220,10 +244,36 @@ impl FrontDoorStats {
 pub struct CompletedRequest {
     /// The request's arrival sequence number (assigned by offer order).
     pub request: usize,
-    /// When the request's batch finished executing.
+    /// When the request's batch finished executing (or when it expired).
     pub completed_at: Instant,
-    /// The optimized plan (or the per-job optimization error).
+    /// The optimized plan, or the terminal error: the per-job optimization
+    /// error (retries exhausted) or [`CleoError::Unavailable`] for an expired
+    /// deadline / dead worker.
     pub result: Result<OptimizedPlan>,
+}
+
+/// Everything [`FrontDoor::drain_report`] accounts for: the completed
+/// requests plus the final counters (which retries and expiries mutate during
+/// the drain itself).  The zero-loss invariant — every offered request is
+/// exactly one of shed, completed-ok, expired, or errored — is checkable from
+/// these fields alone and pinned by the chaos tests.
+pub struct DrainReport {
+    /// All non-shed requests, sorted by arrival sequence.
+    pub completed: Vec<CompletedRequest>,
+    /// Final admission/outcome counters.
+    pub stats: FrontDoorStats,
+}
+
+/// One admitted request riding a pool ticket.
+struct InFlightRequest {
+    /// Arrival sequence number.
+    request: usize,
+    /// The job, kept for deadline-bounded retry resubmission.
+    job: Arc<JobSpec>,
+    /// Executions so far (0 = first).
+    attempt: u32,
+    /// When the request was offered — deadlines measure from here.
+    offered_at: Instant,
 }
 
 /// The single-driver serving front end: an open-loop request loop calls
@@ -236,10 +286,10 @@ pub struct FrontDoor {
     pool: Arc<ServingPool>,
     config: FrontDoorConfig,
     /// Per-shard staged requests awaiting a coalesced flush.
-    staging: Vec<Vec<(usize, Arc<JobSpec>)>>,
-    /// In-flight batches: the pool ticket plus the request seq of each job in
+    staging: Vec<Vec<InFlightRequest>>,
+    /// In-flight batches: the pool ticket plus the requests riding it, in
     /// batch order.
-    in_flight: Vec<(Ticket, Vec<usize>)>,
+    in_flight: Vec<(Ticket, Vec<InFlightRequest>)>,
     next_request: usize,
     stats: FrontDoorStats,
 }
@@ -277,7 +327,12 @@ impl FrontDoor {
             self.stats.shed += 1;
             return Admission::Shed;
         }
-        self.staging[shard].push((request, job));
+        self.staging[shard].push(InFlightRequest {
+            request,
+            job,
+            attempt: 0,
+            offered_at: Instant::now(),
+        });
         if self.staging[shard].len() >= self.config.coalesce_max.max(1) {
             self.flush_shard(shard);
         }
@@ -295,10 +350,10 @@ impl FrontDoor {
         if self.staging[shard].is_empty() {
             return;
         }
-        let batch = std::mem::take(&mut self.staging[shard]);
-        let (requests, jobs): (Vec<usize>, Vec<Arc<JobSpec>>) = batch.into_iter().unzip();
+        let members = std::mem::take(&mut self.staging[shard]);
+        let jobs: Vec<Arc<JobSpec>> = members.iter().map(|m| Arc::clone(&m.job)).collect();
         let ticket = self.pool.submit(shard, jobs);
-        self.in_flight.push((ticket, requests));
+        self.in_flight.push((ticket, members));
         self.stats.batches += 1;
     }
 
@@ -322,23 +377,108 @@ impl FrontDoor {
     }
 
     /// Flush everything still staged, wait for every in-flight batch, and
-    /// return all completed requests sorted by arrival sequence.
-    pub fn drain(mut self) -> Vec<CompletedRequest> {
+    /// return all completed requests sorted by arrival sequence.  See
+    /// [`FrontDoor::drain_report`] for the version that also returns the
+    /// final counters.
+    pub fn drain(self) -> Vec<CompletedRequest> {
+        self.drain_report().completed
+    }
+
+    /// Flush everything still staged and resolve every non-shed request to
+    /// exactly one terminal outcome:
+    ///
+    /// * a batch that completes delivers its results; per-job errors are
+    ///   retried up to [`FrontDoorConfig::max_retries`] times (with linear
+    ///   backoff, as fresh single-job batches) while the request's deadline
+    ///   allows, then resolve as errored;
+    /// * with a [`FrontDoorConfig::deadline`], a batch that has not completed
+    ///   by its last member's deadline resolves every member as expired
+    ///   ([`CleoError::Unavailable`]) — the drain never blocks indefinitely
+    ///   on a stalled or dead worker.
+    pub fn drain_report(mut self) -> DrainReport {
         self.flush();
         let mut completed: Vec<CompletedRequest> = Vec::new();
-        for (ticket, requests) in self.in_flight.drain(..) {
-            let batch = ticket.wait();
-            debug_assert_eq!(batch.results.len(), requests.len());
-            for (request, result) in requests.into_iter().zip(batch.results) {
-                completed.push(CompletedRequest {
-                    request,
-                    completed_at: batch.completed_at,
-                    result,
-                });
+        let mut queue: VecDeque<(Ticket, Vec<InFlightRequest>)> =
+            self.in_flight.drain(..).collect();
+        while let Some((ticket, members)) = queue.pop_front() {
+            let batch = match self.config.deadline {
+                None => Some(ticket.wait()),
+                Some(deadline) => {
+                    // Wait as long as any member might still make its
+                    // deadline (floored so a past-due wait still polls once).
+                    let latest = members
+                        .iter()
+                        .map(|m| m.offered_at + deadline)
+                        .max()
+                        .expect("batches are never empty");
+                    let timeout = latest
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_millis(1));
+                    ticket.wait_timeout(timeout)
+                }
+            };
+            let Some(batch) = batch else {
+                let now = Instant::now();
+                for member in members {
+                    self.stats.expired += 1;
+                    completed.push(CompletedRequest {
+                        request: member.request,
+                        completed_at: now,
+                        result: Err(CleoError::Unavailable(format!(
+                            "request {} expired at its deadline",
+                            member.request
+                        ))),
+                    });
+                }
+                continue;
+            };
+            debug_assert_eq!(batch.results.len(), members.len());
+            for (member, result) in members.into_iter().zip(batch.results) {
+                match result {
+                    Ok(plan) => completed.push(CompletedRequest {
+                        request: member.request,
+                        completed_at: batch.completed_at,
+                        result: Ok(plan),
+                    }),
+                    Err(error) => {
+                        let within_deadline = self
+                            .config
+                            .deadline
+                            .is_none_or(|d| Instant::now() < member.offered_at + d);
+                        if member.attempt < self.config.max_retries && within_deadline {
+                            self.stats.retried += 1;
+                            if !self.config.retry_backoff.is_zero() {
+                                std::thread::sleep(
+                                    self.config.retry_backoff * (member.attempt + 1),
+                                );
+                            }
+                            let shard = self.shard_of(&member.job);
+                            let ticket = self.pool.submit(shard, vec![Arc::clone(&member.job)]);
+                            self.stats.batches += 1;
+                            queue.push_back((
+                                ticket,
+                                vec![InFlightRequest {
+                                    attempt: member.attempt + 1,
+                                    ..member
+                                }],
+                            ));
+                        } else {
+                            self.stats.errored += 1;
+                            completed.push(CompletedRequest {
+                                request: member.request,
+                                completed_at: batch.completed_at,
+                                result: Err(error),
+                            });
+                        }
+                    }
+                }
             }
         }
         completed.sort_by_key(|c| c.request);
-        completed
+        DrainReport {
+            completed,
+            stats: self.stats,
+        }
     }
 }
 
@@ -392,6 +532,9 @@ mod tests {
             delayed: 2,
             shed: 2,
             batches: 3,
+            retried: 1,
+            expired: 0,
+            errored: 0,
         };
         assert_eq!(stats.offered(), 10);
         assert!((stats.shed_rate() - 0.2).abs() < 1e-12);

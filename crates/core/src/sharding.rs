@@ -23,17 +23,19 @@
 //!   publishes atomically into its own registry; readers never see a torn
 //!   fleet state because there is no cross-shard state to tear.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cleo_common::concurrency::StripedCounter;
-use cleo_common::Result;
+use cleo_common::fault::{FaultPlan, FaultSite};
+use cleo_common::{CleoError, Result};
 use cleo_engine::exec::Simulator;
 use cleo_engine::physical::JobMeta;
-use cleo_engine::telemetry::{TelemetryLog, WindowMoments};
+use cleo_engine::telemetry::{JobTelemetry, TelemetryLog, WindowMoments};
 use cleo_engine::types::ClusterId;
 use cleo_engine::workload::generator::WorkloadProfile;
 use cleo_engine::workload::JobSpec;
@@ -46,6 +48,28 @@ use crate::feedback::{
     RetrainOutcome,
 };
 use crate::registry::ModelRegistry;
+
+/// Lock a mutex, recovering the data if a panicking holder poisoned it.
+///
+/// All the mutexes in this module guard data that stays consistent under
+/// panic (queues of whole tasks, counters, a wake generation), so a poisoned
+/// lock carries no torn state — and the graceful-degradation machinery must
+/// keep completing tickets *after* a worker panic, which is exactly when the
+/// standard `expect` would cascade.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
 
 /// One cluster's registry shard.
 #[derive(Debug)]
@@ -189,6 +213,85 @@ impl RoutingSnapshot {
     }
 }
 
+/// State of one shard's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the shard serves its own jobs.
+    Closed,
+    /// Tripped: the shard's jobs route to its donor chain for a cooldown.
+    Open,
+    /// Probing: the shard serves its own jobs again; the next folded outcome
+    /// decides between closing and re-opening.
+    HalfOpen,
+}
+
+/// Per-shard circuit-breaker policy of a [`ClusterRouter`] (off by default).
+///
+/// When enabled, the router asks serving pools for per-batch outcome reports
+/// (via [`CostModelProvider::note_serving_outcomes`]) and folds them **in
+/// batch-submission order**: `trip_after` consecutive failures on one shard
+/// trips its breaker [`BreakerState::Open`], routing that shard's jobs down
+/// the existing donor chain; after `cooldown` further outcomes for the shard
+/// the breaker half-opens and one probe outcome decides between closing and
+/// re-opening.  Because the fold order is the submission order — not the
+/// completion order — trip decisions are a pure function of the outcome
+/// stream, identical for 1 pool worker or N.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Whether breakers run at all.
+    pub enabled: bool,
+    /// Consecutive failures on a shard that trip its breaker.
+    pub trip_after: u32,
+    /// Folded outcomes for the shard an open breaker waits before half-opening
+    /// (outcomes are the breaker's clock — deterministic, unlike wall time).
+    pub cooldown: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            enabled: false,
+            trip_after: 8,
+            cooldown: 32,
+        }
+    }
+}
+
+/// One breaker state change, in fold order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// The shard whose breaker transitioned.
+    pub cluster: ClusterId,
+    /// How many outcomes had been folded (across all shards) when it did.
+    pub outcome_index: u64,
+    /// The state it transitioned into.
+    pub state: BreakerState,
+}
+
+/// One shard's breaker counters (guarded by [`BreakerCore`]'s mutex).
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardBreaker {
+    consecutive_failures: u32,
+    cooldown_left: u32,
+}
+
+/// The breaker fold: outcome batches arrive in completion order and are
+/// re-sequenced into submission order through a reorder buffer before any
+/// decision is made.
+#[derive(Debug, Default)]
+struct BreakerCore {
+    /// Next batch sequence to fold (sequences are contiguous from 0).
+    next_seq: u64,
+    /// Outcomes folded so far, across all shards.
+    outcomes_folded: u64,
+    /// Completed batches waiting for an earlier sequence to complete.
+    pending: BTreeMap<u64, Vec<(ClusterId, bool)>>,
+    /// Per-shard counters, aligned with the registry's shard list.
+    shards: Vec<ShardBreaker>,
+    /// Every state change, in fold order.
+    transitions: Vec<BreakerTransition>,
+}
+
 /// The routing front of the sharded tier: a [`CostModelProvider`] that resolves
 /// a job's cluster to its registry shard and walks a deterministic
 /// cross-cluster fallback chain on cold shards.
@@ -203,6 +306,18 @@ pub struct ClusterRouter {
     /// `chains[i]`: donor shard indices for shard `i`, most similar first.
     chains: Vec<Vec<usize>>,
     stats: RoutingStats,
+    /// Circuit-breaker policy (disabled by default — zero routing overhead
+    /// beyond one branch, and stamps stay bit-identical to a breaker-less
+    /// router).
+    breaker_policy: BreakerPolicy,
+    /// The breaker fold (reorder buffer + counters + transition log).
+    breaker: Mutex<BreakerCore>,
+    /// Per-shard breaker state, readable lock-free on the routing hot path
+    /// (0 = closed, 1 = open, 2 = half-open), aligned with the shard list.
+    breaker_states: Vec<AtomicU8>,
+    /// Bumped on every breaker transition; folded into route stamps so
+    /// worker-local snapshot caches revalidate when routing flips.
+    breaker_epoch: AtomicU64,
 }
 
 impl ClusterRouter {
@@ -245,11 +360,19 @@ impl ClusterRouter {
                 donors.into_iter().map(|(_, _, _, j)| j).collect()
             })
             .collect();
+        let shard_count = registry.shard_count();
         ClusterRouter {
             registry,
             fallback,
             chains,
             stats: RoutingStats::default(),
+            breaker_policy: BreakerPolicy::default(),
+            breaker: Mutex::new(BreakerCore {
+                shards: vec![ShardBreaker::default(); shard_count],
+                ..BreakerCore::default()
+            }),
+            breaker_states: (0..shard_count).map(|_| AtomicU8::new(0)).collect(),
+            breaker_epoch: AtomicU64::new(0),
         }
     }
 
@@ -299,6 +422,109 @@ impl ClusterRouter {
         self.stats.donor.reset();
         self.stats.fallback.reset();
     }
+
+    /// Enable (or reconfigure) per-shard circuit breakers.
+    pub fn with_breaker_policy(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker_policy = policy;
+        self
+    }
+
+    /// The breaker policy in effect.
+    pub fn breaker_policy(&self) -> BreakerPolicy {
+        self.breaker_policy
+    }
+
+    /// Current breaker state of a cluster's shard (`None` for unmapped
+    /// clusters).  With breakers disabled every shard reads `Closed`.
+    pub fn breaker_state(&self, cluster: ClusterId) -> Option<BreakerState> {
+        self.registry
+            .shard_index(cluster)
+            .map(|i| decode_breaker_state(self.breaker_states[i].load(Ordering::Acquire)))
+    }
+
+    /// Every breaker transition so far, in deterministic fold order.
+    pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
+        lock_unpoisoned(&self.breaker).transitions.clone()
+    }
+
+    /// Whether shard `i` may serve jobs right now (closed or half-open probe).
+    fn breaker_allows(&self, shard_index: usize) -> bool {
+        !self.breaker_policy.enabled
+            || self.breaker_states[shard_index].load(Ordering::Acquire) != BREAKER_OPEN
+    }
+
+    /// Apply one breaker transition while holding the fold lock.
+    fn breaker_transition(&self, core: &mut BreakerCore, shard_index: usize, state: BreakerState) {
+        self.breaker_states[shard_index].store(encode_breaker_state(state), Ordering::Release);
+        self.breaker_epoch.fetch_add(1, Ordering::AcqRel);
+        core.transitions.push(BreakerTransition {
+            cluster: self.registry.shards()[shard_index].cluster,
+            outcome_index: core.outcomes_folded,
+            state,
+        });
+    }
+
+    /// Fold one outcome for one shard (called in submission order).
+    fn breaker_fold_outcome(&self, core: &mut BreakerCore, shard_index: usize, ok: bool) {
+        core.outcomes_folded += 1;
+        let state = decode_breaker_state(self.breaker_states[shard_index].load(Ordering::Acquire));
+        match state {
+            BreakerState::Closed => {
+                let counters = &mut core.shards[shard_index];
+                if ok {
+                    counters.consecutive_failures = 0;
+                } else {
+                    counters.consecutive_failures += 1;
+                    if counters.consecutive_failures >= self.breaker_policy.trip_after {
+                        counters.consecutive_failures = 0;
+                        counters.cooldown_left = self.breaker_policy.cooldown;
+                        self.breaker_transition(core, shard_index, BreakerState::Open);
+                    }
+                }
+            }
+            BreakerState::Open => {
+                // While open the shard's jobs are served by donors, so the
+                // outcome says nothing about the shard's own model; it only
+                // advances the (deterministic) cooldown clock.
+                let counters = &mut core.shards[shard_index];
+                counters.cooldown_left = counters.cooldown_left.saturating_sub(1);
+                if counters.cooldown_left == 0 {
+                    self.breaker_transition(core, shard_index, BreakerState::HalfOpen);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Probe outcome: the shard served this job itself.
+                if ok {
+                    core.shards[shard_index].consecutive_failures = 0;
+                    self.breaker_transition(core, shard_index, BreakerState::Closed);
+                } else {
+                    core.shards[shard_index].cooldown_left = self.breaker_policy.cooldown;
+                    self.breaker_transition(core, shard_index, BreakerState::Open);
+                }
+            }
+        }
+    }
+}
+
+/// [`BreakerState`] encoding of the per-shard hot-path atomics.
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+
+fn encode_breaker_state(state: BreakerState) -> u8 {
+    match state {
+        BreakerState::Closed => BREAKER_CLOSED,
+        BreakerState::Open => BREAKER_OPEN,
+        BreakerState::HalfOpen => BREAKER_HALF_OPEN,
+    }
+}
+
+fn decode_breaker_state(raw: u8) -> BreakerState {
+    match raw {
+        BREAKER_OPEN => BreakerState::Open,
+        BREAKER_HALF_OPEN => BreakerState::HalfOpen,
+        _ => BreakerState::Closed,
+    }
 }
 
 /// Route-stamp tags of [`ClusterRouter::route_stamp`] (top two bits).
@@ -322,21 +548,30 @@ impl CostModelProvider for ClusterRouter {
     /// serving donor republishing — changes the stamp, so worker-local snapshot
     /// caches revalidate with a few atomic loads and no registry lock.
     fn route_stamp(&self, meta: &JobMeta) -> u64 {
+        // With breakers enabled, fold the transition epoch into every stamp
+        // (bits 56..62) so a trip / half-open / close anywhere revalidates the
+        // worker-local caches.  Disabled breakers contribute 0 — stamps stay
+        // bit-identical to a breaker-less router.
+        let breaker_bits = if self.breaker_policy.enabled {
+            (self.breaker_epoch.load(Ordering::Acquire) & 0x3F) << 56
+        } else {
+            0
+        };
         let Some(i) = self.registry.shard_index(meta.cluster) else {
-            return STAMP_FALLBACK;
+            return STAMP_FALLBACK | breaker_bits;
         };
         let shards = self.registry.shards();
         let own = shards[i].registry.current_version();
-        if own != 0 {
-            return STAMP_OWN | own;
+        if own != 0 && self.breaker_allows(i) {
+            return STAMP_OWN | breaker_bits | (own & 0x00FF_FFFF_FFFF_FFFF);
         }
         for (pos, &j) in self.chains[i].iter().enumerate() {
             let version = shards[j].registry.current_version();
-            if version != 0 {
-                return STAMP_DONOR | ((pos as u64) << 32) | (version & 0xFFFF_FFFF);
+            if version != 0 && self.breaker_allows(j) {
+                return STAMP_DONOR | breaker_bits | ((pos as u64) << 32) | (version & 0xFFFF_FFFF);
             }
         }
-        STAMP_FALLBACK
+        STAMP_FALLBACK | breaker_bits
     }
 
     /// A cached route reuse still counts as a routed job; classify the cached
@@ -352,20 +587,26 @@ impl CostModelProvider for ClusterRouter {
     fn snapshot_for(&self, meta: &JobMeta) -> ServedModel {
         let shards = self.registry.shards();
         if let Some(i) = self.registry.shard_index(meta.cluster) {
-            // Own shard first.  `current()` hands back one consistent
-            // (model, version) snapshot, so a publish racing this read can
-            // never mislabel the plan's provenance.
-            if let Some(snapshot) = shards[i].registry.current() {
-                self.stats.own.add(1);
-                return ServedModel {
-                    model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
-                    version: snapshot.version(),
-                    cluster: Some(shards[i].cluster),
-                    delta_base: snapshot.lineage().delta_base(),
-                };
+            // Own shard first (unless its breaker is open).  `current()` hands
+            // back one consistent (model, version) snapshot, so a publish
+            // racing this read can never mislabel the plan's provenance.
+            if self.breaker_allows(i) {
+                if let Some(snapshot) = shards[i].registry.current() {
+                    self.stats.own.add(1);
+                    return ServedModel {
+                        model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
+                        version: snapshot.version(),
+                        cluster: Some(shards[i].cluster),
+                        delta_base: snapshot.lineage().delta_base(),
+                    };
+                }
             }
-            // Cold shard: walk the similarity-ordered donor chain.
+            // Cold or tripped shard: walk the similarity-ordered donor chain,
+            // skipping donors whose own breakers are open.
             for &j in &self.chains[i] {
+                if !self.breaker_allows(j) {
+                    continue;
+                }
                 if let Some(snapshot) = shards[j].registry.current() {
                     self.stats.donor.add(1);
                     return ServedModel {
@@ -385,12 +626,48 @@ impl CostModelProvider for ClusterRouter {
             delta_base: None,
         }
     }
+
+    fn wants_serving_outcomes(&self) -> bool {
+        self.breaker_policy.enabled
+    }
+
+    /// Fold one batch's outcomes through the reorder buffer: batches complete
+    /// in worker order but fold strictly in submission-sequence order, so the
+    /// transition log is deterministic for any worker count (given outcomes
+    /// that don't depend on the route, e.g. job-inherent failures).
+    fn note_serving_outcomes(&self, batch_seq: u64, outcomes: &[(ClusterId, bool)]) {
+        if !self.breaker_policy.enabled {
+            return;
+        }
+        let mut core = lock_unpoisoned(&self.breaker);
+        core.pending.insert(batch_seq, outcomes.to_vec());
+        while let Some(batch) = {
+            let next = core.next_seq;
+            core.pending.remove(&next)
+        } {
+            core.next_seq += 1;
+            for (cluster, ok) in batch {
+                if let Some(i) = self.registry.shard_index(cluster) {
+                    self.breaker_fold_outcome(&mut core, i, ok);
+                }
+            }
+        }
+    }
 }
 
 /// One queued batch: the jobs plus the ticket its results are delivered on.
 struct PoolTask {
     jobs: Vec<Arc<cleo_engine::workload::JobSpec>>,
     ticket: Arc<TicketState>,
+    /// Home shard index (for requeue after a worker death).
+    shard: usize,
+    /// Submission sequence, contiguous from 0 — the deterministic identity
+    /// fault injection and outcome folding key on.
+    seq: u64,
+    /// Executions started (0 = never claimed).  A task whose worker dies on
+    /// attempt 0 is requeued once; on attempt 1 its ticket completes with
+    /// per-job errors instead.
+    attempts: u32,
 }
 
 /// One shard's admission queue.
@@ -411,6 +688,20 @@ struct PoolShared {
     wake: Condvar,
     paused: AtomicBool,
     shutdown: AtomicBool,
+    /// Fault-injection schedule (`None` in production: one branch per task).
+    faults: Option<Arc<FaultPlan>>,
+    /// Next submission sequence (task identities are contiguous from 0).
+    task_seq: AtomicU64,
+    /// Worker panics caught (injected or real).
+    panics: AtomicUsize,
+    /// Tasks requeued after their first executing worker died.
+    requeues: AtomicUsize,
+    /// Tasks whose ticket completed with worker-death errors.
+    worker_errors: AtomicUsize,
+    /// Replacement workers spawned after a panic escaped a worker thread.
+    respawns: AtomicUsize,
+    /// Join handles of replacement workers (joined on pool drop).
+    respawned: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl PoolShared {
@@ -420,7 +711,7 @@ impl PoolShared {
         let n = self.shards.len();
         for k in 0..n {
             let shard = &self.shards[(home + k) % n];
-            let task = shard.queue.lock().expect("pool queue poisoned").pop_front();
+            let task = lock_unpoisoned(&shard.queue).pop_front();
             if let Some(task) = task {
                 shard.pending.fetch_sub(task.jobs.len(), Ordering::Release);
                 return Some(task);
@@ -431,7 +722,7 @@ impl PoolShared {
 
     /// Bump the wake generation and wake every sleeping worker.
     fn wake_all(&self) {
-        let mut generation = self.sleep.lock().expect("pool sleep lock poisoned");
+        let mut generation = lock_unpoisoned(&self.sleep);
         *generation = generation.wrapping_add(1);
         drop(generation);
         self.wake.notify_all();
@@ -460,8 +751,13 @@ impl TicketState {
         }
     }
 
+    /// First write wins: a batch reaches exactly one terminal outcome even if
+    /// a requeued execution and a drop-guard error path race to deliver.
     fn complete(&self, results: Vec<Result<OptimizedPlan>>) {
-        let mut slot = self.done.lock().expect("ticket poisoned");
+        let mut slot = lock_unpoisoned(&self.done);
+        if slot.is_some() {
+            return;
+        }
         *slot = Some(BatchResult {
             results,
             completed_at: Instant::now(),
@@ -478,19 +774,52 @@ pub struct Ticket {
 
 impl Ticket {
     /// Block until the batch has executed and take its results.
+    ///
+    /// With the pool's worker drop-guards in place, a dead worker completes
+    /// its claimed ticket with per-job errors, so this no longer deadlocks on
+    /// a worker death; deadline-driven callers should still prefer
+    /// [`Ticket::wait_timeout`].
     pub fn wait(self) -> BatchResult {
-        let mut slot = self.state.done.lock().expect("ticket poisoned");
+        let mut slot = lock_unpoisoned(&self.state.done);
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.state.cv.wait(slot).expect("ticket poisoned");
+            slot = self
+                .state
+                .cv
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Block until the batch has executed or `timeout` elapses.  Returns
+    /// `None` on timeout, leaving the ticket intact: the caller can keep
+    /// waiting, or drop it (a later completion then delivers into an
+    /// unobserved slot, harmlessly).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<BatchResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_unpoisoned(&self.state.done);
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .state
+                .cv
+                .wait_timeout(slot, left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            slot = guard;
         }
     }
 
     /// Take the results if the batch has already executed.
     pub fn try_take(&self) -> Option<BatchResult> {
-        self.state.done.lock().expect("ticket poisoned").take()
+        lock_unpoisoned(&self.state.done).take()
     }
 }
 
@@ -514,6 +843,18 @@ impl ServingPool {
     /// Spawn a pool of `workers` threads over `shard_count` admission queues
     /// (both floored at 1), serving through `shared`.
     pub fn new(shared: SharedOptimizer, shard_count: usize, workers: usize) -> Self {
+        Self::with_faults(shared, shard_count, workers, None)
+    }
+
+    /// [`ServingPool::new`] with a fault-injection schedule.  `None` is the
+    /// production path (bit-identical to [`ServingPool::new`]); a plan injects
+    /// worker panics and stalls keyed on each task's submission sequence.
+    pub fn with_faults(
+        shared: SharedOptimizer,
+        shard_count: usize,
+        workers: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let shard_count = shard_count.max(1);
         let inner = Arc::new(PoolShared {
             shared,
@@ -527,15 +868,16 @@ impl ServingPool {
             wake: Condvar::new(),
             paused: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            faults,
+            task_seq: AtomicU64::new(0),
+            panics: AtomicUsize::new(0),
+            requeues: AtomicUsize::new(0),
+            worker_errors: AtomicUsize::new(0),
+            respawns: AtomicUsize::new(0),
+            respawned: Mutex::new(Vec::new()),
         });
         let workers = (0..workers.max(1))
-            .map(|w| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("cleo-serve-{w}"))
-                    .spawn(move || worker_loop(&inner, w))
-                    .expect("failed to spawn serving worker")
-            })
+            .map(|w| spawn_worker(Arc::clone(&inner), w))
             .collect();
         ServingPool { inner, workers }
     }
@@ -573,21 +915,45 @@ impl ServingPool {
     }
 
     /// Submit one batch to a shard's queue; the returned [`Ticket`] resolves
-    /// once a worker has executed it.  `shard` wraps onto the shard count.
+    /// once a worker has executed it (or its executing worker has died twice,
+    /// in which case it resolves with per-job errors).  `shard` wraps onto the
+    /// shard count.
     pub fn submit(&self, shard: usize, jobs: Vec<Arc<cleo_engine::workload::JobSpec>>) -> Ticket {
         let state = Arc::new(TicketState::new());
-        let shard = &self.inner.shards[shard % self.inner.shards.len()];
+        let shard_index = shard % self.inner.shards.len();
+        let seq = self.inner.task_seq.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.inner.shards[shard_index];
         shard.pending.fetch_add(jobs.len(), Ordering::Release);
-        shard
-            .queue
-            .lock()
-            .expect("pool queue poisoned")
-            .push_back(PoolTask {
-                jobs,
-                ticket: Arc::clone(&state),
-            });
+        lock_unpoisoned(&shard.queue).push_back(PoolTask {
+            jobs,
+            ticket: Arc::clone(&state),
+            shard: shard_index,
+            seq,
+            attempts: 0,
+        });
         self.inner.wake_all();
         Ticket { state }
+    }
+
+    /// Worker panics caught so far (injected or real).
+    pub fn worker_panics(&self) -> usize {
+        self.inner.panics.load(Ordering::Relaxed)
+    }
+
+    /// Tasks requeued after their first executing worker died.
+    pub fn requeued_tasks(&self) -> usize {
+        self.inner.requeues.load(Ordering::Relaxed)
+    }
+
+    /// Tasks whose ticket completed with worker-death errors (both execution
+    /// attempts lost).
+    pub fn worker_error_tasks(&self) -> usize {
+        self.inner.worker_errors.load(Ordering::Relaxed)
+    }
+
+    /// Replacement workers spawned after a panic escaped a worker thread.
+    pub fn respawned_workers(&self) -> usize {
+        self.inner.respawns.load(Ordering::Relaxed)
     }
 
     /// Stop claiming new batches (already-claimed batches finish).  Queues
@@ -611,12 +977,149 @@ impl Drop for ServingPool {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Replacement workers may themselves have been replaced while we were
+        // joining, so drain until the list stays empty.
+        loop {
+            let respawned: Vec<JoinHandle<()>> =
+                lock_unpoisoned(&self.inner.respawned).drain(..).collect();
+            if respawned.is_empty() {
+                return;
+            }
+            for worker in respawned {
+                let _ = worker.join();
+            }
+        }
     }
+}
+
+/// Spawn one pool worker thread, armed with a [`RespawnGuard`] so a panic
+/// that somehow escapes the loop's `catch_unwind` replaces the thread instead
+/// of silently shrinking the pool.
+fn spawn_worker(inner: Arc<PoolShared>, worker: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("cleo-serve-{worker}"))
+        .spawn(move || {
+            let _guard = RespawnGuard {
+                inner: Arc::clone(&inner),
+                worker,
+            };
+            worker_loop(&inner, worker);
+        })
+        .expect("failed to spawn serving worker")
+}
+
+/// Respawns a worker thread whose panic escaped the serve loop (drop-guard:
+/// runs during the unwind, so even unforeseen panics keep the pool at full
+/// strength).  Normal shutdown passes through without spawning.
+struct RespawnGuard {
+    inner: Arc<PoolShared>,
+    worker: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner.respawns.fetch_add(1, Ordering::Relaxed);
+            let handle = spawn_worker(Arc::clone(&self.inner), self.worker);
+            lock_unpoisoned(&self.inner.respawned).push(handle);
+        }
+    }
+}
+
+/// Requeues or error-completes a claimed task if the executing worker dies
+/// mid-batch (drop-guard: runs during the unwind).  The success path disarms
+/// it by taking the task out, so exactly one of {normal completion, requeue,
+/// error completion} happens per execution.
+struct TaskGuard<'a> {
+    inner: &'a PoolShared,
+    task: Option<PoolTask>,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        let Some(mut task) = self.task.take() else {
+            return;
+        };
+        if task.attempts == 0 && !self.inner.shutdown.load(Ordering::Acquire) {
+            // First death: requeue at the front of the home shard once.  A
+            // transient fault (a real panic in a worker) clears on the retry;
+            // a deterministic one (fault injection keys on the task sequence)
+            // fails again and takes the error path below.
+            task.attempts = 1;
+            let shard = &self.inner.shards[task.shard];
+            shard.pending.fetch_add(task.jobs.len(), Ordering::Release);
+            lock_unpoisoned(&shard.queue).push_front(task);
+            self.inner.requeues.fetch_add(1, Ordering::Relaxed);
+            self.inner.wake_all();
+        } else {
+            // Second death (or pool shutdown): terminal per-job errors.  The
+            // ticket resolves instead of deadlocking its waiter.
+            self.inner.worker_errors.fetch_add(1, Ordering::Relaxed);
+            let results = task
+                .jobs
+                .iter()
+                .map(|_| {
+                    Err(CleoError::Unavailable(format!(
+                        "serving worker died executing task {}",
+                        task.seq
+                    )))
+                })
+                .collect();
+            finish_task(self.inner, &task, results);
+        }
+    }
+}
+
+/// Deliver one executed batch: report per-job outcomes to the provider (for
+/// circuit breakers) and complete the ticket.  Called exactly once per task
+/// sequence — from the success path or from the guard's error path, never
+/// from the requeue path — so the provider's outcome fold sees a contiguous
+/// sequence.
+fn finish_task(inner: &PoolShared, task: &PoolTask, results: Vec<Result<OptimizedPlan>>) {
+    let provider = inner.shared.provider();
+    if provider.wants_serving_outcomes() {
+        let outcomes: Vec<(ClusterId, bool)> = task
+            .jobs
+            .iter()
+            .zip(&results)
+            .map(|(job, result)| (job.meta.cluster, result.is_ok()))
+            .collect();
+        provider.note_serving_outcomes(task.seq, &outcomes);
+    }
+    task.ticket.complete(results);
+}
+
+/// Execute one claimed task under the [`TaskGuard`]: apply any scheduled
+/// stall, panic if the plan says this task's worker dies, serve the batch,
+/// deliver.  A panic anywhere in here (injected or real) unwinds through the
+/// guard, which requeues or error-completes the task.
+fn execute_task(inner: &PoolShared, task: PoolTask, cache: &mut SnapshotCache) {
+    if let Some(faults) = &inner.faults {
+        let stall = faults.stall_millis(task.seq);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
+    }
+    let mut guard = TaskGuard {
+        inner,
+        task: Some(task),
+    };
+    let task = guard.task.as_ref().expect("just stored");
+    if let Some(faults) = &inner.faults {
+        if faults.fires(FaultSite::WorkerPanic, task.seq) {
+            panic!("injected fault: serving worker panic (task {})", task.seq);
+        }
+    }
+    let results = crate::serving::serve_batch(&inner.shared, &task.jobs, cache);
+    let task = guard.task.take().expect("guard still armed");
+    finish_task(inner, &task, results);
 }
 
 /// One worker's serve loop: claim from the home shard (stealing when dry),
 /// execute through the worker-local snapshot cache, deliver on the ticket;
-/// park on the wake condvar when there is nothing runnable.
+/// park on the wake condvar when there is nothing runnable.  Panics during
+/// execution are caught here — the task's [`TaskGuard`] has already requeued
+/// or error-completed it — so one poisoned batch never takes the worker down.
 fn worker_loop(inner: &PoolShared, worker: usize) {
     let mut cache = SnapshotCache::new();
     let home = worker % inner.shards.len();
@@ -626,12 +1129,17 @@ fn worker_loop(inner: &PoolShared, worker: usize) {
         }
         if !inner.paused.load(Ordering::Acquire) {
             if let Some(task) = inner.claim(home) {
-                let results = crate::serving::serve_batch(&inner.shared, &task.jobs, &mut cache);
-                task.ticket.complete(results);
+                if catch_unwind(AssertUnwindSafe(|| execute_task(inner, task, &mut cache))).is_err()
+                {
+                    inner.panics.fetch_add(1, Ordering::Relaxed);
+                    // The unwound serve may have left the worker-local cache
+                    // mid-update; start clean.
+                    cache = SnapshotCache::new();
+                }
                 continue;
             }
         }
-        let generation = inner.sleep.lock().expect("pool sleep lock poisoned");
+        let generation = lock_unpoisoned(&inner.sleep);
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -646,7 +1154,7 @@ fn worker_loop(inner: &PoolShared, worker: usize) {
             let _ = inner
                 .wake
                 .wait_timeout(generation, Duration::from_millis(50))
-                .expect("pool sleep lock poisoned");
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 }
@@ -675,6 +1183,73 @@ impl Default for DriftPolicy {
     }
 }
 
+/// Post-publish live-error watchdog of the sharded loop (off by default).
+///
+/// When enabled, each shard round starts by measuring the *served* model's
+/// live error on the freshly-arrived telemetry that carries its provenance
+/// (same cluster, same version).  A version whose live error regresses more
+/// than `max_error_regression_pct` past the previous version's measured live
+/// error is rolled back before the round continues — the holdout guard
+/// catches bad models at training time, the watchdog catches the ones that
+/// only misbehave on live traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogPolicy {
+    /// Whether the watchdog runs at all.
+    pub enabled: bool,
+    /// Live median-error regression (percentage points past the previous
+    /// version's measured live error) that triggers a rollback.
+    pub max_error_regression_pct: f64,
+    /// Fresh records with matching provenance needed before the live error is
+    /// considered measured (too few samples → [`WatchdogVerdict::NotChecked`]).
+    pub min_samples: usize,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            enabled: false,
+            max_error_regression_pct: 15.0,
+            min_samples: 8,
+        }
+    }
+}
+
+/// What the publish watchdog decided for one shard round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WatchdogVerdict {
+    /// Disabled, shard cold, or too few fresh records with matching
+    /// provenance to measure the served version's live error.
+    NotChecked,
+    /// Live error measured; within the regression guard.
+    Healthy {
+        /// The served version measured.
+        version: u64,
+        /// Its live median error (pct) on fresh matching telemetry.
+        live_error_pct: f64,
+    },
+    /// Live error regressed past the guard; the version was rolled back.
+    RolledBack {
+        /// The regressing version that was rolled back.
+        from_version: u64,
+        /// The version now serving (0 = fallback model).
+        to_version: u64,
+        /// The regressing version's live median error (pct).
+        live_error_pct: f64,
+        /// The previous version's measured live error it regressed from.
+        baseline_error_pct: f64,
+    },
+}
+
+/// One shard's failure in a fleet round: the round errored or panicked, the
+/// failure was isolated, and the shard's incumbent version kept serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFailure {
+    /// The shard that failed.
+    pub cluster: ClusterId,
+    /// What happened (panics surface as [`CleoError::Unavailable`]).
+    pub error: CleoError,
+}
+
 /// Configuration of the sharded feedback loop.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShardedFeedbackConfig {
@@ -684,6 +1259,8 @@ pub struct ShardedFeedbackConfig {
     pub shard: FeedbackConfig,
     /// Drift-aware per-cluster window eviction (default off).
     pub drift: DriftPolicy,
+    /// Post-publish live-error rollback watchdog (default off).
+    pub watchdog: WatchdogPolicy,
     /// OS threads running the per-cluster retrain epochs (0 = all cores).
     /// Retraining is deterministic regardless: each shard's round is a pure
     /// function of its window, the epoch, and its own incumbent.
@@ -709,6 +1286,8 @@ pub struct ObserveReport {
     pub unrouted_jobs: usize,
     /// Records evicted by the standard window policy during this observe.
     pub evicted_jobs: usize,
+    /// Shards whose ingest round failed (isolated; other shards ingested).
+    pub failed_shards: usize,
 }
 
 /// Per-shard state of the sharded loop.
@@ -719,6 +1298,9 @@ struct ShardState {
     /// Window moments at the shard's last publish (the training-time snapshot
     /// drift is measured against).
     baseline: Option<WindowMoments>,
+    /// `(version, live_error_pct)` the watchdog last measured — the baseline a
+    /// newly published version's live error is compared against.
+    live_baseline: Option<(u64, f64)>,
 }
 
 /// What one epoch did on one shard.
@@ -741,6 +1323,9 @@ pub struct ShardEpochReport {
     pub retrain: RetrainOutcome,
     /// Version the shard serves after this epoch's publish decision.
     pub served_version: u64,
+    /// What the publish watchdog decided at the start of this round about the
+    /// version published previously.
+    pub watchdog: WatchdogVerdict,
     /// Wall-clock microseconds of this shard's retrain round.
     pub retrain_micros: u128,
 }
@@ -758,6 +1343,9 @@ pub struct ShardedEpochReport {
     pub total_latency: f64,
     /// Per-shard outcomes, sorted by cluster id.
     pub shards: Vec<ShardEpochReport>,
+    /// Shards whose round failed this epoch (isolated — the fleet round
+    /// completed and each failed shard's incumbent kept serving).
+    pub failed: Vec<ShardFailure>,
     /// Routing outcomes of *this epoch's* serving (like every other field
     /// here; the router's cumulative counters stay available via
     /// [`ClusterRouter::routing_stats`]).
@@ -789,6 +1377,9 @@ pub struct ShardDeltaReport {
     pub outcome: DeltaOutcome,
     /// Version the shard serves after this round's publish decision.
     pub served_version: u64,
+    /// What the publish watchdog decided at the start of this round about the
+    /// version published previously.
+    pub watchdog: WatchdogVerdict,
     /// Wall-clock microseconds of this shard's dirty retrain + publish.
     pub round_micros: u128,
 }
@@ -804,6 +1395,8 @@ pub struct ShardedDeltaReport {
     pub total_latency: f64,
     /// Per-shard outcomes, sorted by cluster id.
     pub shards: Vec<ShardDeltaReport>,
+    /// Shards whose round failed (isolated — incumbents kept serving).
+    pub failed: Vec<ShardFailure>,
     /// Routing outcomes of this round's serving.
     pub routing: RoutingSnapshot,
 }
@@ -832,6 +1425,8 @@ pub struct ShardedFeedbackLoop {
     simulator: Simulator,
     shards: Vec<ShardState>,
     epoch: u32,
+    /// Fault-injection schedule for shard rounds (`None` in production).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ShardedFeedbackLoop {
@@ -850,6 +1445,7 @@ impl ShardedFeedbackLoop {
                 registry: Arc::clone(s.registry()),
                 window: TelemetryLog::new(),
                 baseline: None,
+                live_baseline: None,
             })
             .collect();
         ShardedFeedbackLoop {
@@ -858,7 +1454,14 @@ impl ShardedFeedbackLoop {
             simulator,
             shards,
             epoch: 0,
+            faults: None,
         }
+    }
+
+    /// Install (or clear) a fault-injection schedule for subsequent epoch and
+    /// delta rounds.  `None` is the production path.
+    pub fn set_fault_plan(&mut self, faults: Option<Arc<FaultPlan>>) {
+        self.faults = faults;
     }
 
     /// The router the loop serves through (shared with external serving paths,
@@ -912,7 +1515,7 @@ impl ShardedFeedbackLoop {
             }
         }
         let config = self.config;
-        let evictions = self.run_shard_rounds(ingest, |state, log| {
+        let (evictions, failed) = self.run_shard_rounds(ingest, |state, log| {
             use crate::feedback::WindowEviction;
             if let Some(log) = log {
                 state.window.extend(log);
@@ -921,11 +1524,12 @@ impl ShardedFeedbackLoop {
                 WindowEviction::JobCount(max_jobs) => state.window.drain_window(max_jobs).len(),
                 WindowEviction::RecentDays(days) => state.window.retain_recent_days(days).len(),
             })
-        })?;
+        });
         Ok(ObserveReport {
             accepted_jobs,
             unrouted_jobs,
             evicted_jobs: evictions.iter().sum(),
+            failed_shards: failed.len(),
         })
     }
 
@@ -940,12 +1544,15 @@ impl ShardedFeedbackLoop {
 
         // Per-cluster epochs, in parallel across shards.  Each shard's round is
         // a pure function of (window, epoch, its own incumbent), so the thread
-        // assignment cannot change any outcome — only the wall clock.
+        // assignment cannot change any outcome — only the wall clock.  Rounds
+        // are failure-isolated: a panicking or erroring shard lands in
+        // `failed` and its incumbent keeps serving.
         let config = self.config;
         let fallback = Arc::clone(self.router.fallback_model());
-        let shards = self.run_shard_rounds(served.ingest, |state, log| {
-            run_shard_epoch(state, log, &config, epoch, &fallback)
-        })?;
+        let faults = self.faults.clone();
+        let (shards, failed) = self.run_shard_rounds(served.ingest, |state, log| {
+            run_shard_epoch(state, log, &config, epoch, &fallback, faults.as_deref())
+        });
 
         Ok(ShardedEpochReport {
             epoch,
@@ -953,6 +1560,7 @@ impl ShardedFeedbackLoop {
             unrouted_jobs: served.unrouted_jobs,
             total_latency: served.total_latency,
             shards,
+            failed,
             routing: self.router.routing_stats().since(&routing_before),
         })
     }
@@ -970,15 +1578,17 @@ impl ShardedFeedbackLoop {
         let served = self.serve_and_partition(jobs, epoch)?;
 
         let config = self.config;
-        let shards = self.run_shard_rounds(served.ingest, |state, log| {
-            run_shard_delta(state, log, &config, epoch)
-        })?;
+        let faults = self.faults.clone();
+        let (shards, failed) = self.run_shard_rounds(served.ingest, |state, log| {
+            run_shard_delta(state, log, &config, epoch, faults.as_deref())
+        });
 
         Ok(ShardedDeltaReport {
             jobs_run: served.jobs_run,
             unrouted_jobs: served.unrouted_jobs,
             total_latency: served.total_latency,
             shards,
+            failed,
             routing: self.router.routing_stats().since(&routing_before),
         })
     }
@@ -1026,11 +1636,19 @@ impl ShardedFeedbackLoop {
     /// across [`ShardedFeedbackConfig::shard_threads`] OS threads.  Each
     /// shard's round is a pure function of its own state, so the thread
     /// assignment cannot change any outcome — only the wall clock.
+    ///
+    /// Rounds are **failure-isolated**: each shard's round runs under
+    /// `catch_unwind`, so an erroring or panicking shard becomes a
+    /// [`ShardFailure`] while every other shard's report is returned normally
+    /// — one bad shard can no longer abort a fleet round.  A failed shard's
+    /// window may have partially ingested this round's telemetry; its
+    /// registry is untouched (publishes are the last step of a round), so its
+    /// incumbent version keeps serving.
     fn run_shard_rounds<R: Send>(
         &mut self,
         ingest: Vec<Option<TelemetryLog>>,
         round: impl Fn(&mut ShardState, Option<TelemetryLog>) -> Result<R> + Sync,
-    ) -> Result<Vec<R>> {
+    ) -> (Vec<R>, Vec<ShardFailure>) {
         let threads = if self.config.shard_threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -1042,13 +1660,21 @@ impl ShardedFeedbackLoop {
 
         let mut work: Vec<(&mut ShardState, Option<TelemetryLog>)> =
             self.shards.iter_mut().zip(ingest).collect();
-        let mut reports: Vec<Result<R>> = Vec::with_capacity(work.len());
+        let mut outcomes: Vec<std::result::Result<R, ShardFailure>> =
+            Vec::with_capacity(work.len());
         if threads <= 1 {
             for (state, log) in work.iter_mut() {
-                reports.push(round(state, log.take()));
+                outcomes.push(run_round_isolated(&round, state, log.take()));
             }
         } else {
             let chunk_size = work.len().div_ceil(threads);
+            // Cluster lists per chunk, captured up front so that even a panic
+            // escaping a chunk worker (not just a shard round) degrades to
+            // per-shard failures instead of aborting the fleet.
+            let chunk_clusters: Vec<Vec<ClusterId>> = work
+                .chunks(chunk_size)
+                .map(|chunk| chunk.iter().map(|(state, _)| state.cluster).collect())
+                .collect();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = work
                     .chunks_mut(chunk_size)
@@ -1057,17 +1683,54 @@ impl ShardedFeedbackLoop {
                         scope.spawn(move || {
                             chunk
                                 .iter_mut()
-                                .map(|(state, log)| round(state, log.take()))
+                                .map(|(state, log)| run_round_isolated(round, state, log.take()))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
-                for handle in handles {
-                    reports.extend(handle.join().expect("shard round worker panicked"));
+                for (handle, clusters) in handles.into_iter().zip(chunk_clusters) {
+                    match handle.join() {
+                        Ok(chunk_outcomes) => outcomes.extend(chunk_outcomes),
+                        Err(_) => outcomes.extend(clusters.into_iter().map(|cluster| {
+                            Err(ShardFailure {
+                                cluster,
+                                error: CleoError::Unavailable("shard round worker panicked".into()),
+                            })
+                        })),
+                    }
                 }
             });
         }
-        reports.into_iter().collect()
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut failed = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(report) => reports.push(report),
+                Err(failure) => failed.push(failure),
+            }
+        }
+        (reports, failed)
+    }
+}
+
+/// Run one shard's round under `catch_unwind`, converting an error or panic
+/// into a [`ShardFailure`] (the isolation primitive of the fleet rounds).
+fn run_round_isolated<R>(
+    round: &(impl Fn(&mut ShardState, Option<TelemetryLog>) -> Result<R> + Sync),
+    state: &mut ShardState,
+    log: Option<TelemetryLog>,
+) -> std::result::Result<R, ShardFailure> {
+    let cluster = state.cluster;
+    match catch_unwind(AssertUnwindSafe(|| round(state, log))) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(error)) => Err(ShardFailure { cluster, error }),
+        Err(payload) => Err(ShardFailure {
+            cluster,
+            error: CleoError::Unavailable(format!(
+                "shard round panicked: {}",
+                panic_message(payload.as_ref())
+            )),
+        }),
     }
 }
 
@@ -1079,8 +1742,20 @@ fn run_shard_delta(
     ingest: Option<TelemetryLog>,
     config: &ShardedFeedbackConfig,
     epoch: u32,
+    faults: Option<&FaultPlan>,
 ) -> Result<ShardDeltaReport> {
     use crate::feedback::WindowEviction;
+
+    let watchdog = run_publish_watchdog(state, ingest.as_ref(), &config.watchdog, faults);
+    if let Some(faults) = faults {
+        let index = ((epoch as u64) << 8) | state.cluster.0 as u64;
+        if faults.fires(FaultSite::CorruptDelta, index) {
+            return Err(CleoError::Config(format!(
+                "injected fault: corrupted delta (epoch {epoch}, cluster {})",
+                state.cluster.0
+            )));
+        }
+    }
 
     let ingested_jobs = ingest.as_ref().map_or(0, TelemetryLog::len);
     if let Some(log) = ingest {
@@ -1102,6 +1777,7 @@ fn run_shard_delta(
         evicted_jobs,
         outcome,
         served_version: state.registry.current_version(),
+        watchdog,
         round_micros,
     })
 }
@@ -1114,8 +1790,20 @@ fn run_shard_epoch(
     config: &ShardedFeedbackConfig,
     epoch: u32,
     fallback: &Arc<dyn CostModel>,
+    faults: Option<&FaultPlan>,
 ) -> Result<ShardEpochReport> {
     use crate::feedback::WindowEviction;
+
+    let watchdog = run_publish_watchdog(state, ingest.as_ref(), &config.watchdog, faults);
+    if let Some(faults) = faults {
+        let index = ((epoch as u64) << 8) | state.cluster.0 as u64;
+        if faults.fires(FaultSite::ShardRoundPanic, index) {
+            panic!(
+                "injected fault: shard round panic (epoch {epoch}, cluster {})",
+                state.cluster.0
+            );
+        }
+    }
 
     let ingested_jobs = ingest.as_ref().map_or(0, TelemetryLog::len);
     if let Some(log) = ingest {
@@ -1170,8 +1858,77 @@ fn run_shard_epoch(
         drift_evicted,
         retrain,
         served_version: state.registry.current_version(),
+        watchdog,
         retrain_micros,
     })
+}
+
+/// The publish watchdog: measure the *served* version's live error on the
+/// round's freshly-arrived telemetry that carries its provenance, and roll it
+/// back if it regressed past the guard relative to the previous version's
+/// measured live error.  Runs at the start of each shard round, before the
+/// fresh records merge into the training window.
+fn run_publish_watchdog(
+    state: &mut ShardState,
+    ingest: Option<&TelemetryLog>,
+    policy: &WatchdogPolicy,
+    faults: Option<&FaultPlan>,
+) -> WatchdogVerdict {
+    if !policy.enabled {
+        return WatchdogVerdict::NotChecked;
+    }
+    let Some(log) = ingest else {
+        return WatchdogVerdict::NotChecked;
+    };
+    let served_version = state.registry.current_version();
+    if served_version == 0 {
+        return WatchdogVerdict::NotChecked;
+    }
+    let Some(snapshot) = state.registry.current() else {
+        return WatchdogVerdict::NotChecked;
+    };
+    // Only records this version served for this cluster measure its live
+    // error; donor-served and stale-version records say nothing about it.
+    let fresh: Vec<&JobTelemetry> = log
+        .jobs()
+        .iter()
+        .filter(|job| {
+            job.provenance.model_cluster == Some(state.cluster)
+                && job.provenance.model_version == served_version
+        })
+        .collect();
+    if fresh.len() < policy.min_samples {
+        return WatchdogVerdict::NotChecked;
+    }
+    let evaluation = crate::pipeline::evaluate_cost_model_jobs(
+        snapshot.cost_model().as_ref(),
+        fresh.iter().copied(),
+    );
+    let mut live_error_pct = evaluation.median_error_pct;
+    if let Some(faults) = faults {
+        live_error_pct *= faults.error_multiplier((served_version << 8) | state.cluster.0 as u64);
+    }
+    match state.live_baseline {
+        Some((baseline_version, baseline_error_pct))
+            if baseline_version != served_version
+                && live_error_pct > baseline_error_pct + policy.max_error_regression_pct =>
+        {
+            let now_serving = state.registry.rollback();
+            WatchdogVerdict::RolledBack {
+                from_version: served_version,
+                to_version: now_serving.map(|s| s.version()).unwrap_or(0),
+                live_error_pct,
+                baseline_error_pct,
+            }
+        }
+        _ => {
+            state.live_baseline = Some((served_version, live_error_pct));
+            WatchdogVerdict::Healthy {
+                version: served_version,
+                live_error_pct,
+            }
+        }
+    }
 }
 
 #[cfg(test)]

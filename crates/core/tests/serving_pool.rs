@@ -214,6 +214,7 @@ fn over_capacity_burst_sheds_exactly_per_config() {
             max_queue_depth: 4,
             policy: OverloadPolicy::Shed,
             coalesce_max: 1,
+            ..FrontDoorConfig::default()
         },
     );
 
@@ -261,6 +262,7 @@ fn delay_policy_queues_past_depth_and_serves_everything() {
             max_queue_depth: 4,
             policy: OverloadPolicy::Delay,
             coalesce_max: 1,
+            ..FrontDoorConfig::default()
         },
     );
     let verdicts: Vec<Admission> = (0..10).map(|i| door.offer(job(800 + i, 0))).collect();
@@ -310,6 +312,7 @@ fn front_door_coalesces_same_shard_requests_into_batches() {
             max_queue_depth: 64,
             policy: OverloadPolicy::Shed,
             coalesce_max: 4,
+            ..FrontDoorConfig::default()
         },
     );
     for j in &jobs {

@@ -101,6 +101,24 @@ pub trait CostModelProvider: Send + Sync {
     fn note_cached_route(&self, meta: &JobMeta, served: &ServedModel) {
         let _ = (meta, served);
     }
+
+    /// Whether this provider wants per-batch serving outcomes reported back
+    /// via [`CostModelProvider::note_serving_outcomes`].  Serving pools check
+    /// this once per batch so providers that don't track health (the default)
+    /// pay nothing.
+    fn wants_serving_outcomes(&self) -> bool {
+        false
+    }
+
+    /// Report the per-job outcomes of one served batch: `(cluster, ok)` per
+    /// job, where `batch_seq` is the pool's submission sequence for the batch.
+    /// Sequences are assigned contiguously from 0, so providers that need a
+    /// deterministic outcome order (e.g. circuit breakers whose trip decisions
+    /// must not depend on worker count) can fold batches in `batch_seq` order
+    /// regardless of which worker finished first.  The default does nothing.
+    fn note_serving_outcomes(&self, batch_seq: u64, outcomes: &[(ClusterId, bool)]) {
+        let _ = (batch_seq, outcomes);
+    }
 }
 
 /// Sentinel [`CostModelProvider::route_stamp`] value: "no stamp available,
