@@ -24,8 +24,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cleo_bench::context::BenchMeta;
 use cleo_common::fault::FaultPlan;
-use cleo_core::ingest::{parse_telemetry_quarantine, QuarantinePolicy, WireFormat};
+use cleo_common::obs::Obs;
+use cleo_core::ingest::{
+    parse_telemetry_quarantine, parse_telemetry_quarantine_obs, QuarantinePolicy, WireFormat,
+};
 use cleo_core::serving::{FrontDoor, FrontDoorConfig, OverloadPolicy};
 use cleo_core::sharding::{ClusterRouter, ServingPool, ShardedRegistry};
 use cleo_core::HoldoutMetrics;
@@ -113,10 +117,8 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let n_requests = if smoke { 60 } else { 240 };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let degraded = cores < SHARDS;
+    let meta = BenchMeta::capture(SHARDS);
+    let (cores, degraded) = (meta.cores, meta.degraded);
 
     // One warm shard per cluster (the sharded_serving fleet shape).
     let profiles: Vec<WorkloadProfile> = ctx
@@ -133,7 +135,13 @@ fn main() {
         );
     }
     let fallback: Arc<dyn CostModel> = Arc::new(HeuristicCostModel::default_model());
-    let router = Arc::new(ClusterRouter::new(registry, fallback, &profiles));
+    // One observability registry across all three passes: router hits, pool
+    // survivability counters, and the quarantine's ingest counters all land
+    // here and are folded into the JSON result.
+    let obs = Arc::new(Obs::new());
+    let router = Arc::new(
+        ClusterRouter::new(registry, fallback, &profiles).with_obs(Some(Arc::clone(&obs))),
+    );
     let shared = || {
         SharedOptimizer::new(
             Arc::clone(&router) as Arc<dyn CostModelProvider>,
@@ -185,7 +193,7 @@ fn main() {
     let horizon = n_requests as u64;
     let plan = FaultPlan::chaos(FAULT_SEED, horizon);
     let chaos_pool = Arc::new(ServingPool::with_faults(
-        shared(),
+        shared().with_obs(Some(Arc::clone(&obs))),
         SHARDS,
         WORKERS,
         plan.clone().handle(),
@@ -253,12 +261,13 @@ fn main() {
         Some(&poison_plan),
     )
     .expect("quarantine 1t");
-    let (log_nt, quarantine_nt) = parse_telemetry_quarantine(
+    let (log_nt, quarantine_nt) = parse_telemetry_quarantine_obs(
         text.as_bytes(),
         WireFormat::Ndjson,
         threads,
         &policy,
         Some(&poison_plan),
+        Some(&obs),
     )
     .expect("quarantine nt");
     assert_eq!(log_1t.len(), log_nt.len(), "kept records match 1 vs N");
@@ -297,9 +306,11 @@ fn main() {
         goodput_ratio,
     );
 
+    let meta_fields = meta.json_fields();
+    let metrics_json = obs.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"bench\": \"chaos\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
+        "{{\n  \"bench\": \"chaos\",\n  \"smoke\": {smoke},\n  {meta_fields},\n  \
+         \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
          \"requests\": {n_requests},\n  \"fault_seed\": {FAULT_SEED},\n  \
          \"fault_horizon\": {horizon},\n  \
          \"fault_free\": {{\"goodput_ok_per_sec\": {base_goodput:.1}, \"ok\": {base_ok}}},\n  \
@@ -314,7 +325,8 @@ fn main() {
          \"ratio_vs_fault_free\": {recovery_ratio:.3}}},\n  \
          \"quarantine\": {{\"records\": {n_records}, \"quarantined\": {quarantined}, \
          \"healthy_kept\": {healthy}, \"poison_rate\": 0.05, \
-         \"bit_identical_1_vs_{threads}_threads\": true}}\n}}\n",
+         \"bit_identical_1_vs_{threads}_threads\": true}},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
     );
     // Anchor the result file at the workspace root regardless of the bench cwd.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

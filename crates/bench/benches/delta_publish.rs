@@ -19,7 +19,8 @@
 
 use std::time::Duration;
 
-use cleo_bench::BenchGroup;
+use cleo_bench::{BenchGroup, BenchMeta};
+use cleo_common::obs::Obs;
 use cleo_core::feedback::{DeltaDecision, FeedbackConfig, FeedbackLoop, WindowEviction};
 use cleo_core::PublishDecision;
 use cleo_engine::exec::{Simulator, SimulatorConfig};
@@ -77,6 +78,10 @@ fn main() {
         ..FeedbackConfig::default()
     };
     let mut fl = FeedbackLoop::new(config, Simulator::new(SimulatorConfig::default()));
+    // Registry lifecycle (epoch/delta publishes and the bench's rollbacks)
+    // flows into one observability registry, snapshotted into the JSON below.
+    let obs = std::sync::Arc::new(Obs::new());
+    fl.attach_obs(std::sync::Arc::clone(&obs));
     fl.observe(day(0));
     fl.observe(day(1));
     let first = fl.retrain().expect("train v1");
@@ -188,13 +193,11 @@ fn main() {
         staleness_reduction * 100.0,
     );
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let degraded = cores < 4;
+    let meta_fields = BenchMeta::capture(4).json_fields();
+    let metrics_json = obs.metrics().snapshot().to_json();
     let json = format!(
         "{{\n  \"bench\": \"delta_publish\",\n  \"smoke\": {smoke},\n  \
-         \"cores\": {cores},\n  \"degraded\": {degraded},\n  \
+         {meta_fields},\n  \
          \"window_jobs\": {window_jobs},\n  \
          \"dirty_signatures\": {moved},\n  \"refit_signatures\": {},\n  \
          \"deferred_signatures\": {},\n  \"unchanged_signatures\": {},\n  \
@@ -205,7 +208,8 @@ fn main() {
          \"delta_publish_speedup\": {speedup:.2},\n  \
          \"staleness_window_reduction\": {staleness_reduction:.4},\n  \
          \"jobs_per_sec_full_snapshot\": {full_rate:.1},\n  \
-         \"jobs_per_sec_delta_snapshot\": {delta_rate:.1}\n}}\n",
+         \"jobs_per_sec_delta_snapshot\": {delta_rate:.1},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         probe.dirty_signatures,
         probe.deferred_signatures,
         probe.unchanged_signatures,

@@ -9,7 +9,8 @@
 
 use std::sync::Arc;
 
-use cleo_bench::BenchGroup;
+use cleo_bench::{BenchGroup, BenchMeta};
+use cleo_common::obs::Obs;
 use cleo_core::feedback::{FeedbackConfig, FeedbackLoop, WindowEviction};
 use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
 use cleo_engine::exec::{Simulator, SimulatorConfig};
@@ -31,6 +32,10 @@ fn main() {
         },
         Simulator::new(SimulatorConfig::default()),
     );
+    // Publish lifecycle + the cached model's live counters land in one
+    // observability registry, snapshotted into the JSON below.
+    let obs = Arc::new(Obs::new());
+    fl.attach_obs(Arc::clone(&obs));
     let epoch_sample = group.bench_function("epoch_serve_retrain_publish", || {
         fl.run_epoch(&epoch_jobs).expect("epoch")
     });
@@ -41,6 +46,7 @@ fn main() {
         pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train"),
     );
     let cached = LearnedCostModel::new(Arc::clone(&predictor));
+    cached.register_metrics(obs.metrics(), "cost_model");
     let uncached = LearnedCostModel::without_cache(predictor);
     let candidates: Vec<usize> = (0..32).map(|i| 1 + 8 * i).collect();
     let plans: Vec<_> = cluster.test_log.jobs().iter().take(20).collect();
@@ -82,21 +88,16 @@ fn main() {
         hit_rate * 100.0
     );
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let degraded = cores < 4;
-    // Which SIMD arm the runtime dispatcher actually picked on this machine —
-    // numbers from different ISAs are not comparable.
-    let simd = cleo_mlkit::simd::isa_name();
+    let meta_fields = BenchMeta::capture(4).json_fields();
+    let metrics_json = obs.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"bench\": \"feedback_loop\",\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \"simd\": \"{simd}\",\n  \
+        "{{\n  \"bench\": \"feedback_loop\",\n  {meta_fields},\n  \
          \"epochs_per_sec\": {epochs_per_sec:.4},\n  \
          \"epoch_jobs\": {},\n  \"predictions_per_run\": {predictions_per_run},\n  \
          \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
          \"predictions_per_sec_cached\": {cached_preds_per_sec:.1},\n  \
-         \"cache_speedup\": {speedup:.3},\n  \"cache_hit_rate\": {hit_rate:.4}\n}}\n",
+         \"cache_speedup\": {speedup:.3},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         epoch_jobs.len()
     );
     // Anchor the result file at the workspace root regardless of the bench cwd.

@@ -17,7 +17,8 @@
 
 use std::sync::Arc;
 
-use cleo_bench::BenchGroup;
+use cleo_bench::{BenchGroup, BenchMeta};
+use cleo_common::obs::Obs;
 use cleo_core::models::PredictScratch;
 use cleo_core::{pipeline, LearnedCostModel, TrainerConfig};
 use cleo_engine::workload::JobSpec;
@@ -37,6 +38,9 @@ fn main() {
         pipeline::train_predictor(&cluster.train_log, TrainerConfig::default()).expect("train"),
     );
     let uncached = LearnedCostModel::without_cache(Arc::clone(&predictor));
+    // The model's live invocation counter doubles as the registry metric.
+    let obs = Obs::new();
+    uncached.register_metrics(obs.metrics(), "cost_model");
 
     // (a) Uncached costing, recurring-workload shape (32-candidate sweeps over
     // every operator of 20 test-day plans) — comparable with the
@@ -122,13 +126,10 @@ fn main() {
         println!("smoke mode: skipping BENCH_inference.json");
         return;
     }
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let degraded = cores < 4;
+    let meta_fields = BenchMeta::capture(4).json_fields();
+    let metrics_json = obs.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"bench\": \"inference_path\",\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \"simd\": \"{simd}\",\n  \
+        "{{\n  \"bench\": \"inference_path\",\n  {meta_fields},\n  \
          \"predictions_per_run\": {predictions_per_run},\n  \
          \"predictions_per_sec_uncached\": {uncached_preds_per_sec:.1},\n  \
          \"baseline_predictions_per_sec_uncached\": {baseline_uncached_preds_per_sec:.1},\n  \
@@ -136,7 +137,8 @@ fn main() {
          \"presimd_predictions_per_sec_uncached\": {presimd_uncached_preds_per_sec:.1},\n  \
          \"simd_speedup_vs_presimd\": {simd_speedup:.3},\n  \
          \"ns_per_candidate_64cand_sweep\": {ns_per_candidate:.1},\n  \
-         \"enumeration_alternatives_per_sec\": {alternatives_per_sec:.1}\n}}\n"
+         \"enumeration_alternatives_per_sec\": {alternatives_per_sec:.1},\n  \
+         \"metrics\": {metrics_json}\n}}\n"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

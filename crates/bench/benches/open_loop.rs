@@ -15,14 +15,17 @@
 //! * the **admission mix** (admitted / delayed / shed counts, shed rate, and
 //!   how many coalesced batches the front door formed),
 //! * **latency percentiles** (p50/p95/p99/max, request arrival to batch
-//!   completion),
-//! * the honest `cores` count and a `degraded` flag when the machine has
-//!   fewer cores than the 4-shard / 4-worker serving tier assumes.
+//!   completion) from a mergeable log-linear [`LatencyHistogram`] — the same
+//!   bins the serving registry exports, not an ad-hoc percentile sort,
+//! * a `metrics` object: the serving stack's full `MetricsSnapshot` for the
+//!   headline run (router hits, pool counters, front-door gauges),
+//! * the shared environment metadata block ([`cleo_bench::context::BenchMeta`]).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cleo_common::stats::quantile;
+use cleo_bench::context::BenchMeta;
+use cleo_common::obs::{LatencyHistogram, Obs};
 use cleo_core::serving::{open_loop_arrivals, FrontDoor, FrontDoorConfig, OverloadPolicy};
 use cleo_core::sharding::{ClusterRouter, ServingPool, ShardedRegistry};
 use cleo_core::HoldoutMetrics;
@@ -49,10 +52,8 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let n_requests = if smoke { 40 } else { 400 };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let degraded = cores < SHARDS;
+    let meta = BenchMeta::capture(SHARDS);
+    let (cores, degraded) = (meta.cores, meta.degraded);
 
     // One warm shard per cluster (the sharded_serving fleet shape).
     let profiles: Vec<WorkloadProfile> = ctx
@@ -69,7 +70,14 @@ fn main() {
         );
     }
     let fallback: Arc<dyn CostModel> = Arc::new(HeuristicCostModel::default_model());
-    let router = Arc::new(ClusterRouter::new(registry, fallback, &profiles));
+    // One observability registry for the whole bench: the router's hit
+    // counters, the pool's worker counters, and the front door's latency
+    // histogram all land here, and the headline run's snapshot is folded into
+    // the JSON result.
+    let obs = Arc::new(Obs::new());
+    let router = Arc::new(
+        ClusterRouter::new(registry, fallback, &profiles).with_obs(Some(Arc::clone(&obs))),
+    );
     let shared = || {
         SharedOptimizer::new(
             Arc::clone(&router) as Arc<dyn CostModelProvider>,
@@ -112,7 +120,11 @@ fn main() {
 
     // Replay the deterministic schedule against the wall clock.
     let arrivals = open_loop_arrivals(SCHEDULE_SEED, offered_rate, n_requests);
-    let pool = Arc::new(ServingPool::new(shared(), SHARDS, WORKERS));
+    let pool = Arc::new(ServingPool::new(
+        shared().with_obs(Some(Arc::clone(&obs))),
+        SHARDS,
+        WORKERS,
+    ));
     let config = FrontDoorConfig {
         max_queue_depth: 64,
         policy: OverloadPolicy::Shed,
@@ -140,21 +152,29 @@ fn main() {
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
 
     let achieved_rate = completed.len() as f64 / elapsed;
-    let latencies_ms: Vec<f64> = completed
-        .iter()
-        .map(|c| {
-            c.result.as_ref().expect("serve");
+    // Percentiles come from the observability layer's mergeable log-linear
+    // histogram (the same bins the serving registry exports), replacing the
+    // old sort-the-latencies quantile pass.
+    let hist = LatencyHistogram::new();
+    for c in &completed {
+        c.result.as_ref().expect("serve");
+        hist.record(
             c.completed_at
-                .saturating_duration_since(arrival_at[c.request])
-                .as_secs_f64()
-                * 1000.0
-        })
-        .collect();
-    let p50 = quantile(&latencies_ms, 0.50);
-    let p95 = quantile(&latencies_ms, 0.95);
-    let p99 = quantile(&latencies_ms, 0.99);
-    let max_ms = latencies_ms.iter().cloned().fold(0.0f64, f64::max);
+                .saturating_duration_since(arrival_at[c.request]),
+        );
+    }
+    let lat = hist.snapshot();
+    let to_ms = |nanos: u64| nanos as f64 / 1e6;
+    let (p50, p95, p99, max_ms) = (
+        to_ms(lat.p50_nanos),
+        to_ms(lat.p95_nanos),
+        to_ms(lat.p99_nanos),
+        to_ms(lat.max_nanos),
+    );
     let shed_rate = stats.shed_rate();
+    // The headline run's registry state, before the overload sweep adds its
+    // own routing/pool traffic on top.
+    let metrics_json = obs.metrics().snapshot().to_json();
 
     // Sustained-overload sweep over the two admission knobs: offer at ~2x pool
     // capacity (every queue is persistently full, so the knobs — not the
@@ -205,21 +225,19 @@ fn main() {
             let stats = door.stats();
             let completed = door.drain();
             let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-            let lat_ms: Vec<f64> = completed
-                .iter()
-                .map(|c| {
+            let hist = LatencyHistogram::new();
+            for c in &completed {
+                hist.record(
                     c.completed_at
-                        .saturating_duration_since(arrival_at[c.request])
-                        .as_secs_f64()
-                        * 1000.0
-                })
-                .collect();
+                        .saturating_duration_since(arrival_at[c.request]),
+                );
+            }
             sweep.push(SweepPoint {
                 coalesce,
                 depth,
                 goodput: completed.len() as f64 / elapsed,
                 shed_rate: stats.shed_rate(),
-                p99_ms: quantile(&lat_ms, 0.99),
+                p99_ms: hist.snapshot().p99_nanos as f64 / 1e6,
             });
         }
     }
@@ -280,9 +298,10 @@ fn main() {
         })
         .collect();
 
+    let meta_fields = meta.json_fields();
     let json = format!(
-        "{{\n  \"bench\": \"open_loop\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
+        "{{\n  \"bench\": \"open_loop\",\n  \"smoke\": {smoke},\n  {meta_fields},\n  \
+         \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
          \"coalesce_max\": {coalesce_max},\n  \
          \"offered\": {{\"rate_per_sec\": {offered_rate:.1}, \"requests\": {n_requests}, \
          \"schedule_seed\": {SCHEDULE_SEED}}},\n  \
@@ -293,6 +312,7 @@ fn main() {
          \"shed_rate\": {shed_rate:.4}, \"batches\": {}}},\n  \
          \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}, \
          \"max\": {max_ms:.3}}},\n  \
+         \"metrics\": {metrics_json},\n  \
          \"overload_sweep\": {{\n   \"offered_rate_per_sec\": {overload_rate:.1},\n   \
          \"requests\": {sweep_requests},\n   \"grid\": [\n{}\n   ],\n   \
          \"chosen\": {{\"coalesce_max\": {}, \"max_queue_depth\": {}}},\n   \

@@ -30,7 +30,8 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cleo_bench::BenchGroup;
+use cleo_bench::{BenchGroup, BenchMeta};
+use cleo_common::obs::Obs;
 use cleo_core::feedback::{FeedbackConfig, WindowEviction};
 use cleo_core::sharding::{
     ClusterRouter, ServingPool, ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry,
@@ -62,9 +63,8 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let ctx = cleo_bench::ExperimentContext::quick().expect("context");
     let per_cluster_jobs = if smoke { 8 } else { 40 };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let bench_meta = BenchMeta::capture(4);
+    let cores = bench_meta.cores;
 
     // One warm shard per cluster: each cluster's predictor published as v1 of
     // its own registry shard.
@@ -82,11 +82,13 @@ fn main() {
         );
     }
     let fallback: Arc<dyn CostModel> = Arc::new(HeuristicCostModel::default_model());
-    let router = Arc::new(ClusterRouter::new(
-        Arc::clone(&registry),
-        Arc::clone(&fallback),
-        &profiles,
-    ));
+    // The router's routing counters double as registry metrics; the end-of-run
+    // snapshot is folded into the JSON result.
+    let obs = Arc::new(Obs::new());
+    let router = Arc::new(
+        ClusterRouter::new(Arc::clone(&registry), Arc::clone(&fallback), &profiles)
+            .with_obs(Some(Arc::clone(&obs))),
+    );
     let shared = SharedOptimizer::new(
         Arc::clone(&router) as Arc<dyn CostModelProvider>,
         OptimizerConfig::resource_aware(),
@@ -333,7 +335,7 @@ fn main() {
     let summed_capacity: Vec<f64> = (1..=4).map(|n| per_shard_rate[..n].iter().sum()).collect();
     let summed_scaling_1_to_4 = summed_capacity[3] / summed_capacity[0].max(1e-12);
     let routing_total = routing.total().max(1) as f64;
-    let degraded = cores < 4;
+    let degraded = bench_meta.degraded;
 
     println!(
         "\nfleet capacity (worker pool wall clock, {cores} core(s), degraded={degraded}): \
@@ -360,9 +362,10 @@ fn main() {
         .map(|(n, r)| format!("\"{n}\": {r:.1}"))
         .collect::<Vec<_>>()
         .join(", ");
+    let meta_fields = bench_meta.json_fields();
+    let metrics_json = obs.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"bench\": \"sharded_serving\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \
+        "{{\n  \"bench\": \"sharded_serving\",\n  \"smoke\": {smoke},\n  {meta_fields},\n  \
          \"shards\": 4,\n  \"jobs_per_shard\": {jobs_per_shard},\n  \
          \"fleet_jobs_per_sec\": {measured_4:.1},\n  \
          \"throughput_scaling_1_to_4\": {measured_scaling_1_to_4:.3},\n  \
@@ -379,7 +382,8 @@ fn main() {
          \"jobs_per_sec_sharded_serial\": {sharded_all_rate:.1},\n  \
          \"half_cold_routing\": {{\"own_hits\": {}, \"donor_hits\": {}, \"fallback_hits\": {}, \
          \"own_rate\": {:.4}, \"donor_rate\": {:.4}, \"fallback_rate\": {:.4}}},\n  \
-         \"per_shard_epoch_latency_ms\": [{epoch_ms}]\n}}\n",
+         \"per_shard_epoch_latency_ms\": [{epoch_ms}],\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         routing.own_hits,
         routing.donor_hits,
         routing.fallback_hits,

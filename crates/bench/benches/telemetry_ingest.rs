@@ -20,7 +20,8 @@
 
 use std::sync::Arc;
 
-use cleo_bench::BenchGroup;
+use cleo_bench::{BenchGroup, BenchMeta};
+use cleo_common::obs::Obs;
 use cleo_core::feedback::{FeedbackConfig, WindowEviction};
 use cleo_core::ingest::{ingest_firehose, parse_telemetry, WireFormat};
 use cleo_core::{ClusterRouter, ShardedFeedbackConfig, ShardedFeedbackLoop, ShardedRegistry};
@@ -48,9 +49,8 @@ fn main() {
     let text = write_ndjson(&log);
     let bytes = write_binary(&log);
     let n_jobs = log.len();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let meta = BenchMeta::capture(4);
+    let cores = meta.cores;
     let threads = cores.max(2);
 
     // (a) Allocation-free validation scan.
@@ -91,10 +91,16 @@ fn main() {
         .map(|i| ClusterId(i as u8))
         .collect();
     let registry = Arc::new(ShardedRegistry::new(clusters));
-    let router = Arc::new(ClusterRouter::with_uniform_similarity(
-        registry,
-        Arc::new(HeuristicCostModel::default_model()),
-    ));
+    // Ingest counters (kept/quarantined) flow through the fleet router's
+    // observability handle into the snapshot folded into the JSON below.
+    let obs = Arc::new(Obs::new());
+    let router = Arc::new(
+        ClusterRouter::with_uniform_similarity(
+            registry,
+            Arc::new(HeuristicCostModel::default_model()),
+        )
+        .with_obs(Some(Arc::clone(&obs))),
+    );
     let mut fleet = ShardedFeedbackLoop::new(
         ShardedFeedbackConfig {
             shard: FeedbackConfig {
@@ -116,8 +122,7 @@ fn main() {
     let ingest_jps = jobs_per_sec(&ingest_sample);
     group.finish();
 
-    let degraded = cores < 4;
-    let simd = cleo_mlkit::simd::isa_name();
+    let simd = meta.simd;
     println!(
         "\n{n_jobs} jobs, {:.1} KB ndjson / {:.1} KB binary.  scan: {scan_mb_per_sec:.0} MB/s  \
          ndjson parse: {nd_1t_jps:.0}/s x1 -> {nd_nt_jps:.0}/s x{threads}  \
@@ -127,9 +132,10 @@ fn main() {
         bytes.len() as f64 / 1e3,
     );
 
+    let meta_fields = meta.json_fields();
+    let metrics_json = obs.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"bench\": \"telemetry_ingest\",\n  \"cores\": {cores},\n  \
-         \"degraded\": {degraded},\n  \"simd\": \"{simd}\",\n  \
+        "{{\n  \"bench\": \"telemetry_ingest\",\n  {meta_fields},\n  \
          \"jobs\": {n_jobs},\n  \"ndjson_bytes\": {},\n  \"binary_bytes\": {},\n  \
          \"parse_threads\": {threads},\n  \
          \"ndjson_scan_mb_per_sec\": {scan_mb_per_sec:.1},\n  \
@@ -139,7 +145,8 @@ fn main() {
          \"binary_parse_jobs_per_sec_1t\": {bin_1t_jps:.1},\n  \
          \"binary_parse_jobs_per_sec_nt\": {bin_nt_jps:.1},\n  \
          \"binary_parallel_speedup\": {:.3},\n  \
-         \"ingest_window_jobs_per_sec\": {ingest_jps:.1}\n}}\n",
+         \"ingest_window_jobs_per_sec\": {ingest_jps:.1},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         text.len(),
         bytes.len(),
         nd_nt_jps / nd_1t_jps.max(1e-12),

@@ -12,6 +12,6 @@ pub mod context;
 pub mod experiments;
 pub mod microbench;
 
-pub use context::{ClusterData, ExperimentContext, Scale};
+pub use context::{BenchMeta, ClusterData, ExperimentContext, Scale};
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
 pub use microbench::{BenchGroup, Sample};

@@ -34,17 +34,26 @@ thread_local! {
     static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
-/// This thread's stripe index.
+/// The calling thread's round-robin slot (assigned on first use, then fixed
+/// for the thread's lifetime).  Exposed so other striped structures — the
+/// observability trace buffers in [`crate::obs`] — shard by the same
+/// assignment as the counter stripes and stay core-local together.
 #[inline]
-fn home_stripe() -> usize {
+pub fn thread_slot() -> usize {
     THREAD_SLOT.with(|slot| {
         let mut s = slot.get();
         if s == usize::MAX {
             s = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
             slot.set(s);
         }
-        s & (STRIPES - 1)
+        s
     })
+}
+
+/// This thread's stripe index.
+#[inline]
+fn home_stripe() -> usize {
+    thread_slot() & (STRIPES - 1)
 }
 
 /// A cacheline-striped monotone counter: contention-free increments, exact

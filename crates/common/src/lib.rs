@@ -13,6 +13,8 @@
 //!   (Section 5.1 of the paper),
 //! * [`concurrency`] — cacheline-striped counters for the serving hot path,
 //! * [`fault`] — seeded, deterministic fault injection for chaos testing,
+//! * [`obs`] — the observability layer: metrics registry, mergeable latency
+//!   histograms, and deterministic trace events,
 //! * [`scan`] — SWAR byte scanning and span-exact number parsing for the
 //!   streaming telemetry readers,
 //! * [`table`] — plain-text table rendering for the experiment runners,
@@ -25,6 +27,7 @@ pub mod csvout;
 pub mod error;
 pub mod fault;
 pub mod hash;
+pub mod obs;
 pub mod rng;
 pub mod scan;
 pub mod stats;
@@ -32,3 +35,4 @@ pub mod table;
 
 pub use error::{CleoError, Result};
 pub use fault::{FaultPlan, FaultSite};
+pub use obs::{MetricsSnapshot, Obs, TraceEvent};

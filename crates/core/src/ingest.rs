@@ -20,6 +20,7 @@
 //! loop's shard thread pool.
 
 use cleo_common::fault::{FaultPlan, FaultSite};
+use cleo_common::obs::{Obs, TraceEvent};
 use cleo_common::scan::{split_at_newline, Lines};
 use cleo_common::{CleoError, Result};
 use cleo_engine::telemetry::TelemetryLog;
@@ -433,6 +434,22 @@ pub fn parse_telemetry_quarantine(
     policy: &QuarantinePolicy,
     faults: Option<&FaultPlan>,
 ) -> Result<(TelemetryLog, QuarantineLog)> {
+    parse_telemetry_quarantine_obs(buf, format, threads, policy, faults, None)
+}
+
+/// [`parse_telemetry_quarantine`] with an observability seam: every refused
+/// record additionally emits a [`TraceEvent::Quarantine`] (sequenced by its
+/// absolute record number, so the event multiset is thread-count-invariant)
+/// and the `ingest.kept_records` / `ingest.quarantined_records` counters are
+/// bumped.  `obs: None` is byte-for-byte the plain path.
+pub fn parse_telemetry_quarantine_obs(
+    buf: &[u8],
+    format: WireFormat,
+    threads: usize,
+    policy: &QuarantinePolicy,
+    faults: Option<&FaultPlan>,
+    obs: Option<&Obs>,
+) -> Result<(TelemetryLog, QuarantineLog)> {
     let outcomes: Vec<ChunkOutcome> = match format {
         WireFormat::Ndjson => {
             let threads = threads
@@ -527,6 +544,27 @@ pub fn parse_telemetry_quarantine(
     }
     quarantined.sort_by_key(|q| q.record);
 
+    if let Some(obs) = obs {
+        // One event per refused record (before `max_kept` truncation — the
+        // trace sees everything the budget counted), plus the aggregate
+        // counters.  Emitted from the serial merge, so the stream is ordered
+        // and thread-count-invariant.
+        for q in &quarantined {
+            obs.emit(TraceEvent::Quarantine {
+                seq: q.record as u64,
+                record: q.record as u64,
+                line: q.record as u64,
+            });
+        }
+        let metrics = obs.metrics();
+        metrics
+            .counter("ingest.kept_records")
+            .add(kept.len() as u64);
+        metrics
+            .counter("ingest.quarantined_records")
+            .add(quarantined.len() as u64);
+    }
+
     let total_records = kept.len() + quarantined.len();
     let total_quarantined = quarantined.len();
     if total_records > 0 && total_quarantined as f64 > policy.error_budget * total_records as f64 {
@@ -545,7 +583,9 @@ pub fn parse_telemetry_quarantine(
 }
 
 /// The firehose path with quarantine: resilient parse, then observe, with
-/// per-shard failures reported rather than propagated.
+/// per-shard failures reported rather than propagated.  Quarantine trace
+/// events and ingest counters flow into the fleet router's observability
+/// handle when one is attached (see `ClusterRouter::with_obs`).
 pub fn ingest_firehose_resilient(
     fleet: &mut ShardedFeedbackLoop,
     buf: &[u8],
@@ -554,7 +594,9 @@ pub fn ingest_firehose_resilient(
     policy: &QuarantinePolicy,
     faults: Option<&FaultPlan>,
 ) -> Result<(IngestReport, QuarantineLog)> {
-    let (log, quarantine) = parse_telemetry_quarantine(buf, format, threads, policy, faults)?;
+    let obs = fleet.router().obs().cloned();
+    let (log, quarantine) =
+        parse_telemetry_quarantine_obs(buf, format, threads, policy, faults, obs.as_deref())?;
     let parsed_jobs = log.len();
     let observed = fleet.observe(log)?;
     Ok((

@@ -104,8 +104,11 @@ struct PredictionCache {
     /// the per-shard mutexes are held for nanoseconds even on hot sweeps.
     shards: Vec<Mutex<HashMap<u64, Arc<[f64]>>>>,
     per_shard_capacity: usize,
-    hits: StripedCounter,
-    misses: StripedCounter,
+    /// Arc-held so a metrics registry can adopt the very counters the cache
+    /// increments (single source of truth — see
+    /// [`LearnedCostModel::register_metrics`]).
+    hits: Arc<StripedCounter>,
+    misses: Arc<StripedCounter>,
 }
 
 impl PredictionCache {
@@ -116,8 +119,8 @@ impl PredictionCache {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             per_shard_capacity: capacity.div_ceil(shard_count).max(1),
-            hits: StripedCounter::new(),
-            misses: StripedCounter::new(),
+            hits: Arc::new(StripedCounter::new()),
+            misses: Arc::new(StripedCounter::new()),
         }
     }
 
@@ -213,8 +216,9 @@ pub struct LearnedCostModel {
     /// analysis).  Striped: the count is bumped on *every* cost evaluation, so
     /// a single shared atomic would be the hottest cacheline in a concurrent
     /// serve — each thread increments its own stripe instead and totals are
-    /// summed on read.
-    invocations: StripedCounter,
+    /// summed on read.  Arc-held so a metrics registry can adopt it (see
+    /// [`LearnedCostModel::register_metrics`]).
+    invocations: Arc<StripedCounter>,
     /// Signature-keyed memo of combined predictions (`None` = caching disabled).
     /// Behind an [`Arc`] so a delta-published successor model can keep serving
     /// the incumbent's warm entries (keys are salted with per-signature model
@@ -234,7 +238,7 @@ impl LearnedCostModel {
     pub fn with_cache_capacity(predictor: impl Into<Arc<CleoPredictor>>, capacity: usize) -> Self {
         LearnedCostModel {
             predictor: predictor.into(),
-            invocations: StripedCounter::new(),
+            invocations: Arc::new(StripedCounter::new()),
             cache: (capacity > 0).then(|| Arc::new(PredictionCache::new(capacity))),
         }
     }
@@ -254,7 +258,7 @@ impl LearnedCostModel {
     pub fn delta_successor(&self, predictor: impl Into<Arc<CleoPredictor>>) -> LearnedCostModel {
         LearnedCostModel {
             predictor: predictor.into(),
-            invocations: StripedCounter::new(),
+            invocations: Arc::new(StripedCounter::new()),
             cache: self.cache.clone(),
         }
     }
@@ -265,6 +269,19 @@ impl LearnedCostModel {
         match (&self.cache, &other.cache) {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
+        }
+    }
+
+    /// Adopt this model's live counters into a metrics registry under
+    /// `{prefix}.invocations`, `{prefix}.cache_hits`, `{prefix}.cache_misses`.
+    /// The registry snapshots the *same* stripes the hot path increments —
+    /// no duplicated accounting, no extra work per cost evaluation.  Cache
+    /// counters are skipped when caching is disabled.
+    pub fn register_metrics(&self, metrics: &cleo_common::obs::MetricsRegistry, prefix: &str) {
+        metrics.register_counter(&format!("{prefix}.invocations"), &self.invocations);
+        if let Some(cache) = &self.cache {
+            metrics.register_counter(&format!("{prefix}.cache_hits"), &cache.hits);
+            metrics.register_counter(&format!("{prefix}.cache_misses"), &cache.misses);
         }
     }
 

@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use cleo_common::obs::{Obs, PublishKind, TraceEvent};
 use cleo_common::{CleoError, Result};
 use cleo_optimizer::{CostModel, CostModelProvider, ServedModel};
 
@@ -233,6 +234,11 @@ pub struct ModelRegistry {
     served_version: AtomicU64,
     /// Next version to assign (versions start at 1).
     next_version: AtomicU64,
+    /// Observability binding: the handle plus the cluster label publish /
+    /// rollback events carry ([`cleo_common::obs::NO_CLUSTER`] for unsharded
+    /// registries).  `None` (production default) emits nothing; the serving
+    /// hot path (`current` / `current_version`) never touches this.
+    obs: Mutex<Option<(Arc<Obs>, u16)>>,
 }
 
 impl Default for ModelRegistry {
@@ -251,6 +257,34 @@ impl ModelRegistry {
             history: Mutex::new(RegistryHistory::default()),
             served_version: AtomicU64::new(0),
             next_version: AtomicU64::new(1),
+            obs: Mutex::new(None),
+        }
+    }
+
+    /// Attach an observability handle: publishes, delta publishes, and
+    /// rollbacks emit [`TraceEvent::Publish`] events labelled with `cluster`
+    /// (pass [`cleo_common::obs::NO_CLUSTER`] for unsharded registries).
+    /// Event sequence numbers are registry versions, so traces are
+    /// deterministic for any thread count.
+    pub fn attach_obs(&self, obs: Arc<Obs>, cluster: u16) {
+        *self.obs.lock().expect("registry obs poisoned") = Some((obs, cluster));
+    }
+
+    /// The attached observability binding, if any (for sibling modules that
+    /// emit registry-labelled events, e.g. the publish watchdog).
+    pub(crate) fn obs_binding(&self) -> Option<(Arc<Obs>, u16)> {
+        self.obs.lock().expect("registry obs poisoned").clone()
+    }
+
+    /// Emit one publish-lineage event through the attached binding, if any.
+    fn emit_publish(&self, seq: u64, lineage: PublishKind, version: u64) {
+        if let Some((obs, cluster)) = self.obs_binding() {
+            obs.emit(TraceEvent::Publish {
+                seq,
+                cluster,
+                lineage,
+                version,
+            });
         }
     }
 
@@ -286,6 +320,9 @@ impl ModelRegistry {
         *current = Some(Arc::clone(&snapshot));
         self.served_version
             .store(snapshot.version, Ordering::Release);
+        drop(current);
+        drop(history);
+        self.emit_publish(version, PublishKind::Epoch, version);
         snapshot
     }
 
@@ -340,6 +377,9 @@ impl ModelRegistry {
         *current = Some(Arc::clone(&snapshot));
         self.served_version
             .store(snapshot.version, Ordering::Release);
+        drop(current);
+        drop(history);
+        self.emit_publish(version, PublishKind::Delta, version);
         Ok(snapshot)
     }
 
@@ -415,16 +455,22 @@ impl ModelRegistry {
     pub fn rollback(&self) -> Option<Arc<ModelSnapshot>> {
         let mut history = self.history.lock().expect("registry history poisoned");
         let mut current = self.current.write().expect("registry pointer poisoned");
+        let abandoned = self.served_version.load(Ordering::Acquire);
         history.serving_stack.pop();
         let predecessor = history
             .serving_stack
             .last()
             .and_then(|&v| history.published.iter().find(|s| s.version == v).cloned());
-        self.served_version.store(
-            predecessor.as_ref().map(|s| s.version).unwrap_or(0),
-            Ordering::Release,
-        );
+        let now_serving = predecessor.as_ref().map(|s| s.version).unwrap_or(0);
+        self.served_version.store(now_serving, Ordering::Release);
         *current = predecessor.clone();
+        drop(current);
+        drop(history);
+        if abandoned != 0 {
+            // seq = the version rolled back *from* (deterministic identity);
+            // `version` = what is serving now (0 = back to the fallback).
+            self.emit_publish(abandoned, PublishKind::Rollback, now_serving);
+        }
         predecessor
     }
 }

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cleo_common::obs::{self, Obs, TraceEvent};
 use cleo_common::rng::DetRng;
 use cleo_common::{CleoError, Result};
 use cleo_engine::workload::JobSpec;
@@ -262,6 +263,11 @@ pub struct DrainReport {
     pub completed: Vec<CompletedRequest>,
     /// Final admission/outcome counters.
     pub stats: FrontDoorStats,
+    /// Per-shard queue-depth high-water marks observed at admission (pool
+    /// backlog plus staged requests), aligned with the pool's shards.  Also
+    /// published as `front_door.shard{N}.queue_high_water` gauges when the
+    /// pool carries an [`Obs`] registry.
+    pub queue_high_water: Vec<usize>,
 }
 
 /// One admitted request riding a pool ticket.
@@ -292,12 +298,21 @@ pub struct FrontDoor {
     in_flight: Vec<(Ticket, Vec<InFlightRequest>)>,
     next_request: usize,
     stats: FrontDoorStats,
+    /// Per-shard queue-depth high-water marks (admission-time backlog).
+    high_water: Vec<usize>,
+    /// Observability seam, inherited from the pool's [`SharedOptimizer`]
+    /// (`None` = production path, no events, no metrics).
+    obs: Option<Arc<Obs>>,
 }
 
 impl FrontDoor {
-    /// A front door over a pool.
+    /// A front door over a pool.  The front door inherits the pool's
+    /// observability handle (see `SharedOptimizer::with_obs`), so admission
+    /// and batch-formation events flow into the same registry as the pool's
+    /// worker counters.
     pub fn new(pool: Arc<ServingPool>, config: FrontDoorConfig) -> Self {
         let shards = pool.shard_count();
+        let obs = pool.shared().obs().cloned();
         FrontDoor {
             pool,
             config,
@@ -305,6 +320,21 @@ impl FrontDoor {
             in_flight: Vec::new(),
             next_request: 0,
             stats: FrontDoorStats::default(),
+            high_water: vec![0; shards],
+            obs,
+        }
+    }
+
+    /// Emit one admission trace event (no-op without an [`Obs`] handle).  The
+    /// sequence is the request's arrival number — admission is single-driver,
+    /// so the event stream is identical however many workers serve the pool.
+    fn emit_admission(&self, request: usize, shard: usize, verdict: obs::AdmissionKind) {
+        if let Some(obs) = &self.obs {
+            obs.emit(TraceEvent::Admission {
+                seq: request as u64,
+                shard: shard as u16,
+                verdict,
+            });
         }
     }
 
@@ -325,8 +355,10 @@ impl FrontDoor {
         let over = depth >= self.config.max_queue_depth;
         if over && self.config.policy == OverloadPolicy::Shed {
             self.stats.shed += 1;
+            self.emit_admission(request, shard, obs::AdmissionKind::Shed);
             return Admission::Shed;
         }
+        self.high_water[shard] = self.high_water[shard].max(depth + 1);
         self.staging[shard].push(InFlightRequest {
             request,
             job,
@@ -338,9 +370,11 @@ impl FrontDoor {
         }
         if over {
             self.stats.delayed += 1;
+            self.emit_admission(request, shard, obs::AdmissionKind::Delayed);
             Admission::Delayed
         } else {
             self.stats.admitted += 1;
+            self.emit_admission(request, shard, obs::AdmissionKind::Admitted);
             Admission::Admitted
         }
     }
@@ -351,6 +385,16 @@ impl FrontDoor {
             return;
         }
         let members = std::mem::take(&mut self.staging[shard]);
+        if let Some(obs) = &self.obs {
+            // Batch identity = its first member's request number: coalescing
+            // is single-driver, so batch membership (and therefore the event)
+            // does not depend on worker count.
+            obs.emit(TraceEvent::Batch {
+                seq: members[0].request as u64,
+                shard: shard as u16,
+                jobs: members.len() as u32,
+            });
+        }
         let jobs: Vec<Arc<JobSpec>> = members.iter().map(|m| Arc::clone(&m.job)).collect();
         let ticket = self.pool.submit(shard, jobs);
         self.in_flight.push((ticket, members));
@@ -397,6 +441,12 @@ impl FrontDoor {
     ///   on a stalled or dead worker.
     pub fn drain_report(mut self) -> DrainReport {
         self.flush();
+        // Offer-to-completion latency, recorded per resolved request (wall
+        // clock, so a metric rather than a pinned trace event).
+        let latency_hist = self
+            .obs
+            .as_ref()
+            .map(|obs| obs.metrics().histogram("front_door.latency"));
         let mut completed: Vec<CompletedRequest> = Vec::new();
         let mut queue: VecDeque<(Ticket, Vec<InFlightRequest>)> =
             self.in_flight.drain(..).collect();
@@ -421,6 +471,9 @@ impl FrontDoor {
                 let now = Instant::now();
                 for member in members {
                     self.stats.expired += 1;
+                    if let Some(hist) = &latency_hist {
+                        hist.record(now.saturating_duration_since(member.offered_at));
+                    }
                     completed.push(CompletedRequest {
                         request: member.request,
                         completed_at: now,
@@ -435,11 +488,20 @@ impl FrontDoor {
             debug_assert_eq!(batch.results.len(), members.len());
             for (member, result) in members.into_iter().zip(batch.results) {
                 match result {
-                    Ok(plan) => completed.push(CompletedRequest {
-                        request: member.request,
-                        completed_at: batch.completed_at,
-                        result: Ok(plan),
-                    }),
+                    Ok(plan) => {
+                        if let Some(hist) = &latency_hist {
+                            hist.record(
+                                batch
+                                    .completed_at
+                                    .saturating_duration_since(member.offered_at),
+                            );
+                        }
+                        completed.push(CompletedRequest {
+                            request: member.request,
+                            completed_at: batch.completed_at,
+                            result: Ok(plan),
+                        })
+                    }
                     Err(error) => {
                         let within_deadline = self
                             .config
@@ -464,6 +526,13 @@ impl FrontDoor {
                             ));
                         } else {
                             self.stats.errored += 1;
+                            if let Some(hist) = &latency_hist {
+                                hist.record(
+                                    batch
+                                        .completed_at
+                                        .saturating_duration_since(member.offered_at),
+                                );
+                            }
                             completed.push(CompletedRequest {
                                 request: member.request,
                                 completed_at: batch.completed_at,
@@ -475,9 +544,20 @@ impl FrontDoor {
             }
         }
         completed.sort_by_key(|c| c.request);
+        if let Some(obs) = &self.obs {
+            // Surface the admission-time backlog peaks: one gauge per shard,
+            // monotone across repeated drains via `set_max`.
+            let metrics = obs.metrics();
+            for (shard, &mark) in self.high_water.iter().enumerate() {
+                metrics
+                    .gauge(&format!("front_door.shard{shard}.queue_high_water"))
+                    .set_max(mark as u64);
+            }
+        }
         DrainReport {
             completed,
             stats: self.stats,
+            queue_high_water: self.high_water,
         }
     }
 }

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use cleo_common::concurrency::StripedCounter;
 use cleo_common::fault::{FaultPlan, FaultSite};
+use cleo_common::obs::{self, Obs, TraceEvent};
 use cleo_common::{CleoError, Result};
 use cleo_engine::exec::Simulator;
 use cleo_engine::physical::JobMeta;
@@ -168,11 +169,13 @@ impl ShardedRegistry {
 /// job bumps exactly one of these, so shared atomics would put one hot
 /// cacheline between all serving threads; stripes keep the increments local
 /// and the totals exact once serving quiesces (the only time they are read).
+/// `Arc`-held so [`ClusterRouter::with_obs`] can register the *same* counters
+/// into the metrics registry — one source of truth, two readers.
 #[derive(Debug, Default)]
 struct RoutingStats {
-    own: StripedCounter,
-    donor: StripedCounter,
-    fallback: StripedCounter,
+    own: Arc<StripedCounter>,
+    donor: Arc<StripedCounter>,
+    fallback: Arc<StripedCounter>,
 }
 
 /// A point-in-time copy of a router's routing counters.
@@ -318,6 +321,8 @@ pub struct ClusterRouter {
     /// Bumped on every breaker transition; folded into route stamps so
     /// worker-local snapshot caches revalidate when routing flips.
     breaker_epoch: AtomicU64,
+    /// Observability handle (`None` in production: one branch per route).
+    obs: Option<Arc<Obs>>,
 }
 
 impl ClusterRouter {
@@ -373,6 +378,7 @@ impl ClusterRouter {
             }),
             breaker_states: (0..shard_count).map(|_| AtomicU8::new(0)).collect(),
             breaker_epoch: AtomicU64::new(0),
+            obs: None,
         }
     }
 
@@ -423,6 +429,49 @@ impl ClusterRouter {
         self.stats.fallback.reset();
     }
 
+    /// Attach an observability handle: the routing counters register into the
+    /// metrics registry (`router.own_hits` / `router.donor_hits` /
+    /// `router.fallback_hits` — the same striped counters
+    /// [`ClusterRouter::routing_stats`] reads), route resolutions and breaker
+    /// transitions emit trace events, and every registry shard is bound so
+    /// its publishes and rollbacks trace with their cluster label.  `None`
+    /// (the default) is the zero-cost production path.
+    pub fn with_obs(mut self, obs: Option<Arc<Obs>>) -> Self {
+        if let Some(obs) = &obs {
+            let metrics = obs.metrics();
+            metrics.register_counter("router.own_hits", &self.stats.own);
+            metrics.register_counter("router.donor_hits", &self.stats.donor);
+            metrics.register_counter("router.fallback_hits", &self.stats.fallback);
+            for shard in self.registry.shards() {
+                shard
+                    .registry
+                    .attach_obs(Arc::clone(obs), u16::from(shard.cluster.0));
+            }
+        }
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle routing/breaker events flow into (`None` in
+    /// production).
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Emit one route-resolution event (`seq` = job id, deterministic for any
+    /// worker count) when an observability handle is attached.
+    #[inline]
+    fn emit_route(&self, meta: &JobMeta, outcome: obs::RouteKind, version: u64) {
+        if let Some(obs) = &self.obs {
+            obs.emit(TraceEvent::Route {
+                seq: meta.id.0,
+                cluster: u16::from(meta.cluster.0),
+                outcome,
+                version,
+            });
+        }
+    }
+
     /// Enable (or reconfigure) per-shard circuit breakers.
     pub fn with_breaker_policy(mut self, policy: BreakerPolicy) -> Self {
         self.breaker_policy = policy;
@@ -457,11 +506,25 @@ impl ClusterRouter {
     fn breaker_transition(&self, core: &mut BreakerCore, shard_index: usize, state: BreakerState) {
         self.breaker_states[shard_index].store(encode_breaker_state(state), Ordering::Release);
         self.breaker_epoch.fetch_add(1, Ordering::AcqRel);
+        let cluster = self.registry.shards()[shard_index].cluster;
         core.transitions.push(BreakerTransition {
-            cluster: self.registry.shards()[shard_index].cluster,
+            cluster,
             outcome_index: core.outcomes_folded,
             state,
         });
+        if let Some(obs) = &self.obs {
+            // seq = the fold's outcome index: the same deterministic clock the
+            // transition log keeps, so traces match for any worker count.
+            obs.emit(TraceEvent::Breaker {
+                seq: core.outcomes_folded,
+                cluster: u16::from(cluster.0),
+                state: match state {
+                    BreakerState::Closed => obs::BreakerKind::Closed,
+                    BreakerState::Open => obs::BreakerKind::Open,
+                    BreakerState::HalfOpen => obs::BreakerKind::HalfOpen,
+                },
+            });
+        }
     }
 
     /// Fold one outcome for one shard (called in submission order).
@@ -577,11 +640,21 @@ impl CostModelProvider for ClusterRouter {
     /// A cached route reuse still counts as a routed job; classify the cached
     /// outcome from the served model's provenance so the counters stay exact.
     fn note_cached_route(&self, meta: &JobMeta, served: &ServedModel) {
-        match served.cluster {
-            Some(c) if c == meta.cluster => self.stats.own.add(1),
-            Some(_) => self.stats.donor.add(1),
-            None => self.stats.fallback.add(1),
-        }
+        let outcome = match served.cluster {
+            Some(c) if c == meta.cluster => {
+                self.stats.own.add(1);
+                obs::RouteKind::Own
+            }
+            Some(_) => {
+                self.stats.donor.add(1);
+                obs::RouteKind::Donor
+            }
+            None => {
+                self.stats.fallback.add(1);
+                obs::RouteKind::Fallback
+            }
+        };
+        self.emit_route(meta, outcome, served.version);
     }
 
     fn snapshot_for(&self, meta: &JobMeta) -> ServedModel {
@@ -593,6 +666,7 @@ impl CostModelProvider for ClusterRouter {
             if self.breaker_allows(i) {
                 if let Some(snapshot) = shards[i].registry.current() {
                     self.stats.own.add(1);
+                    self.emit_route(meta, obs::RouteKind::Own, snapshot.version());
                     return ServedModel {
                         model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
                         version: snapshot.version(),
@@ -609,6 +683,7 @@ impl CostModelProvider for ClusterRouter {
                 }
                 if let Some(snapshot) = shards[j].registry.current() {
                     self.stats.donor.add(1);
+                    self.emit_route(meta, obs::RouteKind::Donor, snapshot.version());
                     return ServedModel {
                         model: Arc::clone(snapshot.cost_model()) as Arc<dyn CostModel>,
                         version: snapshot.version(),
@@ -619,6 +694,7 @@ impl CostModelProvider for ClusterRouter {
             }
         }
         self.stats.fallback.add(1);
+        self.emit_route(meta, obs::RouteKind::Fallback, 0);
         ServedModel {
             model: Arc::clone(&self.fallback),
             version: 0,
@@ -692,14 +768,16 @@ struct PoolShared {
     faults: Option<Arc<FaultPlan>>,
     /// Next submission sequence (task identities are contiguous from 0).
     task_seq: AtomicU64,
-    /// Worker panics caught (injected or real).
-    panics: AtomicUsize,
+    /// Worker panics caught (injected or real).  These four are `Arc`-held
+    /// striped counters so an attached metrics registry adopts the same
+    /// objects (`pool.*` names) — one source of truth per count.
+    panics: Arc<StripedCounter>,
     /// Tasks requeued after their first executing worker died.
-    requeues: AtomicUsize,
+    requeues: Arc<StripedCounter>,
     /// Tasks whose ticket completed with worker-death errors.
-    worker_errors: AtomicUsize,
+    worker_errors: Arc<StripedCounter>,
     /// Replacement workers spawned after a panic escaped a worker thread.
-    respawns: AtomicUsize,
+    respawns: Arc<StripedCounter>,
     /// Join handles of replacement workers (joined on pool drop).
     respawned: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -857,7 +935,6 @@ impl ServingPool {
     ) -> Self {
         let shard_count = shard_count.max(1);
         let inner = Arc::new(PoolShared {
-            shared,
             shards: (0..shard_count)
                 .map(|_| ShardQueue {
                     queue: Mutex::new(VecDeque::new()),
@@ -870,12 +947,20 @@ impl ServingPool {
             shutdown: AtomicBool::new(false),
             faults,
             task_seq: AtomicU64::new(0),
-            panics: AtomicUsize::new(0),
-            requeues: AtomicUsize::new(0),
-            worker_errors: AtomicUsize::new(0),
-            respawns: AtomicUsize::new(0),
+            panics: Arc::new(StripedCounter::new()),
+            requeues: Arc::new(StripedCounter::new()),
+            worker_errors: Arc::new(StripedCounter::new()),
+            respawns: Arc::new(StripedCounter::new()),
             respawned: Mutex::new(Vec::new()),
+            shared,
         });
+        if let Some(obs) = inner.shared.obs() {
+            let metrics = obs.metrics();
+            metrics.register_counter("pool.worker_panics", &inner.panics);
+            metrics.register_counter("pool.requeued_tasks", &inner.requeues);
+            metrics.register_counter("pool.worker_error_tasks", &inner.worker_errors);
+            metrics.register_counter("pool.respawned_workers", &inner.respawns);
+        }
         let workers = (0..workers.max(1))
             .map(|w| spawn_worker(Arc::clone(&inner), w))
             .collect();
@@ -937,23 +1022,23 @@ impl ServingPool {
 
     /// Worker panics caught so far (injected or real).
     pub fn worker_panics(&self) -> usize {
-        self.inner.panics.load(Ordering::Relaxed)
+        self.inner.panics.sum() as usize
     }
 
     /// Tasks requeued after their first executing worker died.
     pub fn requeued_tasks(&self) -> usize {
-        self.inner.requeues.load(Ordering::Relaxed)
+        self.inner.requeues.sum() as usize
     }
 
     /// Tasks whose ticket completed with worker-death errors (both execution
     /// attempts lost).
     pub fn worker_error_tasks(&self) -> usize {
-        self.inner.worker_errors.load(Ordering::Relaxed)
+        self.inner.worker_errors.sum() as usize
     }
 
     /// Replacement workers spawned after a panic escaped a worker thread.
     pub fn respawned_workers(&self) -> usize {
-        self.inner.respawns.load(Ordering::Relaxed)
+        self.inner.respawns.sum() as usize
     }
 
     /// Stop claiming new batches (already-claimed batches finish).  Queues
@@ -1019,7 +1104,7 @@ struct RespawnGuard {
 impl Drop for RespawnGuard {
     fn drop(&mut self) {
         if std::thread::panicking() && !self.inner.shutdown.load(Ordering::Acquire) {
-            self.inner.respawns.fetch_add(1, Ordering::Relaxed);
+            self.inner.respawns.add(1);
             let handle = spawn_worker(Arc::clone(&self.inner), self.worker);
             lock_unpoisoned(&self.inner.respawned).push(handle);
         }
@@ -1049,12 +1134,12 @@ impl Drop for TaskGuard<'_> {
             let shard = &self.inner.shards[task.shard];
             shard.pending.fetch_add(task.jobs.len(), Ordering::Release);
             lock_unpoisoned(&shard.queue).push_front(task);
-            self.inner.requeues.fetch_add(1, Ordering::Relaxed);
+            self.inner.requeues.add(1);
             self.inner.wake_all();
         } else {
             // Second death (or pool shutdown): terminal per-job errors.  The
             // ticket resolves instead of deadlocking its waiter.
-            self.inner.worker_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.worker_errors.add(1);
             let results = task
                 .jobs
                 .iter()
@@ -1131,7 +1216,7 @@ fn worker_loop(inner: &PoolShared, worker: usize) {
             if let Some(task) = inner.claim(home) {
                 if catch_unwind(AssertUnwindSafe(|| execute_task(inner, task, &mut cache))).is_err()
                 {
-                    inner.panics.fetch_add(1, Ordering::Relaxed);
+                    inner.panics.add(1);
                     // The unwound serve may have left the worker-local cache
                     // mid-update; start clean.
                     cache = SnapshotCache::new();
@@ -1908,11 +1993,23 @@ fn run_publish_watchdog(
     if let Some(faults) = faults {
         live_error_pct *= faults.error_multiplier((served_version << 8) | state.cluster.0 as u64);
     }
+    // Watchdog events carry a logical identity derived from the version under
+    // measurement and the shard — both fixed by the round's inputs, so the
+    // event multiset is thread-count-invariant.
+    let obs_seq = (served_version << 8) | u64::from(state.cluster.0);
     match state.live_baseline {
         Some((baseline_version, baseline_error_pct))
             if baseline_version != served_version
                 && live_error_pct > baseline_error_pct + policy.max_error_regression_pct =>
         {
+            if let Some((obs, cluster)) = state.registry.obs_binding() {
+                obs.emit(TraceEvent::Watchdog {
+                    seq: obs_seq,
+                    cluster,
+                    verdict: obs::WatchdogKind::RolledBack,
+                    version: served_version,
+                });
+            }
             let now_serving = state.registry.rollback();
             WatchdogVerdict::RolledBack {
                 from_version: served_version,
@@ -1923,6 +2020,14 @@ fn run_publish_watchdog(
         }
         _ => {
             state.live_baseline = Some((served_version, live_error_pct));
+            if let Some((obs, cluster)) = state.registry.obs_binding() {
+                obs.emit(TraceEvent::Watchdog {
+                    seq: obs_seq,
+                    cluster,
+                    verdict: obs::WatchdogKind::Healthy,
+                    version: served_version,
+                });
+            }
             WatchdogVerdict::Healthy {
                 version: served_version,
                 live_error_pct,

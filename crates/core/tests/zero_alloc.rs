@@ -4,6 +4,12 @@
 //! the scratch buffers to their steady-state capacity, further sweeps through
 //! [`PredictScratch`] must perform **zero** heap allocations — the acceptance
 //! bar of the flat-matrix inference refactor.
+//!
+//! The same harness proves the observability seams: route resolution with no
+//! [`Obs`] handle attached (the production default) stays allocation-free,
+//! and with a handle attached the steady-state record path — striped counter
+//! adds, gauge stores, histogram bins, trace pushes into preallocated stripe
+//! capacity — never touches the allocator either.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -206,4 +212,107 @@ fn steady_state_ndjson_scan_allocates_nothing() {
         "the NDJSON validation scan must not allocate (got {} allocations over 50 scans)",
         after - before
     );
+}
+
+/// Route resolution with the obs seam *disabled* (`with_obs(None)`, the
+/// production default) allocates nothing in steady state: the seam is one
+/// `Option` branch, the routing counters are preallocated stripes, and the
+/// served-model snapshot is Arc clones all the way down.
+#[test]
+fn disabled_obs_route_resolution_allocates_nothing() {
+    use cleo_core::sharding::{ClusterRouter, ShardedRegistry};
+    use cleo_core::HoldoutMetrics;
+    use cleo_optimizer::CostModelProvider;
+
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(0)), 2);
+    let model = HeuristicCostModel::default_model();
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let jobs: Vec<_> = workload.jobs.iter().take(30).collect();
+    let log = pipeline::run_jobs(&jobs, &model, OptimizerConfig::default(), &simulator).unwrap();
+    let predictor = Arc::new(pipeline::train_predictor(&log, TrainerConfig::default()).unwrap());
+
+    let registry = Arc::new(ShardedRegistry::new((0u8..2).map(ClusterId)));
+    for c in 0u8..2 {
+        registry.shard(ClusterId(c)).unwrap().publish(
+            Arc::clone(&predictor),
+            1,
+            HoldoutMetrics {
+                correlation: 0.9,
+                median_error_pct: 10.0,
+                sample_count: 24,
+            },
+        );
+    }
+    let router = ClusterRouter::with_uniform_similarity(
+        registry,
+        Arc::new(HeuristicCostModel::default_model()),
+    )
+    .with_obs(None);
+
+    let meta = &workload.jobs[0].meta;
+    // Warm-up: registers this thread's counter stripe.
+    let warm = router.snapshot_for(meta);
+    assert_eq!(warm.version, 1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut versions = 0u64;
+    for _ in 0..2000 {
+        versions += router.snapshot_for(meta).version;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(versions, 2000);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-obs route resolution must not allocate (got {} allocations)",
+        after - before
+    );
+}
+
+/// With an [`Obs`] handle attached, the steady-state *record* path is also
+/// allocation-free: counter adds and gauge stores are atomics, histogram
+/// recording is a bin increment, and trace events push into each stripe's
+/// preallocated capacity.  (Name lookups and snapshots allocate — they are
+/// drain-time operations, not hot-path ones.)
+#[test]
+fn steady_state_obs_recording_allocates_nothing() {
+    use cleo_common::obs::{AdmissionKind, Obs, TraceEvent};
+
+    let obs = Obs::new();
+    let counter = obs.metrics().counter("hot.counter");
+    let gauge = obs.metrics().gauge("hot.gauge");
+    let histogram = obs.metrics().histogram("hot.histogram");
+
+    // Warm-up: registers this thread's stripe in the counter and the trace.
+    counter.add(1);
+    histogram.record_nanos(500);
+    obs.emit(TraceEvent::Admission {
+        seq: 0,
+        shard: 0,
+        verdict: AdmissionKind::Admitted,
+    });
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..4000u64 {
+        counter.add(1);
+        gauge.set_max(i);
+        histogram.record_nanos(1_000 + i * 37);
+        obs.emit(TraceEvent::Admission {
+            seq: i + 1,
+            shard: (i % 4) as u16,
+            verdict: AdmissionKind::Admitted,
+        });
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state metric/trace recording must not allocate (got {} allocations)",
+        after - before
+    );
+    assert_eq!(counter.sum(), 4001);
+    assert_eq!(gauge.get(), 3999);
+    assert_eq!(histogram.count(), 4001);
+    assert_eq!(obs.trace().len(), 4001);
+    assert_eq!(obs.trace().dropped(), 0);
 }

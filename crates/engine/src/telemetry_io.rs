@@ -30,6 +30,9 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use cleo_common::obs::{
+    AdmissionKind, BreakerKind, PublishKind, RouteKind, TraceEvent, WatchdogKind, NO_CLUSTER,
+};
 use cleo_common::scan::{parse_f64, parse_u64, Lines};
 use cleo_common::{CleoError, Result};
 
@@ -1383,6 +1386,250 @@ pub fn read_binary(buf: &[u8]) -> Result<TelemetryLog> {
     Ok(TelemetryLog::from_jobs(jobs))
 }
 
+// ---------------------------------------------------------------------------
+// Trace-event NDJSON
+// ---------------------------------------------------------------------------
+
+/// Append one observability [`TraceEvent`] as a single NDJSON line (no
+/// trailing newline).
+///
+/// Canonical field order — the strict reader requires exactly this order.
+/// Every line starts `seq, kind`; the remaining fields depend on the kind:
+///
+/// * `admission`: `shard, verdict` (`admitted` / `delayed` / `shed`)
+/// * `batch`: `shard, jobs`
+/// * `route`: `cluster, outcome` (`own` / `donor` / `fallback`), `version`
+/// * `breaker`: `cluster, state` (`closed` / `open` / `half_open`)
+/// * `publish`: `cluster` (`null` for unsharded registries), `lineage`
+///   (`epoch` / `delta` / `rollback`), `version`
+/// * `watchdog`: `cluster, verdict` (`healthy` / `rolled_back`), `version`
+/// * `quarantine`: `record, line`
+///
+/// Tag strings are fixed identifiers, so no escaping is required and
+/// round-trips are byte-exact.
+pub fn append_event_ndjson(event: &TraceEvent, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"kind\":\"{}\",",
+        event.seq(),
+        event.kind()
+    );
+    match *event {
+        TraceEvent::Admission { shard, verdict, .. } => {
+            let _ = write!(
+                out,
+                "\"shard\":{shard},\"verdict\":\"{}\"",
+                verdict.as_str()
+            );
+        }
+        TraceEvent::Batch { shard, jobs, .. } => {
+            let _ = write!(out, "\"shard\":{shard},\"jobs\":{jobs}");
+        }
+        TraceEvent::Route {
+            cluster,
+            outcome,
+            version,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "\"cluster\":{cluster},\"outcome\":\"{}\",\"version\":{version}",
+                outcome.as_str()
+            );
+        }
+        TraceEvent::Breaker { cluster, state, .. } => {
+            let _ = write!(
+                out,
+                "\"cluster\":{cluster},\"state\":\"{}\"",
+                state.as_str()
+            );
+        }
+        TraceEvent::Publish {
+            cluster,
+            lineage,
+            version,
+            ..
+        } => {
+            match cluster {
+                NO_CLUSTER => out.push_str("\"cluster\":null,"),
+                c => {
+                    let _ = write!(out, "\"cluster\":{c},");
+                }
+            }
+            let _ = write!(
+                out,
+                "\"lineage\":\"{}\",\"version\":{version}",
+                lineage.as_str()
+            );
+        }
+        TraceEvent::Watchdog {
+            cluster,
+            verdict,
+            version,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "\"cluster\":{cluster},\"verdict\":\"{}\",\"version\":{version}",
+                verdict.as_str()
+            );
+        }
+        TraceEvent::Quarantine { record, line, .. } => {
+            let _ = write!(out, "\"record\":{record},\"line\":{line}");
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize a drained trace as NDJSON, one event per line, trailing newline
+/// on every record.
+pub fn write_events_ndjson(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        append_event_ndjson(event, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// A fixed lowercase tag (`"admitted"`, `"open"`, ...), decoded through the
+/// kind's `parse`; the error spans the full quoted token.
+fn event_tag<T>(p: &mut LineParser, parse: fn(&str) -> Option<T>, what: &str) -> Result<T> {
+    let (s, e, raw, _) = p.string_token()?;
+    match std::str::from_utf8(raw).ok().and_then(parse) {
+        Some(v) => Ok(v),
+        None => p.err(s, e, format!("unknown {what}")),
+    }
+}
+
+/// A cluster field: `null` (unsharded) or a bounded integer.
+fn event_cluster(p: &mut LineParser) -> Result<u16> {
+    Ok(p.opt_bounded_u64(u64::from(NO_CLUSTER) - 1, "cluster")?
+        .map_or(NO_CLUSTER, |c| c as u16))
+}
+
+/// Parse one trace-event line (exact inverse of [`append_event_ndjson`]).
+fn parse_event(line_no: usize, line: &[u8]) -> Result<TraceEvent> {
+    let mut p = LineParser::new(line_no, line);
+    p.expect(b"{", "'{'")?;
+    p.key("seq")?;
+    let (seq, _) = p.u64_value()?;
+    p.expect(b",", "','")?;
+    p.key("kind")?;
+    let (ks, ke, kind_raw, _) = p.string_token()?;
+    p.expect(b",", "','")?;
+    let event = match kind_raw {
+        b"admission" => {
+            p.key("shard")?;
+            let shard = p.bounded_u64(u64::from(u16::MAX), "shard")? as u16;
+            p.expect(b",", "','")?;
+            p.key("verdict")?;
+            let verdict = event_tag(&mut p, AdmissionKind::parse, "admission verdict")?;
+            TraceEvent::Admission {
+                seq,
+                shard,
+                verdict,
+            }
+        }
+        b"batch" => {
+            p.key("shard")?;
+            let shard = p.bounded_u64(u64::from(u16::MAX), "shard")? as u16;
+            p.expect(b",", "','")?;
+            p.key("jobs")?;
+            let jobs = p.bounded_u64(u64::from(u32::MAX), "batch size")? as u32;
+            TraceEvent::Batch { seq, shard, jobs }
+        }
+        b"route" => {
+            p.key("cluster")?;
+            let cluster = event_cluster(&mut p)?;
+            p.expect(b",", "','")?;
+            p.key("outcome")?;
+            let outcome = event_tag(&mut p, RouteKind::parse, "route outcome")?;
+            p.expect(b",", "','")?;
+            p.key("version")?;
+            let (version, _) = p.u64_value()?;
+            TraceEvent::Route {
+                seq,
+                cluster,
+                outcome,
+                version,
+            }
+        }
+        b"breaker" => {
+            p.key("cluster")?;
+            let cluster = event_cluster(&mut p)?;
+            p.expect(b",", "','")?;
+            p.key("state")?;
+            let state = event_tag(&mut p, BreakerKind::parse, "breaker state")?;
+            TraceEvent::Breaker {
+                seq,
+                cluster,
+                state,
+            }
+        }
+        b"publish" => {
+            p.key("cluster")?;
+            let cluster = event_cluster(&mut p)?;
+            p.expect(b",", "','")?;
+            p.key("lineage")?;
+            let lineage = event_tag(&mut p, PublishKind::parse, "publish lineage")?;
+            p.expect(b",", "','")?;
+            p.key("version")?;
+            let (version, _) = p.u64_value()?;
+            TraceEvent::Publish {
+                seq,
+                cluster,
+                lineage,
+                version,
+            }
+        }
+        b"watchdog" => {
+            p.key("cluster")?;
+            let cluster = event_cluster(&mut p)?;
+            p.expect(b",", "','")?;
+            p.key("verdict")?;
+            let verdict = event_tag(&mut p, WatchdogKind::parse, "watchdog verdict")?;
+            p.expect(b",", "','")?;
+            p.key("version")?;
+            let (version, _) = p.u64_value()?;
+            TraceEvent::Watchdog {
+                seq,
+                cluster,
+                verdict,
+                version,
+            }
+        }
+        b"quarantine" => {
+            p.key("record")?;
+            let (record, _) = p.u64_value()?;
+            p.expect(b",", "','")?;
+            p.key("line")?;
+            let (line, _) = p.u64_value()?;
+            TraceEvent::Quarantine { seq, record, line }
+        }
+        _ => return p.err(ks, ke, "unknown event kind"),
+    };
+    p.expect(b"}", "'}'")?;
+    if p.pos != line.len() {
+        return p.err(p.pos, line.len(), "trailing bytes after event object");
+    }
+    Ok(event)
+}
+
+/// Parse a trace-event NDJSON buffer (one event per line).  Defects are
+/// reported as [`CleoError::Parse`] with the 1-based line number and the
+/// byte span of the offending token, like the telemetry reader.
+pub fn read_events_ndjson(buf: &[u8]) -> Result<Vec<TraceEvent>> {
+    let mut events = Vec::new();
+    for (line_no, _offset, line) in Lines::new(buf) {
+        if line.is_empty() {
+            continue;
+        }
+        events.push(parse_event(line_no, line)?);
+    }
+    Ok(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1673,6 +1920,85 @@ mod tests {
         assert_eq!(read_ndjson(text.as_bytes()).expect("parses"), log);
         let bytes = write_binary(&log);
         assert_eq!(read_binary(&bytes).expect("parses"), log);
+    }
+
+    #[test]
+    fn trace_events_round_trip_and_errors_are_span_exact() {
+        let events = vec![
+            TraceEvent::Admission {
+                seq: 0,
+                shard: 2,
+                verdict: AdmissionKind::Admitted,
+            },
+            TraceEvent::Admission {
+                seq: 1,
+                shard: 2,
+                verdict: AdmissionKind::Shed,
+            },
+            TraceEvent::Batch {
+                seq: 0,
+                shard: 2,
+                jobs: 8,
+            },
+            TraceEvent::Route {
+                seq: 5,
+                cluster: 1,
+                outcome: RouteKind::Donor,
+                version: 3,
+            },
+            TraceEvent::Breaker {
+                seq: 40,
+                cluster: 1,
+                state: BreakerKind::HalfOpen,
+            },
+            TraceEvent::Publish {
+                seq: 2,
+                cluster: NO_CLUSTER,
+                lineage: PublishKind::Delta,
+                version: 2,
+            },
+            TraceEvent::Publish {
+                seq: 3,
+                cluster: 0,
+                lineage: PublishKind::Rollback,
+                version: 1,
+            },
+            TraceEvent::Watchdog {
+                seq: (2 << 8) | 1,
+                cluster: 1,
+                verdict: WatchdogKind::RolledBack,
+                version: 2,
+            },
+            TraceEvent::Quarantine {
+                seq: 7,
+                record: 7,
+                line: 4,
+            },
+        ];
+        let text = write_events_ndjson(&events);
+        // One line per event, canonical fields, null cluster for unsharded.
+        assert_eq!(text.lines().count(), events.len());
+        assert!(text.contains("\"kind\":\"publish\",\"cluster\":null,\"lineage\":\"delta\""));
+        assert_eq!(read_events_ndjson(text.as_bytes()).expect("parses"), events);
+
+        // Unknown tag: the error pinpoints the offending token's line + span.
+        let broken = text.replacen("\"donor\"", "\"stolen\"", 1);
+        match read_events_ndjson(broken.as_bytes()).expect_err("bad tag") {
+            CleoError::Parse {
+                line, start, end, ..
+            } => {
+                assert_eq!(line, 4);
+                let bad = broken.lines().nth(3).unwrap().as_bytes();
+                assert_eq!(&bad[start..end], b"\"stolen\"");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Trailing garbage is rejected, not silently dropped.
+        let trailing = text.replacen("\"jobs\":8}", "\"jobs\":8} ", 1);
+        assert!(matches!(
+            read_events_ndjson(trailing.as_bytes()),
+            Err(CleoError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use cleo_common::obs::Obs;
 use cleo_common::Result;
 use cleo_engine::physical::JobMeta;
 use cleo_engine::types::ClusterId;
@@ -226,12 +227,31 @@ impl CostModelProvider for FixedCostModel {
 pub struct SharedOptimizer {
     provider: Arc<dyn CostModelProvider>,
     config: OptimizerConfig,
+    obs: Option<Arc<Obs>>,
 }
 
 impl SharedOptimizer {
     /// Create a serving optimizer over a provider.
     pub fn new(provider: Arc<dyn CostModelProvider>, config: OptimizerConfig) -> Self {
-        SharedOptimizer { provider, config }
+        SharedOptimizer {
+            provider,
+            config,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability handle.  The serving stack built over this
+    /// optimizer (pools, front doors) picks the handle up from here, so one
+    /// attach point instruments the whole path; `None` (the default) is the
+    /// zero-cost production path.
+    pub fn with_obs(mut self, obs: Option<Arc<Obs>>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     /// The configuration in use.
