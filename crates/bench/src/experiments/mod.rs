@@ -12,6 +12,7 @@ pub mod features;
 pub mod feedback;
 pub mod performance;
 pub mod resources;
+pub mod scenario;
 pub mod sharded;
 pub mod workload;
 
@@ -50,6 +51,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "feedback_loop",
     "sharded_serving",
     "chaos",
+    "scenario",
 ];
 
 /// Run one experiment by id.
@@ -84,6 +86,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Result<String> {
         "feedback_loop" => feedback::feedback_loop(ctx),
         "sharded_serving" => sharded::sharded_serving(ctx),
         "chaos" => chaos::chaos(ctx),
+        "scenario" => scenario::scenario(ctx),
         other => Err(cleo_common::CleoError::Config(format!(
             "unknown experiment id '{other}'"
         ))),

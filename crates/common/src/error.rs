@@ -42,6 +42,37 @@ pub enum CleoError {
     },
 }
 
+impl CleoError {
+    /// Span-exact parse error for line- or record-oriented inputs: `line` is
+    /// the 1-based line/record number (0 = the stream header), `start..end`
+    /// the byte span of the offending token *within* that line or record
+    /// payload.  The span is never empty — a zero-width error would leave
+    /// tooling with nothing to point at, so `end` is clamped to `start + 1`.
+    ///
+    /// This is the one constructor every spec/wire parser in the workspace
+    /// funnels through (telemetry NDJSON + binary, model snapshots, the
+    /// scenario DSL), so the span convention cannot drift per format.
+    pub fn parse_at(line: usize, start: usize, end: usize, msg: impl Into<String>) -> CleoError {
+        CleoError::Parse {
+            line,
+            start,
+            end: end.max(start + 1),
+            msg: msg.into(),
+        }
+    }
+
+    /// The `(line, start, end)` span of a [`CleoError::Parse`], if that is
+    /// what this error is — what tests assert span-exactness with.
+    pub fn parse_span(&self) -> Option<(usize, usize, usize)> {
+        match self {
+            CleoError::Parse {
+                line, start, end, ..
+            } => Some((*line, *start, *end)),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for CleoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -90,6 +121,15 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
         let e: CleoError = io.into();
         assert!(matches!(e, CleoError::Io(_)));
+    }
+
+    #[test]
+    fn parse_at_clamps_empty_spans_and_exposes_them() {
+        let e = CleoError::parse_at(3, 7, 7, "bad token");
+        assert_eq!(e.parse_span(), Some((3, 7, 8)));
+        let e = CleoError::parse_at(1, 2, 9, "bad token");
+        assert_eq!(e.parse_span(), Some((1, 2, 9)));
+        assert_eq!(CleoError::Config("x".into()).parse_span(), None);
     }
 
     #[test]

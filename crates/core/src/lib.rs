@@ -28,7 +28,16 @@
 //!   [`sharding::ServingPool`] of shard-pinned, work-stealing worker threads,
 //! * [`serving`] — the async serving front end: open-loop arrivals, bounded
 //!   admission with shed/delay backpressure, and cross-job batch coalescing
-//!   into single merged feature-matrix costing passes.
+//!   into single merged feature-matrix costing passes,
+//! * [`scenario`] — the workload-scenario DSL: declarative suites (drift
+//!   ramps, flash crowds, tenant arrival/churn, adversarial signature floods,
+//!   cold-start storms) compiled into deterministic, seeded multi-cluster job
+//!   streams for the experiment runners, the chaos bench, and the
+//!   integration tests,
+//! * [`snapshot_io`] — durable model snapshots: the `CMS1` on-disk format
+//!   behind [`registry::ModelRegistry::save_snapshot`] /
+//!   [`registry::ModelRegistry::load_snapshot`] and the sharded fleet
+//!   save/restore, bit-exact across a restart.
 //!
 //! ## Quick start
 //!
@@ -68,9 +77,11 @@ pub mod integration;
 pub mod models;
 pub mod pipeline;
 pub mod registry;
+pub mod scenario;
 pub mod serving;
 pub mod sharding;
 pub mod signature;
+pub mod snapshot_io;
 pub mod trainer;
 
 pub use cardlearner::CardLearner;
@@ -99,6 +110,7 @@ pub use registry::{
     HoldoutMetrics, ModelDelta, ModelRegistry, ModelSnapshot, RegistryCostModelProvider,
     SnapshotLineage,
 };
+pub use scenario::{CompiledSuite, ScenarioSuite};
 pub use serving::{
     open_loop_arrivals, serve_batch, Admission, CompletedRequest, DrainReport, FrontDoor,
     FrontDoorConfig, FrontDoorStats, OverloadPolicy,

@@ -218,17 +218,17 @@ fn new_evidence_share(group: &[HashedSample<'_>], fitted_hashes: &[u64]) -> f64 
 /// A trained per-signature model plus the latency ceiling derived from its
 /// training targets.
 #[derive(Debug, Clone)]
-struct StoredModel {
-    model: ElasticNet,
+pub(crate) struct StoredModel {
+    pub(crate) model: ElasticNet,
     /// Fingerprint of the sample multiset the model was fitted on (carried
     /// along when the model is reused unchanged across epochs).
-    fingerprint: u64,
+    pub(crate) fingerprint: u64,
     /// Sorted per-sample hashes of the fitted multiset: what a delta round
     /// diffs the current window group against to measure how much of a dirty
     /// signature's evidence is actually new ([`new_evidence_share`]).
-    sample_hashes: Vec<u64>,
+    pub(crate) sample_hashes: Vec<u64>,
     /// Lower clamp applied to predictions (see `ceiling`).
-    floor: f64,
+    pub(crate) floor: f64,
     /// Upper clamp applied to predictions.  A specialised model is trained on a
     /// homogeneous group of observations and is trusted to *interpolate*; a
     /// log-linear extrapolation far beyond the latency range the signature ever
@@ -237,7 +237,7 @@ struct StoredModel {
     /// metrics.  Predictions are clamped to the observed target range with a
     /// headroom factor; growth beyond that is the job of the general families
     /// and the combined meta-model.
-    ceiling: f64,
+    pub(crate) ceiling: f64,
 }
 
 /// Headroom factor around the observed latency range of a signature group.
@@ -676,6 +676,20 @@ impl ModelStore {
         }
         merged
     }
+
+    /// The stored per-signature models, for the snapshot codec.
+    pub(crate) fn stored_models(&self) -> &HashMap<u64, Arc<StoredModel>> {
+        &self.models
+    }
+
+    /// Reassemble a store from persisted per-signature models (the inverse of
+    /// [`ModelStore::stored_models`]).
+    pub(crate) fn from_stored_models(
+        family: Option<ModelFamily>,
+        models: HashMap<u64, Arc<StoredModel>>,
+    ) -> ModelStore {
+        ModelStore { family, models }
+    }
 }
 
 /// Per-family predictions for one operator instance.
@@ -842,6 +856,17 @@ impl CombinedModel {
     /// True once trained.
     pub fn is_trained(&self) -> bool {
         self.model.is_some()
+    }
+
+    /// The trained meta-model, for the snapshot codec.
+    pub(crate) fn tree(&self) -> Option<&FastTreeRegressor> {
+        self.model.as_ref()
+    }
+
+    /// Reassemble a combined model from a persisted meta-model (the inverse
+    /// of [`CombinedModel::tree`]).
+    pub(crate) fn from_tree(model: Option<FastTreeRegressor>) -> CombinedModel {
+        CombinedModel { model }
     }
 
     /// Predict from an individual-model breakdown and the operator's features.  Falls
@@ -1026,6 +1051,11 @@ impl CleoPredictor {
     /// Look up the store for a family.
     pub fn store(&self, family: ModelFamily) -> Option<&ModelStore> {
         self.stores.iter().find(|s| s.family() == Some(family))
+    }
+
+    /// All stores in serving order, for the snapshot codec.
+    pub(crate) fn stores(&self) -> &[ModelStore] {
+        &self.stores
     }
 
     /// Total number of specialised models held (the paper reports ~25K per cluster).

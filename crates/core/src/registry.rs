@@ -164,6 +164,27 @@ impl ModelSnapshot {
     pub fn base_full_version(&self) -> u64 {
         self.base_full_version
     }
+
+    /// Reconstruct a snapshot from its persisted parts (the `CMS1` restore
+    /// path, [`crate::snapshot_io`]).  Fields are installed verbatim, so a
+    /// restored registry reports exactly the provenance that was saved.
+    pub(crate) fn restored(
+        version: u64,
+        epoch: u32,
+        model: Arc<LearnedCostModel>,
+        holdout: HoldoutMetrics,
+        lineage: SnapshotLineage,
+        base_full_version: u64,
+    ) -> ModelSnapshot {
+        ModelSnapshot {
+            version,
+            epoch,
+            model,
+            holdout,
+            lineage,
+            base_full_version,
+        }
+    }
 }
 
 /// Number of most-recent published versions retained in history beyond the
@@ -472,6 +493,83 @@ impl ModelRegistry {
             self.emit_publish(abandoned, PublishKind::Rollback, now_serving);
         }
         predecessor
+    }
+
+    // ----- durable snapshots (`CMS1`, see [`crate::snapshot_io`]) -----
+
+    /// Serialize the serving chain — the current snapshot plus, when it is a
+    /// delta, its full-epoch basis — to one `CMS1` frame.  Encoding is
+    /// canonical (models in signature order, every `f64` bit-exact), so
+    /// save→load→save round-trips byte-identically.  Errors if the registry
+    /// is cold: there is no version to persist.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>> {
+        let current = self.current().ok_or_else(|| {
+            CleoError::Config("cannot snapshot a cold registry (no published version)".into())
+        })?;
+        let mut chain = Vec::with_capacity(2);
+        if current.lineage != SnapshotLineage::FullEpoch {
+            if let Some(basis) = self.current_full_basis() {
+                chain.push(basis);
+            }
+        }
+        chain.push(current);
+        Ok(crate::snapshot_io::encode_snapshots(&chain))
+    }
+
+    /// Rebuild a registry from a `CMS1` frame.  The restored registry serves
+    /// the saved current version immediately — same version number, same
+    /// lineage and holdout provenance, bit-identical predictions — and the
+    /// next publish is assigned version N+1, so version numbers keep
+    /// advancing across a restart.  Corrupt bytes are rejected with a
+    /// span-exact parse error, never a panic.
+    pub fn from_snapshot_bytes(buf: &[u8]) -> Result<ModelRegistry> {
+        Self::install_restored(crate::snapshot_io::decode_snapshots(buf)?)
+    }
+
+    /// Persist the serving chain to `path` (see [`Self::snapshot_bytes`]).
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = self.snapshot_bytes()?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Restore a registry from a file written by [`Self::save_snapshot`]
+    /// (see [`Self::from_snapshot_bytes`]).
+    pub fn load_snapshot(path: impl AsRef<std::path::Path>) -> Result<ModelRegistry> {
+        Self::from_snapshot_bytes(&std::fs::read(path)?)
+    }
+
+    /// Install a decoded snapshot chain (oldest-first) as this registry's
+    /// history and serving lineage.
+    fn install_restored(snapshots: Vec<Arc<ModelSnapshot>>) -> Result<ModelRegistry> {
+        let Some(last) = snapshots.last().cloned() else {
+            return Err(CleoError::Config(
+                "snapshot frame holds no model versions".into(),
+            ));
+        };
+        for pair in snapshots.windows(2) {
+            if pair[1].version <= pair[0].version {
+                return Err(CleoError::Config(format!(
+                    "snapshot chain out of order: version {} follows version {}",
+                    pair[1].version, pair[0].version
+                )));
+            }
+        }
+        let registry = ModelRegistry::new();
+        {
+            let mut history = registry.history.lock().expect("registry history poisoned");
+            let mut current = registry.current.write().expect("registry pointer poisoned");
+            history.serving_stack = snapshots.iter().map(|s| s.version).collect();
+            history.published = snapshots;
+            *current = Some(Arc::clone(&last));
+            registry
+                .served_version
+                .store(last.version, Ordering::Release);
+            registry
+                .next_version
+                .store(last.version + 1, Ordering::Release);
+        }
+        Ok(registry)
     }
 }
 

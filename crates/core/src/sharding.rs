@@ -146,6 +146,66 @@ impl ShardedRegistry {
         self.shard_index(cluster).map(|i| &self.shards[i].registry)
     }
 
+    /// File name a cluster's snapshot is saved under inside a snapshot
+    /// directory.
+    pub fn snapshot_file_name(cluster: ClusterId) -> String {
+        format!("shard_c{:03}.cms", cluster.0)
+    }
+
+    /// Persist every warm shard's serving chain to `dir` — one `CMS1` file
+    /// per cluster ([`Self::snapshot_file_name`]); cold shards are skipped.
+    /// Returns the clusters saved, in cluster order.
+    pub fn save_snapshots(&self, dir: impl AsRef<std::path::Path>) -> Result<Vec<ClusterId>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut saved = Vec::new();
+        for shard in &self.shards {
+            if shard.registry.current_version() == 0 {
+                continue;
+            }
+            shard
+                .registry
+                .save_snapshot(dir.join(Self::snapshot_file_name(shard.cluster)))?;
+            saved.push(shard.cluster);
+        }
+        Ok(saved)
+    }
+
+    /// Rebuild a fleet from a snapshot directory: clusters with a saved file
+    /// come up serving their persisted version immediately (same version
+    /// numbers, bit-identical predictions); clusters without one come up cold
+    /// (fallback-served until their first publish), so a partial save
+    /// restores what it can instead of failing the whole fleet.  A present
+    /// but corrupt file is an error — restoring half a shard silently is
+    /// worse than failing loudly.
+    pub fn load_snapshots(
+        clusters: impl IntoIterator<Item = ClusterId>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<ShardedRegistry> {
+        let dir = dir.as_ref();
+        let mut ids: Vec<ClusterId> = clusters.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut shards = Vec::with_capacity(ids.len());
+        for cluster in ids {
+            let path = dir.join(Self::snapshot_file_name(cluster));
+            let registry = if path.exists() {
+                ModelRegistry::load_snapshot(&path)?
+            } else {
+                ModelRegistry::new()
+            };
+            shards.push(RegistryShard {
+                cluster,
+                registry: Arc::new(registry),
+            });
+        }
+        let mut lookup = vec![None; 256];
+        for (i, shard) in shards.iter().enumerate() {
+            lookup[shard.cluster.0 as usize] = Some(i);
+        }
+        Ok(ShardedRegistry { shards, lookup })
+    }
+
     /// Currently served version of a cluster's shard (0 = cold shard or
     /// unmapped cluster), read from the shard's atomic stamp without locking.
     pub fn shard_version(&self, cluster: ClusterId) -> u64 {

@@ -1,0 +1,424 @@
+//! Durable model snapshots: the `CMS1` on-disk format.
+//!
+//! A restarted server should serve v_N immediately, not retrain from an empty
+//! registry.  This module (de)serializes a registry's serving chain — the
+//! current [`ModelSnapshot`] plus, when the current version is a delta, its
+//! full-epoch basis — to a compact versioned binary format built on the same
+//! length-prefixed framing as the `CLT1` telemetry stream
+//! ([`cleo_engine::wire`]):
+//!
+//! ```text
+//! [b"CMS1"][u32 snapshot count][u32 len | snapshot payload]*count
+//! ```
+//!
+//! Snapshots appear oldest-first (basis before delta).  Every `f64` is the LE
+//! bytes of its IEEE-754 bit pattern, so weights, clamps, thresholds, and
+//! holdout metrics restore **bit-exactly**: a restored registry serves
+//! predictions bit-identical to the pre-restart incumbent.  Derived
+//! structures (the compiled flat tree tables, the prediction cache) are
+//! rebuilt from the persisted parts by the same pure functions training uses,
+//! so they cannot diverge from what was saved.
+//!
+//! Encoding is canonical: per-signature models are written in ascending
+//! signature order (not `HashMap` iteration order), so save→load→save is
+//! byte-identical — which is what the persistence property tests pin.
+//!
+//! Corrupt input of any shape — truncation, a bad magic, an unknown lineage
+//! or transform code, implausible counts, trailing bytes — is rejected with a
+//! span-exact [`CleoError::Parse`](cleo_common::CleoError) (record number +
+//! byte span), never a panic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cleo_common::Result;
+use cleo_engine::wire::{self, put_f64, put_u32, put_u64, put_u8, Cursor};
+use cleo_mlkit::decision_tree::{DecisionTreeConfig, TreeNode};
+use cleo_mlkit::elastic_net::ElasticNetConfig;
+use cleo_mlkit::gbt::FastTreeConfig;
+use cleo_mlkit::loss::TargetTransform;
+use cleo_mlkit::{DecisionTreeRegressor, ElasticNet, FastTreeRegressor, Regressor};
+
+use crate::integration::LearnedCostModel;
+use crate::models::{CleoPredictor, CombinedModel, ModelStore, StoredModel};
+use crate::registry::{HoldoutMetrics, ModelSnapshot, SnapshotLineage};
+use crate::signature::ModelFamily;
+
+/// Magic + format version of the model-snapshot frame.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CMS1";
+
+/// What the snapshot frame calls itself in span-exact errors.
+const WHAT: &str = "model snapshot";
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn family_code(family: Option<ModelFamily>) -> u8 {
+    match family {
+        None => 0,
+        Some(ModelFamily::OpSubgraph) => 1,
+        Some(ModelFamily::OpSubgraphApprox) => 2,
+        Some(ModelFamily::OpInput) => 3,
+        Some(ModelFamily::Operator) => 4,
+    }
+}
+
+fn family_from_code(code: u8) -> Option<Option<ModelFamily>> {
+    match code {
+        0 => Some(None),
+        1 => Some(Some(ModelFamily::OpSubgraph)),
+        2 => Some(Some(ModelFamily::OpSubgraphApprox)),
+        3 => Some(Some(ModelFamily::OpInput)),
+        4 => Some(Some(ModelFamily::Operator)),
+        _ => None,
+    }
+}
+
+fn encode_elastic_net(out: &mut Vec<u8>, model: &ElasticNet) {
+    let config = model.config();
+    put_f64(out, config.alpha);
+    put_f64(out, config.l1_ratio);
+    put_u8(out, config.fit_intercept as u8);
+    put_u64(out, config.max_iter as u64);
+    put_f64(out, config.tol);
+    put_u8(out, config.target_transform.code());
+    put_u8(out, model.is_fitted() as u8);
+    put_u32(out, model.weights().len() as u32);
+    for &w in model.weights() {
+        put_f64(out, w);
+    }
+    put_f64(out, model.intercept());
+}
+
+fn encode_tree(out: &mut Vec<u8>, tree: &DecisionTreeRegressor) {
+    let config = tree.config();
+    put_u32(out, config.max_depth as u32);
+    put_u32(out, config.min_samples_leaf as u32);
+    put_u32(out, config.min_samples_split as u32);
+    match config.max_features {
+        Some(n) => {
+            put_u8(out, 1);
+            put_u32(out, n as u32);
+        }
+        None => put_u8(out, 0),
+    }
+    put_u64(out, config.seed);
+    put_u8(out, config.target_transform.code());
+    put_u8(out, tree.is_fitted() as u8);
+    let nodes = tree.export_nodes();
+    put_u32(out, nodes.len() as u32);
+    for node in nodes {
+        match node {
+            TreeNode::Leaf { value } => {
+                put_u8(out, 0);
+                put_f64(out, value);
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                put_u8(out, 1);
+                put_u32(out, feature as u32);
+                put_f64(out, threshold);
+                put_u32(out, left as u32);
+                put_u32(out, right as u32);
+            }
+        }
+    }
+}
+
+fn encode_fast_tree(out: &mut Vec<u8>, ensemble: &FastTreeRegressor) {
+    let config = ensemble.config();
+    put_u32(out, config.n_trees as u32);
+    put_u32(out, config.max_depth as u32);
+    put_u32(out, config.min_samples_leaf as u32);
+    put_f64(out, config.learning_rate);
+    put_f64(out, config.subsample);
+    put_u64(out, config.seed);
+    put_u8(out, config.target_transform.code());
+    put_f64(out, ensemble.base_prediction());
+    put_u8(out, ensemble.is_fitted() as u8);
+    put_u32(out, ensemble.trees().len() as u32);
+    for tree in ensemble.trees() {
+        encode_tree(out, tree);
+    }
+}
+
+fn encode_store(out: &mut Vec<u8>, store: &ModelStore) {
+    put_u8(out, family_code(store.family()));
+    let models = store.stored_models();
+    // Canonical order: HashMap iteration order would make equal stores encode
+    // to different bytes; ascending signature order makes save→load→save
+    // byte-identical.
+    let mut signatures: Vec<u64> = models.keys().copied().collect();
+    signatures.sort_unstable();
+    put_u32(out, signatures.len() as u32);
+    for signature in signatures {
+        let stored = &models[&signature];
+        put_u64(out, signature);
+        put_u64(out, stored.fingerprint);
+        put_u32(out, stored.sample_hashes.len() as u32);
+        for &h in &stored.sample_hashes {
+            put_u64(out, h);
+        }
+        put_f64(out, stored.floor);
+        put_f64(out, stored.ceiling);
+        encode_elastic_net(out, &stored.model);
+    }
+}
+
+fn encode_snapshot(out: &mut Vec<u8>, snapshot: &ModelSnapshot) {
+    put_u64(out, snapshot.version());
+    put_u32(out, snapshot.epoch());
+    match snapshot.lineage() {
+        SnapshotLineage::FullEpoch => put_u8(out, 0),
+        SnapshotLineage::Delta {
+            base_version,
+            changed_signatures,
+        } => {
+            put_u8(out, 1);
+            put_u64(out, base_version);
+            put_u64(out, changed_signatures as u64);
+        }
+    }
+    put_u64(out, snapshot.base_full_version());
+    let holdout = snapshot.holdout();
+    put_f64(out, holdout.correlation);
+    put_f64(out, holdout.median_error_pct);
+    put_u64(out, holdout.sample_count as u64);
+
+    let predictor = snapshot.predictor();
+    put_u32(out, predictor.stores().len() as u32);
+    for store in predictor.stores() {
+        encode_store(out, store);
+    }
+    match predictor.combined().tree() {
+        Some(ensemble) => {
+            put_u8(out, 1);
+            encode_fast_tree(out, ensemble);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+/// Encode a serving chain (oldest-first) as one `CMS1` frame.
+pub fn encode_snapshots(snapshots: &[Arc<ModelSnapshot>]) -> Vec<u8> {
+    let mut out = wire::frame_header(SNAPSHOT_MAGIC, snapshots.len());
+    for snapshot in snapshots {
+        wire::with_record(&mut out, |out| encode_snapshot(out, snapshot));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn decode_transform(c: &mut Cursor<'_>, what: &str) -> Result<TargetTransform> {
+    let code = c.u8(what)?;
+    match TargetTransform::from_code(code) {
+        Some(t) => Ok(t),
+        None => c.err(
+            c.pos() - 1,
+            c.pos(),
+            format!("unknown {what} transform code {code}"),
+        ),
+    }
+}
+
+fn decode_elastic_net(c: &mut Cursor<'_>) -> Result<ElasticNet> {
+    let alpha = c.f64("elastic-net alpha")?;
+    let l1_ratio = c.f64("elastic-net l1_ratio")?;
+    let fit_intercept = c.flag("elastic-net fit_intercept")?;
+    let max_iter = c.u64("elastic-net max_iter")? as usize;
+    let tol = c.f64("elastic-net tol")?;
+    let target_transform = decode_transform(c, "elastic-net")?;
+    let fitted = c.flag("elastic-net fitted")?;
+    let n_weights = c.count(8, "elastic-net weight")?;
+    let mut weights = Vec::with_capacity(n_weights);
+    for _ in 0..n_weights {
+        weights.push(c.f64("elastic-net weight")?);
+    }
+    let intercept = c.f64("elastic-net intercept")?;
+    Ok(ElasticNet::from_parts(
+        ElasticNetConfig {
+            alpha,
+            l1_ratio,
+            fit_intercept,
+            max_iter,
+            tol,
+            target_transform,
+        },
+        weights,
+        intercept,
+        fitted,
+    ))
+}
+
+fn decode_tree(c: &mut Cursor<'_>) -> Result<DecisionTreeRegressor> {
+    let max_depth = c.u32("tree max_depth")? as usize;
+    let min_samples_leaf = c.u32("tree min_samples_leaf")? as usize;
+    let min_samples_split = c.u32("tree min_samples_split")? as usize;
+    let max_features = match c.flag("tree max_features presence")? {
+        true => Some(c.u32("tree max_features")? as usize),
+        false => None,
+    };
+    let seed = c.u64("tree seed")?;
+    let target_transform = decode_transform(c, "tree")?;
+    let fitted = c.flag("tree fitted")?;
+    let n_nodes = c.count(9, "tree node")?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let tag_at = c.pos();
+        nodes.push(match c.u8("tree node tag")? {
+            0 => TreeNode::Leaf {
+                value: c.f64("leaf value")?,
+            },
+            1 => TreeNode::Split {
+                feature: c.u32("split feature")? as usize,
+                threshold: c.f64("split threshold")?,
+                left: c.u32("split left child")? as usize,
+                right: c.u32("split right child")? as usize,
+            },
+            tag => return c.err(tag_at, tag_at + 1, format!("unknown tree node tag {tag}")),
+        });
+    }
+    let config = DecisionTreeConfig {
+        max_depth,
+        min_samples_leaf,
+        min_samples_split,
+        max_features,
+        seed,
+        target_transform,
+    };
+    match DecisionTreeRegressor::from_parts(config, nodes, fitted) {
+        Ok(tree) => Ok(tree),
+        // Structurally invalid child indices: report at the node block.
+        Err(e) => c.err(c.pos(), c.pos(), format!("invalid tree export: {e}")),
+    }
+}
+
+fn decode_fast_tree(c: &mut Cursor<'_>) -> Result<FastTreeRegressor> {
+    let n_trees = c.u32("ensemble n_trees")? as usize;
+    let max_depth = c.u32("ensemble max_depth")? as usize;
+    let min_samples_leaf = c.u32("ensemble min_samples_leaf")? as usize;
+    let learning_rate = c.f64("ensemble learning_rate")?;
+    let subsample = c.f64("ensemble subsample")?;
+    let seed = c.u64("ensemble seed")?;
+    let target_transform = decode_transform(c, "ensemble")?;
+    let base_prediction = c.f64("ensemble base_prediction")?;
+    let fitted = c.flag("ensemble fitted")?;
+    let n_stages = c.count(1, "ensemble stage")?;
+    let mut trees = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        trees.push(decode_tree(c)?);
+    }
+    Ok(FastTreeRegressor::from_parts(
+        FastTreeConfig {
+            n_trees,
+            max_depth,
+            min_samples_leaf,
+            learning_rate,
+            subsample,
+            seed,
+            target_transform,
+        },
+        base_prediction,
+        trees,
+        fitted,
+    ))
+}
+
+fn decode_store(c: &mut Cursor<'_>) -> Result<ModelStore> {
+    let code_at = c.pos();
+    let code = c.u8("store family code")?;
+    let family = match family_from_code(code) {
+        Some(f) => f,
+        None => return c.err(code_at, code_at + 1, format!("unknown family code {code}")),
+    };
+    let n_models = c.count(8, "stored model")?;
+    let mut models = HashMap::with_capacity(n_models);
+    for _ in 0..n_models {
+        let signature = c.u64("model signature")?;
+        let fingerprint = c.u64("model fingerprint")?;
+        let n_hashes = c.count(8, "sample hash")?;
+        let mut sample_hashes = Vec::with_capacity(n_hashes);
+        for _ in 0..n_hashes {
+            sample_hashes.push(c.u64("sample hash")?);
+        }
+        let floor = c.f64("model floor")?;
+        let ceiling = c.f64("model ceiling")?;
+        let model = decode_elastic_net(c)?;
+        models.insert(
+            signature,
+            Arc::new(StoredModel {
+                model,
+                fingerprint,
+                sample_hashes,
+                floor,
+                ceiling,
+            }),
+        );
+    }
+    Ok(ModelStore::from_stored_models(family, models))
+}
+
+fn decode_snapshot(record: usize, payload: &[u8]) -> Result<ModelSnapshot> {
+    let mut c = Cursor::new(record, payload);
+    let version = c.u64("snapshot version")?;
+    let epoch = c.u32("snapshot epoch")?;
+    let lineage_at = c.pos();
+    let lineage = match c.u8("lineage tag")? {
+        0 => SnapshotLineage::FullEpoch,
+        1 => SnapshotLineage::Delta {
+            base_version: c.u64("delta base version")?,
+            changed_signatures: c.u64("delta changed signatures")? as usize,
+        },
+        tag => {
+            return c.err(
+                lineage_at,
+                lineage_at + 1,
+                format!("unknown lineage tag {tag}"),
+            )
+        }
+    };
+    let base_full_version = c.u64("base full version")?;
+    let holdout = HoldoutMetrics {
+        correlation: c.f64("holdout correlation")?,
+        median_error_pct: c.f64("holdout median error")?,
+        sample_count: c.u64("holdout sample count")? as usize,
+    };
+    let n_stores = c.count(5, "model store")?;
+    let mut stores = Vec::with_capacity(n_stores);
+    for _ in 0..n_stores {
+        stores.push(decode_store(&mut c)?);
+    }
+    let combined = match c.flag("combined model presence")? {
+        true => CombinedModel::from_tree(Some(decode_fast_tree(&mut c)?)),
+        false => CombinedModel::from_tree(None),
+    };
+    c.finish(WHAT)?;
+    let predictor = CleoPredictor::new(stores, combined);
+    let model = Arc::new(LearnedCostModel::new(predictor));
+    Ok(ModelSnapshot::restored(
+        version,
+        epoch,
+        model,
+        holdout,
+        lineage,
+        base_full_version,
+    ))
+}
+
+/// Decode a `CMS1` frame into its serving chain (oldest-first, as written).
+pub fn decode_snapshots(buf: &[u8]) -> Result<Vec<Arc<ModelSnapshot>>> {
+    let payloads = wire::record_payloads(buf, SNAPSHOT_MAGIC, WHAT)?;
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(i, payload)| decode_snapshot(i + 1, payload).map(Arc::new))
+        .collect()
+}

@@ -28,7 +28,8 @@ use cleo_common::fault::FaultPlan;
 use cleo_common::CleoError;
 use cleo_core::feedback::{FeedbackConfig, WindowEviction};
 use cleo_core::ingest::{
-    parse_telemetry, parse_telemetry_quarantine, QuarantinePolicy, WireFormat,
+    ingest_firehose_resilient, parse_telemetry, parse_telemetry_quarantine, QuarantinePolicy,
+    WireFormat,
 };
 use cleo_core::models::{CleoPredictor, CombinedModel, ModelStore, OperatorSample};
 use cleo_core::registry::HoldoutMetrics;
@@ -38,7 +39,7 @@ use cleo_core::sharding::{
     ShardedFeedbackLoop, ShardedRegistry, WatchdogPolicy, WatchdogVerdict,
 };
 use cleo_core::signature::ModelFamily;
-use cleo_core::trainer::TrainerConfig;
+use cleo_core::trainer::{CleoTrainer, TrainerConfig};
 use cleo_engine::catalog::{Catalog, ColumnDef, TableDef};
 use cleo_engine::exec::{Simulator, SimulatorConfig};
 use cleo_engine::logical::LogicalNode;
@@ -882,6 +883,137 @@ fn watchdog_rolls_back_during_a_delta_publish() {
     if let Some(base) = current.lineage().delta_base() {
         assert_eq!(base, 1, "a post-rollback delta applies over v1");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-layer: quarantine firing *during* a fleet epoch.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quarantine_during_a_fleet_epoch_is_thread_invariant() {
+    // Cross-layer determinism: a poisoned firehose is ingested resiliently
+    // into the fleet's shard windows and then a full training epoch runs over
+    // the mixture of quarantine-surviving telemetry and epoch-served jobs.
+    // The final fleet state — quarantine set, ingest accounting, per-shard
+    // versions, and served prediction bits — must be identical for every
+    // (parse threads, shard threads) combination, and identical to a fleet
+    // fed the pre-cleaned log through the plain observe path.
+    let workloads = generate_all_clusters(1, false);
+    let stream: Vec<&JobSpec> = workloads.iter().flat_map(|w| w.jobs.iter()).collect();
+    let bytes = write_binary(&sample_log(150));
+    let plan = FaultPlan {
+        poison_record_rate: 0.08,
+        ..FaultPlan::quiet(42)
+    };
+    let policy = QuarantinePolicy {
+        error_budget: 0.5,
+        ..QuarantinePolicy::default()
+    };
+    // Publish-guard tolerances opened wide so every shard reliably publishes
+    // and the cross-layer state comparison is over four fresh versions.
+    let fleet_config = |shard_threads: usize| ShardedFeedbackConfig {
+        shard: FeedbackConfig {
+            eviction: WindowEviction::JobCount(1_000_000),
+            correlation_tolerance: 10.0,
+            error_tolerance_pct: 1e12,
+            trainer: TrainerConfig {
+                threads: 2,
+                ..TrainerConfig::default()
+            },
+            ..FeedbackConfig::default()
+        },
+        shard_threads,
+        ..ShardedFeedbackConfig::default()
+    };
+
+    let state_of = |fleet: &ShardedFeedbackLoop| -> (Vec<u64>, Vec<u64>) {
+        let mut versions = Vec::new();
+        let mut bits = Vec::new();
+        for c in 0u8..4 {
+            let cluster = ClusterId(c);
+            versions.push(fleet.registry().shard_version(cluster));
+            let snapshot = fleet.registry().shard(cluster).unwrap().current().unwrap();
+            let probes = CleoTrainer::collect_samples(fleet.window(cluster).unwrap());
+            assert!(!probes.is_empty());
+            for s in &probes {
+                let p = snapshot
+                    .predictor()
+                    .predict_from_parts(&s.signatures, &s.features);
+                bits.push(p.combined.to_bits());
+            }
+        }
+        (versions, bits)
+    };
+
+    type FleetState = (
+        Vec<(usize, String)>,
+        (usize, usize, usize),
+        Vec<u64>,
+        Vec<u64>,
+    );
+    let run = |parse_threads: usize, shard_threads: usize| -> FleetState {
+        let mut fleet = fleet_over(&workloads, fleet_config(shard_threads));
+        let (report, quarantine) = ingest_firehose_resilient(
+            &mut fleet,
+            &bytes,
+            WireFormat::Binary,
+            parse_threads,
+            &policy,
+            Some(&plan),
+        )
+        .unwrap();
+        assert!(
+            quarantine.total > 0,
+            "the poison schedule must fire mid-feed"
+        );
+        assert_eq!(report.parsed_jobs + quarantine.total, 150);
+        assert_eq!(report.unrouted_jobs, 0, "all sample clusters have shards");
+        let epoch = fleet.run_epoch(&stream).unwrap();
+        assert!(epoch.failed.is_empty(), "{:?}", epoch.failed);
+        assert_eq!(epoch.published_count(), 4);
+        let q = quarantine
+            .kept
+            .iter()
+            .map(|r| (r.record, r.msg.clone()))
+            .collect();
+        let (versions, bits) = state_of(&fleet);
+        (
+            q,
+            (
+                report.parsed_jobs,
+                report.accepted_jobs,
+                report.evicted_jobs,
+            ),
+            versions,
+            bits,
+        )
+    };
+
+    let baseline = run(1, 1);
+    for (parse_threads, shard_threads) in [(1, 4), (4, 1), (8, 2)] {
+        assert_eq!(
+            run(parse_threads, shard_threads),
+            baseline,
+            "parse x{parse_threads} / shards x{shard_threads}"
+        );
+    }
+
+    // Equivalence with the two-step path: quarantine-parse the same bytes,
+    // observe the kept log, run the same epoch — identical end state.
+    let (kept, quarantine) =
+        parse_telemetry_quarantine(&bytes, WireFormat::Binary, 4, &policy, Some(&plan)).unwrap();
+    let two_step_q: Vec<(usize, String)> = quarantine
+        .kept
+        .iter()
+        .map(|r| (r.record, r.msg.clone()))
+        .collect();
+    assert_eq!(two_step_q, baseline.0);
+    let mut fleet = fleet_over(&workloads, fleet_config(2));
+    let observed = fleet.observe(kept).unwrap();
+    assert_eq!(observed.accepted_jobs, baseline.1 .1);
+    let epoch = fleet.run_epoch(&stream).unwrap();
+    assert!(epoch.failed.is_empty());
+    assert_eq!(state_of(&fleet), (baseline.2.clone(), baseline.3.clone()));
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,8 @@
 //! * [`telemetry`] — executed-job records (plan + per-operator exclusive latencies),
 //! * [`telemetry_io`] — the telemetry firehose wire formats (NDJSON + compact
 //!   binary) with span-exact parse errors and an allocation-free validation scan,
+//! * [`wire`] — the shared length-prefixed binary framing (`CLT1` style) the
+//!   telemetry and model-snapshot codecs both build on,
 //! * [`workload`] — synthetic production-like recurring/ad-hoc workloads and TPC-H.
 
 pub mod catalog;
@@ -25,6 +27,7 @@ pub mod stage;
 pub mod telemetry;
 pub mod telemetry_io;
 pub mod types;
+pub mod wire;
 pub mod workload;
 
 pub use catalog::{Catalog, ColumnDef, TableDef};

@@ -40,6 +40,7 @@ use crate::exec::{JobRun, OperatorRun};
 use crate::physical::{JobMeta, PhysicalNode, PhysicalOpKind, PhysicalPlan};
 use crate::telemetry::{JobTelemetry, ModelProvenance, TelemetryLog};
 use crate::types::{ClusterId, DayIndex, JobId, OpId, OpStats, TemplateId};
+use crate::wire::{self, put_f64, put_str, put_u32, put_u64};
 
 // ---------------------------------------------------------------------------
 // NDJSON writer
@@ -976,23 +977,6 @@ pub const BINARY_MAGIC: [u8; 4] = *b"CLT1";
 /// layout: u64 job id, u8 cluster, then u32 day).
 pub const BINARY_DAY_SPAN: (usize, usize) = (9, 13);
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
 fn put_strs(out: &mut Vec<u8>, ss: &[String]) {
     put_u32(out, ss.len() as u32);
     for s in ss {
@@ -1076,15 +1060,9 @@ fn encode_job(job: &JobTelemetry, out: &mut Vec<u8>) {
 /// Serialize a whole log to the compact binary format: magic, record count,
 /// then length-prefixed records.
 pub fn write_binary(log: &TelemetryLog) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(&BINARY_MAGIC);
-    put_u32(&mut out, log.len() as u32);
+    let mut out = wire::frame_header(BINARY_MAGIC, log.len());
     for job in log.jobs() {
-        let len_at = out.len();
-        put_u32(&mut out, 0);
-        encode_job(job, &mut out);
-        let payload_len = (out.len() - len_at - 4) as u32;
-        out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+        wire::with_record(&mut out, |out| encode_job(job, out));
     }
     out
 }
@@ -1315,55 +1293,7 @@ pub fn decode_binary_record(record: usize, payload: &[u8]) -> Result<JobTelemetr
 /// Validates the magic, the record count, and every length prefix; errors use
 /// the record number and buffer-absolute spans.
 pub fn binary_record_payloads(buf: &[u8]) -> Result<Vec<&[u8]>> {
-    let header_err = |start: usize, end: usize, msg: &str| CleoError::Parse {
-        line: 0,
-        start,
-        end,
-        msg: msg.into(),
-    };
-    if buf.len() < 8 || buf[..4] != BINARY_MAGIC {
-        return Err(header_err(
-            0,
-            buf.len().clamp(1, 4),
-            "bad binary telemetry magic",
-        ));
-    }
-    let count = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
-    let mut payloads = Vec::new();
-    let mut pos = 8usize;
-    for record in 1..=count {
-        if pos + 4 > buf.len() {
-            return Err(CleoError::Parse {
-                line: record,
-                start: pos,
-                end: buf.len().max(pos + 1),
-                msg: format!("truncated stream: record {record} of {count} has no length prefix"),
-            });
-        }
-        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let start = pos + 4;
-        if start + len > buf.len() {
-            return Err(CleoError::Parse {
-                line: record,
-                start: pos,
-                end: pos + 4,
-                msg: format!(
-                    "truncated record: length prefix {len} exceeds remaining {} bytes",
-                    buf.len() - start
-                ),
-            });
-        }
-        payloads.push(&buf[start..start + len]);
-        pos = start + len;
-    }
-    if pos != buf.len() {
-        return Err(header_err(
-            pos,
-            buf.len(),
-            "trailing bytes after final record",
-        ));
-    }
-    Ok(payloads)
+    wire::record_payloads(buf, BINARY_MAGIC, "binary telemetry")
 }
 
 /// Parse a compact-binary telemetry buffer (day-ordered records).

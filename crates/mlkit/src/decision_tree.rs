@@ -56,6 +56,31 @@ enum Node {
     },
 }
 
+/// One node of a fitted tree in persistable form — the exact entry of the
+/// tree's node vector (`left`/`right` are indices into that same vector), so
+/// an exported tree rebuilds bit-identically via
+/// [`DecisionTreeRegressor::from_parts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeNode {
+    /// Terminal node carrying its prediction.
+    Leaf {
+        /// Mean target of the leaf's training rows.
+        value: f64,
+    },
+    /// Internal split: rows with `features[feature] <= threshold` descend to
+    /// `left`, the rest to `right`.
+    Split {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Node index of the left child.
+        left: usize,
+        /// Node index of the right child.
+        right: usize,
+    },
+}
+
 /// Maximum depth for which a fitted tree is additionally compiled into the
 /// complete-layout [`FlatEval`] table (2^8 = 256 leaves; the ensembles' depth
 /// 3–5 trees qualify, the standalone depth-15 paper tree keeps the node walk).
@@ -207,6 +232,92 @@ impl DecisionTreeRegressor {
     /// Number of nodes in the fitted tree.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &DecisionTreeConfig {
+        &self.config
+    }
+
+    /// The fitted node vector in persistable form.  Child fields are indices
+    /// into this same vector, exactly as stored, so a tree rebuilt from the
+    /// export evaluates bit-identically (see
+    /// [`DecisionTreeRegressor::from_parts`]).
+    pub fn export_nodes(&self) -> Vec<TreeNode> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                Node::Leaf { value } => TreeNode::Leaf { value },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from exported nodes.  The compiled evaluation table is
+    /// derived from the nodes exactly as [`fit_raw`](Self::fit_raw) derives
+    /// it, so predictions are bit-identical to the exported tree's.
+    ///
+    /// Child indices are validated (in-range and strictly increasing past the
+    /// parent — the invariant `fit_raw`'s construction order guarantees), so
+    /// a corrupt export is an error instead of an out-of-bounds panic or an
+    /// unbounded recursion.
+    pub fn from_parts(
+        config: DecisionTreeConfig,
+        nodes: Vec<TreeNode>,
+        fitted: bool,
+    ) -> Result<DecisionTreeRegressor> {
+        if fitted && nodes.is_empty() {
+            return Err(CleoError::InvalidTrainingData(
+                "a fitted tree export must carry at least one node".into(),
+            ));
+        }
+        let nodes: Vec<Node> = nodes
+            .into_iter()
+            .map(|n| match n {
+                TreeNode::Leaf { value } => Node::Leaf { value },
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect();
+        for (i, node) in nodes.iter().enumerate() {
+            if let Node::Split { left, right, .. } = node {
+                if *left <= i || *right <= i || *left >= nodes.len() || *right >= nodes.len() {
+                    return Err(CleoError::InvalidTrainingData(format!(
+                        "tree export node {i} has invalid child indices {left}/{right}"
+                    )));
+                }
+            }
+        }
+        let mut tree = DecisionTreeRegressor {
+            config,
+            nodes,
+            flat: None,
+            fitted,
+        };
+        let depth = tree.depth();
+        if fitted && depth <= MAX_FLAT_DEPTH {
+            tree.flat = Some(FlatEval::build(&tree.nodes, depth));
+        }
+        Ok(tree)
     }
 
     /// Depth of the fitted tree.

@@ -85,6 +85,27 @@ impl ElasticNet {
         ElasticNet::new(config)
     }
 
+    /// Reassemble a model from persisted parts — the inverse of reading
+    /// [`ElasticNet::config`] / [`ElasticNet::weights`] /
+    /// [`ElasticNet::intercept`].  Used by the snapshot codec: the restored
+    /// model predicts bit-identically to the saved one (prediction is a pure
+    /// function of config, weights, and intercept; no refit happens and no
+    /// warm start is carried).
+    pub fn from_parts(
+        config: ElasticNetConfig,
+        weights: Vec<f64>,
+        intercept: f64,
+        fitted: bool,
+    ) -> ElasticNet {
+        ElasticNet {
+            config,
+            weights,
+            intercept,
+            fitted,
+            warm_start: None,
+        }
+    }
+
     /// Learned weights in raw feature space (empty before fitting).
     pub fn weights(&self) -> &[f64] {
         &self.weights

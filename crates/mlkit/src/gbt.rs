@@ -278,6 +278,41 @@ impl FastTreeRegressor {
         self.trees.len()
     }
 
+    /// The ensemble's configuration.
+    pub fn config(&self) -> &FastTreeConfig {
+        &self.config
+    }
+
+    /// The fitted base prediction (mean transformed target).
+    pub fn base_prediction(&self) -> f64 {
+        self.base_prediction
+    }
+
+    /// The fitted boosting stages, in stage order.
+    pub fn trees(&self) -> &[DecisionTreeRegressor] {
+        &self.trees
+    }
+
+    /// Rebuild an ensemble from persisted parts.  The compiled flat form is
+    /// derived from the stage trees exactly as [`Regressor::fit`] derives it,
+    /// so the restored ensemble predicts bit-identically to the exported one
+    /// (same config, same base prediction, same stage trees, same descent).
+    pub fn from_parts(
+        config: FastTreeConfig,
+        base_prediction: f64,
+        trees: Vec<DecisionTreeRegressor>,
+        fitted: bool,
+    ) -> FastTreeRegressor {
+        let flat = FlatEnsemble::build(&trees);
+        FastTreeRegressor {
+            config,
+            base_prediction,
+            trees,
+            flat,
+            fitted,
+        }
+    }
+
     /// Prediction in model (log) space, before the inverse target transform.
     fn predict_transformed(&self, row: &[f64]) -> f64 {
         let mut pred = self.base_prediction;

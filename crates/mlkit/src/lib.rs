@@ -37,7 +37,7 @@ pub mod scaler;
 pub mod simd;
 
 pub use dataset::Dataset;
-pub use decision_tree::DecisionTreeRegressor;
+pub use decision_tree::{DecisionTreeRegressor, TreeNode};
 pub use elastic_net::ElasticNet;
 pub use gbt::FastTreeRegressor;
 pub use loss::Loss;

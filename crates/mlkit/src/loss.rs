@@ -112,6 +112,24 @@ pub enum TargetTransform {
 }
 
 impl TargetTransform {
+    /// Stable one-byte wire code for the snapshot format.
+    pub fn code(self) -> u8 {
+        match self {
+            TargetTransform::Identity => 0,
+            TargetTransform::Log1p => 1,
+        }
+    }
+
+    /// Inverse of [`TargetTransform::code`] (`None` for unknown codes, so a
+    /// corrupt snapshot byte is a reported error, not a silent default).
+    pub fn from_code(code: u8) -> Option<TargetTransform> {
+        match code {
+            0 => Some(TargetTransform::Identity),
+            1 => Some(TargetTransform::Log1p),
+            _ => None,
+        }
+    }
+
     /// Transform a raw target into model space.
     pub fn forward(&self, y: f64) -> f64 {
         match self {

@@ -151,6 +151,100 @@ fn tpch_end_to_end_round_trip() {
     }
 }
 
+/// Restart-restore: a registry persisted with `save_snapshot` comes back from
+/// disk serving the same version at bit-identical costs, with provenance
+/// intact and version numbering continuing where it left off — no retraining.
+#[test]
+fn a_restarted_server_serves_the_persisted_model_bit_identically() {
+    use cleo::core::{HoldoutMetrics, ModelRegistry, SnapshotLineage};
+
+    let workload = generate_cluster_workload(&ClusterConfig::small(ClusterId(4)), 2);
+    let simulator = Simulator::new(SimulatorConfig::default());
+    let default_model = HeuristicCostModel::default_model();
+    let jobs: Vec<&JobSpec> = workload.jobs.iter().collect();
+    let telemetry = pipeline::run_jobs(
+        &jobs,
+        &default_model,
+        OptimizerConfig::default(),
+        &simulator,
+    )
+    .unwrap();
+
+    // Publish v1 from day 0, then the incumbent v2 from the full window.
+    let registry = ModelRegistry::new();
+    let day0 = telemetry.slice_days(DayIndex(0), DayIndex(0));
+    registry.publish(
+        pipeline::train_predictor(&day0, TrainerConfig::default()).unwrap(),
+        1,
+        HoldoutMetrics {
+            correlation: 0.8,
+            median_error_pct: 20.0,
+            sample_count: day0.len(),
+        },
+    );
+    registry.publish(
+        pipeline::train_predictor(&telemetry, TrainerConfig::default()).unwrap(),
+        2,
+        HoldoutMetrics {
+            correlation: 0.9,
+            median_error_pct: 12.0,
+            sample_count: telemetry.len(),
+        },
+    );
+    assert_eq!(registry.current_version(), 2);
+
+    // The pre-restart serving baseline: resource-aware plans costed by the
+    // incumbent snapshot.
+    let serve = |registry: &ModelRegistry| -> Vec<(u64, u64)> {
+        let snapshot = registry.current().unwrap();
+        let optimizer = Optimizer::new(
+            snapshot.cost_model().as_ref(),
+            OptimizerConfig::resource_aware(),
+        );
+        workload
+            .jobs
+            .iter()
+            .take(25)
+            .map(|job| {
+                let optimized = optimizer.optimize(job).unwrap();
+                (optimized.plan.meta.id.0, optimized.estimated_cost.to_bits())
+            })
+            .collect()
+    };
+    let before = serve(&registry);
+
+    let path = std::env::temp_dir().join(format!("cleo_e2e_restart_{}.cms", std::process::id()));
+    registry.save_snapshot(&path).unwrap();
+    drop(registry); // the "crash": every in-memory model is gone
+
+    // Restart: load the snapshot and serve v2 immediately.
+    let restored = ModelRegistry::load_snapshot(&path).unwrap();
+    assert_eq!(restored.current_version(), 2);
+    let current = restored.current().unwrap();
+    assert_eq!(current.version(), 2);
+    assert_eq!(current.epoch(), 2);
+    assert_eq!(current.lineage(), SnapshotLineage::FullEpoch);
+    assert_eq!(current.holdout().median_error_pct, 12.0);
+    assert_eq!(
+        serve(&restored),
+        before,
+        "served costs must be bit-identical across the restart"
+    );
+
+    // Version numbering continues where it left off.
+    let v3 = restored.publish(
+        pipeline::train_predictor(&telemetry, TrainerConfig::default()).unwrap(),
+        3,
+        HoldoutMetrics {
+            correlation: 0.9,
+            median_error_pct: 12.0,
+            sample_count: telemetry.len(),
+        },
+    );
+    assert_eq!(v3.version(), 3);
+    let _ = std::fs::remove_file(path);
+}
+
 /// Determinism: the same seeds produce identical workloads, plans, and runtimes.
 #[test]
 fn whole_pipeline_is_deterministic() {
